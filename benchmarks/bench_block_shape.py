@@ -1,0 +1,73 @@
+"""GPU thread-block shape sweep (§IV's 16x8x8 choice).
+
+The paper picks 16x8x8 blocks "to respect the GPU's limit of at most 1024
+threads per block, while maximizing the thread parallelism".  The traffic
+model quantifies the other axis of that choice: block shape controls the
+stencil's halo re-read amplification.  This bench sweeps the legal
+1024-thread shapes (plus some smaller ones) at paper scale and checks that
+the paper's choice is within a few percent of the best.
+"""
+
+from conftest import emit
+
+from repro.gpu.model import BlockShape
+from repro.gpu.timing import GpuTimingModel, jx_traffic_bytes
+from repro.util.formatting import format_table
+
+PAPER_SHAPE = BlockShape(16, 8, 8)
+GRID = (750, 994, 922)
+
+CANDIDATES = [
+    BlockShape(16, 8, 8),   # the paper's choice
+    BlockShape(8, 8, 16),
+    BlockShape(8, 16, 8),
+    BlockShape(32, 4, 8),
+    BlockShape(32, 8, 4),
+    BlockShape(64, 4, 4),
+    BlockShape(128, 2, 4),
+    BlockShape(1024, 1, 1),
+    BlockShape(16, 16, 4),
+    BlockShape(4, 16, 16),
+    BlockShape(16, 8, 4),   # 512 threads (under-filled)
+    BlockShape(8, 8, 8),    # 512 threads
+]
+
+
+def _sweep():
+    timing = GpuTimingModel.calibrated_a100()
+    rows = []
+    for shape in CANDIDATES:
+        traffic = jx_traffic_bytes(GRID, shape)
+        time = traffic / timing.achieved_bandwidth + timing.overhead_alg2
+        rows.append(
+            [
+                f"{shape.x}x{shape.y}x{shape.z}",
+                shape.threads,
+                round(traffic / (GRID[0] * GRID[1] * GRID[2]), 2),
+                round(time * 1e3, 3),
+            ]
+        )
+    return rows
+
+
+def test_block_shape_sweep(benchmark):
+    rows = benchmark(_sweep)
+    emit(
+        "block_shape_sweep",
+        format_table(
+            ["Block", "Threads", "DRAM bytes/cell", "Jx iter time [ms]"],
+            rows,
+            title="GPU block-shape sweep (A100 model, 750x994x922)",
+        ),
+    )
+    by_shape = {row[0]: row for row in rows}
+    paper = by_shape["16x8x8"]
+    full_blocks = [r for r in rows if r[1] == 1024]
+    best = min(r[2] for r in full_blocks)
+    worst = max(r[2] for r in full_blocks)
+    # The paper's choice is within 10% of the best 1024-thread shape, and
+    # clearly better than a degenerate 1024x1x1 slab.
+    assert paper[2] <= best * 1.10
+    assert by_shape["1024x1x1"][2] == worst
+    # Cube-ish blocks minimize surface-to-volume: 8x8x16 & friends tie.
+    assert abs(by_shape["8x8x16"][2] - paper[2]) / paper[2] < 0.15

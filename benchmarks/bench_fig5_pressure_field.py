@@ -1,0 +1,56 @@
+"""Fig. 5 — pressure propagation from the injector to the producer.
+
+Regenerates the converged pressure field of the quarter-five-spot
+scenario on all three backends (reference, dataflow simulator, GPU
+model), renders the ASCII analogue of the paper's plot, and asserts the
+physics: pressure decays monotonically from the source (top-left) to the
+producer (bottom-right), bounded by the two well pressures.
+"""
+
+import numpy as np
+from conftest import emit
+
+from repro.bench.experiments import fig5_field
+from repro.util.ascii_art import render_heatmap
+
+
+def test_fig5_reference_field(benchmark):
+    field = benchmark(lambda: fig5_field(24, 24, 4, backend="reference"))
+    art = render_heatmap(field, width=48, height=24, fine=True)
+    emit("fig5_pressure_field", "Fig. 5: pressure field (reference backend)\n" + art)
+
+    ny, nx = field.shape
+    # Injector corner is the max, producer corner the min.
+    assert field[0, 0] == field.max()
+    assert field[-1, -1] == field.min()
+    assert field.max() <= 1.0 + 1e-6 and field.min() >= -1e-6
+    # Pressure decays along the diagonal from source to producer.
+    diag = np.array([field[i, i] for i in range(min(nx, ny))])
+    assert np.all(np.diff(diag) <= 1e-6)
+
+
+def test_fig5_backends_agree(benchmark):
+    def _all_backends():
+        ref = fig5_field(10, 10, 3, backend="reference")
+        wse = fig5_field(10, 10, 3, backend="wse")
+        gpu = fig5_field(10, 10, 3, backend="gpu")
+        return ref, wse, gpu
+
+    ref, wse, gpu = benchmark(_all_backends)
+    emit(
+        "fig5_backend_agreement",
+        "Fig. 5 numerical integrity (max |diff| to reference):\n"
+        f"  dataflow simulator: {np.abs(wse - ref).max():.3e}\n"
+        f"  GPU model:          {np.abs(gpu - ref).max():.3e}",
+    )
+    np.testing.assert_allclose(wse, ref, atol=1e-5)
+    np.testing.assert_allclose(gpu, ref, atol=1e-5)
+
+
+def test_fig5_export_npy(tmp_path, benchmark):
+    """The example workflow: export the field for external plotting."""
+    field = benchmark(lambda: fig5_field(16, 16, 3))
+    out = tmp_path / "fig5_pressure.npy"
+    np.save(out, field)
+    loaded = np.load(out)
+    np.testing.assert_array_equal(loaded, field)

@@ -1,0 +1,52 @@
+"""Fig. 6 — roofline models for the CS-2 and the A100.
+
+Regenerates both charts' data: ceilings, kernel points, bound
+classification and achieved fractions.  Shape assertions: the CS-2 kernel
+is compute-bound on both resources at ~68 % of the 1.785 PFLOP/s peak;
+the A100 kernel is memory-bound.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import fig6_charts, fig6_rows
+from repro.util.formatting import format_table
+
+
+def test_fig6_rooflines(benchmark):
+    rows = benchmark(fig6_rows)
+    emit(
+        "fig6_roofline",
+        format_table(
+            ["Platform", "Kernel point", "AI [FLOP/B]", "Achieved", "Fraction", "Bound"],
+            rows,
+            title="Fig. 6: roofline points",
+        ),
+    )
+    cs2, a100 = fig6_charts()
+
+    # CS-2: both dots compute-bound at 68.18% of peak (paper headline).
+    for pt in cs2.points:
+        assert pt.is_compute_bound
+        assert abs(pt.fraction_of_peak - 0.6818) < 0.01
+        assert abs(pt.achieved_flops - 1.217e15) / 1.217e15 < 0.01
+    ai_mem = cs2.points[0].intensity_flops_per_byte
+    ai_fab = cs2.points[1].intensity_flops_per_byte
+    assert abs(ai_mem - 0.0895) < 1e-3
+    assert ai_fab == 3.0
+
+    # A100: the kernel sits under the HBM slope (memory-bound).
+    pt = a100.points[0]
+    assert not pt.is_compute_bound
+    assert pt.achieved_flops < pt.ceiling.peak_flops
+    # Ceiling ordering: L1 > L2 > HBM bandwidths.
+    bws = [c.bandwidth_bytes for c in a100.ceilings]
+    assert bws[2] > bws[1] > bws[0]
+
+
+def test_fig6_ceiling_math(benchmark):
+    cs2, _ = benchmark(fig6_charts)
+    mem = cs2.ceilings[0]
+    # Below the ridge point the bound is bandwidth*AI; above, the roof.
+    ridge = mem.peak_flops / mem.bandwidth_bytes
+    assert mem.bound_at(ridge / 2) == mem.bandwidth_bytes * (ridge / 2)
+    assert mem.bound_at(ridge * 2) == mem.peak_flops

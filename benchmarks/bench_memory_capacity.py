@@ -1,0 +1,83 @@
+"""PE memory capacity: how deep a column fits in 48 KiB (§III-E.1).
+
+The paper runs Nz = 922 at full fabric, which bounds its per-PE buffer
+count at <= 13 columns.  This bench regenerates the capacity ledger for
+every kernel configuration and verifies it against actual stagings on the
+simulator (the memory arena enforces the budget for real).
+"""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro import api
+from repro.core.fv_kernel import DirichletKind, KernelVariant
+from repro.core.solver import WseMatrixFreeSolver
+from repro.perf.memmodel import PAPER_DEPTH, PeMemoryModel
+from repro.util.errors import PeOutOfMemory
+from repro.util.formatting import format_table
+from repro.wse.specs import WSE2
+
+
+def _capacity_rows():
+    rows = []
+    configs = [
+        ("precomputed + reuse", PeMemoryModel()),
+        ("precomputed, no reuse", PeMemoryModel(reuse_buffers=False)),
+        ("precomputed + reuse + jacobi(+2 cols)", None),  # filled below
+        ("fused mobility + reuse", PeMemoryModel(variant=KernelVariant.FUSED_MOBILITY)),
+        ("partial-Dirichlet column", PeMemoryModel(dirichlet=DirichletKind.PARTIAL)),
+    ]
+    for name, model in configs:
+        if model is None:
+            base = PeMemoryModel()
+            cols = base.num_columns() + 2
+            budget = WSE2.pe_memory_bytes - 256
+            rows.append([name, cols, budget // (cols * 4)])
+        else:
+            rows.append([name, model.num_columns(), model.max_depth()])
+    rows.append(["paper (implied)", "<= 13", PAPER_DEPTH])
+    return rows
+
+
+def test_memory_capacity_table(benchmark):
+    rows = benchmark(_capacity_rows)
+    emit(
+        "memory_capacity",
+        format_table(
+            ["Configuration", "Column buffers", "Max Nz @ 48 KiB"],
+            rows,
+            title="PE memory capacity per configuration",
+        ),
+    )
+    depths = {row[0]: row[2] for row in rows}
+    # Reuse beats no-reuse; lean beats fused; all within reach of the
+    # paper's 922 order of magnitude.
+    assert depths["precomputed + reuse"] > depths["precomputed, no reuse"]
+    assert depths["precomputed + reuse"] > depths["fused mobility + reuse"]
+    assert depths["precomputed + reuse"] > 0.75 * PAPER_DEPTH
+
+
+def test_capacity_model_matches_simulator(benchmark):
+    """The analytic max depth must be exactly the staging boundary: that
+    depth stages, one more raises PeOutOfMemory."""
+
+    def _probe():
+        model = PeMemoryModel()
+        depth = model.max_depth()
+        ok = api.quarter_five_spot_problem(2, 2, depth)
+        WseMatrixFreeSolver(ok, spec=WSE2.with_fabric(4, 4))
+        too_deep = api.quarter_five_spot_problem(2, 2, depth + 1)
+        try:
+            WseMatrixFreeSolver(too_deep, spec=WSE2.with_fabric(4, 4))
+            return depth, False
+        except PeOutOfMemory:
+            return depth, True
+
+    depth, failed_above = benchmark(_probe)
+    emit(
+        "memory_capacity_check",
+        f"staging boundary verified at Nz = {depth} "
+        f"(Nz+1 raises PeOutOfMemory: {failed_above})",
+    )
+    assert failed_above

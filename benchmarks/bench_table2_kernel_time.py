@@ -1,0 +1,34 @@
+"""Table II — kernel time measurements (CS-2 vs A100 vs H100).
+
+Regenerates the paper's headline table from the calibrated models and
+benchmarks the real cost of evaluating them.  Shape assertions: the CS-2
+beats the A100 by two orders of magnitude and the H100 by ~2x less.
+"""
+
+from conftest import emit
+
+from repro.bench.experiments import TABLE2_PAPER, table2_rows
+from repro.util.formatting import format_table
+
+HEADERS = ["Arch/lang", "Paper [s]", "Model [s]", "Paper speedup vs A100", "Model speedup vs A100"]
+
+
+def _build():
+    return table2_rows()
+
+
+def test_table2_kernel_time(benchmark):
+    rows = benchmark(_build)
+    emit("table2_kernel_time", format_table(HEADERS, rows, title="Table II: time measurements"))
+
+    by_arch = {row[0]: row for row in rows}
+    t_cs2 = by_arch["Dataflow/CSL"][2]
+    t_a100 = by_arch["A100/CUDA"][2]
+    t_h100 = by_arch["H100/CUDA"][2]
+    # Who wins and by roughly what factor (the paper: 427.8x and 209.7x).
+    assert t_cs2 < t_h100 < t_a100
+    assert 300 < t_a100 / t_cs2 < 600
+    assert 150 < t_h100 / t_cs2 < 300
+    # Model matches the published numbers to a fraction of a percent.
+    for name, (paper_t, _sd) in TABLE2_PAPER.items():
+        assert abs(by_arch[name][2] - paper_t) / paper_t < 0.01

@@ -1,0 +1,43 @@
+"""What-if machine projections (model extrapolations, clearly labelled).
+
+Applies the calibrated CS-2 model to hypothetical machines: faster clock,
+wider SIMD, bigger wafer, deeper PE memory.  The interesting structural
+results: SIMD helps only the kernel (collectives are latency-bound), a
+bigger wafer trades per-run time for 4x capacity, and 2x PE memory is
+what lets the paper's 922-deep columns fit our 15-column buffer layout.
+"""
+
+from conftest import emit
+
+from repro.perf.whatif import project
+from repro.util.formatting import format_table
+
+
+def test_whatif_projections(benchmark):
+    rows = benchmark(project)
+    table = [
+        [
+            r["scenario"],
+            r["fabric"],
+            r["nz_run"],
+            round(r["alg2_s"], 4),
+            round(r["alg1_s"], 4),
+            f"{r['speedup']:.2f}x",
+            f"{r['max_cells'] / 1e6:,.0f} M",
+            round(r["peak_pflops"], 2),
+        ]
+        for r in rows
+    ]
+    emit(
+        "whatif_scaling",
+        format_table(
+            ["Scenario", "Fabric", "Nz", "Alg2 [s]", "Alg1 [s]", "Speedup",
+             "Capacity [cells]", "Peak [PFLOP/s]"],
+            table,
+            title="What-if projections (MODEL EXTRAPOLATIONS, not measurements)",
+        ),
+    )
+    by_name = {r["scenario"]: r for r in rows}
+    assert by_name["2x clock"]["speedup"] > 1.9
+    assert 1.0 < by_name["4-wide SIMD"]["speedup"] < 2.0
+    assert by_name["2x wafer (linear)"]["max_cells"] > 3.9 * by_name["baseline CS-2"]["max_cells"]

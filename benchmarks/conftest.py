@@ -1,0 +1,19 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench writes its paper-style table to ``benchmarks/out/<name>.txt``
+(and stdout), so the regenerated tables survive the pytest capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def emit(name: str, text: str) -> None:
+    """Print a rendered table and persist it under benchmarks/out/."""
+    OUT_DIR.mkdir(exist_ok=True)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print()
+    print(text)

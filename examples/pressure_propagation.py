@@ -1,0 +1,57 @@
+"""Fig. 5 scenario: pressure propagation from an injector to a producer.
+
+Run:  python examples/pressure_propagation.py [--size N] [--backend B]
+
+Reproduces the paper's Fig. 5: the converged pressure field of the
+quarter-five-spot pattern, with the source at the top-left and the
+producer at the bottom-right.  Renders an ASCII heatmap (matplotlib-free)
+and exports the raw field to ``examples/out/fig5_pressure.npy`` for
+external plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+
+import numpy as np
+
+from repro.bench.experiments import fig5_field
+from repro.util.ascii_art import render_heatmap
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=32, help="lateral cells per side")
+    parser.add_argument("--depth", type=int, default=4, help="Z cells per column")
+    parser.add_argument(
+        "--backend",
+        choices=("reference", "wse", "gpu"),
+        default="reference",
+        help="which implementation solves the system",
+    )
+    args = parser.parse_args()
+
+    field = fig5_field(args.size, args.size, args.depth, backend=args.backend)
+
+    print(
+        f"Pressure propagation ({args.backend} backend, "
+        f"{args.size}x{args.size}x{args.depth} mesh)"
+    )
+    print("Injector (top-left, p=1) -> producer (bottom-right, p=0):\n")
+    print(render_heatmap(field, width=min(2 * args.size, 76), height=min(args.size, 30), fine=True))
+
+    OUT_DIR.mkdir(exist_ok=True)
+    out = OUT_DIR / "fig5_pressure.npy"
+    np.save(out, field)
+    print(f"\nraw field saved to {out} (load with numpy for plotting)")
+    print(
+        f"pressure range: [{field.min():.4f}, {field.max():.4f}]; "
+        f"isobars run diagonally between the wells, as in the paper's plot"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Fig. 6 reproduction: roofline analysis for the CS-2 and the A100.
+
+Run:  python examples/roofline_report.py
+
+Prints both platforms' ceilings and kernel points, the bound
+classification, and an ASCII log-log sketch of the CS-2 chart.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.experiments import fig6_charts, fig6_rows
+from repro.util.formatting import format_si, format_table
+
+
+def ascii_roofline(chart, *, width: int = 68, height: int = 18) -> str:
+    """A rough log-log sketch: ceilings as lines, kernel points as 'X'."""
+    ai_lo, ai_hi = 1e-2, 1e2
+    perf_lo = min(c.bound_at(ai_lo) for c in chart.ceilings) / 10
+    perf_hi = max(c.peak_flops for c in chart.ceilings) * 2
+    grid = [[" "] * width for _ in range(height)]
+
+    def to_col(ai: float) -> int:
+        frac = (np.log10(ai) - np.log10(ai_lo)) / (np.log10(ai_hi) - np.log10(ai_lo))
+        return int(np.clip(frac * (width - 1), 0, width - 1))
+
+    def to_row(perf: float) -> int:
+        frac = (np.log10(perf) - np.log10(perf_lo)) / (
+            np.log10(perf_hi) - np.log10(perf_lo)
+        )
+        return int(np.clip((1 - frac) * (height - 1), 0, height - 1))
+
+    for ceiling in chart.ceilings:
+        for col in range(width):
+            ai = 10 ** (
+                np.log10(ai_lo) + col / (width - 1) * (np.log10(ai_hi) - np.log10(ai_lo))
+            )
+            grid[to_row(ceiling.bound_at(ai))][col] = "-"
+    for pt in chart.points:
+        grid[to_row(pt.achieved_flops)][to_col(pt.intensity_flops_per_byte)] = "X"
+    lines = ["".join(row) for row in grid]
+    lines.append(f"AI {ai_lo:g} ... {ai_hi:g} FLOP/B (log); X = kernel point")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    print(
+        format_table(
+            ["Platform", "Kernel point", "AI [FLOP/B]", "Achieved", "Fraction", "Bound"],
+            fig6_rows(),
+            title="Fig. 6: roofline points (paper accounting: 96 FLOPs/cell)",
+        )
+    )
+    cs2, a100 = fig6_charts()
+    print("\nCS-2 ceilings:")
+    for c in cs2.ceilings:
+        print(f"  {c.name:>7}: {format_si(c.bandwidth_bytes, 'B/s')}, roof {format_si(c.peak_flops, 'FLOP/s')}")
+    print("A100 ceilings:")
+    for c in a100.ceilings:
+        print(f"  {c.name:>7}: {format_si(c.bandwidth_bytes, 'B/s')}, roof {format_si(c.peak_flops, 'FLOP/s')}")
+
+    print("\nCS-2 roofline sketch:")
+    print(ascii_roofline(cs2))
+    print(
+        "\nHeadline: the FV kernel achieves "
+        f"{format_si(cs2.points[0].achieved_flops, 'FLOP/s')} — "
+        f"{100 * cs2.points[0].fraction_of_peak:.2f}% of the CS-2 peak, "
+        "compute-bound for both memory and fabric (paper: 1.217 PFLOP/s, 68%)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for legacy editable installs (offline environments without
+the `wheel` package, where PEP 517 editable builds are unavailable).
+
+Use ``pip install -e . --no-build-isolation --no-use-pep517``; all real
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

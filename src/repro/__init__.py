@@ -1,0 +1,26 @@
+"""repro — Matrix-Free Finite Volume Kernels on a Dataflow Architecture.
+
+A full reproduction of Sai, Hamon, Mellor-Crummey & Araya-Polo (SC 2024):
+a matrix-free TPFA finite-volume conjugate-gradient solver for single-phase
+Darcy flow, mapped onto a simulated wafer-scale dataflow architecture
+(`repro.wse` + `repro.core`), with a CUDA-like GPU reference model
+(`repro.gpu`) and performance/roofline models regenerating every table and
+figure of the paper's evaluation (`repro.perf`, `benchmarks/`).
+
+Quickstart
+----------
+>>> from repro import api
+>>> problem = api.quarter_five_spot_problem(nx=12, ny=12, nz=4)
+>>> report = api.solve_reference(problem)
+>>> report.pressure.shape
+(12, 12, 4)
+
+See README.md for the architecture overview and DESIGN.md for the full
+system inventory and experiment index.
+"""
+
+__version__ = "1.0.0"
+
+from repro import api
+
+__all__ = ["api", "__version__"]

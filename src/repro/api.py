@@ -1,0 +1,72 @@
+"""High-level convenience API — the library's front door.
+
+Wraps the most common flows in one-liners so the examples and quickstart
+stay short.  Everything here is a thin composition of public pieces from
+``repro.mesh`` / ``repro.fv`` / ``repro.physics`` / ``repro.core`` /
+``repro.gpu``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.grid import CartesianGrid3D
+from repro.mesh.geomodel import homogeneous_permeability
+from repro.mesh.wells import quarter_five_spot
+from repro.physics.darcy import SinglePhaseProblem, build_problem
+from repro.physics.simulation import NewtonReport, solve_pressure
+from repro.solvers.cg import PAPER_TOLERANCE_RTR
+
+
+def quarter_five_spot_problem(
+    nx: int = 16,
+    ny: int = 16,
+    nz: int = 8,
+    *,
+    permeability: np.ndarray | float = 100.0,
+    viscosity: float = 1.0,
+    injection_pressure: float = 1.0,
+    production_pressure: float = 0.0,
+) -> SinglePhaseProblem:
+    """The Fig. 5 scenario: injector at (0,0), producer at (nx-1,ny-1)."""
+    grid = CartesianGrid3D(nx, ny, nz)
+    if np.isscalar(permeability):
+        perm = homogeneous_permeability(grid, float(permeability))  # type: ignore[arg-type]
+    else:
+        perm = np.asarray(permeability, dtype=np.float32)
+    _, dirichlet = quarter_five_spot(
+        grid,
+        injection_pressure=injection_pressure,
+        production_pressure=production_pressure,
+    )
+    return build_problem(grid, perm, dirichlet, viscosity=viscosity)
+
+
+def solve_reference(
+    problem: SinglePhaseProblem,
+    *,
+    tol_rtr: float = PAPER_TOLERANCE_RTR,
+    max_iters: int = 10_000,
+) -> NewtonReport:
+    """Solve with the vectorized NumPy reference backend."""
+    return solve_pressure(problem, tol_rtr=tol_rtr, max_iters=max_iters)
+
+
+def solve_on_wse(problem: SinglePhaseProblem, **kwargs):
+    """Solve on the simulated dataflow fabric (see `repro.core.solver`).
+
+    Imported lazily so the light-weight reference path doesn't pay for the
+    simulator machinery.
+    """
+    from repro.core.solver import WseMatrixFreeSolver
+
+    solver = WseMatrixFreeSolver.for_problem(problem, **kwargs)
+    return solver.solve()
+
+
+def solve_on_gpu_model(problem: SinglePhaseProblem, **kwargs):
+    """Solve with the CUDA-like GPU reference model (see `repro.gpu`)."""
+    from repro.gpu.cg import GpuCGSolver
+
+    solver = GpuCGSolver.for_problem(problem, **kwargs)
+    return solver.solve()

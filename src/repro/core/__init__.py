@@ -1,0 +1,34 @@
+"""The paper's contribution: matrix-free FV kernels on the dataflow fabric.
+
+Composes the `repro.wse` simulator into the system of §III:
+
+* `mapping`     — 3D mesh → 2D fabric data mapping (§III-A, Fig. 3);
+* `exchange`    — the 4-step odd/even cardinal halo exchange of Table I,
+                  driven by router switch positions (Fig. 4);
+* `allreduce`   — the whole-fabric all-reduce (§III-C);
+* `fv_kernel`   — the per-PE matrix-free Jx computation over a Z column,
+                  vectorized with DSDs (§III-E.3);
+* `cg_dataflow` — conjugate gradient as the 14-state event-driven machine
+                  (§III-D), distributed over all PEs;
+* `solver`      — :class:`WseMatrixFreeSolver`, the public entry point;
+* `host`        — memcpy-style host staging (outside kernel timing, §IV/V).
+"""
+
+from repro.core.mapping import ProblemMapping, PORT_FOR_DIRECTION
+from repro.core.exchange import HaloExchange, ExchangeColors
+from repro.core.allreduce import AllReduce, AllReduceColors
+from repro.core.fv_kernel import PeKernelConfig, FvColumnKernel
+from repro.core.solver import WseMatrixFreeSolver, WseSolveReport
+
+__all__ = [
+    "ProblemMapping",
+    "PORT_FOR_DIRECTION",
+    "HaloExchange",
+    "ExchangeColors",
+    "AllReduce",
+    "AllReduceColors",
+    "PeKernelConfig",
+    "FvColumnKernel",
+    "WseMatrixFreeSolver",
+    "WseSolveReport",
+]

@@ -1,0 +1,311 @@
+"""Whole-fabric all-reduce (§III-C).
+
+The paper's three-step algorithm:
+
+1. *Row reduction*: partial sums flow left → right along every row; the
+   right-most PE of each row holds the row total.
+2. *Column reduction*: the right-most column reduces top → bottom; the
+   bottom-right PE holds the global total.
+3. *Broadcast*: the bottom-right PE broadcasts up the right-most column,
+   then each right-column PE broadcasts left across its row; every PE
+   updates its copy.
+
+It runs as an asynchronous task: each PE calls :meth:`submit` with its
+local value (e.g. the local partial dot product) and gets
+``on_complete(total)`` once the broadcast reaches it — "when the process
+finishes, it triggers a callback task to continue the rest of the program
+execution".
+
+Chain routing uses two colors per dimension (parity ping-pong: a router
+color cannot simultaneously accept RAMP→EAST and WEST→RAMP without
+multicasting, so consecutive hops alternate colors).  Broadcasts multicast
+through routers (rx SOUTH → tx {RAMP, NORTH} etc.), so one message covers
+a whole column/row.
+
+Re-use across rounds is safe without epoch tags: a PE can only receive
+round ``n+1`` traffic after it completed round ``n`` (the broadcast that
+completes round ``n`` sweeps right-to-left / bottom-to-top *before* any
+PE that gates round ``n+1`` can start it — see tests for the ordering
+property).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.wse.color import ColorAllocator
+from repro.wse.fabric import Fabric
+from repro.wse.isa import Op
+from repro.wse.pe import ProcessingElement
+from repro.wse.router import Port, RouteEntry
+
+
+@dataclass(frozen=True)
+class AllReduceColors:
+    """The six routed colors of the all-reduce."""
+
+    row_even: int
+    row_odd: int
+    col_even: int
+    col_odd: int
+    bcast_col: int
+    bcast_row: int
+
+    @classmethod
+    def allocate(cls, colors: ColorAllocator) -> "AllReduceColors":
+        return cls(
+            row_even=colors.allocate("ar-row-even"),
+            row_odd=colors.allocate("ar-row-odd"),
+            col_even=colors.allocate("ar-col-even"),
+            col_odd=colors.allocate("ar-col-odd"),
+            bcast_col=colors.allocate("ar-bcast-col"),
+            bcast_row=colors.allocate("ar-bcast-row"),
+        )
+
+
+class AllReduce:
+    """Reusable fabric-wide scalar sum.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric to operate on.
+    colors:
+        Routed colors (allocate once per program).
+    """
+
+    def __init__(self, fabric: Fabric, colors: AllReduceColors):
+        self.fabric = fabric
+        self.colors = colors
+        self._state: dict[tuple[int, int], dict] = {}
+        self.rounds_completed_at: dict[tuple[int, int], int] = {}
+        self._program_routers()
+        self._register_handlers()
+
+    # -- router programming ----------------------------------------------------
+
+    def _program_routers(self) -> None:
+        W, H = self.fabric.width, self.fabric.height
+        c = self.colors
+        for pe in self.fabric.iter_pes():
+            x, y = pe.x, pe.y
+            router = self.fabric.router(x, y)
+            # Row chains (all rows).
+            send_color = c.row_even if x % 2 == 0 else c.row_odd
+            recv_color = c.row_odd if x % 2 == 0 else c.row_even
+            if x < W - 1:
+                router.set_route(send_color, [RouteEntry.of(Port.RAMP, Port.EAST)])
+            if x > 0:
+                router.set_route(recv_color, [RouteEntry.of(Port.WEST, Port.RAMP)])
+            if x == W - 1:
+                # Column chain and broadcasts live on the right-most column.
+                send_col = c.col_even if y % 2 == 0 else c.col_odd
+                recv_col = c.col_odd if y % 2 == 0 else c.col_even
+                if y < H - 1:
+                    router.set_route(send_col, [RouteEntry.of(Port.RAMP, Port.SOUTH)])
+                if y > 0:
+                    router.set_route(recv_col, [RouteEntry.of(Port.NORTH, Port.RAMP)])
+                if H > 1:
+                    if y == H - 1:
+                        router.set_route(
+                            c.bcast_col, [RouteEntry.of(Port.RAMP, Port.NORTH)]
+                        )
+                    elif y == 0:
+                        router.set_route(
+                            c.bcast_col, [RouteEntry.of(Port.SOUTH, Port.RAMP)]
+                        )
+                    else:
+                        router.set_route(
+                            c.bcast_col,
+                            [RouteEntry.of(Port.SOUTH, {Port.RAMP, Port.NORTH})],
+                        )
+                if W > 1:
+                    router.set_route(c.bcast_row, [RouteEntry.of(Port.RAMP, Port.WEST)])
+            else:
+                if W > 1:
+                    if x == 0:
+                        router.set_route(
+                            c.bcast_row, [RouteEntry.of(Port.EAST, Port.RAMP)]
+                        )
+                    else:
+                        router.set_route(
+                            c.bcast_row,
+                            [RouteEntry.of(Port.EAST, {Port.RAMP, Port.WEST})],
+                        )
+
+    def _register_handlers(self) -> None:
+        c = self.colors
+        W = self.fabric.width
+        for pe in self.fabric.iter_pes():
+            x, y = pe.x, pe.y
+            recv_color = c.row_odd if x % 2 == 0 else c.row_even
+            if x > 0:
+                pe.on_message(recv_color, self._make_row_handler(pe))
+            if x == W - 1:
+                recv_col = c.col_odd if y % 2 == 0 else c.col_even
+                if y > 0:
+                    pe.on_message(recv_col, self._make_col_handler(pe))
+                if y < self.fabric.height - 1:
+                    pe.on_message(c.bcast_col, self._make_bcast_col_handler(pe))
+            else:
+                pe.on_message(c.bcast_row, self._make_bcast_row_handler(pe))
+
+    # -- per-PE state ------------------------------------------------------------
+
+    def _get_state(self, pe: ProcessingElement) -> dict:
+        key = (pe.x, pe.y)
+        if key not in self._state:
+            self._state[key] = {
+                "own": None,
+                "west_in": None,
+                "col_in": None,
+                "row_sum": None,
+                "on_complete": None,
+                "rounds": self._state.get(key, {}).get("rounds", 0),
+            }
+        return self._state[key]
+
+    def _clear_state(self, pe: ProcessingElement) -> None:
+        rounds = self._state.get((pe.x, pe.y), {}).get("rounds", 0)
+        self._state.pop((pe.x, pe.y), None)
+        self.rounds_completed_at[(pe.x, pe.y)] = rounds + 1
+        # Preserve the per-PE round count for diagnostics.
+        self._state[(pe.x, pe.y)] = {
+            "own": None,
+            "west_in": None,
+            "col_in": None,
+            "row_sum": None,
+            "on_complete": None,
+            "rounds": rounds + 1,
+        }
+
+    # -- public API ----------------------------------------------------------------
+
+    def submit(
+        self,
+        pe: ProcessingElement,
+        value: float,
+        on_complete: Callable[[float], None],
+    ) -> None:
+        """Contribute ``pe``'s local value to the current round.
+
+        Must be called inside a task on ``pe``.  ``on_complete(total)``
+        runs as a continuation of the broadcast delivery (or of the final
+        combine, on the bottom-right PE).
+        """
+        if not pe.in_task:
+            raise ConfigurationError("submit must run inside a PE task")
+        state = self._get_state(pe)
+        if state["own"] is not None:
+            raise ConfigurationError(
+                f"PE ({pe.x},{pe.y}) already submitted this round"
+            )
+        state["own"] = float(value)
+        state["on_complete"] = on_complete
+        self._try_row(pe, state)
+
+    # -- phase 1: row reduction ------------------------------------------------------
+
+    def _make_row_handler(self, pe: ProcessingElement):
+        def _on_row(message) -> None:
+            state = self._get_state(pe)
+            if state["west_in"] is not None:  # pragma: no cover - guard
+                raise ConfigurationError(
+                    f"PE ({pe.x},{pe.y}) received two row partials"
+                )
+            state["west_in"] = float(message.payload[0])
+            self._try_row(pe, state)
+
+        return _on_row
+
+    def _try_row(self, pe: ProcessingElement, state: dict) -> None:
+        if state["own"] is None:
+            return
+        x, W = pe.x, self.fabric.width
+        if x > 0 and state["west_in"] is None:
+            return
+        partial = state["own"]
+        if x > 0:
+            pe.scalar_op(Op.FADD)
+            partial = partial + state["west_in"]
+        if x < W - 1:
+            color = (
+                self.colors.row_even if x % 2 == 0 else self.colors.row_odd
+            )
+            pe.send(color, self.fabric.dtype.type(partial), tag="ar-row")
+            return
+        # Right-most PE: row total in hand, join the column phase.
+        state["row_sum"] = partial
+        self._try_col(pe, state)
+
+    # -- phase 2: column reduction ------------------------------------------------------
+
+    def _make_col_handler(self, pe: ProcessingElement):
+        def _on_col(message) -> None:
+            state = self._get_state(pe)
+            if state["col_in"] is not None:  # pragma: no cover - guard
+                raise ConfigurationError(
+                    f"PE ({pe.x},{pe.y}) received two column partials"
+                )
+            state["col_in"] = float(message.payload[0])
+            self._try_col(pe, state)
+
+        return _on_col
+
+    def _try_col(self, pe: ProcessingElement, state: dict) -> None:
+        if state["row_sum"] is None:
+            return
+        y, H = pe.y, self.fabric.height
+        if y > 0 and state["col_in"] is None:
+            return
+        partial = state["row_sum"]
+        if y > 0:
+            pe.scalar_op(Op.FADD)
+            partial = partial + state["col_in"]
+        if y < H - 1:
+            color = (
+                self.colors.col_even if y % 2 == 0 else self.colors.col_odd
+            )
+            pe.send(color, self.fabric.dtype.type(partial), tag="ar-col")
+            return
+        # Bottom-right PE holds the global total: broadcast it.
+        total = partial
+        if H > 1:
+            pe.send(self.colors.bcast_col, self.fabric.dtype.type(total), tag="ar-bcast-col")
+        if self.fabric.width > 1:
+            pe.send(self.colors.bcast_row, self.fabric.dtype.type(total), tag="ar-bcast-row")
+        self._complete(pe, state, total)
+
+    # -- phase 3: broadcast ----------------------------------------------------------------
+
+    def _make_bcast_col_handler(self, pe: ProcessingElement):
+        def _on_bcast_col(message) -> None:
+            total = float(message.payload[0])
+            # Fan out along this PE's own row, then complete locally.
+            if self.fabric.width > 1:
+                pe.send(self.colors.bcast_row, self.fabric.dtype.type(total), tag="ar-bcast-row")
+            state = self._get_state(pe)
+            self._complete(pe, state, total)
+
+        return _on_bcast_col
+
+    def _make_bcast_row_handler(self, pe: ProcessingElement):
+        def _on_bcast_row(message) -> None:
+            total = float(message.payload[0])
+            state = self._get_state(pe)
+            self._complete(pe, state, total)
+
+        return _on_bcast_row
+
+    def _complete(self, pe: ProcessingElement, state: dict, total: float) -> None:
+        on_complete = state["on_complete"]
+        if on_complete is None:
+            raise ConfigurationError(
+                f"PE ({pe.x},{pe.y}) completed an all-reduce it never joined"
+            )
+        self._clear_state(pe)
+        on_complete(total)

@@ -1,0 +1,157 @@
+"""The Fig. 4 eastward localized broadcast — the paper's router-switching
+demonstration, reproduced as a standalone protocol.
+
+Fig. 4 shows the *alternating* pattern: one color, two switch positions
+per router (pos0 = ``RAMP → EAST`` for a Sending PE, pos1 =
+``WEST → RAMP`` for a Receiving PE, ring mode on), and a command wavelet
+after each send that flips sender and receiver roles.  "After two steps,
+all PEs have sent and received the required data" along the row.
+
+This is distinct from the Table-I parity exchange (`repro.core.exchange`):
+here *every* PE runs the same two-position program and the roles alternate
+purely through switch state — exactly Listing 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.wse.dsd import Dsd
+from repro.wse.fabric import Fabric
+from repro.wse.pe import ProcessingElement
+from repro.wse.router import Port, RouteEntry
+
+
+class Fig4EastwardBroadcast:
+    """One row of PEs exchanging values eastward via switch alternation.
+
+    Even-indexed PEs start as Senders (pos0: RAMP → EAST), odd-indexed as
+    Receivers (pos0: WEST → RAMP); each program's *other* role is its
+    pos1, ring mode on.  Step 1: evens send, odds receive; the command
+    wavelet flips every router; step 2: odds send, evens receive.
+
+    Parameters
+    ----------
+    fabric:
+        The fabric (protocol runs on row ``row``).
+    color:
+        The single data color used by the whole pattern.
+    depth:
+        Payload vector length per PE.
+    row:
+        Which fabric row to run on.
+    """
+
+    def __init__(self, fabric: Fabric, color: int, depth: int, *, row: int = 0):
+        if fabric.width < 2:
+            raise ConfigurationError("Fig. 4 pattern needs at least 2 PEs")
+        if not 0 <= row < fabric.height:
+            raise ConfigurationError(f"row {row} outside fabric")
+        self.fabric = fabric
+        self.color = color
+        self.depth = int(depth)
+        self.row = row
+        self._on_complete: Callable[[], None] | None = None
+        self._pending = 0
+        self._program_routers()
+        self._allocate_buffers()
+
+    def _program_routers(self) -> None:
+        send = RouteEntry.of(Port.RAMP, Port.EAST)
+        recv = RouteEntry.of(Port.WEST, Port.RAMP)
+        for x in range(self.fabric.width):
+            router = self.fabric.router(x, self.row)
+            is_sender_first = x % 2 == 0
+            positions = []
+            if is_sender_first:
+                if x + 1 < self.fabric.width:
+                    positions.append(send)
+                if x > 0:
+                    positions.append(recv)
+            else:
+                if x > 0:
+                    positions.append(recv)
+                if x + 1 < self.fabric.width:
+                    positions.append(send)
+            router.set_route(self.color, positions, ring_mode=True)
+
+    def _allocate_buffers(self) -> None:
+        for x in range(self.fabric.width):
+            pe = self.fabric.pe(x, self.row)
+            if "fig4_out" not in pe.memory:
+                pe.memory.alloc("fig4_out", self.depth, dtype=self.fabric.dtype)
+            if "fig4_in" not in pe.memory:
+                pe.memory.alloc("fig4_in", self.depth, dtype=self.fabric.dtype)
+
+    # -- execution ---------------------------------------------------------------
+
+    def run(self, on_complete: Callable[[], None] | None = None) -> None:
+        """Execute the two-step pattern; each PE ends holding its west
+        neighbour's payload in ``fig4_in``."""
+        self._on_complete = on_complete
+        self._pending = 0
+        W = self.fabric.width
+        for x in range(W):
+            pe = self.fabric.pe(x, self.row)
+            has_west = x > 0
+            if has_west:
+                self._pending += 1
+        for x in range(W):
+            pe = self.fabric.pe(x, self.row)
+            if x % 2 == 0:
+                self._start_sender_first(pe)
+            else:
+                self._start_receiver_first(pe)
+
+    def _start_sender_first(self, pe: ProcessingElement) -> None:
+        """Even PE: send (step 1), flip switches, then receive (step 2)."""
+
+        def task() -> None:
+            if pe.x + 1 < self.fabric.width:
+                pe.send(self.color, Dsd(pe.memory.get("fig4_out")), tag="fig4-s1")
+                # The command wavelet of Fig. 4b: flips this router (to
+                # Receiving) and the neighbour's (to Sending).
+                pe.send_control(self.color, tag="fig4-flip")
+            if pe.x > 0:
+                pe.recv_into(
+                    self.color,
+                    Dsd(pe.memory.get("fig4_in")),
+                    self.depth,
+                    on_complete=self._recv_done,
+                )
+
+        self.fabric.schedule_task(pe, self.fabric.now, task, tag="fig4-even")
+
+    def _start_receiver_first(self, pe: ProcessingElement) -> None:
+        """Odd PE: receive (step 1), then send west-of-it... i.e. send its
+        own payload east in step 2 after the switch flip."""
+
+        def after_recv() -> None:
+            self._recv_done()
+            if pe.x + 1 < self.fabric.width:
+                pe.send(self.color, Dsd(pe.memory.get("fig4_out")), tag="fig4-s2")
+                pe.send_control(self.color, tag="fig4-flip2")
+
+        def task() -> None:
+            if pe.x > 0:
+                pe.recv_into(
+                    self.color,
+                    Dsd(pe.memory.get("fig4_in")),
+                    self.depth,
+                    on_complete=after_recv,
+                )
+            elif pe.x + 1 < self.fabric.width:
+                # Odd PE at x=0 cannot receive; it only sends in step 2 —
+                # but with no step-1 receive its trigger is immediate.
+                pe.send(self.color, Dsd(pe.memory.get("fig4_out")), tag="fig4-s2")
+                pe.send_control(self.color, tag="fig4-flip2")
+
+        self.fabric.schedule_task(pe, self.fabric.now, task, tag="fig4-odd")
+
+    def _recv_done(self) -> None:
+        self._pending -= 1
+        if self._pending == 0 and self._on_complete is not None:
+            self._on_complete()

@@ -1,0 +1,151 @@
+"""TPFA transmissibilities (the ``Υ_KL`` of Eq. 4).
+
+For a uniform Cartesian grid, the half-transmissibility of cell K towards a
+face orthogonal to axis ``a`` is ``T_K = k_K * A_a / (Δ_a / 2)`` where
+``A_a`` is the face area and ``Δ_a`` the cell size.  The face
+transmissibility is the harmonic combination
+
+    Υ_KL = (T_K * T_L) / (T_K + T_L)
+         = (A_a / Δ_a) * 2 k_K k_L / (k_K + k_L),
+
+which accounts for "the geometry of the cells and their permeability"
+exactly as the paper states.  Faces on the domain boundary do not exist
+(no-flow natural boundary), so we only store internal faces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.grid import CartesianGrid3D, Direction
+from repro.util.errors import ValidationError
+from repro.util.validation import check_shape
+
+
+@dataclass(frozen=True)
+class FaceTransmissibility:
+    """Internal-face transmissibilities for the three axes.
+
+    Attributes
+    ----------
+    grid:
+        The grid the faces belong to.
+    tx, ty, tz:
+        Arrays of shape ``grid.face_shape(axis)``: ``tx[i, j, k]`` is the
+        transmissibility of the face between cells ``(i, j, k)`` and
+        ``(i+1, j, k)``, and similarly for ``ty``/``tz``.
+    """
+
+    grid: CartesianGrid3D
+    tx: np.ndarray
+    ty: np.ndarray
+    tz: np.ndarray
+
+    def __post_init__(self) -> None:
+        check_shape("tx", self.tx, self.grid.face_shape(0))
+        check_shape("ty", self.ty, self.grid.face_shape(1))
+        check_shape("tz", self.tz, self.grid.face_shape(2))
+
+    def axis(self, axis: int) -> np.ndarray:
+        """Face array for ``axis`` (0=X, 1=Y, 2=Z)."""
+        return (self.tx, self.ty, self.tz)[axis]
+
+    def face_value(self, x: int, y: int, z: int, direction: Direction) -> float:
+        """Transmissibility of the face leaving cell ``(x,y,z)`` towards
+        ``direction``; 0.0 for a (nonexistent) boundary face.
+
+        This is the per-cell "six transmissibilities" view each PE stores in
+        the dataflow mapping (§III-A).
+        """
+        self.grid.check_cell(x, y, z)
+        n = self.grid.neighbor(x, y, z, direction)
+        if n is None:
+            return 0.0
+        lo = min((x, y, z), n, key=lambda c: c[direction.axis])
+        return float(self.axis(direction.axis)[lo])
+
+    def cell_view(self, direction: Direction, dtype=None) -> np.ndarray:
+        """Full-grid array of per-cell face transmissibilities towards
+        ``direction``, zero-padded at the domain boundary.
+
+        ``cell_view(EAST)[x, y, z]`` is the transmissibility between
+        ``(x,y,z)`` and ``(x+1,y,z)`` (0 if x == nx-1).  This is the exact
+        layout a PE holds in local memory.
+        """
+        faces = self.axis(direction.axis)
+        out = np.zeros(self.grid.shape, dtype=dtype or faces.dtype)
+        index = [slice(None)] * 3
+        if direction.sign > 0:
+            index[direction.axis] = slice(0, -1)
+        else:
+            index[direction.axis] = slice(1, None)
+        out[tuple(index)] = faces
+        return out
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.tx.dtype
+
+
+def half_transmissibility(
+    grid: CartesianGrid3D, permeability: np.ndarray, axis: int
+) -> np.ndarray:
+    """Half-transmissibility ``T_K = k * A / (Δ/2)`` of every cell along ``axis``."""
+    permeability = np.asarray(permeability)
+    if permeability.shape != grid.shape:
+        raise ValidationError(
+            f"permeability shape {permeability.shape} != grid {grid.shape}"
+        )
+    area = grid.face_area(axis)
+    half_dist = grid.axis_spacing(axis) / 2.0
+    return permeability * (area / half_dist)
+
+
+def compute_transmissibility(
+    grid: CartesianGrid3D,
+    permeability: np.ndarray,
+    *,
+    dtype=np.float32,
+) -> FaceTransmissibility:
+    """Harmonic-mean TPFA transmissibilities on all internal faces.
+
+    Parameters
+    ----------
+    grid:
+        The Cartesian grid.
+    permeability:
+        Cell permeability ``k`` (scalar/isotropic), shape ``grid.shape``,
+        strictly positive.
+    dtype:
+        Output dtype; fp32 by default (the paper's precision).
+    """
+    permeability = np.asarray(permeability, dtype=np.float64)
+    if permeability.shape != grid.shape:
+        raise ValidationError(
+            f"permeability shape {permeability.shape} != grid {grid.shape}"
+        )
+    if not np.all(permeability > 0):
+        raise ValidationError("permeability must be strictly positive")
+
+    faces = []
+    for axis in range(3):
+        half = half_transmissibility(grid, permeability, axis)
+        lo = _take_lo(half, axis)
+        hi = _take_hi(half, axis)
+        # Harmonic combination of the two half-transmissibilities.
+        faces.append((lo * hi / (lo + hi)).astype(dtype))
+    return FaceTransmissibility(grid, *faces)
+
+
+def _take_lo(a: np.ndarray, axis: int) -> np.ndarray:
+    index = [slice(None)] * a.ndim
+    index[axis] = slice(0, -1)
+    return a[tuple(index)]
+
+
+def _take_hi(a: np.ndarray, axis: int) -> np.ndarray:
+    index = [slice(None)] * a.ndim
+    index[axis] = slice(1, None)
+    return a[tuple(index)]

@@ -1,0 +1,187 @@
+"""CUDA-like execution model: grids of thread blocks over the cell mesh.
+
+The paper launches 3D thread blocks of 16×8×8 (1024 threads, the hardware
+cap), X innermost (§IV).  The model:
+
+* decomposes a kernel launch into blocks and executes each block
+  functionally (vectorized NumPy on the block's index ranges — the same
+  arithmetic a warp would do, in the same block partitioning);
+* charges a block-level DRAM traffic model: within a block, each global
+  array element is read once (L1/L2 capture intra-block reuse); across
+  blocks there is no reuse, so stencil halo cells are re-read — the
+  classic surface-to-volume amplification;
+* counts FLOPs per thread identically to the reference kernel.
+
+The model is *functionally exact* and *traffic-analytic*; wall-clock time
+comes from `repro.gpu.timing`, never from Python runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, NamedTuple
+
+import numpy as np
+
+from repro.gpu.specs import GpuSpecs
+from repro.util.errors import ConfigurationError
+
+#: fp32 bytes.
+F32 = 4
+
+
+class BlockShape(NamedTuple):
+    """Thread-block extents; ``x`` is the innermost (coalescing) dimension."""
+
+    x: int
+    y: int
+    z: int
+
+    @property
+    def threads(self) -> int:
+        return self.x * self.y * self.z
+
+
+#: The paper's block shape: "GPU threadblock size of 16 x 8 x 8, where 16
+#: is the innermost dimension size".
+DEFAULT_BLOCK_SHAPE = BlockShape(16, 8, 8)
+
+
+@dataclass
+class GpuCounters:
+    """Device counters accumulated across kernel launches."""
+
+    kernel_launches: int = 0
+    threads_executed: int = 0
+    flops: int = 0
+    dram_bytes: int = 0
+    blocks_executed: int = 0
+
+    def merged_with(self, other: "GpuCounters") -> "GpuCounters":
+        return GpuCounters(
+            self.kernel_launches + other.kernel_launches,
+            self.threads_executed + other.threads_executed,
+            self.flops + other.flops,
+            self.dram_bytes + other.dram_bytes,
+            self.blocks_executed + other.blocks_executed,
+        )
+
+
+@dataclass
+class BlockIndex:
+    """One thread block's cell ranges within the mesh."""
+
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+    z0: int
+    z1: int
+
+    @property
+    def cells(self) -> int:
+        return (self.x1 - self.x0) * (self.y1 - self.y0) * (self.z1 - self.z0)
+
+    def slices(self) -> tuple[slice, slice, slice]:
+        return (slice(self.x0, self.x1), slice(self.y0, self.y1), slice(self.z0, self.z1))
+
+    def halo_cells(self, shape: tuple[int, int, int]) -> int:
+        """Off-block stencil neighbours this block must fetch (7-point)."""
+        nx, ny, nz = shape
+        dx = self.x1 - self.x0
+        dy = self.y1 - self.y0
+        dz = self.z1 - self.z0
+        total = 0
+        if self.x0 > 0:
+            total += dy * dz
+        if self.x1 < nx:
+            total += dy * dz
+        if self.y0 > 0:
+            total += dx * dz
+        if self.y1 < ny:
+            total += dx * dz
+        if self.z0 > 0:
+            total += dx * dy
+        if self.z1 < nz:
+            total += dx * dy
+        return total
+
+
+class GpuDevice:
+    """A GPU with counters and a block scheduler.
+
+    Parameters
+    ----------
+    specs:
+        Hardware description (used for capacity checks and rooflines).
+    block_shape:
+        Thread-block extents; must not exceed 1024 threads (the CUDA and
+        paper constraint).
+    """
+
+    def __init__(self, specs: GpuSpecs, block_shape: BlockShape = DEFAULT_BLOCK_SHAPE):
+        if block_shape.threads > specs.max_threads_per_block:
+            raise ConfigurationError(
+                f"block {block_shape} has {block_shape.threads} threads; the "
+                f"device caps blocks at {specs.max_threads_per_block}"
+            )
+        self.specs = specs
+        self.block_shape = block_shape
+        self.counters = GpuCounters()
+        self._allocated_bytes = 0
+
+    # -- memory ------------------------------------------------------------------
+
+    def alloc_like(self, shape, dtype=np.float32) -> np.ndarray:
+        """cudaMalloc-style allocation with device-capacity accounting."""
+        arr = np.zeros(shape, dtype=dtype)
+        self._allocated_bytes += arr.nbytes
+        if self._allocated_bytes > self.specs.device_memory_bytes:
+            raise ConfigurationError(
+                f"device memory exhausted: {self._allocated_bytes} B > "
+                f"{self.specs.device_memory_bytes:.0f} B on {self.specs.name}"
+            )
+        return arr
+
+    def htod(self, host_array: np.ndarray, dtype=np.float32) -> np.ndarray:
+        """Host-to-device copy (counted as allocation, not kernel traffic:
+        the paper loads everything once up front, §IV)."""
+        dev = self.alloc_like(host_array.shape, dtype=dtype)
+        dev[...] = host_array
+        return dev
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self._allocated_bytes
+
+    # -- launch ------------------------------------------------------------------
+
+    def iter_blocks(self, grid_shape: tuple[int, int, int]) -> Iterator[BlockIndex]:
+        nx, ny, nz = grid_shape
+        bs = self.block_shape
+        for x0 in range(0, nx, bs.x):
+            for y0 in range(0, ny, bs.y):
+                for z0 in range(0, nz, bs.z):
+                    yield BlockIndex(
+                        x0, min(x0 + bs.x, nx),
+                        y0, min(y0 + bs.y, ny),
+                        z0, min(z0 + bs.z, nz),
+                    )
+
+    def launch(
+        self,
+        grid_shape: tuple[int, int, int],
+        block_fn: Callable[[BlockIndex], tuple[int, int]],
+    ) -> None:
+        """Run ``block_fn`` over every block of the launch.
+
+        ``block_fn`` returns ``(flops, dram_bytes)`` for the block; the
+        device accumulates them.  One launch = one kernel, as in CUDA.
+        """
+        self.counters.kernel_launches += 1
+        for block in self.iter_blocks(grid_shape):
+            flops, dram_bytes = block_fn(block)
+            self.counters.blocks_executed += 1
+            self.counters.threads_executed += block.cells
+            self.counters.flops += int(flops)
+            self.counters.dram_bytes += int(dram_bytes)

@@ -1,0 +1,60 @@
+"""GPU hardware descriptions used by the reference model.
+
+A100 ceilings are the paper's own measured Empirical-Roofline-Toolkit
+numbers (Fig. 6 bottom): 14.7 TFLOP/s fp32, L1 19,353.6 GB/s, L2
+3,705.0 GB/s, HBM 1,262.9 GB/s; 40 GB device memory (§V-A).
+
+The H100 in the paper is the GH200 superchip part (16,896 CUDA cores,
+95 GB).  The paper publishes no H100 roofline; we use the public HBM3
+figure (3.35 TB/s) for the ceiling and let the timing model carry a
+separate *achieved*-bandwidth constant calibrated from Table II (see
+`repro.gpu.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class GpuSpecs:
+    """Roofline-relevant GPU parameters."""
+
+    name: str
+    peak_flops_f32: float
+    hbm_bandwidth: float
+    l2_bandwidth: float
+    l1_bandwidth: float
+    device_memory_bytes: float
+    num_cuda_cores: int
+    max_threads_per_block: int = 1024
+
+    def __post_init__(self) -> None:
+        check_positive("peak_flops_f32", self.peak_flops_f32)
+        check_positive("hbm_bandwidth", self.hbm_bandwidth)
+
+
+#: The paper's measured A100 (Fig. 6 bottom, §V-A).
+A100 = GpuSpecs(
+    name="NVIDIA A100 (40 GB)",
+    peak_flops_f32=14.7e12,
+    hbm_bandwidth=1262.9e9,
+    l2_bandwidth=3705.0e9,
+    l1_bandwidth=19353.6e9,
+    device_memory_bytes=40e9,
+    num_cuda_cores=6912,
+)
+
+#: The paper's H100 (GH200 superchip part, §V-A).  L1/L2 scaled from A100
+#: by the core ratio (not published in the paper; only used for context).
+H100 = GpuSpecs(
+    name="NVIDIA H100 (GH200, 95 GB)",
+    peak_flops_f32=66.9e12,
+    hbm_bandwidth=3350.0e9,
+    l2_bandwidth=3705.0e9 * 2.4,
+    l1_bandwidth=19353.6e9 * 2.4,
+    device_memory_bytes=95e9,
+    num_cuda_cores=16896,
+)

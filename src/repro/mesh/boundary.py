@@ -1,0 +1,121 @@
+"""Dirichlet boundary sets — the cell set ``T_D`` of Eq. (3).
+
+In the paper's formulation, cells in ``T_D`` carry a fixed pressure
+``p^D_K``; their residual row is ``r_K = p_K - p^D_K`` and the matrix-free
+operator acts as identity on them (Eq. 6).  Wells (injector/producer) are
+modelled as Dirichlet columns, which is how Fig. 5's source/producer pair is
+set up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mesh.grid import CartesianGrid3D
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class DirichletSet:
+    """The set ``T_D`` with imposed pressures.
+
+    Attributes
+    ----------
+    grid:
+        Grid the set refers to.
+    mask:
+        Boolean array of shape ``grid.shape``; True for cells in ``T_D``.
+    values:
+        Imposed pressure ``p^D``; only entries under ``mask`` are meaningful.
+    """
+
+    grid: CartesianGrid3D
+    mask: np.ndarray = field(default=None)  # type: ignore[assignment]
+    values: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.mask is None:
+            self.mask = np.zeros(self.grid.shape, dtype=bool)
+        else:
+            self.mask = np.asarray(self.mask, dtype=bool)
+        if self.values is None:
+            self.values = np.zeros(self.grid.shape, dtype=np.float32)
+        else:
+            self.values = np.asarray(self.values, dtype=np.float32)
+        if self.mask.shape != self.grid.shape:
+            raise ValidationError(
+                f"Dirichlet mask shape {self.mask.shape} != grid {self.grid.shape}"
+            )
+        if self.values.shape != self.grid.shape:
+            raise ValidationError(
+                f"Dirichlet values shape {self.values.shape} != grid {self.grid.shape}"
+            )
+
+    # -- mutation ------------------------------------------------------------
+
+    def set_cell(self, x: int, y: int, z: int, pressure: float) -> "DirichletSet":
+        """Impose ``p = pressure`` on one cell."""
+        self.grid.check_cell(x, y, z)
+        self.mask[x, y, z] = True
+        self.values[x, y, z] = pressure
+        return self
+
+    def set_column(self, x: int, y: int, pressure: float) -> "DirichletSet":
+        """Impose a pressure on an entire Z column (a vertical well)."""
+        self.grid.check_cell(x, y, 0)
+        self.mask[x, y, :] = True
+        self.values[x, y, :] = pressure
+        return self
+
+    def set_plane(self, axis: int, index: int, pressure: float) -> "DirichletSet":
+        """Impose a pressure on a full grid plane (e.g. a constant-pressure face)."""
+        if axis == 0:
+            self.grid.check_cell(index, 0, 0)
+            self.mask[index, :, :] = True
+            self.values[index, :, :] = pressure
+        elif axis == 1:
+            self.grid.check_cell(0, index, 0)
+            self.mask[:, index, :] = True
+            self.values[:, index, :] = pressure
+        elif axis == 2:
+            self.grid.check_cell(0, 0, index)
+            self.mask[:, :, index] = True
+            self.values[:, :, index] = pressure
+        else:
+            raise ValidationError(f"axis must be 0, 1 or 2, got {axis}")
+        return self
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def num_dirichlet(self) -> int:
+        return int(self.mask.sum())
+
+    @property
+    def is_empty(self) -> bool:
+        return not bool(self.mask.any())
+
+    def contains(self, x: int, y: int, z: int) -> bool:
+        self.grid.check_cell(x, y, z)
+        return bool(self.mask[x, y, z])
+
+    def apply_to(self, pressure: np.ndarray) -> np.ndarray:
+        """Overwrite Dirichlet entries of ``pressure`` with imposed values.
+
+        Returns ``pressure`` (modified in place) for chaining.  Solvers call
+        this on the initial guess so the Dirichlet-residual invariant holds.
+        """
+        if pressure.shape != self.grid.shape:
+            raise ValidationError(
+                f"pressure shape {pressure.shape} != grid {self.grid.shape}"
+            )
+        np.copyto(pressure, self.values.astype(pressure.dtype), where=self.mask)
+        return pressure
+
+    def copy(self) -> "DirichletSet":
+        return DirichletSet(self.grid, self.mask.copy(), self.values.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DirichletSet({self.num_dirichlet} cells of {self.grid.num_cells})"

@@ -1,0 +1,114 @@
+"""Cell-centered fields attached to a :class:`CartesianGrid3D`.
+
+A :class:`CellField` is a thin, validated wrapper over a NumPy array of shape
+``grid.shape``.  It exists so that solver code can pass named, shape-checked
+quantities (pressure, permeability, residual) instead of bare arrays, while
+still exposing ``.data`` for zero-copy vectorized math.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mesh.grid import CartesianGrid3D
+from repro.util.errors import ValidationError
+
+
+@dataclass
+class CellField:
+    """A named scalar field with one value per grid cell.
+
+    Attributes
+    ----------
+    grid:
+        The grid this field is defined on.
+    data:
+        Array of shape ``grid.shape``; mutated in place by solvers.
+    name:
+        Human-readable name used in error messages and reports.
+    """
+
+    grid: CartesianGrid3D
+    data: np.ndarray
+    name: str = "field"
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data)
+        if self.data.shape != self.grid.shape:
+            raise ValidationError(
+                f"field '{self.name}' shape {self.data.shape} does not match "
+                f"grid shape {self.grid.shape}"
+            )
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def flat(self) -> np.ndarray:
+        """Flat view (no copy) in the grid's flat-index order."""
+        return self.data.reshape(-1)
+
+    def column(self, x: int, y: int) -> np.ndarray:
+        """The contiguous Z column at PE coordinates ``(x, y)`` (no copy)."""
+        self.grid.check_cell(x, y, 0)
+        return self.data[x, y, :]
+
+    def copy(self, name: str | None = None) -> "CellField":
+        return CellField(self.grid, self.data.copy(), name or self.name)
+
+    def fill(self, value: float) -> "CellField":
+        self.data.fill(value)
+        return self
+
+    # -- arithmetic helpers (in-place, guide-recommended) -------------------
+
+    def axpy(self, alpha: float, other: "CellField") -> "CellField":
+        """``self += alpha * other`` in place."""
+        self._check_compatible(other)
+        self.data += alpha * other.data
+        return self
+
+    def scale(self, alpha: float) -> "CellField":
+        self.data *= alpha
+        return self
+
+    def dot(self, other: "CellField") -> float:
+        """Full-grid dot product (the quantity the fabric all-reduce computes)."""
+        self._check_compatible(other)
+        return float(np.vdot(self.data, other.data))
+
+    def norm2(self) -> float:
+        """Squared 2-norm, ``r^T r`` in Algorithm 1's convergence check."""
+        return float(np.vdot(self.data, self.data).real)
+
+    def _check_compatible(self, other: "CellField") -> None:
+        if other.grid.shape != self.grid.shape:
+            raise ValidationError(
+                f"fields '{self.name}' and '{other.name}' live on different grids"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CellField({self.name!r}, shape={self.data.shape}, dtype={self.dtype})"
+
+
+def make_cell_field(
+    grid: CartesianGrid3D,
+    value: float | np.ndarray = 0.0,
+    *,
+    name: str = "field",
+    dtype: np.dtype | type = np.float32,
+) -> CellField:
+    """Create a field filled with ``value`` (scalar) or wrapping an array.
+
+    The paper runs everything in fp32 on both CS-2 and GPUs (§V-C), so
+    float32 is the default dtype throughout the library.
+    """
+    if np.isscalar(value):
+        data = np.full(grid.shape, value, dtype=dtype)
+    else:
+        data = np.asarray(value, dtype=dtype).reshape(grid.shape).copy()
+    return CellField(grid, data, name)

@@ -1,0 +1,239 @@
+"""3D Cartesian grid geometry and indexing.
+
+Layout convention
+-----------------
+Cell arrays have shape ``(nx, ny, nz)`` in C order, so the Z index varies
+fastest and each ``field[x, y, :]`` column is contiguous.  This mirrors the
+paper's data mapping (§III-A): cell ``(x, y, z)`` lives on PE ``(x, y)`` and
+the whole Z column resides in that PE's private memory.  (The paper's GPU
+reference uses X innermost; `repro.gpu` handles its own layout.)
+
+Flat indices follow ``flat = (x * ny + y) * nz + z``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.util.validation import as_tuple3, check_positive, check_index
+
+
+class Direction(enum.Enum):
+    """The six face directions of the 7-point stencil (Fig. 1).
+
+    WEST/EAST step along X, SOUTH/NORTH along Y, DOWN/UP along Z.  The X–Y
+    pairs are exchanged over the fabric; DOWN/UP stay inside one PE column.
+    """
+
+    WEST = (-1, 0, 0)
+    EAST = (1, 0, 0)
+    SOUTH = (0, -1, 0)
+    NORTH = (0, 1, 0)
+    DOWN = (0, 0, -1)
+    UP = (0, 0, 1)
+
+    @property
+    def offset(self) -> tuple[int, int, int]:
+        return self.value
+
+    @property
+    def axis(self) -> int:
+        """Axis index: 0 for X, 1 for Y, 2 for Z."""
+        return [i for i, d in enumerate(self.value) if d != 0][0]
+
+    @property
+    def sign(self) -> int:
+        return self.value[self.axis]
+
+    @property
+    def opposite(self) -> "Direction":
+        return _OPPOSITE[self]
+
+    @property
+    def is_lateral(self) -> bool:
+        """True for the four X–Y (fabric) directions."""
+        return self.axis != 2
+
+
+_OPPOSITE = {
+    Direction.WEST: Direction.EAST,
+    Direction.EAST: Direction.WEST,
+    Direction.SOUTH: Direction.NORTH,
+    Direction.NORTH: Direction.SOUTH,
+    Direction.DOWN: Direction.UP,
+    Direction.UP: Direction.DOWN,
+}
+
+#: All six stencil directions in a stable order (X pair, Y pair, Z pair).
+DIRECTIONS: tuple[Direction, ...] = (
+    Direction.WEST,
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.NORTH,
+    Direction.DOWN,
+    Direction.UP,
+)
+
+#: The four lateral (fabric) directions.
+LATERAL_DIRECTIONS: tuple[Direction, ...] = (
+    Direction.WEST,
+    Direction.EAST,
+    Direction.SOUTH,
+    Direction.NORTH,
+)
+
+
+@dataclass(frozen=True)
+class CartesianGrid3D:
+    """A uniform 3D Cartesian cell-centered grid.
+
+    Parameters
+    ----------
+    nx, ny, nz:
+        Cell counts along X, Y, Z.  Z is the depth dimension that collapses
+        onto a single PE in the dataflow mapping.
+    dx, dy, dz:
+        Cell sizes (uniform per axis); default 1.0 each.
+    """
+
+    nx: int
+    ny: int
+    nz: int
+    dx: float = 1.0
+    dy: float = 1.0
+    dz: float = 1.0
+
+    def __post_init__(self) -> None:
+        as_tuple3("grid dims", (self.nx, self.ny, self.nz))
+        check_positive("dx", self.dx)
+        check_positive("dy", self.dy)
+        check_positive("dz", self.dz)
+
+    # -- shape / size ------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int, int]:
+        return (self.nx, self.ny, self.nz)
+
+    @property
+    def num_cells(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def spacing(self) -> tuple[float, float, float]:
+        return (self.dx, self.dy, self.dz)
+
+    def face_shape(self, axis: int) -> tuple[int, int, int]:
+        """Shape of the internal-face array along ``axis`` (0=X, 1=Y, 2=Z).
+
+        There are ``n-1`` internal faces along an axis of ``n`` cells.
+        """
+        check_index("axis", axis, 3)
+        shape = [self.nx, self.ny, self.nz]
+        shape[axis] -= 1
+        return tuple(shape)  # type: ignore[return-value]
+
+    def num_internal_faces(self) -> int:
+        return sum(int(np.prod(self.face_shape(axis))) for axis in range(3))
+
+    # -- geometry ----------------------------------------------------------
+
+    def face_area(self, axis: int) -> float:
+        """Area of a face orthogonal to ``axis``."""
+        check_index("axis", axis, 3)
+        if axis == 0:
+            return self.dy * self.dz
+        if axis == 1:
+            return self.dx * self.dz
+        return self.dx * self.dy
+
+    def cell_volume(self) -> float:
+        return self.dx * self.dy * self.dz
+
+    def axis_spacing(self, axis: int) -> float:
+        check_index("axis", axis, 3)
+        return (self.dx, self.dy, self.dz)[axis]
+
+    def cell_center(self, x: int, y: int, z: int) -> tuple[float, float, float]:
+        """Physical coordinates of a cell center."""
+        self.check_cell(x, y, z)
+        return ((x + 0.5) * self.dx, (y + 0.5) * self.dy, (z + 0.5) * self.dz)
+
+    # -- indexing ----------------------------------------------------------
+
+    def check_cell(self, x: int, y: int, z: int) -> tuple[int, int, int]:
+        check_index("x", x, self.nx)
+        check_index("y", y, self.ny)
+        check_index("z", z, self.nz)
+        return (x, y, z)
+
+    def flat_index(self, x: int, y: int, z: int) -> int:
+        """Flat (row-major over x,y,z) index of a cell."""
+        self.check_cell(x, y, z)
+        return (x * self.ny + y) * self.nz + z
+
+    def unflatten(self, flat: int) -> tuple[int, int, int]:
+        """Inverse of :meth:`flat_index`."""
+        check_index("flat", flat, self.num_cells)
+        x, rem = divmod(flat, self.ny * self.nz)
+        y, z = divmod(rem, self.nz)
+        return (x, y, z)
+
+    def contains(self, x: int, y: int, z: int) -> bool:
+        return 0 <= x < self.nx and 0 <= y < self.ny and 0 <= z < self.nz
+
+    def neighbor(
+        self, x: int, y: int, z: int, direction: Direction
+    ) -> tuple[int, int, int] | None:
+        """Neighbouring cell coordinates in ``direction``, or None off-grid."""
+        self.check_cell(x, y, z)
+        ox, oy, oz = direction.offset
+        n = (x + ox, y + oy, z + oz)
+        return n if self.contains(*n) else None
+
+    def neighbors(self, x: int, y: int, z: int) -> Iterator[tuple[Direction, tuple[int, int, int]]]:
+        """Iterate (direction, neighbour-coords) over in-grid neighbours."""
+        for direction in DIRECTIONS:
+            n = self.neighbor(x, y, z, direction)
+            if n is not None:
+                yield direction, n
+
+    def num_neighbors(self, x: int, y: int, z: int) -> int:
+        return sum(1 for _ in self.neighbors(x, y, z))
+
+    def is_boundary_cell(self, x: int, y: int, z: int) -> bool:
+        """True if the cell touches any grid boundary face."""
+        self.check_cell(x, y, z)
+        return (
+            x in (0, self.nx - 1)
+            or y in (0, self.ny - 1)
+            or z in (0, self.nz - 1)
+        )
+
+    def iter_cells(self) -> Iterator[tuple[int, int, int]]:
+        """Iterate all cell coordinates in flat-index order."""
+        for x in range(self.nx):
+            for y in range(self.ny):
+                for z in range(self.nz):
+                    yield (x, y, z)
+
+    # -- convenience constructors -----------------------------------------
+
+    @staticmethod
+    def cube(n: int, spacing: float = 1.0) -> "CartesianGrid3D":
+        """An ``n**3`` grid with uniform spacing."""
+        return CartesianGrid3D(n, n, n, spacing, spacing, spacing)
+
+    def with_shape(self, nx: int, ny: int, nz: int) -> "CartesianGrid3D":
+        """Same spacing, different cell counts."""
+        return CartesianGrid3D(nx, ny, nz, self.dx, self.dy, self.dz)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CartesianGrid3D({self.nx}x{self.ny}x{self.nz}, "
+            f"d=({self.dx:g},{self.dy:g},{self.dz:g}))"
+        )

@@ -1,0 +1,126 @@
+"""Instruction and traffic accounting — the paper's Table V, verbatim,
+plus our simulator's own kernel mix for comparison.
+
+Table V charges, per mesh cell per CG iteration on the CS-2:
+
+* Algorithm 2 (the matrix-free flux kernel, 6 neighbours × 14 FLOPs):
+  FMUL×36, FSUB×24, FNEG×6, FADD×6, FMA×6, FMOV×4 → 84 FLOPs;
+* rest of Algorithm 1 (vector updates + dots): FMUL×2, FMA×5, FMOV×4
+  → 12 FLOPs;
+* totals: 96 FLOPs, 268 memory loads+stores, 8 fabric loads per cell —
+  giving the arithmetic intensities 0.0895 FLOP/B (memory) and
+  3.0 FLOP/B (fabric) plotted in Fig. 6.
+
+Our simulator's kernel precomputes ``c = Υλ`` per face (the paper's PEs
+re-derive part of the flux in-kernel), so its mix is leaner; both are
+reported side by side by ``benchmarks/bench_table5_opcounts.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Counter as CounterT
+
+from repro.wse.isa import F32_BYTES, OP_FLOPS, Op
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One row of Table V.
+
+    ``count`` is instruction instances per cell; ``flop`` per instance;
+    loads/stores are fp32 memory accesses per instance; ``fabric_loads``
+    per instance.
+    """
+
+    area: str
+    op: Op
+    count: int
+    flop: int
+    mem_loads: int
+    mem_stores: int
+    fabric_loads: int
+
+    @property
+    def total_flops(self) -> int:
+        return self.count * self.flop
+
+    @property
+    def total_mem_ops(self) -> int:
+        return self.count * (self.mem_loads + self.mem_stores)
+
+    @property
+    def total_fabric_loads(self) -> int:
+        return self.count * self.fabric_loads
+
+
+#: Table V verbatim.
+PAPER_TABLE5: tuple[Table5Row, ...] = (
+    Table5Row("Alg. 2", Op.FMUL, 36, 1, 2, 1, 0),
+    Table5Row("Alg. 2", Op.FSUB, 24, 1, 2, 1, 0),
+    Table5Row("Alg. 2", Op.FNEG, 6, 1, 1, 1, 0),
+    Table5Row("Alg. 2", Op.FADD, 6, 1, 2, 1, 0),
+    Table5Row("Alg. 2", Op.FMA, 6, 2, 3, 1, 0),
+    Table5Row("Alg. 2", Op.FMOV, 4, 0, 0, 1, 1),
+    Table5Row("Rest of Alg. 1", Op.FMUL, 2, 1, 2, 1, 0),
+    Table5Row("Rest of Alg. 1", Op.FMA, 5, 2, 3, 1, 0),
+    Table5Row("Rest of Alg. 1", Op.FMOV, 4, 0, 0, 1, 1),
+)
+
+
+def paper_flops_per_cell(area: str | None = None) -> int:
+    """Per-cell FLOPs (96 total; 84 for Alg. 2; 12 for the rest)."""
+    return sum(
+        row.total_flops for row in PAPER_TABLE5 if area is None or row.area == area
+    )
+
+
+def paper_mem_ops_per_cell() -> int:
+    """Per-cell fp32 loads+stores to local memory (268)."""
+    return sum(row.total_mem_ops for row in PAPER_TABLE5)
+
+
+def paper_fabric_loads_per_cell() -> int:
+    """Per-cell fabric loads (8: four halo columns + four all-reduce legs)."""
+    return sum(row.total_fabric_loads for row in PAPER_TABLE5)
+
+
+def paper_instruction_elements_per_cell() -> int:
+    """Total instruction instances per cell (feeds the cycle model)."""
+    return sum(row.count for row in PAPER_TABLE5)
+
+
+def paper_arithmetic_intensities() -> tuple[float, float]:
+    """(memory AI, fabric AI) in FLOP/byte — the Fig. 6 dot abscissae.
+
+    Memory AI = 96 / (268 × 4 B) = 0.0895; fabric AI = 96 / (8 × 4 B) = 3.
+    """
+    flops = paper_flops_per_cell()
+    mem_bytes = paper_mem_ops_per_cell() * F32_BYTES
+    fabric_bytes = paper_fabric_loads_per_cell() * F32_BYTES
+    return flops / mem_bytes, flops / fabric_bytes
+
+
+def simulator_kernel_counts(depth: int, *, variant: str = "precomputed") -> CounterT:
+    """Our simulator kernel's per-column instruction mix (for the
+    side-by-side Table V comparison), including the per-iteration CG
+    vector work and halo FMOVs."""
+    from collections import Counter
+
+    from repro.core.fv_kernel import FvColumnKernel, KernelVariant, PeKernelConfig
+
+    config = PeKernelConfig(depth=depth, variant=KernelVariant(variant))
+    counts = Counter(FvColumnKernel.expected_op_counts(config))
+    # Halo receives: 4 columns of FMOVs per iteration.
+    counts[Op.FMOV] += 4 * depth
+    # CG vector work per column: two local dots (FMA each), y/r FMA
+    # updates, p = r + beta p (FMUL + FADD).
+    counts[Op.FMA] += 4 * depth
+    counts[Op.FMUL] += depth
+    counts[Op.FADD] += depth
+    return counts
+
+
+def counts_to_flops(counts: CounterT) -> int:
+    """FLOPs for an instruction-count dictionary."""
+    return sum(OP_FLOPS[op] * n for op, n in counts.items())

@@ -1,0 +1,37 @@
+"""Throughput helpers (the Gcell/s column of Table III).
+
+The paper reports throughput as total cell-updates per second:
+``cells × iterations / time``.  Sanity anchor: 687,351,000 cells × 225
+iterations / 0.0122 s ≈ 12,688 Gcell/s (the published Alg. 2 number).
+"""
+
+from __future__ import annotations
+
+from repro.perf.opcount import paper_flops_per_cell
+from repro.util.validation import check_positive
+
+
+def gigacells_per_second(num_cells: int, iterations: int, seconds: float) -> float:
+    """Cell updates per second, in Gcell/s."""
+    check_positive("seconds", seconds)
+    check_positive("iterations", iterations)
+    return num_cells * iterations / seconds / 1e9
+
+
+def achieved_flops(num_cells: int, seconds_per_iteration: float,
+                   *, flops_per_cell: int | None = None) -> float:
+    """Achieved FLOP/s for one kernel iteration over the mesh.
+
+    Defaults to the paper's 96-FLOP/cell accounting (which, over the
+    Alg. 2 kernel time, yields the 1.217 PFLOP/s headline).
+    """
+    check_positive("seconds_per_iteration", seconds_per_iteration)
+    per_cell = paper_flops_per_cell() if flops_per_cell is None else flops_per_cell
+    return per_cell * num_cells / seconds_per_iteration
+
+
+def speedup(baseline_seconds: float, accelerated_seconds: float) -> float:
+    """Plain time ratio (Table II's 427.82x / 209.68x columns)."""
+    check_positive("baseline_seconds", baseline_seconds)
+    check_positive("accelerated_seconds", accelerated_seconds)
+    return baseline_seconds / accelerated_seconds

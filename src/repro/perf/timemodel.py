@@ -1,0 +1,156 @@
+"""CS-2 time model: first-principles structure, two-point calibration.
+
+Structure (per CG iteration):
+
+* **Kernel (Alg. 2) time** — every PE processes its whole Z column with
+  the Table-V instruction mix; with 2-wide fp32 SIMD the cycle count per
+  cell is ``elements / (simd · issue)``, where ``issue`` is the effective
+  instructions-per-cycle-per-lane factor (memory/ALU dual-issue) that we
+  calibrate from the published Alg. 2 time (0.0122 s / 225 iterations for
+  a 922-deep column).  Per-PE work is independent of the fabric extent,
+  which is *why* the paper's Alg. 2 weak scaling is perfectly flat.
+* **Collective (rest of Alg. 1) time** — two all-reduces per iteration
+  travel O(W + H) hops of sequential chain work plus a fixed per-iteration
+  vector-update cost: ``extra = c0 + c1 · (W + H)``.  The two constants
+  are calibrated on Table III's smallest and largest rows; the five middle
+  rows are *predictions* (they land within rounding of the paper's
+  numbers — the published times are affine in W + H to 4 digits).
+* **Communication-only time (Table IV)** — the 4-step exchange moves
+  ``nz`` wavelets per step plus the all-reduce/broadcast wire sweeps:
+  ``comm = 4(nz + hop) + k_wire · (W + H)`` cycles per iteration, with
+  ``k_wire`` calibrated on the published 0.0034 s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.opcount import paper_instruction_elements_per_cell
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WSE2, WseSpecs
+
+#: Published CS-2 rows used for calibration (Table III).
+PAPER_CS2_ALG2_TIME = 0.0122  # s, all rows, Nz = 922
+PAPER_CS2_ALG1_SMALL = (200, 200, 226, 0.0251)  # nx, ny, steps, seconds
+PAPER_CS2_ALG1_LARGE = (750, 994, 225, 0.0542)
+PAPER_CS2_COMM_TIME = 0.0034  # s, Table IV, largest mesh, 225 steps
+PAPER_NZ = 922
+PAPER_STEPS_LARGE = 225
+
+
+@dataclass(frozen=True)
+class Cs2TimeModel:
+    """Calibrated CS-2 timing.
+
+    Attributes
+    ----------
+    spec:
+        Machine description (clock, SIMD width).
+    issue_factor:
+        Effective instruction elements retired per cycle per SIMD lane
+        (≥ 1 means some dual-issue of memory and ALU ops).
+    collective_base_cycles:
+        Per-iteration fixed cycles of the non-kernel work (vector updates,
+        state machine, broadcast fan-out) — ``c0``.
+    collective_hop_cycles:
+        Per-(W+H)-hop cycles of the all-reduce chains — ``c1``.
+    comm_wire_factor:
+        Wire sweeps per iteration charged ``(W + H)`` cycles each in the
+        communication-only model — ``k_wire``.
+    """
+
+    spec: WseSpecs = WSE2
+    issue_factor: float = 1.0
+    collective_base_cycles: float = 0.0
+    collective_hop_cycles: float = 0.0
+    comm_wire_factor: float = 3.0
+
+    # -- component times (seconds) -------------------------------------------------
+
+    def kernel_cycles_per_cell(self) -> float:
+        elements = paper_instruction_elements_per_cell()
+        return elements / (self.spec.simd_width_f32 * self.issue_factor)
+
+    def iteration_time_alg2(self, nz: int) -> float:
+        """Alg. 2 (kernel-only) per-iteration time; fabric-size free."""
+        cycles = self.kernel_cycles_per_cell() * nz
+        return cycles / self.spec.clock_hz
+
+    def iteration_time_collectives(self, width: int, height: int) -> float:
+        cycles = self.collective_base_cycles + self.collective_hop_cycles * (
+            width + height
+        )
+        return cycles / self.spec.clock_hz
+
+    def iteration_time_alg1(self, width: int, height: int, nz: int) -> float:
+        return self.iteration_time_alg2(nz) + self.iteration_time_collectives(
+            width, height
+        )
+
+    def total_time_alg2(self, nz: int, iterations: int) -> float:
+        return self.iteration_time_alg2(nz) * iterations
+
+    def total_time_alg1(
+        self, width: int, height: int, nz: int, iterations: int
+    ) -> float:
+        return self.iteration_time_alg1(width, height, nz) * iterations
+
+    def comm_time(
+        self, width: int, height: int, nz: int, iterations: int
+    ) -> float:
+        """Communication-only time (the Table IV experiment)."""
+        per_iter = (
+            4 * (nz + self.spec.hop_latency_cycles)
+            + self.comm_wire_factor * (width + height)
+        )
+        return per_iter * iterations / self.spec.clock_hz
+
+    def time_distribution(
+        self, width: int, height: int, nz: int, iterations: int
+    ) -> dict[str, float]:
+        """Table IV's rows: data movement vs. computation split."""
+        total = self.total_time_alg1(width, height, nz, iterations)
+        comm = self.comm_time(width, height, nz, iterations)
+        if comm > total:
+            raise ConfigurationError("comm model exceeds total model")
+        return {
+            "data_movement_s": comm,
+            "computation_min_s": total - comm,
+            "computation_max_s": total,
+            "total_s": total,
+            "data_movement_pct": 100.0 * comm / total,
+            "computation_pct": 100.0 * (total - comm) / total,
+        }
+
+    # -- calibration -----------------------------------------------------------------
+
+    @classmethod
+    def calibrated(cls, spec: WseSpecs = WSE2) -> "Cs2TimeModel":
+        """Fit the model on the published Alg. 2 time, the two Alg. 1
+        endpoints and the Table IV communication time."""
+        elements = paper_instruction_elements_per_cell()
+        # Alg. 2: issue factor from the flat kernel time.
+        per_iter_alg2 = PAPER_CS2_ALG2_TIME / PAPER_STEPS_LARGE
+        cycles_per_cell = per_iter_alg2 * spec.clock_hz / PAPER_NZ
+        issue = elements / (spec.simd_width_f32 * cycles_per_cell)
+
+        # Alg. 1 extras: affine fit on (W + H).
+        sx, sy, s_steps, s_time = PAPER_CS2_ALG1_SMALL
+        lx, ly, l_steps, l_time = PAPER_CS2_ALG1_LARGE
+        e_small = (s_time - PAPER_CS2_ALG2_TIME) / s_steps * spec.clock_hz
+        e_large = (l_time - PAPER_CS2_ALG2_TIME) / l_steps * spec.clock_hz
+        c1 = (e_large - e_small) / ((lx + ly) - (sx + sy))
+        c0 = e_small - c1 * (sx + sy)
+
+        # Comm-only: wire factor from the published 0.0034 s.
+        comm_cycles_iter = PAPER_CS2_COMM_TIME / PAPER_STEPS_LARGE * spec.clock_hz
+        k_wire = (comm_cycles_iter - 4 * (PAPER_NZ + spec.hop_latency_cycles)) / (
+            lx + ly
+        )
+        return cls(
+            spec=spec,
+            issue_factor=issue,
+            collective_base_cycles=c0,
+            collective_hop_cycles=c1,
+            comm_wire_factor=max(k_wire, 0.0),
+        )

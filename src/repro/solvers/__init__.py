@@ -1,0 +1,26 @@
+"""Krylov solvers.
+
+* :func:`conjugate_gradient` — the reference implementation of the paper's
+  Algorithm 1 (plain CG, ``r^T r < ε`` convergence check, fp32-friendly).
+* :class:`CGStateMachine` — the same algorithm expressed as the 14-state
+  event-driven machine of §III-D; the dataflow implementation in
+  ``repro.core.cg_dataflow`` drives the identical state graph.
+* :func:`scipy_cg_baseline` — independent cross-check via scipy.
+* Optional Jacobi (diagonal) scaling as the documented extension.
+"""
+
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.state_machine import CGState, CGStateMachine, CG_NUM_STATES
+from repro.solvers.baseline import scipy_cg_baseline, dense_direct_solve
+from repro.solvers.jacobi import jacobi_preconditioned_cg
+
+__all__ = [
+    "CGResult",
+    "conjugate_gradient",
+    "CGState",
+    "CGStateMachine",
+    "CG_NUM_STATES",
+    "scipy_cg_baseline",
+    "dense_direct_solve",
+    "jacobi_preconditioned_cg",
+]

@@ -1,0 +1,42 @@
+"""Shared utilities: errors, validation helpers, ASCII rendering, tables.
+
+These helpers are deliberately dependency-light (NumPy only) so every other
+subpackage can import them without cycles.
+"""
+
+from repro.util.errors import (
+    ReproError,
+    ConfigurationError,
+    ConvergenceError,
+    PeOutOfMemory,
+    RoutingError,
+    ValidationError,
+)
+from repro.util.validation import (
+    check_positive,
+    check_shape,
+    check_in_range,
+    check_dtype,
+    require,
+)
+from repro.util.ascii_art import render_heatmap, render_histogram
+from repro.util.formatting import format_si, format_seconds, format_table
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "ConvergenceError",
+    "PeOutOfMemory",
+    "RoutingError",
+    "ValidationError",
+    "check_positive",
+    "check_shape",
+    "check_in_range",
+    "check_dtype",
+    "require",
+    "render_heatmap",
+    "render_histogram",
+    "format_si",
+    "format_seconds",
+    "format_table",
+]

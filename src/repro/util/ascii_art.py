@@ -1,0 +1,90 @@
+"""ASCII rendering of 2D fields (used for Fig. 5 since matplotlib is offline).
+
+The paper's Fig. 5 plots the converged pressure field with an injector at the
+top-left and a producer at the bottom-right.  We render the same field as a
+terminal heatmap and also export raw ``.npy`` data from the examples so a
+downstream user can plot with their own tooling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+#: Luminance ramp from dark to bright, ~16 levels.
+_RAMP = " .:-=+*#%@"
+_RAMP_FINE = " .'`^,:;Il!i><~+_-?][}{1)(|/tfjrxnuvczXYUJCLQ0OZmwqpdbkhao*#MW&8%B@$"
+
+
+def render_heatmap(
+    field: np.ndarray,
+    *,
+    width: int = 72,
+    height: int = 24,
+    fine: bool = False,
+    vmin: float | None = None,
+    vmax: float | None = None,
+    border: bool = True,
+) -> str:
+    """Render a 2D array as an ASCII heatmap string.
+
+    Parameters
+    ----------
+    field:
+        2D array, rendered row 0 at the top.
+    width, height:
+        Output size in characters; the field is resampled by nearest
+        neighbour (no interpolation, keeps extrema visible).
+    fine:
+        Use the 70-level ramp instead of the 10-level one.
+    vmin, vmax:
+        Color-scale limits; default to the field's min/max.
+    border:
+        Surround the plot with a box.
+    """
+    field = np.asarray(field, dtype=np.float64)
+    if field.ndim != 2:
+        raise ValidationError(f"render_heatmap expects a 2D array, got {field.ndim}D")
+    if field.size == 0:
+        raise ValidationError("render_heatmap: empty field")
+    ramp = _RAMP_FINE if fine else _RAMP
+    lo = float(np.nanmin(field)) if vmin is None else float(vmin)
+    hi = float(np.nanmax(field)) if vmax is None else float(vmax)
+    span = hi - lo
+    if span <= 0:
+        span = 1.0
+    ny, nx = field.shape
+    height = max(1, min(height, ny))
+    width = max(1, min(width, nx))
+    rows_idx = np.linspace(0, ny - 1, height).round().astype(int)
+    cols_idx = np.linspace(0, nx - 1, width).round().astype(int)
+    sampled = field[np.ix_(rows_idx, cols_idx)]
+    levels = np.clip((sampled - lo) / span, 0.0, 1.0)
+    chars = (levels * (len(ramp) - 1)).round().astype(int)
+    lines = ["".join(ramp[c] for c in row) for row in chars]
+    if border:
+        top = "+" + "-" * width + "+"
+        lines = [top] + ["|" + line + "|" for line in lines] + [top]
+    return "\n".join(lines)
+
+
+def render_histogram(
+    values: np.ndarray,
+    *,
+    bins: int = 20,
+    width: int = 50,
+    label_width: int = 12,
+) -> str:
+    """Render a 1D distribution as a horizontal ASCII bar histogram."""
+    values = np.asarray(values, dtype=np.float64).ravel()
+    if values.size == 0:
+        raise ValidationError("render_histogram: empty values")
+    counts, edges = np.histogram(values, bins=bins)
+    peak = max(1, counts.max())
+    lines = []
+    for i, count in enumerate(counts):
+        bar = "#" * int(round(width * count / peak))
+        label = f"{edges[i]:.3g}..{edges[i + 1]:.3g}"
+        lines.append(f"{label:>{label_width + 10}} | {bar} {count}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without
+accidentally swallowing genuine programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or configured with invalid parameters."""
+
+
+class ValidationError(ReproError):
+    """An input array or value failed a structural validation check."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver failed to reach its tolerance within max_iters.
+
+    Attributes
+    ----------
+    iterations:
+        Number of iterations performed before giving up.
+    residual_norm:
+        Squared residual norm (``r^T r``) at the point of failure.
+    """
+
+    def __init__(self, message: str, iterations: int, residual_norm: float):
+        super().__init__(message)
+        self.iterations = int(iterations)
+        self.residual_norm = float(residual_norm)
+
+
+class PeOutOfMemory(ReproError):
+    """A processing element exhausted its private local memory (48 KiB).
+
+    Mirrors the hard capacity constraint of a WSE-2 PE: the paper's §III-E.1
+    discusses manual buffer reuse precisely because this limit is real.
+    """
+
+    def __init__(self, message: str, requested: int, available: int, capacity: int):
+        super().__init__(message)
+        self.requested = int(requested)
+        self.available = int(available)
+        self.capacity = int(capacity)
+
+
+class RoutingError(ReproError):
+    """A wavelet could not be routed (bad color, missing route, dead link)."""

@@ -1,0 +1,95 @@
+"""Human-readable formatting: SI prefixes, seconds, and aligned text tables.
+
+The benchmark harness prints paper-style rows; these helpers keep that output
+consistent across all ``benchmarks/bench_*`` modules.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+_SI_PREFIXES = [
+    (1e18, "E"),
+    (1e15, "P"),
+    (1e12, "T"),
+    (1e9, "G"),
+    (1e6, "M"),
+    (1e3, "k"),
+    (1.0, ""),
+    (1e-3, "m"),
+    (1e-6, "u"),
+    (1e-9, "n"),
+]
+
+
+def format_si(value: float, unit: str = "", *, precision: int = 3) -> str:
+    """Format a value with an SI prefix, e.g. ``1.217e15 -> '1.217 PFLOP/s'``."""
+    value = float(value)
+    if value == 0:
+        return f"0 {unit}".rstrip()
+    magnitude = abs(value)
+    for factor, prefix in _SI_PREFIXES:
+        if magnitude >= factor:
+            return f"{value / factor:.{precision}g} {prefix}{unit}".rstrip()
+    factor, prefix = _SI_PREFIXES[-1]
+    return f"{value / factor:.{precision}g} {prefix}{unit}".rstrip()
+
+
+def format_seconds(seconds: float, *, precision: int = 4) -> str:
+    """Format a duration in the unit the paper uses (seconds, 4 decimals)."""
+    return f"{float(seconds):.{precision}f} s"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned, pipe-separated text table.
+
+    Numeric cells are right-aligned; everything else left-aligned.  Used by
+    the benchmark harness to print rows matching the paper's tables.
+    """
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            w = widths[i] if i < len(widths) else len(cell)
+            right = _is_numeric(cell)
+            parts.append(cell.rjust(w) if right else cell.ljust(w))
+        return "| " + " | ".join(parts) + " |"
+
+    sep = "|-" + "-|-".join("-" * w for w in widths) + "-|"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append(sep)
+    lines.extend(fmt_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def _cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}" if abs(value) < 1e5 else f"{value:.4g}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def _is_numeric(cell: str) -> bool:
+    stripped = cell.replace(",", "").replace("x", "").strip()
+    try:
+        float(stripped)
+        return True
+    except ValueError:
+        return False

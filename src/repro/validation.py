@@ -1,0 +1,133 @@
+"""Cross-backend numerical-integrity harness (§V-B).
+
+The paper validates the CS-2 results against the GPU reference.  This
+module runs the same problem through every backend (NumPy reference,
+dataflow simulator, GPU model, assembled-matrix direct solve) and reports
+pairwise agreement — the machine-checkable version of "we compare and
+numerically validate the results".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.fv.assembly import assemble_jacobian
+from repro.physics.darcy import SinglePhaseProblem
+from repro.physics.simulation import solve_pressure
+from repro.solvers.baseline import dense_direct_solve
+from repro.util.errors import ValidationError
+from repro.wse.specs import WSE2, WseSpecs
+
+
+@dataclass
+class BackendResult:
+    """One backend's solution and iteration count."""
+
+    name: str
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+
+
+@dataclass
+class ValidationReport:
+    """Pairwise max-abs differences between backend solutions."""
+
+    results: list[BackendResult] = field(default_factory=list)
+    max_abs_diff: dict[tuple[str, str], float] = field(default_factory=dict)
+
+    @property
+    def worst_pair(self) -> tuple[tuple[str, str], float]:
+        pair = max(self.max_abs_diff, key=self.max_abs_diff.get)
+        return pair, self.max_abs_diff[pair]
+
+    def assert_agreement(self, atol: float) -> None:
+        """Raise :class:`ValidationError` if any pair disagrees beyond
+        ``atol``."""
+        pair, worst = self.worst_pair
+        if worst > atol:
+            raise ValidationError(
+                f"backends {pair[0]} and {pair[1]} disagree: "
+                f"max |diff| = {worst:.3e} > atol = {atol:.3e}"
+            )
+
+    def rows(self) -> list[list]:
+        """Table rows for reporting."""
+        out = [[r.name, r.iterations, r.converged] for r in self.results]
+        for (a, b), diff in sorted(self.max_abs_diff.items()):
+            out.append([f"|{a} - {b}|", f"{diff:.3e}", ""])
+        return out
+
+
+def validate_backends(
+    problem: SinglePhaseProblem,
+    *,
+    backends: tuple[str, ...] = ("reference", "direct", "wse", "gpu"),
+    rel_tol: float = 1e-9,
+    max_iters: int = 5000,
+    spec: WseSpecs | None = None,
+    dtype=np.float64,
+) -> ValidationReport:
+    """Solve ``problem`` on every requested backend and cross-compare.
+
+    Backends: ``reference`` (NumPy CG), ``direct`` (dense LU on the
+    assembled Jacobian; small grids only), ``wse`` (dataflow simulator),
+    ``gpu`` (CUDA-like model).
+    """
+    report = ValidationReport()
+    for name in backends:
+        report.results.append(
+            _run_backend(name, problem, rel_tol, max_iters, spec, dtype)
+        )
+    for i, a in enumerate(report.results):
+        for b in report.results[i + 1 :]:
+            diff = float(
+                np.abs(
+                    a.pressure.astype(np.float64) - b.pressure.astype(np.float64)
+                ).max()
+            )
+            report.max_abs_diff[(a.name, b.name)] = diff
+    return report
+
+
+def _run_backend(
+    name: str,
+    problem: SinglePhaseProblem,
+    rel_tol: float,
+    max_iters: int,
+    spec: WseSpecs | None,
+    dtype,
+) -> BackendResult:
+    if name == "reference":
+        rep = solve_pressure(problem, max_iters=max_iters, dtype=dtype)
+        return BackendResult(
+            "reference", rep.pressure, rep.total_linear_iterations, True
+        )
+    if name == "direct":
+        J = assemble_jacobian(problem.coefficients, problem.dirichlet)
+        b = np.zeros(problem.grid.num_cells)
+        mask_flat = problem.dirichlet.mask.reshape(-1)
+        b[mask_flat] = problem.dirichlet.values.reshape(-1)[mask_flat]
+        x = dense_direct_solve(J, b).reshape(problem.grid.shape)
+        return BackendResult("direct", x, 0, True)
+    if name == "wse":
+        from repro.core.solver import WseMatrixFreeSolver
+
+        wse_spec = spec or WSE2.with_fabric(
+            max(problem.grid.nx, 1), max(problem.grid.ny, 1)
+        )
+        rep = WseMatrixFreeSolver(
+            problem, spec=wse_spec, dtype=dtype, rel_tol=rel_tol,
+            max_iters=max_iters,
+        ).solve()
+        return BackendResult("wse", rep.pressure, rep.iterations, rep.converged)
+    if name == "gpu":
+        from repro.gpu.cg import GpuCGSolver
+
+        rep = GpuCGSolver(
+            problem, dtype=dtype, rel_tol=rel_tol, max_iters=max_iters
+        ).solve()
+        return BackendResult("gpu", rep.pressure, rep.iterations, rep.converged)
+    raise ValidationError(f"unknown backend {name!r}")

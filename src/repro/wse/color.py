@@ -1,0 +1,65 @@
+"""Color allocation.
+
+The WSE-2 exposes a small set of routable colors; programs must budget
+them (the paper dedicates C1/C2 to X-dimension actions, C3/C4 to
+Y-dimension actions, and C5..C12 to completion callbacks — 12 colors for
+the exchange alone).  :class:`ColorAllocator` hands out distinct colors and
+fails loudly when the hardware budget is exceeded.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ConfigurationError
+
+
+class ColorAllocator:
+    """Allocates named colors from a finite pool.
+
+    >>> colors = ColorAllocator(24)
+    >>> c1 = colors.allocate("exchange-x-odd")
+    >>> colors.name_of(c1)
+    'exchange-x-odd'
+    """
+
+    def __init__(self, num_colors: int = 24):
+        if num_colors < 1:
+            raise ConfigurationError("need at least one routable color")
+        self.num_colors = int(num_colors)
+        self._names: dict[int, str] = {}
+        self._by_name: dict[str, int] = {}
+        self._next = 0
+
+    def allocate(self, name: str) -> int:
+        """Allocate a fresh color for ``name`` (idempotent per name)."""
+        if name in self._by_name:
+            return self._by_name[name]
+        if self._next >= self.num_colors:
+            raise ConfigurationError(
+                f"out of routable colors ({self.num_colors}); "
+                f"allocated: {sorted(self._by_name)}"
+            )
+        color = self._next
+        self._next += 1
+        self._names[color] = name
+        self._by_name[name] = color
+        return color
+
+    def allocate_block(self, prefix: str, count: int) -> list[int]:
+        """Allocate ``count`` colors named ``prefix-0`` .. ``prefix-{n-1}``."""
+        return [self.allocate(f"{prefix}-{i}") for i in range(count)]
+
+    def name_of(self, color: int) -> str:
+        return self._names.get(color, f"<unallocated {color}>")
+
+    def lookup(self, name: str) -> int:
+        if name not in self._by_name:
+            raise ConfigurationError(f"color {name!r} was never allocated")
+        return self._by_name[name]
+
+    @property
+    def num_allocated(self) -> int:
+        return self._next
+
+    @property
+    def remaining(self) -> int:
+        return self.num_colors - self._next

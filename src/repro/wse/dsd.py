@@ -1,0 +1,106 @@
+"""Data Structure Descriptors (DSDs) — the WSE's vector registers.
+
+A DSD describes an array slice (base buffer, offset, length, stride) that
+vector instructions stream through (§III-E.3): "The DSDs contain
+information regarding the address, length, and stride of the arrays on
+which a given instruction can operate."  Instructions acting on DSDs are
+issued via :class:`repro.wse.pe.ProcessingElement` methods (``fmuls``,
+``fadds``, ...), which perform the arithmetic on the underlying NumPy
+views *and* charge the ISA cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+@dataclass(frozen=True)
+class Dsd:
+    """A vector descriptor over a PE-local buffer.
+
+    Attributes
+    ----------
+    buffer:
+        The backing 1D NumPy array (a PE memory-arena allocation).
+    offset, length, stride:
+        The described slice ``buffer[offset : offset + length*stride : stride]``.
+    """
+
+    buffer: np.ndarray
+    offset: int = 0
+    length: int | None = None
+    stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.buffer.ndim != 1:
+            raise ConfigurationError("DSDs describe 1D buffers")
+        if self.stride < 1:
+            raise ConfigurationError(f"stride must be >= 1, got {self.stride}")
+        n = self.resolved_length
+        end = self.offset + (n - 1) * self.stride if n > 0 else self.offset
+        if self.offset < 0 or (n > 0 and end >= self.buffer.size):
+            raise ConfigurationError(
+                f"DSD [offset={self.offset}, length={n}, stride={self.stride}] "
+                f"exceeds buffer of size {self.buffer.size}"
+            )
+
+    @property
+    def resolved_length(self) -> int:
+        if self.length is not None:
+            return self.length
+        # Full remaining extent.
+        return max(0, (self.buffer.size - self.offset + self.stride - 1) // self.stride)
+
+    def view(self) -> np.ndarray:
+        """The NumPy view the descriptor denotes (no copy)."""
+        n = self.resolved_length
+        stop = self.offset + n * self.stride
+        return self.buffer[self.offset : stop : self.stride]
+
+    def sub(self, offset: int, length: int) -> "Dsd":
+        """A sub-descriptor relative to this one (stride preserved)."""
+        return Dsd(
+            self.buffer,
+            self.offset + offset * self.stride,
+            length,
+            self.stride,
+        )
+
+    def __len__(self) -> int:
+        return self.resolved_length
+
+
+def as_view(operand) -> np.ndarray | float:
+    """Resolve an operand: DSD -> view, ndarray -> itself, scalar -> float."""
+    if isinstance(operand, Dsd):
+        return operand.view()
+    if isinstance(operand, np.ndarray):
+        if operand.ndim != 1:
+            raise ValidationError("vector operands must be 1D")
+        return operand
+    return float(operand)
+
+
+def operand_length(*operands) -> int:
+    """Common vector length of the operands (scalars broadcast)."""
+    length: int | None = None
+    for op in operands:
+        if isinstance(op, Dsd):
+            n = op.resolved_length
+        elif isinstance(op, np.ndarray):
+            n = op.size
+        else:
+            continue
+        if length is None:
+            length = n
+        elif n != length:
+            raise ValidationError(
+                f"operand length mismatch: {n} vs {length}"
+            )
+    if length is None:
+        raise ValidationError("at least one vector operand required")
+    return length

@@ -1,0 +1,309 @@
+"""The fabric: PEs + routers + a discrete-event runtime.
+
+Timing model (cycle-approximate, documented in DESIGN.md):
+
+* a PE executes one task at a time; a task scheduled at cycle ``t`` starts
+  at ``max(t, pe.busy_until)`` and costs the cycles its DSD/scalar ops
+  accrue;
+* a message occupying ``n`` wavelets serializes its egress link for ``n``
+  cycles and arrives after ``hop_latency + n`` (cut-through pipelining),
+  with per-link back-pressure via link-free bookkeeping;
+* control wavelets advance the switch position of every router they
+  transit, after forwarding (Fig. 4b semantics);
+* routers may multicast (several tx ports); RAMP delivery dispatches the
+  PE's receive slot or message handler as a task.
+
+The runtime is deterministic: events are ordered by (time, sequence).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, RoutingError
+from repro.wse.pe import ProcessingElement
+from repro.wse.router import Port, Router
+from repro.wse.specs import WseSpecs
+from repro.wse.trace import FabricTrace
+from repro.wse.wavelet import Message
+
+
+class Fabric:
+    """A ``width × height`` rectangle of PEs with nearest-neighbour links.
+
+    Parameters
+    ----------
+    spec:
+        Machine description (memory per PE, SIMD width, latencies).
+    width, height:
+        Fabric rectangle; defaults to the spec's full fabric.
+    dtype:
+        Element dtype for PE buffers (fp32 paper default; fp64 available
+        for tight numerical cross-checks).
+    """
+
+    def __init__(
+        self,
+        spec: WseSpecs,
+        *,
+        width: int | None = None,
+        height: int | None = None,
+        dtype=np.float32,
+        simd_width: int | None = None,
+        reserved_pe_bytes: int = 0,
+    ):
+        self.spec = spec
+        self.width = int(width if width is not None else spec.fabric_width)
+        self.height = int(height if height is not None else spec.fabric_height)
+        if self.width < 1 or self.height < 1:
+            raise ConfigurationError("fabric must be at least 1x1")
+        if self.width > spec.fabric_width or self.height > spec.fabric_height:
+            raise ConfigurationError(
+                f"requested {self.width}x{self.height} exceeds the machine "
+                f"fabric {spec.fabric_width}x{spec.fabric_height}"
+            )
+        self.dtype = np.dtype(dtype)
+        simd = simd_width if simd_width is not None else spec.simd_width_f32
+        self.routers = [
+            [Router(x, y) for x in range(self.width)] for y in range(self.height)
+        ]
+        self.pes = [
+            [
+                ProcessingElement(
+                    x,
+                    y,
+                    self,
+                    memory_bytes=spec.pe_memory_bytes,
+                    simd_width=simd,
+                    reserved_bytes=reserved_pe_bytes,
+                )
+                for x in range(self.width)
+            ]
+            for y in range(self.height)
+        ]
+        self.now: int = 0
+        self.trace = FabricTrace()
+        self._queue: list = []
+        self._seq = 0
+        self._link_free: dict[tuple[int, int, Port], int] = {}
+        self._events_processed = 0
+        # Router-input stall queues: wavelets whose color is programmed but
+        # whose current switch position does not accept their input port
+        # wait here, in FIFO order, until a control advances the switch
+        # (hardware flow-control semantics).
+        self._stalled: dict[tuple[int, int, int, Port], list[Message]] = {}
+
+    # -- topology ---------------------------------------------------------------
+
+    def pe(self, x: int, y: int) -> ProcessingElement:
+        self._check_coords(x, y)
+        return self.pes[y][x]
+
+    def router(self, x: int, y: int) -> Router:
+        self._check_coords(x, y)
+        return self.routers[y][x]
+
+    def iter_pes(self):
+        for row in self.pes:
+            yield from row
+
+    def in_bounds(self, x: int, y: int) -> bool:
+        return 0 <= x < self.width and 0 <= y < self.height
+
+    def neighbor_coords(self, x: int, y: int, port: Port) -> tuple[int, int] | None:
+        dx, dy = port.offset
+        nx, ny = x + dx, y + dy
+        return (nx, ny) if self.in_bounds(nx, ny) else None
+
+    def _check_coords(self, x: int, y: int) -> None:
+        if not self.in_bounds(x, y):
+            raise ConfigurationError(
+                f"coordinates ({x},{y}) outside {self.width}x{self.height} fabric"
+            )
+
+    def kill_link(self, x: int, y: int, port: Port) -> None:
+        """Fault injection: disable a link on both of its endpoints."""
+        self.router(x, y).kill_port(port)
+        n = self.neighbor_coords(x, y, port)
+        if n is not None:
+            self.router(*n).kill_port(port.opposite)
+
+    # -- event queue --------------------------------------------------------------
+
+    def schedule(self, when: int, fn: Callable, *args) -> None:
+        if when < self.now:
+            raise ConfigurationError(
+                f"cannot schedule into the past ({when} < {self.now})"
+            )
+        heapq.heappush(self._queue, (int(when), self._seq, fn, args))
+        self._seq += 1
+
+    def schedule_task(
+        self, pe: ProcessingElement, when: int, fn: Callable, *, tag: str = ""
+    ) -> None:
+        """Schedule ``fn`` to run as a task on ``pe`` (serialized per PE)."""
+
+        def _run() -> None:
+            start = max(self.now, pe.busy_until)
+            pe.begin_task(start)
+            try:
+                fn()
+            finally:
+                end = pe.end_task()
+                self.trace.makespan_cycles = max(self.trace.makespan_cycles, end)
+
+        self.schedule(when, _run)
+
+    def schedule_activation(self, pe: ProcessingElement, color: int, when: int) -> None:
+        self.schedule_task(pe, when, lambda: pe.run_activation(color), tag=f"act-c{color}")
+
+    def run(self, *, max_events: int = 20_000_000) -> FabricTrace:
+        """Process events until the fabric is idle; returns the trace."""
+        while self._queue:
+            when, _, fn, args = heapq.heappop(self._queue)
+            self.now = max(self.now, when)
+            fn(*args)
+            self._events_processed += 1
+            if self._events_processed > max_events:
+                raise ConfigurationError(
+                    f"event budget exceeded ({max_events}); "
+                    "likely a livelocked protocol"
+                )
+        if any(self._stalled.values()):
+            stuck = {
+                k: len(v) for k, v in self._stalled.items() if v
+            }
+            raise RoutingError(
+                f"fabric idle with wavelets stalled at routers: {stuck} "
+                "(protocol deadlock: no control ever advanced these switches)"
+            )
+        self.trace.makespan_cycles = max(self.trace.makespan_cycles, self.now)
+        max_compute = 0
+        for pe in self.iter_pes():
+            max_compute = max(max_compute, pe.counters.compute_cycles)
+            pe.counters.idle_cycles = max(
+                0, self.trace.makespan_cycles - pe.counters.compute_cycles
+            )
+        self.trace.max_compute_cycles = max_compute
+        return self.trace
+
+    # -- message transport ----------------------------------------------------------
+
+    def inject(self, pe: ProcessingElement, message: Message, depart: int) -> None:
+        """A PE hands a message to its router via the RAMP link."""
+        self.trace.total_messages += 1
+        self.trace.total_wavelets += message.num_wavelets
+        self.schedule(depart, self._traverse, pe.x, pe.y, Port.RAMP, message)
+
+    def _traverse(self, x: int, y: int, in_port: Port, message: Message) -> None:
+        """Route ``message`` arriving at router (x, y) on ``in_port``.
+
+        Keeps per-(color, port) FIFO order: if earlier wavelets are
+        stalled on this input, the new arrival queues behind them.
+        """
+        key = (x, y, message.color, in_port)
+        if self._stalled.get(key):
+            self._stalled[key].append(message)
+            return
+        self._try_route(x, y, in_port, message)
+
+    def _try_route(self, x: int, y: int, in_port: Port, message: Message) -> None:
+        router = self.routers[y][x]
+        if router.has_route(message.color) and in_port is not Port.RAMP:
+            entry = router.current_entry(message.color)
+            if in_port not in entry.rx:
+                if message.is_control:
+                    # Control wavelets are handled by the router command
+                    # logic regardless of the data route: advance the
+                    # switch here and stop propagating.
+                    router.advance_switch(message.color)
+                    self._drain_stalled(x, y, message.color)
+                    return
+                # Programmed color, wrong switch position: stall until a
+                # control wavelet advances the switch.
+                self._stalled.setdefault(
+                    (x, y, message.color, in_port), []
+                ).append(message)
+                return
+        out_ports = router.route(message.color, in_port)
+        for port in sorted(out_ports, key=lambda p: p.value):
+            if port is Port.RAMP:
+                if message.is_control:
+                    # Control wavelets are consumed by routers: a RAMP
+                    # terminus just ends the command's propagation (the
+                    # switch advance below still happens).
+                    continue
+                pe = self.pes[y][x]
+                self.schedule_task(
+                    pe,
+                    self.now,
+                    lambda pe=pe, m=message: pe.deliver_message(m),
+                    tag=f"recv-c{message.color}",
+                )
+                continue
+            target = self.neighbor_coords(x, y, port)
+            if target is None:
+                raise RoutingError(
+                    f"router ({x},{y}): route for color {message.color} "
+                    f"points off-fabric ({port.name})"
+                )
+            link = (x, y, port)
+            occupancy = message.num_wavelets
+            depart = max(self.now, self._link_free.get(link, 0))
+            self._link_free[link] = depart + occupancy
+            arrival = depart + self.spec.hop_latency_cycles + occupancy
+            self.trace.total_hop_wavelets += occupancy
+            self.trace.comm_busy_cycles += occupancy
+            nx, ny = target
+            self.schedule(arrival, self._traverse, nx, ny, port.opposite, message)
+        if message.is_control:
+            router.advance_switch(message.color)
+            self._drain_stalled(x, y, message.color)
+
+    def _drain_stalled(self, x: int, y: int, color: int) -> None:
+        """Re-attempt stalled wavelets after a switch advance."""
+        router = self.routers[y][x]
+        made_progress = True
+        while made_progress:
+            made_progress = False
+            for port in (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST):
+                key = (x, y, color, port)
+                queue = self._stalled.get(key)
+                if not queue:
+                    continue
+                entry = router.current_entry(color)
+                if port not in entry.rx:
+                    continue
+                message = queue.pop(0)
+                if not queue:
+                    del self._stalled[key]
+                # May advance the switch again (stalled control) and
+                # recurse; queues are finite so this terminates.
+                self._try_route(x, y, port, message)
+                made_progress = True
+                break
+
+    # -- conversions -------------------------------------------------------------
+
+    def cycles_to_seconds(self, cycles: int | float) -> float:
+        return float(cycles) / self.spec.clock_hz
+
+    def elapsed_seconds(self) -> float:
+        return self.cycles_to_seconds(self.trace.makespan_cycles)
+
+    def total_flops(self) -> int:
+        return sum(pe.counters.flops for pe in self.iter_pes())
+
+    def merged_counters(self):
+        from repro.wse.trace import PerfCounters
+
+        merged = PerfCounters()
+        for pe in self.iter_pes():
+            merged = merged.merged_with(pe.counters)
+        return merged
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fabric({self.width}x{self.height}, {self.spec.name})"

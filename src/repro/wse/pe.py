@@ -1,0 +1,400 @@
+"""The processing element: private memory, event-driven tasks, vector ISA.
+
+A PE computes only when a task is dispatched — either a wavelet arrived on
+a color it listens to, or a local color was activated (the WSE's task
+model).  All arithmetic goes through the DSD vector methods (``fmuls``,
+``fadds``, ...), which update the NumPy views *and* charge the ISA cost
+model, so functional results and performance counters can never diverge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError, RoutingError
+from repro.wse.dsd import Dsd, as_view, operand_length
+from repro.wse.isa import F32_BYTES, Op, vector_cycles
+from repro.wse.memory import MemoryArena
+from repro.wse.trace import PerfCounters
+
+
+@dataclass
+class _RecvSlot:
+    """An open vector receive: fill ``dest`` with ``expected`` elements."""
+
+    dest: np.ndarray
+    expected: int
+    filled: int = 0
+    on_complete: Callable[[], None] | None = None
+    completion_color: int | None = None
+
+
+class ProcessingElement:
+    """One PE of the fabric.
+
+    Parameters
+    ----------
+    x, y:
+        Fabric coordinates (x eastward, y southward).
+    fabric:
+        Owning :class:`repro.wse.fabric.Fabric` (used for sends/activations).
+    memory_bytes:
+        Local memory capacity (48 KiB on WSE-2).
+    simd_width:
+        fp32 SIMD lanes for DSD ops (2 on WSE-2; 1 disables vectorization —
+        the §III-E.3 ablation knob).
+    """
+
+    def __init__(
+        self,
+        x: int,
+        y: int,
+        fabric,
+        *,
+        memory_bytes: int,
+        simd_width: int = 2,
+        reserved_bytes: int = 0,
+    ):
+        self.x = x
+        self.y = y
+        self.fabric = fabric
+        self.memory = MemoryArena(memory_bytes, reserved_bytes=reserved_bytes)
+        self.counters = PerfCounters()
+        self.simd_width = int(simd_width)
+        #: Cycle at which the PE becomes free to start a new task.
+        self.busy_until: int = 0
+        self._task_start: int | None = None
+        self._task_cycles: int = 0
+        self._handlers: dict[int, Callable] = {}
+        self._recv_slots: dict[int, _RecvSlot] = {}
+        # Ramp FIFO: wavelets that arrived before a receive was opened (or a
+        # handler registered) queue here, per color, in arrival order.
+        self._pending: dict[int, list] = {}
+        #: When True, vector ops update counters but skip the arithmetic —
+        #: the paper's Table IV experiment ("exclude all floating-point
+        #: operations ... measuring the time for data communications").
+        self.suppress_fp: bool = False
+
+    # -- task clock ----------------------------------------------------------
+
+    def begin_task(self, start_cycle: int) -> None:
+        if self._task_start is not None:
+            raise ConfigurationError(
+                f"PE ({self.x},{self.y}): nested task execution"
+            )
+        self._task_start = start_cycle
+        self._task_cycles = 0
+
+    def end_task(self) -> int:
+        """Finish the running task; returns its end cycle."""
+        if self._task_start is None:
+            raise ConfigurationError(f"PE ({self.x},{self.y}): no task running")
+        end = self._task_start + self._task_cycles
+        self.busy_until = max(self.busy_until, end)
+        self._task_start = None
+        self._task_cycles = 0
+        return end
+
+    @property
+    def in_task(self) -> bool:
+        return self._task_start is not None
+
+    def task_now(self) -> int:
+        """Current logical cycle inside the running task."""
+        if self._task_start is None:
+            raise ConfigurationError(f"PE ({self.x},{self.y}): no task running")
+        return self._task_start + self._task_cycles
+
+    def _accrue(self, op: Op, num_elements: int) -> None:
+        if self.suppress_fp and op not in (Op.FMOV, Op.MOV32):
+            # Comm-only mode (Table IV): arithmetic instructions are
+            # removed from the program entirely — no cycles, no counts.
+            # Data-movement ops (FMOV from fabric, control MOV32) remain.
+            return
+        cycles = vector_cycles(num_elements, self.simd_width)
+        self.counters.record_op(op, num_elements, cycles)
+        if self._task_start is not None:
+            self._task_cycles += cycles
+
+    def scalar_cycles(self, cycles: int = 1) -> None:
+        """Charge scalar/control work (state-machine bookkeeping)."""
+        self.counters.compute_cycles += cycles
+        if self._task_start is not None:
+            self._task_cycles += cycles
+
+    def scalar_op(self, op: Op, count: int = 1) -> None:
+        """Charge ``count`` scalar instances of ``op`` (e.g. the FADD of a
+        reduction-chain combine)."""
+        self._accrue(op, count)
+
+    # -- DSD vector ISA --------------------------------------------------------
+
+    def _binary(self, op: Op, dest: Dsd, a, b, fn) -> None:
+        n = operand_length(dest, a, b)
+        self._accrue(op, n)
+        if self.suppress_fp:
+            return
+        out = as_view(dest)
+        fn(as_view(a), as_view(b), out)
+
+    def fmovs(self, dest: Dsd, src) -> None:
+        """dest = src (vector copy / broadcast of a scalar)."""
+        n = operand_length(dest) if not isinstance(src, (Dsd, np.ndarray)) else operand_length(dest, src)
+        self._accrue(Op.FMOV, n)
+        if self.suppress_fp:
+            return
+        out = as_view(dest)
+        src_v = as_view(src)
+        out[...] = src_v
+
+    def fmuls(self, dest: Dsd, a, b) -> None:
+        """dest = a * b."""
+        self._binary(Op.FMUL, dest, a, b, lambda x, y, out: np.multiply(x, y, out=out, casting="unsafe"))
+
+    def fadds(self, dest: Dsd, a, b) -> None:
+        """dest = a + b."""
+        self._binary(Op.FADD, dest, a, b, lambda x, y, out: np.add(x, y, out=out, casting="unsafe"))
+
+    def fsubs(self, dest: Dsd, a, b) -> None:
+        """dest = a - b."""
+        self._binary(Op.FSUB, dest, a, b, lambda x, y, out: np.subtract(x, y, out=out, casting="unsafe"))
+
+    def fnegs(self, dest: Dsd, a) -> None:
+        """dest = -a."""
+        n = operand_length(dest, a)
+        self._accrue(Op.FNEG, n)
+        if self.suppress_fp:
+            return
+        np.negative(as_view(a), out=as_view(dest), casting="unsafe")
+
+    def fmacs(self, dest: Dsd, a, b) -> None:
+        """dest += a * b (fused multiply-accumulate)."""
+        n = operand_length(dest, a, b)
+        self._accrue(Op.FMA, n)
+        if self.suppress_fp:
+            return
+        out = as_view(dest)
+        av, bv = as_view(a), as_view(b)
+        if isinstance(av, float):
+            out += av * bv  # scalar * vector keeps dtype via in-place op
+        else:
+            out += av * bv if isinstance(bv, float) else av * bv
+
+    def dot_local(self, a: Dsd, b: Dsd) -> float:
+        """Local dot product over the PE's column (one FMA per element).
+
+        Returns a Python float; the cross-fabric combination happens via
+        the all-reduce (``repro.core.allreduce``).
+        """
+        n = operand_length(a, b)
+        self._accrue(Op.FMA, n)
+        if self.suppress_fp:
+            return 0.0
+        return float(np.dot(as_view(a), as_view(b)))
+
+    # -- communication ---------------------------------------------------------
+
+    def send(
+        self,
+        color: int,
+        payload,
+        *,
+        tag: str = "",
+        is_control: bool = False,
+    ) -> None:
+        """Inject a message into the fabric on ``color``.
+
+        Must be called inside a running task: the message departs at the
+        task's current logical cycle, so computation issued before the
+        send overlaps with the transfer (asynchronous-communication
+        semantics, §III-E.2).
+        """
+        from repro.wse.wavelet import Message
+
+        if isinstance(payload, Dsd):
+            payload = payload.view().copy()
+        message = Message(
+            color,
+            np.asarray(payload),
+            (self.x, self.y),
+            is_control=is_control,
+            tag=tag,
+        )
+        depart = self.task_now()
+        self.counters.record_fabric_send(message.nbytes())
+        self.fabric.inject(self, message, depart)
+
+    def send_control(self, color: int, *, tag: str = "") -> None:
+        """Send a switch-advancing control wavelet on ``color``.
+
+        Charges one MOV32 (the ``mov32(fabric_control, ...)`` of
+        Listing 1).
+        """
+        self._accrue(Op.MOV32, 1)
+        self.send(color, np.zeros(0, dtype=np.float32), tag=tag or "control", is_control=True)
+
+    def activate(self, color: int, *, delay: int = 0) -> None:
+        """Schedule this PE's local task for ``color``.
+
+        Callable both inside a task (continuation) and from the host side
+        (initial program kick-off).
+        """
+        when = self.task_now() + delay if self.in_task else self.fabric.now + delay
+        self.fabric.schedule_activation(self, color, when)
+
+    # -- handler / receive registration ----------------------------------------
+
+    def on_activate(self, color: int, handler: Callable[[], None]) -> None:
+        """Register the local task body for ``color``."""
+        self._handlers[color] = handler
+
+    def on_message(self, color: int, handler: Callable) -> None:
+        """Register a per-message handler (used by reduction chains).
+
+        The handler is called as ``handler(message)`` inside a PE task.
+        Messages already parked in the ramp FIFO are replayed to the
+        handler in arrival order.
+        """
+        self._handlers[color] = handler
+        pending = self._pending.pop(color, None)
+        if pending:
+            def _replay() -> None:
+                for message in pending:
+                    self.counters.record_fabric_receive(message.nbytes())
+                    handler(message)
+
+            if self.in_task:
+                _replay()
+            else:
+                self.fabric.schedule_task(
+                    self, self.fabric.now, _replay, tag=f"replay-c{color}"
+                )
+
+    def recv_into(
+        self,
+        color: int,
+        dest: Dsd | np.ndarray,
+        expected: int,
+        *,
+        on_complete: Callable[[], None] | None = None,
+        completion_color: int | None = None,
+    ) -> None:
+        """Open a vector receive: fill ``dest`` with ``expected`` elements.
+
+        Incoming payload wavelets on ``color`` are moved into ``dest``
+        (one FMOV per element: 1 fabric load + 1 memory store, Table V's
+        convention).  When full, ``on_complete`` runs in the same task
+        and/or ``completion_color`` is activated — the completion-callback
+        colors of Table I.
+
+        ``expected == 0`` (edge PEs with no neighbour) completes
+        immediately.
+        """
+        dest_view = dest.view() if isinstance(dest, Dsd) else dest
+        if color in self._recv_slots:
+            raise ConfigurationError(
+                f"PE ({self.x},{self.y}): receive already open on color {color}"
+            )
+        slot = _RecvSlot(dest_view, expected, 0, on_complete, completion_color)
+        if expected == 0:
+            self._complete_recv_now(color, slot)
+            return
+        self._recv_slots[color] = slot
+        # Drain wavelets that arrived before the receive was opened (the
+        # ramp FIFO).  Must run inside a task to charge FMOV cycles; if we
+        # are already in one, drain inline.
+        pending = self._pending.get(color)
+        if pending:
+            if self.in_task:
+                self._drain_pending(color)
+            else:
+                self.fabric.schedule_task(
+                    self,
+                    self.fabric.now,
+                    lambda: self._drain_pending(color),
+                    tag=f"drain-c{color}",
+                )
+
+    def _drain_pending(self, color: int) -> None:
+        pending = self._pending.get(color, [])
+        while pending and color in self._recv_slots:
+            message = pending.pop(0)
+            self._fill_slot(color, self._recv_slots[color], message)
+        if not pending:
+            self._pending.pop(color, None)
+
+    def _complete_recv_now(self, color: int, slot: _RecvSlot) -> None:
+        """Fire completion for an empty (edge) receive."""
+        def _done() -> None:
+            if slot.on_complete is not None:
+                slot.on_complete()
+            if slot.completion_color is not None:
+                self.activate(slot.completion_color)
+
+        when = self.task_now() if self.in_task else self.fabric.now
+        self.fabric.schedule_task(self, when, _done, tag=f"recv0-c{color}")
+
+    # -- fabric-facing dispatch (called inside a PE task) -----------------------
+
+    def deliver_message(self, message) -> None:
+        """Handle an arriving data/control message (fabric calls this
+        inside a scheduled PE task)."""
+        color = message.color
+        slot = self._recv_slots.get(color)
+        if slot is not None:
+            self._fill_slot(color, slot, message)
+            return
+        handler = self._handlers.get(color)
+        if handler is not None:
+            self.counters.record_fabric_receive(message.nbytes())
+            handler(message)
+            return
+        # No consumer yet: park in the ramp FIFO until a receive opens.
+        self._pending.setdefault(color, []).append(message)
+
+    def run_activation(self, color: int) -> None:
+        handler = self._handlers.get(color)
+        if handler is None:
+            raise RoutingError(
+                f"PE ({self.x},{self.y}): activation on color {color} "
+                "without a registered task"
+            )
+        handler()
+
+    def _fill_slot(self, color: int, slot: _RecvSlot, message) -> None:
+        n = int(message.payload.size)
+        if slot.filled + n > slot.expected:
+            raise RoutingError(
+                f"PE ({self.x},{self.y}): receive overflow on color {color}: "
+                f"{slot.filled}+{n} > {slot.expected}"
+            )
+        # FMOV each element from fabric into memory (the FMOV accounting
+        # already includes the fabric load per Table V's convention).
+        self._accrue(Op.FMOV, n)
+        if not self.suppress_fp:
+            slot.dest[slot.filled : slot.filled + n] = message.payload
+        slot.filled += n
+        if slot.filled == slot.expected:
+            del self._recv_slots[color]
+            if slot.on_complete is not None:
+                slot.on_complete()
+            if slot.completion_color is not None:
+                self.activate(slot.completion_color)
+
+    # -- host staging (not part of kernel timing) --------------------------------
+
+    def host_write(self, name: str, data: np.ndarray) -> None:
+        """memcpy-style host→PE staging (free of kernel-time accounting,
+        matching the paper's device-only time measurements)."""
+        buf = self.memory.get(name)
+        buf[...] = np.asarray(data, dtype=buf.dtype).reshape(buf.shape)
+
+    def host_read(self, name: str) -> np.ndarray:
+        """PE→host staging (copy out)."""
+        return self.memory.get(name).copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PE({self.x},{self.y})"

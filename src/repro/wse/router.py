@@ -1,0 +1,193 @@
+"""Per-PE routers: five full-duplex links, color routes, switch positions.
+
+Each PE's router manages a RAMP link (to/from its own PE) and North, East,
+South, West links to neighbouring routers (Fig. 2).  A color's route can be
+*switched*: up to two positions, each an (rx-ports → tx-ports) entry, with
+``ring_mode`` returning to position 0 after the last (Listing 1).  Control
+wavelets advance the switch position of the routers they transit — the
+mechanism Fig. 4b uses to alternate a PE between Sending and Receiving.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.util.errors import ConfigurationError, RoutingError
+
+
+class Port(enum.Enum):
+    """Router ports.  RAMP connects the router to its own PE."""
+
+    RAMP = "ramp"
+    NORTH = "north"
+    EAST = "east"
+    SOUTH = "south"
+    WEST = "west"
+
+    @property
+    def opposite(self) -> "Port":
+        return _OPPOSITE[self]
+
+    @property
+    def offset(self) -> tuple[int, int]:
+        """Fabric coordinate offset of the neighbouring router.
+
+        The fabric uses matrix-style coordinates: x grows eastward,
+        y grows southward (row 0 is the top of the wafer) — matching the
+        paper's "bottom-right PE" phrasing for the all-reduce.
+        """
+        return _OFFSETS[self]
+
+
+_OPPOSITE = {
+    Port.NORTH: Port.SOUTH,
+    Port.SOUTH: Port.NORTH,
+    Port.EAST: Port.WEST,
+    Port.WEST: Port.EAST,
+    Port.RAMP: Port.RAMP,
+}
+
+_OFFSETS = {
+    Port.NORTH: (0, -1),
+    Port.SOUTH: (0, 1),
+    Port.EAST: (1, 0),
+    Port.WEST: (-1, 0),
+    Port.RAMP: (0, 0),
+}
+
+#: The four inter-router ports.
+FABRIC_PORTS = (Port.NORTH, Port.EAST, Port.SOUTH, Port.WEST)
+
+
+@dataclass(frozen=True)
+class RouteEntry:
+    """One switch position: wavelets arriving on any ``rx`` port are
+    forwarded to every ``tx`` port."""
+
+    rx: frozenset
+    tx: frozenset
+
+    @staticmethod
+    def of(rx, tx) -> "RouteEntry":
+        """Convenience constructor from iterables / single ports."""
+        rx = frozenset([rx] if isinstance(rx, Port) else rx)
+        tx = frozenset([tx] if isinstance(tx, Port) else tx)
+        return RouteEntry(rx, tx)
+
+
+@dataclass
+class RouterProgram:
+    """A color's routing program: 1+ switch positions and ring mode."""
+
+    positions: tuple[RouteEntry, ...]
+    ring_mode: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.positions:
+            raise ConfigurationError("router program needs >= 1 position")
+
+
+class Router:
+    """Color-programmable 5-port router.
+
+    State per color: the program (positions, ring mode) and the current
+    switch position.  Dead links (fault injection) raise
+    :class:`RoutingError` when a route tries to use them.
+    """
+
+    def __init__(self, x: int, y: int):
+        self.x = x
+        self.y = y
+        self._programs: dict[int, RouterProgram] = {}
+        self._position: dict[int, int] = {}
+        self.dead_ports: set[Port] = set()
+
+    # -- configuration -------------------------------------------------------
+
+    def set_route(
+        self,
+        color: int,
+        positions,
+        *,
+        ring_mode: bool = False,
+    ) -> None:
+        """Program ``color`` with the given switch positions.
+
+        ``positions`` is an iterable of :class:`RouteEntry` (or (rx, tx)
+        pairs accepted by :meth:`RouteEntry.of`).
+        """
+        entries = []
+        for pos in positions:
+            if isinstance(pos, RouteEntry):
+                entries.append(pos)
+            else:
+                rx, tx = pos
+                entries.append(RouteEntry.of(rx, tx))
+        self._programs[color] = RouterProgram(tuple(entries), ring_mode)
+        self._position[color] = 0
+
+    def clear_route(self, color: int) -> None:
+        self._programs.pop(color, None)
+        self._position.pop(color, None)
+
+    def has_route(self, color: int) -> bool:
+        return color in self._programs
+
+    # -- routing -------------------------------------------------------------
+
+    def current_entry(self, color: int) -> RouteEntry:
+        program = self._require(color)
+        return program.positions[self._position[color]]
+
+    def switch_position(self, color: int) -> int:
+        self._require(color)
+        return self._position[color]
+
+    def route(self, color: int, in_port: Port) -> frozenset:
+        """Output ports for a wavelet of ``color`` arriving on ``in_port``.
+
+        Raises :class:`RoutingError` for unprogrammed colors, ports not in
+        the current rx set, or routes through dead links.
+        """
+        entry = self.current_entry(color)
+        if in_port not in entry.rx:
+            raise RoutingError(
+                f"router ({self.x},{self.y}): color {color} does not accept "
+                f"input on {in_port.name} at switch position "
+                f"{self._position[color]} (rx={sorted(p.name for p in entry.rx)})"
+            )
+        if in_port in self.dead_ports:
+            raise RoutingError(
+                f"router ({self.x},{self.y}): input link {in_port.name} is dead"
+            )
+        for port in entry.tx:
+            if port in self.dead_ports:
+                raise RoutingError(
+                    f"router ({self.x},{self.y}): output link {port.name} is dead"
+                )
+        return entry.tx
+
+    def advance_switch(self, color: int) -> int:
+        """Advance the switch position (control-wavelet semantics).
+
+        With ring mode, the position wraps to 0 after the last; without,
+        it saturates at the last position.  Returns the new position.
+        """
+        program = self._require(color)
+        pos = self._position[color] + 1
+        if pos >= len(program.positions):
+            pos = 0 if program.ring_mode else len(program.positions) - 1
+        self._position[color] = pos
+        return pos
+
+    def kill_port(self, port: Port) -> None:
+        """Fault injection: mark a link dead."""
+        self.dead_ports.add(port)
+
+    def _require(self, color: int) -> RouterProgram:
+        if color not in self._programs:
+            raise RoutingError(
+                f"router ({self.x},{self.y}): no route programmed for color {color}"
+            )
+        return self._programs[color]

@@ -1,0 +1,85 @@
+"""Wavelets and messages on the fabric.
+
+The WSE moves 32-bit packets ("wavelets"), each tagged with a color that
+selects the route and the handler (§III, Fig. 2).  For simulation
+efficiency we batch a contiguous burst of wavelets into a
+:class:`Message` — functionally identical (ordered delivery on a color) and
+timed as a pipelined burst (cut-through: latency = hops × hop_latency +
+length).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.util.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Wavelet:
+    """A single 32-bit fabric packet.
+
+    Attributes
+    ----------
+    color:
+        Routing color (0..routable_colors-1).
+    data:
+        The 32-bit payload (fp32 value for data wavelets; opaque for
+        control wavelets).
+    is_control:
+        Control wavelets advance router switch positions as they pass
+        (Listing 1's ``mov32(fabric_control, ...)`` mechanism).
+    """
+
+    color: int
+    data: float = 0.0
+    is_control: bool = False
+
+
+@dataclass
+class Message:
+    """A burst of wavelets sharing one color and one source.
+
+    Attributes
+    ----------
+    color:
+        Routing color.
+    payload:
+        1D float array; each element is one 32-bit data wavelet.  Control
+        messages carry an empty payload.
+    src:
+        (x, y) of the PE that injected the message (diagnostics only; the
+        fabric routes purely by color/port).
+    is_control:
+        Whether this is a switch-advancing control message.
+    tag:
+        Free-form diagnostic label (e.g. "halo-E", "allreduce-row").
+    """
+
+    color: int
+    payload: np.ndarray
+    src: tuple[int, int]
+    is_control: bool = False
+    tag: str = ""
+
+    def __post_init__(self) -> None:
+        self.payload = np.atleast_1d(np.asarray(self.payload))
+        if self.payload.ndim != 1:
+            raise ValidationError(
+                f"message payload must be 1D, got {self.payload.ndim}D"
+            )
+
+    @property
+    def num_wavelets(self) -> int:
+        """Number of 32-bit packets this message occupies on a link."""
+        return max(1, int(self.payload.size))
+
+    def nbytes(self, wavelet_bytes: int = 4) -> int:
+        return self.num_wavelets * wavelet_bytes
+
+    def copy(self) -> "Message":
+        return Message(
+            self.color, self.payload.copy(), self.src, self.is_control, self.tag
+        )

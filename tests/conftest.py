@@ -1,0 +1,93 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, settings
+from hypothesis import strategies as st
+
+from repro.mesh.boundary import DirichletSet
+from repro.mesh.geomodel import lognormal_permeability
+from repro.mesh.grid import CartesianGrid3D
+from repro.mesh.wells import quarter_five_spot
+from repro.physics.darcy import SinglePhaseProblem, build_problem
+
+# Keep hypothesis fast and deterministic in CI-like offline runs.
+settings.register_profile(
+    "repro",
+    deadline=None,
+    max_examples=25,
+    suppress_health_check=[HealthCheck.too_slow],
+    derandomize=True,
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_grid() -> CartesianGrid3D:
+    """A deliberately anisotropic small grid (distinct nx/ny/nz and spacing)."""
+    return CartesianGrid3D(6, 5, 4, dx=1.0, dy=2.0, dz=0.5)
+
+
+@pytest.fixture
+def tiny_grid() -> CartesianGrid3D:
+    return CartesianGrid3D(3, 3, 2)
+
+
+@pytest.fixture
+def small_problem(small_grid: CartesianGrid3D) -> SinglePhaseProblem:
+    """Heterogeneous quarter-five-spot problem on the small grid."""
+    perm = lognormal_permeability(small_grid, seed=7, sigma_log=0.8)
+    _, dirichlet = quarter_five_spot(small_grid)
+    return build_problem(small_grid, perm, dirichlet, viscosity=0.5)
+
+
+@pytest.fixture
+def homogeneous_problem(small_grid: CartesianGrid3D) -> SinglePhaseProblem:
+    _, dirichlet = quarter_five_spot(small_grid)
+    return build_problem(small_grid, 100.0, dirichlet)
+
+
+def make_problem(
+    nx: int = 5,
+    ny: int = 4,
+    nz: int = 3,
+    *,
+    seed: int = 0,
+    heterogeneous: bool = True,
+) -> SinglePhaseProblem:
+    """Helper used by non-fixture tests (hypothesis bodies can't take fixtures)."""
+    grid = CartesianGrid3D(nx, ny, nz)
+    if heterogeneous:
+        perm = lognormal_permeability(grid, seed=seed, sigma_log=0.7)
+    else:
+        perm = np.full(grid.shape, 10.0, dtype=np.float32)
+    _, dirichlet = quarter_five_spot(grid)
+    return build_problem(grid, perm, dirichlet)
+
+
+# -- hypothesis strategies ---------------------------------------------------
+
+grid_dims = st.tuples(
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+    st.integers(min_value=1, max_value=6),
+)
+
+#: Grids with at least 2 cells along X and Y (so quarter-five-spot wells are
+#: distinct cells).
+solvable_grid_dims = st.tuples(
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=2, max_value=6),
+    st.integers(min_value=1, max_value=5),
+)
+
+positive_spacing = st.floats(
+    min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
+)

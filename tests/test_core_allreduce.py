@@ -1,0 +1,182 @@
+"""Tests for the whole-fabric all-reduce (§III-C)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.allreduce import AllReduce, AllReduceColors
+from repro.util.errors import ConfigurationError
+from repro.wse.color import ColorAllocator
+from repro.wse.fabric import Fabric
+from repro.wse.isa import Op
+from repro.wse.specs import WSE2
+
+
+def make_allreduce(width, height, dtype=np.float64):
+    fab = Fabric(WSE2.with_fabric(32, 32), width=width, height=height, dtype=dtype)
+    ar = AllReduce(fab, AllReduceColors.allocate(ColorAllocator(31)))
+    return fab, ar
+
+
+def run_allreduce(fab, ar, values):
+    """Submit `values[(x, y)]` from every PE; returns per-PE results."""
+    results = {}
+    for pe in fab.iter_pes():
+        def submit(pe=pe):
+            ar.submit(
+                pe,
+                values[(pe.x, pe.y)],
+                lambda total, pe=pe: results.__setitem__((pe.x, pe.y), total),
+            )
+        fab.schedule_task(pe, fab.now, submit)
+    fab.run()
+    return results
+
+
+class TestAllReduceCorrectness:
+    @pytest.mark.parametrize(
+        "shape", [(1, 1), (2, 1), (1, 2), (3, 3), (4, 2), (2, 4), (5, 5), (1, 5), (5, 1)]
+    )
+    def test_sum_matches_numpy(self, shape, rng):
+        fab, ar = make_allreduce(*shape)
+        values = {
+            (x, y): float(rng.standard_normal())
+            for x in range(shape[0])
+            for y in range(shape[1])
+        }
+        results = run_allreduce(fab, ar, values)
+        expected = sum(values.values())
+        assert len(results) == shape[0] * shape[1]
+        for total in results.values():
+            assert total == pytest.approx(expected, rel=1e-12)
+
+    @given(st.integers(1, 4), st.integers(1, 4), st.integers(0, 100))
+    def test_property_random_shapes_and_values(self, w, h, seed):
+        fab, ar = make_allreduce(w, h)
+        rng = np.random.default_rng(seed)
+        values = {
+            (x, y): float(rng.uniform(-10, 10)) for x in range(w) for y in range(h)
+        }
+        results = run_allreduce(fab, ar, values)
+        expected = sum(values.values())
+        for total in results.values():
+            assert total == pytest.approx(expected, rel=1e-9, abs=1e-9)
+
+    def test_all_pes_get_identical_copy(self, rng):
+        fab, ar = make_allreduce(4, 3)
+        values = {(x, y): float(rng.standard_normal()) for x in range(4) for y in range(3)}
+        results = run_allreduce(fab, ar, values)
+        assert len(set(results.values())) == 1
+
+    def test_repeated_rounds(self, rng):
+        """Many back-to-back rounds on the same instance (the CG usage:
+        two dot products per iteration)."""
+        fab, ar = make_allreduce(3, 2)
+        for round_idx in range(6):
+            values = {
+                (x, y): float(round_idx * 100 + 10 * x + y)
+                for x in range(3)
+                for y in range(2)
+            }
+            results = run_allreduce(fab, ar, values)
+            expected = sum(values.values())
+            for total in results.values():
+                assert total == pytest.approx(expected)
+
+    def test_pipelined_rounds_without_barrier(self):
+        """Each PE starts round 2 from its own round-1 completion (no
+        global barrier) — the safety property the module docstring
+        claims."""
+        fab, ar = make_allreduce(3, 3)
+        results2 = {}
+
+        def submit_round2(pe, total1):
+            ar.submit(
+                pe,
+                total1 + pe.x,  # value depends on round 1 result
+                lambda t, pe=pe: results2.__setitem__((pe.x, pe.y), t),
+            )
+
+        for pe in fab.iter_pes():
+            fab.schedule_task(
+                pe,
+                0,
+                lambda pe=pe: ar.submit(
+                    pe, 1.0, lambda t, pe=pe: submit_round2(pe, t)
+                ),
+            )
+        fab.run()
+        # Round 1 total = 9; round 2 sums (9 + x) over the 3x3 grid.
+        expected = sum(9.0 + x for x in range(3) for _ in range(3))
+        assert len(results2) == 9
+        for total in results2.values():
+            assert total == pytest.approx(expected)
+
+    def test_double_submit_rejected(self):
+        fab, ar = make_allreduce(2, 2)
+        errors = []
+
+        def body():
+            pe = fab.pe(0, 0)
+            ar.submit(pe, 1.0, lambda t: None)
+            try:
+                ar.submit(pe, 2.0, lambda t: None)
+            except ConfigurationError as e:
+                errors.append(e)
+
+        fab.schedule_task(fab.pe(0, 0), 0, body)
+        # Other PEs must submit or the run deadlocks silently; just check
+        # the double-submit error fired.
+        for pe in list(fab.iter_pes())[1:]:
+            fab.schedule_task(pe, 0, lambda pe=pe: ar.submit(pe, 0.0, lambda t: None))
+        fab.run()
+        assert len(errors) == 1
+
+    def test_submit_outside_task_rejected(self):
+        fab, ar = make_allreduce(2, 2)
+        with pytest.raises(ConfigurationError, match="inside a PE task"):
+            ar.submit(fab.pe(0, 0), 1.0, lambda t: None)
+
+
+class TestAllReduceCosts:
+    def test_fadd_count_is_n_minus_one(self):
+        """Summing N values takes exactly N-1 scalar FADDs fabric-wide."""
+        w, h = 4, 3
+        fab, ar = make_allreduce(w, h)
+        values = {(x, y): 1.0 for x in range(w) for y in range(h)}
+        run_allreduce(fab, ar, values)
+        total_fadds = sum(
+            pe.counters.op_counts[Op.FADD] for pe in fab.iter_pes()
+        )
+        assert total_fadds == w * h - 1
+
+    def test_latency_grows_with_fabric_extent(self):
+        """The paper observes Alg. 1 time grows with fabric size because
+        reduction values travel farther; the simulator must show the same
+        monotonicity."""
+        spans = []
+        for w, h in [(2, 2), (4, 4), (8, 8)]:
+            fab, ar = make_allreduce(w, h)
+            values = {(x, y): 1.0 for x in range(w) for y in range(h)}
+            run_allreduce(fab, ar, values)
+            spans.append(fab.trace.makespan_cycles)
+        assert spans[0] < spans[1] < spans[2]
+
+    def test_message_volume(self):
+        """Row chains: (W-1) per row; column chain: H-1; broadcasts: one
+        column message + one row message per row (from the right column)."""
+        w, h = 5, 4
+        fab, ar = make_allreduce(w, h)
+        values = {(x, y): 0.5 for x in range(w) for y in range(h)}
+        run_allreduce(fab, ar, values)
+        expected_messages = (w - 1) * h + (h - 1) + 1 + h
+        assert fab.trace.total_messages == expected_messages
+
+    def test_fp32_fabric_uses_fp32_payloads(self):
+        fab, ar = make_allreduce(3, 2, dtype=np.float32)
+        values = {(x, y): 0.1 for x in range(3) for y in range(2)}
+        results = run_allreduce(fab, ar, values)
+        expected = np.float32(0.1) * 6
+        for total in results.values():
+            assert total == pytest.approx(float(expected), rel=1e-6)

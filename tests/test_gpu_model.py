@@ -1,0 +1,243 @@
+"""Tests for the CUDA-like GPU model: blocks, kernels, CG, timing."""
+
+import numpy as np
+import pytest
+
+from conftest import make_problem
+from repro import api
+from repro.fv.operator import apply_jx
+from repro.gpu.cg import GpuCGSolver
+from repro.gpu.kernels import (
+    coefficient_views_for,
+    dirichlet_mask_for,
+    launch_axpy,
+    launch_dot,
+    launch_matrix_free_jx,
+    launch_xpay,
+)
+from repro.gpu.model import BlockShape, DEFAULT_BLOCK_SHAPE, GpuDevice
+from repro.gpu.specs import A100, H100
+from repro.gpu.timing import (
+    GpuTimingModel,
+    PAPER_A100_ALG1,
+    PAPER_A100_ALG2,
+    PAPER_H100_ALG1_TIME,
+    cg_iteration_bytes,
+    jx_traffic_bytes,
+)
+from repro.util.errors import ConfigurationError, ValidationError
+
+
+class TestDeviceModel:
+    def test_block_shape_paper_default(self):
+        assert DEFAULT_BLOCK_SHAPE == (16, 8, 8)
+        assert DEFAULT_BLOCK_SHAPE.threads == 1024
+
+    def test_block_cap_enforced(self):
+        with pytest.raises(ConfigurationError, match="caps blocks"):
+            GpuDevice(A100, BlockShape(32, 8, 8))
+
+    def test_blocks_tile_grid_exactly(self):
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        blocks = list(device.iter_blocks((10, 7, 5)))
+        cells = sum(b.cells for b in blocks)
+        assert cells == 10 * 7 * 5
+        # Edge blocks are clipped, never overlapping.
+        assert all(b.x1 <= 10 and b.y1 <= 7 and b.z1 <= 5 for b in blocks)
+
+    def test_halo_cells_interior_block(self):
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        blocks = list(device.iter_blocks((12, 12, 12)))
+        interior = [
+            b for b in blocks if b.x0 > 0 and b.y0 > 0 and b.z0 > 0
+            and b.x1 < 12 and b.y1 < 12 and b.z1 < 12
+        ]
+        assert interior
+        assert interior[0].halo_cells((12, 12, 12)) == 6 * 16
+
+    def test_device_memory_cap(self):
+        device = GpuDevice(A100)
+        with pytest.raises(ConfigurationError, match="device memory"):
+            device.alloc_like((200_000, 200_000), dtype=np.float32)
+
+    def test_counters_accumulate(self):
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        device.launch((8, 8, 8), lambda block: (block.cells, block.cells * 4))
+        assert device.counters.kernel_launches == 1
+        assert device.counters.threads_executed == 512
+        assert device.counters.flops == 512
+        assert device.counters.dram_bytes == 2048
+        assert device.counters.blocks_executed == 8
+
+
+class TestGpuKernels:
+    def test_jx_matches_reference_operator(self, rng):
+        problem = make_problem(12, 10, 9, seed=3)
+        device = GpuDevice(A100)
+        # Build float64 coefficients from scratch: the GPU kernel forms the
+        # diagonal implicitly (sum of c terms), so the stored fp32-rounded
+        # diagonal of the default problem would differ at ~1e-7 relative.
+        from repro.fv.coefficients import build_flux_coefficients
+
+        c64 = build_flux_coefficients(
+            problem.grid,
+            problem.permeability.astype(np.float64),
+            viscosity=problem.viscosity,
+            dtype=np.float64,
+        )
+        views = coefficient_views_for(c64)
+        mask = dirichlet_mask_for(problem.dirichlet)
+        x = rng.standard_normal(problem.grid.shape)
+        out = np.empty_like(x)
+        launch_matrix_free_jx(device, views, mask, x, out)
+        expected = apply_jx(c64, problem.dirichlet, x)
+        np.testing.assert_allclose(out, expected, rtol=1e-12, atol=1e-9)
+
+    def test_jx_without_dirichlet(self, rng):
+        problem = make_problem(6, 6, 6, seed=1)
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        views = {k: v.astype(np.float64) for k, v in
+                 coefficient_views_for(problem.coefficients).items()}
+        x = np.ones(problem.grid.shape)
+        out = np.empty_like(x)
+        launch_matrix_free_jx(device, views, None, x, out)
+        # Constant field: zero flux everywhere (fp32 coefficient rounding).
+        assert np.abs(out).max() < 1e-4
+
+    def test_jx_traffic_counter_matches_closed_form(self):
+        problem = make_problem(10, 9, 11, seed=2)
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        views = coefficient_views_for(problem.coefficients)
+        x = np.zeros(problem.grid.shape, dtype=np.float32)
+        out = np.empty_like(x)
+        launch_matrix_free_jx(device, views, None, x, out)
+        expected = jx_traffic_bytes(problem.grid.shape, BlockShape(4, 4, 4))
+        assert device.counters.dram_bytes == expected
+
+    def test_dot_matches_numpy(self, rng):
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        a = rng.standard_normal((9, 6, 5))
+        b = rng.standard_normal((9, 6, 5))
+        assert launch_dot(device, a, b) == pytest.approx(float(np.vdot(a, b)))
+
+    def test_axpy_and_xpay(self, rng):
+        device = GpuDevice(A100, BlockShape(4, 4, 4))
+        x = rng.standard_normal((5, 5, 5))
+        y = rng.standard_normal((5, 5, 5))
+        y0 = y.copy()
+        launch_axpy(device, 2.0, x, y)
+        np.testing.assert_allclose(y, y0 + 2.0 * x)
+        launch_xpay(device, x, 0.5, y)
+        np.testing.assert_allclose(y, x + 0.5 * (y0 + 2.0 * x))
+
+    def test_shape_validation(self):
+        device = GpuDevice(A100)
+        with pytest.raises(ValidationError):
+            launch_dot(device, np.zeros((2, 2, 2)), np.zeros((3, 2, 2)))
+        with pytest.raises(ValidationError):
+            launch_axpy(device, 1.0, np.zeros((2, 2, 2)), np.zeros((3, 2, 2)))
+
+
+class TestGpuCG:
+    def test_matches_reference_solution(self):
+        problem = make_problem(10, 8, 6, seed=4)
+        ref = api.solve_reference(problem)
+        report = GpuCGSolver(problem, dtype=np.float64, rel_tol=1e-10).solve()
+        assert report.converged
+        np.testing.assert_allclose(report.pressure, ref.pressure, atol=2e-6)
+
+    def test_fp32_mode(self):
+        problem = make_problem(8, 8, 4, seed=5)
+        ref = api.solve_reference(problem)
+        report = GpuCGSolver(problem, dtype=np.float32, rel_tol=1e-6).solve()
+        assert report.converged
+        np.testing.assert_allclose(report.pressure, ref.pressure, atol=5e-4)
+
+    def test_fixed_iterations(self):
+        problem = make_problem(6, 6, 4, seed=6)
+        report = GpuCGSolver(problem, fixed_iterations=3).solve()
+        assert report.iterations == 3
+        assert not report.converged
+
+    def test_modeled_time_positive_and_from_traffic(self):
+        problem = make_problem(6, 6, 4, seed=7)
+        report = GpuCGSolver(problem, dtype=np.float64, rel_tol=1e-8).solve()
+        assert report.modeled_seconds > 0
+        # Traffic-based: more iterations => more modeled time.
+        short = GpuCGSolver(problem, fixed_iterations=2).solve()
+        assert short.modeled_seconds < report.modeled_seconds
+
+    def test_h100_solver_runs(self):
+        problem = make_problem(6, 6, 4, seed=8)
+        report = GpuCGSolver(
+            problem,
+            specs=H100,
+            timing=GpuTimingModel.calibrated_h100(),
+            dtype=np.float64,
+            rel_tol=1e-8,
+        ).solve()
+        assert report.converged
+
+
+class TestTimingModel:
+    def test_calibration_reproduces_endpoints(self):
+        m = GpuTimingModel.calibrated_a100()
+        for (n, iters, t), _ in [(PAPER_A100_ALG1[0], 0), (PAPER_A100_ALG1[1], 0)]:
+            shape = _shape(n)
+            assert m.total_time_alg1(shape, iters) == pytest.approx(t, rel=1e-6)
+        (n, iters, t) = PAPER_A100_ALG2[0]
+        assert m.total_time_alg2(_shape(n), iters) == pytest.approx(t, rel=1e-6)
+
+    def test_h100_reproduces_table2(self):
+        m = GpuTimingModel.calibrated_h100()
+        assert m.total_time_alg1((750, 994, 922), 225) == pytest.approx(
+            PAPER_H100_ALG1_TIME, rel=1e-6
+        )
+
+    def test_middle_rows_predicted_within_15pct(self):
+        """The five non-calibration Table III rows are genuine predictions."""
+        m = GpuTimingModel.calibrated_a100()
+        middle = [
+            ((400, 400, 922), 225, 5.6343),
+            ((600, 600, 922), 225, 11.8380),
+            ((750, 600, 922), 225, 16.3473),
+            ((750, 800, 922), 225, 20.9367),
+            ((750, 950, 922), 225, 22.9128),
+        ]
+        for shape, iters, paper in middle:
+            model = m.total_time_alg1(shape, iters)
+            assert abs(model - paper) / paper < 0.15, shape
+
+    def test_achieved_bandwidth_physical(self):
+        a100 = GpuTimingModel.calibrated_a100()
+        h100 = GpuTimingModel.calibrated_h100()
+        assert 0.3 * A100.hbm_bandwidth < a100.achieved_bandwidth < A100.hbm_bandwidth
+        assert 0.2 * H100.hbm_bandwidth < h100.achieved_bandwidth < H100.hbm_bandwidth
+        # Same binary: overheads shared.
+        assert h100.overhead_alg1 == a100.overhead_alg1
+
+    def test_traffic_closed_form_properties(self):
+        # More blocks -> more halo traffic, never less than compulsory.
+        small_blocks = jx_traffic_bytes((32, 32, 32), BlockShape(4, 4, 4))
+        big_blocks = jx_traffic_bytes((32, 32, 32), BlockShape(16, 8, 8))
+        compulsory = 8 * 32**3 * 4
+        assert small_blocks > big_blocks >= compulsory
+
+    def test_cg_iteration_bytes_adds_vector_work(self):
+        shape = (16, 16, 16)
+        assert cg_iteration_bytes(shape) > jx_traffic_bytes(shape)
+
+    def test_bandwidth_cap_validation(self):
+        with pytest.raises(ConfigurationError):
+            GpuTimingModel(
+                specs=A100,
+                achieved_bandwidth=2 * A100.hbm_bandwidth,
+                overhead_alg1=0.0,
+                overhead_alg2=0.0,
+            )
+
+
+def _shape(num_cells: int) -> tuple[int, int, int]:
+    from repro.gpu.timing import _shape_for
+
+    return _shape_for(num_cells, 922)

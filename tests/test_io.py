@@ -1,0 +1,90 @@
+"""Tests for .npz persistence of problems and solutions."""
+
+import numpy as np
+import pytest
+
+from conftest import make_problem
+from repro import api
+from repro.io import load_problem, load_solution, save_problem, save_solution
+from repro.util.errors import ValidationError
+
+
+class TestProblemRoundtrip:
+    def test_roundtrip_preserves_everything(self, tmp_path):
+        problem = make_problem(5, 4, 3, seed=13)
+        path = tmp_path / "problem.npz"
+        save_problem(path, problem)
+        loaded = load_problem(path)
+        assert loaded.grid.shape == problem.grid.shape
+        assert loaded.grid.spacing == problem.grid.spacing
+        assert loaded.viscosity == problem.viscosity
+        np.testing.assert_array_equal(loaded.permeability, problem.permeability)
+        np.testing.assert_array_equal(loaded.dirichlet.mask, problem.dirichlet.mask)
+        np.testing.assert_array_equal(
+            loaded.dirichlet.values, problem.dirichlet.values
+        )
+
+    def test_loaded_problem_solves_identically(self, tmp_path):
+        problem = make_problem(5, 4, 2, seed=14)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        loaded = load_problem(path)
+        a = api.solve_reference(problem)
+        b = api.solve_reference(loaded)
+        np.testing.assert_array_equal(a.pressure, b.pressure)
+
+    def test_anisotropic_spacing_preserved(self, tmp_path):
+        from repro.mesh.grid import CartesianGrid3D
+        from repro.mesh.wells import quarter_five_spot
+        from repro.physics.darcy import build_problem
+
+        grid = CartesianGrid3D(4, 4, 2, dx=0.5, dy=2.0, dz=3.5)
+        _, d = quarter_five_spot(grid)
+        problem = build_problem(grid, 7.0, d)
+        path = tmp_path / "aniso.npz"
+        save_problem(path, problem)
+        assert load_problem(path).grid.spacing == (0.5, 2.0, 3.5)
+
+
+class TestSolutionRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        problem = make_problem(4, 4, 2, seed=15)
+        report = api.solve_reference(problem)
+        path = tmp_path / "solution.npz"
+        save_solution(
+            path,
+            report.pressure,
+            iterations=report.total_linear_iterations,
+            converged=True,
+            residual_history=[1.0, 0.1, 0.001],
+            extra={"backend": "reference"},
+        )
+        loaded = load_solution(path)
+        np.testing.assert_array_equal(loaded["pressure"], report.pressure)
+        assert loaded["iterations"] == report.total_linear_iterations
+        assert loaded["converged"] is True
+        assert loaded["residual_history"] == [1.0, 0.1, 0.001]
+        assert loaded["backend"] == "reference"
+
+    def test_extra_key_collision_rejected(self, tmp_path):
+        with pytest.raises(ValidationError, match="collides"):
+            save_solution(
+                tmp_path / "x.npz",
+                np.zeros((2, 2, 2)),
+                iterations=1,
+                converged=True,
+                extra={"iterations": 5},
+            )
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        problem = make_problem(3, 3, 2)
+        path = tmp_path / "p.npz"
+        save_problem(path, problem)
+        with pytest.raises(ValidationError, match="expected a solution"):
+            load_solution(path)
+
+    def test_non_repro_file_rejected(self, tmp_path):
+        path = tmp_path / "random.npz"
+        np.savez(path, stuff=np.arange(3))
+        with pytest.raises(ValidationError, match="missing metadata"):
+            load_problem(path)

@@ -1,0 +1,159 @@
+"""Unit and property tests for the Cartesian grid and direction algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from conftest import grid_dims
+from repro.mesh.grid import (
+    CartesianGrid3D,
+    Direction,
+    DIRECTIONS,
+    LATERAL_DIRECTIONS,
+)
+from repro.util.errors import ValidationError
+
+
+class TestDirection:
+    def test_six_directions(self):
+        assert len(DIRECTIONS) == 6
+
+    def test_four_lateral(self):
+        assert len(LATERAL_DIRECTIONS) == 4
+        assert all(d.is_lateral for d in LATERAL_DIRECTIONS)
+        assert not Direction.UP.is_lateral
+        assert not Direction.DOWN.is_lateral
+
+    @pytest.mark.parametrize("d", DIRECTIONS)
+    def test_opposite_is_involution(self, d):
+        assert d.opposite.opposite is d
+        assert d.opposite is not d
+
+    @pytest.mark.parametrize("d", DIRECTIONS)
+    def test_offset_matches_axis_sign(self, d):
+        offset = np.array(d.offset)
+        assert abs(offset).sum() == 1
+        assert offset[d.axis] == d.sign
+
+    def test_axes(self):
+        assert Direction.WEST.axis == 0 and Direction.EAST.axis == 0
+        assert Direction.SOUTH.axis == 1 and Direction.NORTH.axis == 1
+        assert Direction.DOWN.axis == 2 and Direction.UP.axis == 2
+
+
+class TestGridConstruction:
+    def test_basic_properties(self):
+        g = CartesianGrid3D(4, 5, 6, dx=1.0, dy=2.0, dz=3.0)
+        assert g.shape == (4, 5, 6)
+        assert g.num_cells == 120
+        assert g.spacing == (1.0, 2.0, 3.0)
+        assert g.cell_volume() == 6.0
+
+    @pytest.mark.parametrize("bad", [(0, 1, 1), (1, -1, 1), (1, 1, 0)])
+    def test_rejects_nonpositive_dims(self, bad):
+        with pytest.raises(ValidationError):
+            CartesianGrid3D(*bad)
+
+    def test_rejects_nonpositive_spacing(self):
+        with pytest.raises(ValidationError):
+            CartesianGrid3D(2, 2, 2, dx=0.0)
+
+    def test_cube_constructor(self):
+        g = CartesianGrid3D.cube(3, spacing=0.5)
+        assert g.shape == (3, 3, 3)
+        assert g.spacing == (0.5, 0.5, 0.5)
+
+    def test_with_shape_keeps_spacing(self):
+        g = CartesianGrid3D(2, 2, 2, dx=0.1, dy=0.2, dz=0.3)
+        h = g.with_shape(5, 6, 7)
+        assert h.shape == (5, 6, 7)
+        assert h.spacing == g.spacing
+
+
+class TestGeometry:
+    def test_face_areas(self):
+        g = CartesianGrid3D(2, 2, 2, dx=2.0, dy=3.0, dz=5.0)
+        assert g.face_area(0) == 15.0  # dy*dz
+        assert g.face_area(1) == 10.0  # dx*dz
+        assert g.face_area(2) == 6.0  # dx*dy
+
+    def test_cell_center(self):
+        g = CartesianGrid3D(4, 4, 4, dx=2.0)
+        assert g.cell_center(0, 0, 0) == (1.0, 0.5, 0.5)
+
+    def test_face_shapes(self):
+        g = CartesianGrid3D(4, 5, 6)
+        assert g.face_shape(0) == (3, 5, 6)
+        assert g.face_shape(1) == (4, 4, 6)
+        assert g.face_shape(2) == (4, 5, 5)
+
+    def test_num_internal_faces(self):
+        g = CartesianGrid3D(4, 5, 6)
+        assert g.num_internal_faces() == 3 * 5 * 6 + 4 * 4 * 6 + 4 * 5 * 5
+
+
+class TestIndexing:
+    @given(grid_dims, st.integers(0, 10_000))
+    def test_flat_roundtrip(self, dims, raw):
+        g = CartesianGrid3D(*dims)
+        flat = raw % g.num_cells
+        cell = g.unflatten(flat)
+        assert g.flat_index(*cell) == flat
+
+    def test_flat_order_is_z_fastest(self):
+        g = CartesianGrid3D(2, 3, 4)
+        assert g.flat_index(0, 0, 0) == 0
+        assert g.flat_index(0, 0, 1) == 1
+        assert g.flat_index(0, 1, 0) == 4
+        assert g.flat_index(1, 0, 0) == 12
+
+    def test_out_of_range_rejected(self):
+        g = CartesianGrid3D(2, 2, 2)
+        with pytest.raises(ValidationError):
+            g.flat_index(2, 0, 0)
+        with pytest.raises(ValidationError):
+            g.unflatten(8)
+
+
+class TestNeighbors:
+    def test_interior_cell_has_six(self):
+        g = CartesianGrid3D(3, 3, 3)
+        assert g.num_neighbors(1, 1, 1) == 6
+
+    def test_corner_cell_has_three(self):
+        g = CartesianGrid3D(3, 3, 3)
+        assert g.num_neighbors(0, 0, 0) == 3
+
+    def test_neighbor_offsets(self):
+        g = CartesianGrid3D(3, 3, 3)
+        assert g.neighbor(1, 1, 1, Direction.EAST) == (2, 1, 1)
+        assert g.neighbor(1, 1, 1, Direction.UP) == (1, 1, 2)
+        assert g.neighbor(0, 1, 1, Direction.WEST) is None
+
+    @given(grid_dims)
+    def test_neighbor_symmetry(self, dims):
+        """If L is K's neighbour in direction d, K is L's in d.opposite."""
+        g = CartesianGrid3D(*dims)
+        x, y, z = (dims[0] // 2, dims[1] // 2, dims[2] // 2)
+        for d, n in g.neighbors(x, y, z):
+            assert g.neighbor(*n, d.opposite) == (x, y, z)
+
+    @given(grid_dims)
+    def test_neighbor_count_formula(self, dims):
+        """Sum of neighbour counts equals twice the internal face count."""
+        g = CartesianGrid3D(*dims)
+        total = sum(g.num_neighbors(x, y, z) for (x, y, z) in g.iter_cells())
+        assert total == 2 * g.num_internal_faces()
+
+    def test_boundary_detection(self):
+        g = CartesianGrid3D(3, 3, 3)
+        assert g.is_boundary_cell(0, 1, 1)
+        assert g.is_boundary_cell(1, 1, 2)
+        assert not g.is_boundary_cell(1, 1, 1)
+
+    def test_iter_cells_covers_grid(self):
+        g = CartesianGrid3D(2, 3, 2)
+        cells = list(g.iter_cells())
+        assert len(cells) == g.num_cells
+        assert len(set(cells)) == g.num_cells

@@ -1,0 +1,108 @@
+"""Unit tests for formatting and ASCII rendering helpers."""
+
+import numpy as np
+import pytest
+
+from repro.util.ascii_art import render_heatmap, render_histogram
+from repro.util.errors import ValidationError
+from repro.util.formatting import format_seconds, format_si, format_table
+
+
+class TestFormatSi:
+    def test_petaflops(self):
+        assert format_si(1.217e15, "FLOP/s") == "1.22 PFLOP/s"
+
+    def test_gigacells(self):
+        assert format_si(12.69e9, "cell/s", precision=4) == "12.69 Gcell/s"
+
+    def test_plain_units(self):
+        assert format_si(42.0, "B") == "42 B"
+
+    def test_milli(self):
+        assert format_si(0.0034, "s") == "3.4 ms"
+
+    def test_zero(self):
+        assert format_si(0.0, "s") == "0 s"
+
+    def test_negative(self):
+        assert format_si(-2.5e9, "B/s") == "-2.5 GB/s"
+
+
+class TestFormatSeconds:
+    def test_paper_style(self):
+        assert format_seconds(0.0542) == "0.0542 s"
+
+    def test_precision(self):
+        assert format_seconds(23.18789, precision=4) == "23.1879 s"
+
+
+class TestFormatTable:
+    def test_headers_and_alignment(self):
+        out = format_table(
+            ["Arch", "Time [s]"],
+            [["CS-2", 0.0542], ["A100", 23.1879]],
+            title="Table II",
+        )
+        lines = out.splitlines()
+        assert lines[0] == "Table II"
+        assert "Arch" in lines[1] and "Time [s]" in lines[1]
+        assert "0.0542" in out and "23.1879" in out
+        # All body rows share the same width.
+        widths = {len(l) for l in lines[1:]}
+        assert len(widths) == 1
+
+    def test_integer_formatting_with_commas(self):
+        out = format_table(["N"], [[687_351_000]])
+        assert "687,351,000" in out
+
+    def test_ragged_rows_do_not_crash(self):
+        out = format_table(["A"], [["x", "extra"]])
+        assert "extra" in out
+
+
+class TestRenderHeatmap:
+    def test_shape_and_border(self):
+        field = np.linspace(0, 1, 20 * 30).reshape(20, 30)
+        out = render_heatmap(field, width=10, height=5)
+        lines = out.splitlines()
+        assert len(lines) == 7  # 5 rows + 2 border lines
+        assert lines[0].startswith("+") and lines[0].endswith("+")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_monotone_gradient_brightens(self):
+        field = np.tile(np.linspace(0, 1, 40), (10, 1))
+        out = render_heatmap(field, width=40, height=1, border=False)
+        # Leftmost char should be darker (earlier in the ramp) than rightmost.
+        ramp = " .:-=+*#%@"
+        assert ramp.index(out[0]) < ramp.index(out[-1])
+
+    def test_constant_field_uses_single_char(self):
+        out = render_heatmap(np.full((4, 4), 3.0), border=False)
+        assert len(set(out.replace("\n", ""))) == 1
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValidationError):
+            render_heatmap(np.zeros((2, 2, 2)))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            render_heatmap(np.zeros((0, 3)))
+
+    def test_fine_ramp(self):
+        field = np.linspace(0, 1, 64).reshape(8, 8)
+        coarse = render_heatmap(field, fine=False, border=False)
+        fine = render_heatmap(field, fine=True, border=False)
+        assert len(set(fine)) >= len(set(coarse))
+
+
+class TestRenderHistogram:
+    def test_bar_lengths_scale_with_counts(self):
+        values = np.concatenate([np.zeros(90), np.ones(10)])
+        out = render_histogram(values, bins=2)
+        lines = out.splitlines()
+        assert lines[0].count("#") > lines[-1].count("#")
+        assert "90" in lines[0] and "10" in lines[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            render_histogram(np.array([]))

@@ -1,0 +1,111 @@
+"""Tests for the cross-backend validation harness and the Fig. 4
+alternating broadcast protocol."""
+
+import numpy as np
+import pytest
+
+from conftest import make_problem
+from repro.core.fig4_broadcast import Fig4EastwardBroadcast
+from repro.util.errors import ConfigurationError, ValidationError
+from repro.validation import validate_backends
+from repro.wse.fabric import Fabric
+from repro.wse.specs import WSE2
+
+
+class TestValidationHarness:
+    def test_all_backends_agree(self):
+        problem = make_problem(5, 4, 3, seed=1)
+        report = validate_backends(problem)
+        assert len(report.results) == 4
+        assert len(report.max_abs_diff) == 6  # all pairs
+        report.assert_agreement(1e-5)
+
+    def test_worst_pair_identified(self):
+        problem = make_problem(4, 4, 2, seed=2)
+        report = validate_backends(problem, backends=("reference", "direct"))
+        pair, diff = report.worst_pair
+        assert set(pair) == {"reference", "direct"}
+        assert diff < 1e-5
+
+    def test_agreement_failure_raises(self):
+        problem = make_problem(4, 4, 2, seed=3)
+        report = validate_backends(problem, backends=("reference", "direct"))
+        with pytest.raises(ValidationError, match="disagree"):
+            report.assert_agreement(1e-30)
+
+    def test_unknown_backend(self):
+        problem = make_problem(3, 3, 2)
+        with pytest.raises(ValidationError, match="unknown backend"):
+            validate_backends(problem, backends=("quantum",))
+
+    def test_rows_renderable(self):
+        problem = make_problem(3, 3, 2, seed=4)
+        report = validate_backends(problem, backends=("reference", "gpu"))
+        rows = report.rows()
+        assert len(rows) == 3  # 2 backends + 1 pair
+        from repro.util.formatting import format_table
+
+        text = format_table(["Backend", "Iters/diff", "Converged"], rows)
+        assert "reference" in text
+
+
+class TestFig4Broadcast:
+    def _run(self, width, depth=4):
+        fab = Fabric(WSE2.with_fabric(16, 4), width=width, height=1)
+        bc = Fig4EastwardBroadcast(fab, color=0, depth=depth, row=0)
+        for x in range(width):
+            fab.pe(x, 0).memory.get("fig4_out")[:] = (
+                x * 100 + np.arange(depth, dtype=np.float32)
+            )
+        done = []
+        bc.run(on_complete=lambda: done.append(True))
+        fab.run()
+        return fab, done
+
+    @pytest.mark.parametrize("width", [2, 3, 4, 6, 9])
+    def test_every_pe_gets_west_neighbor(self, width):
+        fab, done = self._run(width)
+        assert done == [True]
+        for x in range(1, width):
+            got = fab.pe(x, 0).memory.get("fig4_in")
+            expected = (x - 1) * 100 + np.arange(4, dtype=np.float32)
+            np.testing.assert_array_equal(got, expected)
+
+    def test_leftmost_receives_nothing(self):
+        fab, _ = self._run(4)
+        np.testing.assert_array_equal(fab.pe(0, 0).memory.get("fig4_in"), 0.0)
+
+    def test_single_color_for_whole_pattern(self):
+        """The defining property vs. Table I: one color suffices because
+        direction alternation lives in the switch positions."""
+        fab = Fabric(WSE2.with_fabric(16, 4), width=4, height=1)
+        Fig4EastwardBroadcast(fab, color=5, depth=2, row=0)
+        for x in range(4):
+            router = fab.router(x, 0)
+            assert router.has_route(5)
+            # No other colors programmed.
+            assert not router.has_route(0)
+
+    def test_two_steps_of_messages(self):
+        """Each live sender sends exactly once (data + control)."""
+        width = 5
+        fab, _ = self._run(width)
+        live_senders = width - 1  # every PE with an east neighbour
+        assert fab.trace.total_messages == 2 * live_senders
+
+    def test_requires_two_pes(self):
+        fab = Fabric(WSE2.with_fabric(16, 4), width=1, height=1)
+        with pytest.raises(ConfigurationError):
+            Fig4EastwardBroadcast(fab, color=0, depth=2)
+
+    def test_runs_on_selected_row(self):
+        fab = Fabric(WSE2.with_fabric(16, 4), width=3, height=2)
+        bc = Fig4EastwardBroadcast(fab, color=0, depth=2, row=1)
+        for x in range(3):
+            fab.pe(x, 1).memory.get("fig4_out")[:] = float(x)
+        bc.run()
+        fab.run()
+        assert fab.pe(1, 1).memory.get("fig4_in")[0] == 0.0
+        assert fab.pe(2, 1).memory.get("fig4_in")[0] == 1.0
+        # Row 0 untouched (no buffers allocated there).
+        assert "fig4_in" not in fab.pe(0, 0).memory

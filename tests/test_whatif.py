@@ -1,0 +1,78 @@
+"""Tests for the what-if machine projections."""
+
+import pytest
+
+from repro.perf.whatif import (
+    DEFAULT_SCENARIOS,
+    WhatIfScenario,
+    project,
+)
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WSE2
+
+
+class TestScenario:
+    def test_baseline_is_identity(self):
+        spec = WhatIfScenario("base").apply()
+        assert spec.fabric_width == WSE2.fabric_width
+        assert spec.clock_hz == WSE2.clock_hz
+        assert spec.peak_flops == pytest.approx(WSE2.peak_flops)
+
+    def test_clock_scale_scales_peak(self):
+        spec = WhatIfScenario("fast", clock_scale=2.0).apply()
+        assert spec.peak_flops == pytest.approx(2 * WSE2.peak_flops)
+
+    def test_fabric_scale_squares_pe_count(self):
+        spec = WhatIfScenario("big", fabric_scale=2.0).apply()
+        assert spec.num_fabric_pes == pytest.approx(4 * WSE2.num_fabric_pes, rel=0.01)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WhatIfScenario("bad", clock_scale=0.0).apply()
+
+
+class TestProjection:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return project()
+
+    def test_baseline_row_matches_paper(self, rows):
+        base = rows[0]
+        assert base["speedup"] == pytest.approx(1.0)
+        # nz capped by our 15-column memory model (814 < 922).
+        assert base["nz_run"] == 814
+        assert base["alg1_s"] < 0.06
+
+    def test_clock_scaling_speeds_up(self, rows):
+        by_name = {r["scenario"]: r for r in rows}
+        assert by_name["2x clock"]["alg1_s"] < by_name["baseline CS-2"]["alg1_s"]
+        assert by_name["2x clock"]["speedup"] == pytest.approx(2.0, rel=0.01)
+
+    def test_simd_scaling_helps_kernel_only(self, rows):
+        """Wider SIMD cuts the kernel time but not the hop-latency-bound
+        collectives, so the Alg. 1 speedup is sub-2x (Amdahl)."""
+        by_name = {r["scenario"]: r for r in rows}
+        simd = by_name["4-wide SIMD"]
+        assert simd["alg2_s"] == pytest.approx(
+            by_name["baseline CS-2"]["alg2_s"] / 2, rel=0.01
+        )
+        assert 1.0 < simd["speedup"] < 2.0
+
+    def test_bigger_wafer_slows_collectives(self, rows):
+        """A 2x wafer holds 4x the cells but lengthens the all-reduce
+        path: per-run time grows while capacity quadruples."""
+        by_name = {r["scenario"]: r for r in rows}
+        big = by_name["2x wafer (linear)"]
+        base = by_name["baseline CS-2"]
+        assert big["max_cells"] == pytest.approx(4 * base["max_cells"], rel=0.02)
+        assert big["alg1_s"] > base["alg1_s"]
+
+    def test_memory_scaling_deepens_columns(self, rows):
+        by_name = {r["scenario"]: r for r in rows}
+        assert by_name["2x PE memory"]["max_depth"] > by_name["baseline CS-2"]["max_depth"]
+        assert by_name["2x PE memory"]["nz_run"] == 922  # paper depth now fits
+
+    def test_all_scenarios_projected(self, rows):
+        assert len(rows) == len(DEFAULT_SCENARIOS)
+        for row in rows:
+            assert row["alg1_s"] > row["alg2_s"] > 0

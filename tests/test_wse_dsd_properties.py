@@ -1,0 +1,160 @@
+"""Property-based tests: DSD vector ops vs NumPy semantics, memory-arena
+allocation sequences, and counter bookkeeping invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.errors import PeOutOfMemory
+from repro.wse.dsd import Dsd
+from repro.wse.fabric import Fabric
+from repro.wse.isa import OP_FLOPS, Op
+from repro.wse.memory import MemoryArena
+from repro.wse.specs import WSE2
+
+finite_f32 = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False,
+    width=32,
+)
+vectors = st.lists(finite_f32, min_size=1, max_size=32)
+
+
+def _pe_with(*arrays):
+    fab = Fabric(WSE2.with_fabric(4, 4), width=1, height=1)
+    pe = fab.pe(0, 0)
+    bufs = []
+    for i, values in enumerate(arrays):
+        buf = pe.memory.alloc(f"b{i}", len(values))
+        buf[:] = np.asarray(values, dtype=np.float32)
+        bufs.append(buf)
+    return fab, pe, bufs
+
+
+def _run(fab, pe, fn):
+    fab.schedule_task(pe, 0, fn)
+    fab.run()
+
+
+class TestDsdOpSemantics:
+    @given(vectors, st.data())
+    def test_fadds_matches_numpy(self, a, data):
+        b = data.draw(st.lists(finite_f32, min_size=len(a), max_size=len(a)))
+        fab, pe, (ba, bb) = _pe_with(a, b)
+        out = pe.memory.alloc("out", len(a))
+        _run(fab, pe, lambda: pe.fadds(Dsd(out), Dsd(ba), Dsd(bb)))
+        np.testing.assert_array_equal(
+            out, np.asarray(a, np.float32) + np.asarray(b, np.float32)
+        )
+
+    @given(vectors, finite_f32)
+    def test_scalar_broadcast_matches_numpy(self, a, scalar):
+        fab, pe, (ba,) = _pe_with(a)
+        out = pe.memory.alloc("out", len(a))
+        _run(fab, pe, lambda: pe.fmuls(Dsd(out), Dsd(ba), float(scalar)))
+        np.testing.assert_allclose(
+            out, (np.asarray(a, np.float32) * np.float32(scalar)).astype(np.float32),
+            rtol=1e-6,
+        )
+
+    @given(vectors)
+    def test_fnegs_involution(self, a):
+        fab, pe, (ba,) = _pe_with(a)
+        out = pe.memory.alloc("out", len(a))
+
+        def body():
+            pe.fnegs(Dsd(out), Dsd(ba))
+            pe.fnegs(Dsd(out), Dsd(out))
+
+        _run(fab, pe, body)
+        np.testing.assert_array_equal(out, np.asarray(a, np.float32))
+
+    @given(vectors, st.data())
+    def test_fmacs_is_add_of_product(self, a, data):
+        b = data.draw(st.lists(finite_f32, min_size=len(a), max_size=len(a)))
+        acc0 = data.draw(st.lists(finite_f32, min_size=len(a), max_size=len(a)))
+        fab, pe, (ba, bb, bacc) = _pe_with(a, b, acc0)
+        _run(fab, pe, lambda: pe.fmacs(Dsd(bacc), Dsd(ba), Dsd(bb)))
+        expected = np.asarray(acc0, np.float32) + (
+            np.asarray(a, np.float32) * np.asarray(b, np.float32)
+        ).astype(np.float32)
+        np.testing.assert_allclose(bacc, expected, rtol=1e-5, atol=1e-3)
+
+    @given(vectors, st.data())
+    def test_dot_local_matches_numpy(self, a, data):
+        b = data.draw(st.lists(finite_f32, min_size=len(a), max_size=len(a)))
+        fab, pe, (ba, bb) = _pe_with(a, b)
+        out = []
+        _run(fab, pe, lambda: out.append(pe.dot_local(Dsd(ba), Dsd(bb))))
+        expected = float(np.dot(np.asarray(a, np.float32), np.asarray(b, np.float32)))
+        assert out[0] == pytest.approx(expected, rel=1e-5, abs=1e-3)
+
+    @given(vectors)
+    def test_flop_accounting_matches_op_table(self, a):
+        """Counters grow by exactly OP_FLOPS per element per op."""
+        fab, pe, (ba,) = _pe_with(a)
+        out = pe.memory.alloc("out", len(a))
+
+        def body():
+            pe.fmuls(Dsd(out), Dsd(ba), 2.0)
+            pe.fmacs(Dsd(out), Dsd(ba), 3.0)
+            pe.fmovs(Dsd(out), 0.0)
+
+        _run(fab, pe, body)
+        n = len(a)
+        expected = (OP_FLOPS[Op.FMUL] + OP_FLOPS[Op.FMA] + OP_FLOPS[Op.FMOV]) * n
+        assert pe.counters.flops == expected
+        assert pe.counters.op_counts[Op.FMUL] == n
+        assert pe.counters.op_counts[Op.FMA] == n
+        assert pe.counters.op_counts[Op.FMOV] == n
+
+
+class TestMemoryArenaProperties:
+    @given(
+        st.lists(
+            st.tuples(st.integers(1, 64), st.booleans()),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    def test_alloc_free_conservation(self, plan):
+        """used_bytes is always the sum of live allocations; the high
+        water never decreases; capacity is never exceeded."""
+        arena = MemoryArena(4096)
+        live: dict[str, int] = {}
+        high = 0
+        for i, (size, do_free) in enumerate(plan):
+            name = f"buf{i}"
+            nbytes = size * 4
+            if arena.used_bytes + nbytes <= arena.capacity_bytes:
+                arena.alloc(name, size)
+                live[name] = nbytes
+            else:
+                with pytest.raises(PeOutOfMemory):
+                    arena.alloc(name, size)
+            high = max(high, arena.used_bytes)
+            if do_free and live:
+                victim = next(iter(live))
+                arena.free(victim)
+                del live[victim]
+            assert arena.used_bytes == sum(live.values())
+            assert arena.used_bytes <= arena.capacity_bytes
+            assert arena.high_water_bytes >= arena.used_bytes
+        assert arena.high_water_bytes == high
+
+
+class TestDsdDescriptorProperties:
+    @given(
+        st.integers(1, 64),
+        st.integers(0, 16),
+        st.integers(1, 4),
+    )
+    def test_view_length_consistency(self, size, offset, stride):
+        buf = np.arange(size, dtype=np.float32)
+        max_len = max(0, (size - offset + stride - 1) // stride)
+        if max_len == 0:
+            return
+        d = Dsd(buf, offset=offset, length=max_len, stride=stride)
+        view = d.view()
+        assert view.size == len(d) == max_len
+        np.testing.assert_array_equal(view, buf[offset::stride][:max_len])

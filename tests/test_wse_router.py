@@ -1,0 +1,148 @@
+"""Tests for router programs, switch positions, ring mode and DSDs."""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ConfigurationError, RoutingError, ValidationError
+from repro.wse.dsd import Dsd, operand_length
+from repro.wse.router import Port, RouteEntry, Router, RouterProgram
+
+
+class TestPort:
+    def test_opposites(self):
+        assert Port.EAST.opposite is Port.WEST
+        assert Port.NORTH.opposite is Port.SOUTH
+        assert Port.RAMP.opposite is Port.RAMP
+
+    def test_offsets_are_unit_steps(self):
+        assert Port.EAST.offset == (1, 0)
+        assert Port.WEST.offset == (-1, 0)
+        assert Port.NORTH.offset == (0, -1)  # row 0 at the top
+        assert Port.SOUTH.offset == (0, 1)
+        assert Port.RAMP.offset == (0, 0)
+
+
+class TestRouteEntry:
+    def test_of_single_ports(self):
+        e = RouteEntry.of(Port.RAMP, Port.EAST)
+        assert e.rx == frozenset({Port.RAMP})
+        assert e.tx == frozenset({Port.EAST})
+
+    def test_of_multicast(self):
+        e = RouteEntry.of(Port.SOUTH, {Port.RAMP, Port.NORTH})
+        assert e.tx == frozenset({Port.RAMP, Port.NORTH})
+
+
+class TestRouter:
+    def test_static_route(self):
+        r = Router(0, 0)
+        r.set_route(3, [(Port.WEST, Port.RAMP)])
+        assert r.route(3, Port.WEST) == frozenset({Port.RAMP})
+
+    def test_unprogrammed_color_raises(self):
+        r = Router(1, 2)
+        with pytest.raises(RoutingError, match="no route programmed"):
+            r.route(7, Port.WEST)
+
+    def test_wrong_input_port_raises(self):
+        r = Router(0, 0)
+        r.set_route(1, [(Port.WEST, Port.RAMP)])
+        with pytest.raises(RoutingError, match="does not accept input"):
+            r.route(1, Port.EAST)
+
+    def test_switch_positions_advance_and_ring(self):
+        r = Router(0, 0)
+        r.set_route(
+            2,
+            [(Port.RAMP, Port.EAST), (Port.RAMP, Port.WEST)],
+            ring_mode=True,
+        )
+        assert r.switch_position(2) == 0
+        assert r.route(2, Port.RAMP) == frozenset({Port.EAST})
+        assert r.advance_switch(2) == 1
+        assert r.route(2, Port.RAMP) == frozenset({Port.WEST})
+        assert r.advance_switch(2) == 0  # ring wraps
+
+    def test_saturating_without_ring(self):
+        r = Router(0, 0)
+        r.set_route(2, [(Port.RAMP, Port.EAST), (Port.RAMP, Port.WEST)])
+        r.advance_switch(2)
+        assert r.advance_switch(2) == 1  # saturates at the last position
+
+    def test_advance_unprogrammed_raises(self):
+        with pytest.raises(RoutingError):
+            Router(0, 0).advance_switch(5)
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RouterProgram(positions=())
+
+    def test_dead_output_link_raises(self):
+        r = Router(0, 0)
+        r.set_route(1, [(Port.RAMP, Port.EAST)])
+        r.kill_port(Port.EAST)
+        with pytest.raises(RoutingError, match="dead"):
+            r.route(1, Port.RAMP)
+
+    def test_dead_input_link_raises(self):
+        r = Router(0, 0)
+        r.set_route(1, [(Port.WEST, Port.RAMP)])
+        r.kill_port(Port.WEST)
+        with pytest.raises(RoutingError, match="dead"):
+            r.route(1, Port.WEST)
+
+    def test_clear_route(self):
+        r = Router(0, 0)
+        r.set_route(1, [(Port.WEST, Port.RAMP)])
+        assert r.has_route(1)
+        r.clear_route(1)
+        assert not r.has_route(1)
+
+
+class TestDsd:
+    def test_full_view(self):
+        buf = np.arange(8, dtype=np.float32)
+        d = Dsd(buf)
+        assert len(d) == 8
+        np.testing.assert_array_equal(d.view(), buf)
+
+    def test_offset_length_stride(self):
+        buf = np.arange(10, dtype=np.float32)
+        d = Dsd(buf, offset=1, length=4, stride=2)
+        np.testing.assert_array_equal(d.view(), [1, 3, 5, 7])
+
+    def test_view_is_zero_copy(self):
+        buf = np.zeros(4, dtype=np.float32)
+        Dsd(buf).view()[0] = 5.0
+        assert buf[0] == 5.0
+
+    def test_sub_descriptor(self):
+        buf = np.arange(10, dtype=np.float32)
+        d = Dsd(buf, offset=2, length=6)
+        s = d.sub(1, 3)
+        np.testing.assert_array_equal(s.view(), [3, 4, 5])
+
+    def test_bounds_checked(self):
+        buf = np.zeros(4, dtype=np.float32)
+        with pytest.raises(ConfigurationError):
+            Dsd(buf, offset=1, length=4)
+        with pytest.raises(ConfigurationError):
+            Dsd(buf, offset=-1)
+        with pytest.raises(ConfigurationError):
+            Dsd(buf, stride=0)
+
+    def test_requires_1d(self):
+        with pytest.raises(ConfigurationError):
+            Dsd(np.zeros((2, 2), dtype=np.float32))
+
+    def test_operand_length_mismatch(self):
+        a = Dsd(np.zeros(4, dtype=np.float32))
+        b = Dsd(np.zeros(5, dtype=np.float32))
+        with pytest.raises(ValidationError, match="length mismatch"):
+            operand_length(a, b)
+
+    def test_operand_length_scalars_broadcast(self):
+        a = Dsd(np.zeros(4, dtype=np.float32))
+        assert operand_length(a, 2.0) == 4
+        with pytest.raises(ValidationError):
+            operand_length(1.0, 2.0)
