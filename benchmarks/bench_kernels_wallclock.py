@@ -9,19 +9,17 @@ GPU-model solve.  Useful for tracking library performance regressions.
 import numpy as np
 import pytest
 
-from repro import api
-from repro.core.solver import WseMatrixFreeSolver
+import repro
 from repro.fv.assembly import assemble_jacobian
 from repro.fv.operator import apply_jx
 from repro.fv.residual import compute_residual
-from repro.gpu.cg import GpuCGSolver
 from repro.solvers.cg import conjugate_gradient
 from repro.wse.specs import WSE2
 
 
 @pytest.fixture(scope="module")
 def medium_problem():
-    return api.quarter_five_spot_problem(32, 32, 16)
+    return repro.scenario("quarter_five_spot", nx=32, ny=32, nz=16).build()
 
 
 @pytest.fixture(scope="module")
@@ -71,25 +69,26 @@ def test_bench_reference_cg(benchmark, medium_problem):
 
 
 def test_bench_wse_simulator_solve(benchmark):
-    problem = api.quarter_five_spot_problem(6, 6, 6)
+    problem = repro.scenario("quarter_five_spot", nx=6, ny=6, nz=6).build()
     spec = WSE2.with_fabric(32, 32)
 
     def _solve():
-        return WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float32, fixed_iterations=5
-        ).solve()
+        return repro.solve(
+            problem, backend="wse", spec=spec, dtype=np.float32,
+            fixed_iterations=5,
+        )
 
     report = benchmark(_solve)
     assert report.iterations == 5
 
 
 def test_bench_gpu_model_solve(benchmark):
-    problem = api.quarter_five_spot_problem(24, 24, 12)
+    problem = repro.scenario("quarter_five_spot", nx=24, ny=24, nz=12).build()
 
     def _solve():
-        return GpuCGSolver(
-            problem, dtype=np.float32, fixed_iterations=10
-        ).solve()
+        return repro.solve(
+            problem, backend="gpu", dtype=np.float32, fixed_iterations=10
+        )
 
     report = benchmark(_solve)
     assert report.iterations == 10

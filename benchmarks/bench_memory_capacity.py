@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 from conftest import emit
 
-from repro import api
+import repro
 from repro.core.fv_kernel import DirichletKind, KernelVariant
 from repro.core.solver import WseMatrixFreeSolver
 from repro.perf.memmodel import PAPER_DEPTH, PeMemoryModel
@@ -65,9 +65,13 @@ def test_capacity_model_matches_simulator(benchmark):
     def _probe():
         model = PeMemoryModel()
         depth = model.max_depth()
-        ok = api.quarter_five_spot_problem(2, 2, depth)
+        # Staging (not solving) is what the capacity model bounds, so this
+        # probe deliberately constructs the machine-level solver directly.
+        ok = repro.scenario("quarter_five_spot", nx=2, ny=2, nz=depth).build()
         WseMatrixFreeSolver(ok, spec=WSE2.with_fabric(4, 4))
-        too_deep = api.quarter_five_spot_problem(2, 2, depth + 1)
+        too_deep = repro.scenario(
+            "quarter_five_spot", nx=2, ny=2, nz=depth + 1
+        ).build()
         try:
             WseMatrixFreeSolver(too_deep, spec=WSE2.with_fabric(4, 4))
             return depth, False

@@ -9,9 +9,9 @@ fabric extent while Alg. 1 grows with W + H (the all-reduce distance).
 import numpy as np
 from conftest import emit
 
-from repro import api
+import repro
 from repro.bench.experiments import TABLE3_PAPER, table3_rows
-from repro.core.solver import WseMatrixFreeSolver
+from repro.scenarios import weak_scaling_family
 from repro.util.formatting import format_table
 from repro.wse.specs import WSE2
 
@@ -48,14 +48,20 @@ def _simulate_scaling():
     """Small-fabric weak scaling on the event-driven simulator."""
     spec = WSE2.with_fabric(32, 32)
     nz, iters = 6, 4
+    laterals = (3, 5, 8)
+    family = weak_scaling_family(laterals=laterals, nz=nz)
+    reports = repro.solve_many(
+        family, backend="wse", n_workers=1,
+        spec=spec, dtype=np.float32, fixed_iterations=iters,
+    )
     results = []
-    for lateral in (3, 5, 8):
-        problem = api.quarter_five_spot_problem(lateral, lateral, nz)
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float32, fixed_iterations=iters
-        ).solve()
-        per_pe_compute = report.counters.compute_cycles / (lateral * lateral)
-        results.append((lateral, per_pe_compute, report.trace.makespan_cycles))
+    for lateral, report in zip(laterals, reports):
+        per_pe_compute = (
+            report.telemetry["counters"].compute_cycles / (lateral * lateral)
+        )
+        results.append(
+            (lateral, per_pe_compute, report.telemetry["trace"].makespan_cycles)
+        )
     return results
 
 

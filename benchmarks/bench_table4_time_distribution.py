@@ -11,9 +11,8 @@ from conftest import emit
 
 import numpy as np
 
-from repro import api
+import repro
 from repro.bench.experiments import table4_rows, table4_simulator_rows
-from repro.core.solver import WseMatrixFreeSolver
 from repro.util.formatting import format_table
 from repro.wse.specs import WSE2
 
@@ -52,14 +51,17 @@ def test_table4_simulator_methodology(benchmark):
 
 def _comm_share(nz: int) -> float:
     spec = WSE2.with_fabric(32, 32)
-    problem = api.quarter_five_spot_problem(5, 5, nz)
-    full = WseMatrixFreeSolver(
-        problem, spec=spec, dtype=np.float32, fixed_iterations=5
-    ).solve()
-    comm = WseMatrixFreeSolver(
-        problem, spec=spec, comm_only=True, fixed_iterations=5
-    ).solve()
-    return comm.trace.makespan_cycles / full.trace.makespan_cycles
+    problem = repro.scenario("quarter_five_spot", nx=5, ny=5, nz=nz).build()
+    full = repro.solve(
+        problem, backend="wse", spec=spec, dtype=np.float32, fixed_iterations=5
+    )
+    comm = repro.solve(
+        problem, backend="wse", spec=spec, comm_only=True, fixed_iterations=5
+    )
+    return (
+        comm.telemetry["trace"].makespan_cycles
+        / full.telemetry["trace"].makespan_cycles
+    )
 
 
 def test_table4_comm_share_shrinks_with_depth(benchmark):

@@ -9,9 +9,8 @@ cross-checks that the simulator executes exactly the mix it declares.
 import numpy as np
 from conftest import emit
 
-from repro import api
+import repro
 from repro.bench.experiments import table5_rows, table5_simulator_rows
-from repro.core.solver import WseMatrixFreeSolver
 from repro.perf.opcount import (
     paper_arithmetic_intensities,
     paper_fabric_loads_per_cell,
@@ -60,11 +59,11 @@ def test_table5_simulator_mix(benchmark):
 
 def _measured_counts():
     spec = WSE2.with_fabric(32, 32)
-    problem = api.quarter_five_spot_problem(4, 4, 8)
-    report = WseMatrixFreeSolver(
-        problem, spec=spec, dtype=np.float32, fixed_iterations=3
-    ).solve()
-    return report.counters
+    result = repro.solve(
+        repro.scenario("quarter_five_spot", nx=4, ny=4, nz=8),
+        backend="wse", spec=spec, dtype=np.float32, fixed_iterations=3,
+    )
+    return result.telemetry["counters"]
 
 
 def test_table5_trace_cross_check(benchmark):

@@ -3,56 +3,51 @@ motivates (geological carbon storage on detailed geomodels).
 
 Run:  python examples/heterogeneous_geomodels.py
 
-Builds three synthetic permeability fields (layered, lognormal,
-channelized), solves the injection pressure problem on each with the
-reference backend and the dataflow simulator, and reports how the
-heterogeneity affects solver hardness (CG iterations) — the reason
-field-scale linear solves eat 70%+ of simulation time (§II-A).
+Pulls four registered scenarios (homogeneous quarter-five-spot plus the
+layered / lognormal / channelized geomodels), solves each with the
+reference backend and the dataflow simulator through `repro.solve`, and
+reports how the heterogeneity affects solver hardness (CG iterations) —
+the reason field-scale linear solves eat 70%+ of simulation time (§II-A).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro import api
-from repro.core.solver import WseMatrixFreeSolver
-from repro.mesh.geomodel import (
-    channelized_permeability,
-    homogeneous_permeability,
-    layered_permeability,
-    lognormal_permeability,
-)
-from repro.mesh.grid import CartesianGrid3D
+import repro
 from repro.util.ascii_art import render_heatmap, render_histogram
 from repro.util.formatting import format_table
 from repro.wse.specs import WSE2
 
+GRID = dict(nx=12, ny=12, nz=6)
+
 
 def main() -> None:
-    grid = CartesianGrid3D(12, 12, 6)
     spec = WSE2.with_fabric(16, 16)
-    geomodels = {
-        "homogeneous": homogeneous_permeability(grid, 100.0),
-        "layered": layered_permeability(grid, num_layers=4, low=1.0, high=1000.0, seed=1),
-        "lognormal": lognormal_permeability(grid, sigma_log=1.5, seed=2),
-        "channelized": channelized_permeability(grid, channel=500.0, seed=3),
+    cases = {
+        "homogeneous": repro.scenario("quarter_five_spot", **GRID),
+        "layered": repro.scenario("layered_reservoir", **GRID),
+        "lognormal": repro.scenario("lognormal_reservoir", **GRID),
+        "channelized": repro.scenario("channelized_reservoir", **GRID),
     }
 
     rows = []
-    for name, perm in geomodels.items():
-        problem = api.quarter_five_spot_problem(
-            grid.nx, grid.ny, grid.nz, permeability=perm
+    problems = {}
+    for name, sc in cases.items():
+        problem = sc.build()
+        problems[name] = problem
+        ref = repro.solve(problem)  # backend="reference"
+        wse = repro.solve(
+            problem, backend="wse", spec=spec, dtype=np.float64,
+            rel_tol=1e-8, max_iters=5000,
         )
-        ref = api.solve_reference(problem)
-        wse = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float64, rel_tol=1e-8, max_iters=5000
-        ).solve()
+        perm = problem.permeability
         contrast = float(perm.max() / perm.min())
         rows.append(
             [
                 name,
                 f"{contrast:,.0f}x",
-                ref.total_linear_iterations,
+                ref.iterations,
                 wse.iterations,
                 f"{np.abs(wse.pressure - ref.pressure).max():.2e}",
             ]
@@ -68,15 +63,15 @@ def main() -> None:
     )
 
     # Show the channelized field and the resulting pressure interplay.
-    perm = geomodels["channelized"]
-    problem = api.quarter_five_spot_problem(grid.nx, grid.ny, grid.nz, permeability=perm)
-    pressure = api.solve_reference(problem).pressure
+    problem = problems["channelized"]
+    perm = problem.permeability
+    pressure = repro.solve(problem).pressure
     print("\nChannelized log10-permeability (depth-averaged):")
     print(render_heatmap(np.log10(perm.mean(axis=2)).T, width=48, height=12))
     print("\nResulting pressure field (injector top-left):")
     print(render_heatmap(pressure.mean(axis=2).T, width=48, height=12, fine=True))
     print("\nLognormal permeability distribution:")
-    print(render_histogram(np.log10(geomodels["lognormal"]), bins=12, width=40))
+    print(render_histogram(np.log10(problems["lognormal"].permeability), bins=12, width=40))
 
 
 if __name__ == "__main__":

@@ -15,10 +15,8 @@ import pathlib
 
 import numpy as np
 
-from repro import api
+import repro
 from repro.io import save_solution
-from repro.mesh.geomodel import lognormal_permeability
-from repro.mesh.grid import CartesianGrid3D
 from repro.physics.transient import simulate_transient
 from repro.util.ascii_art import render_heatmap
 from repro.util.formatting import format_table
@@ -27,11 +25,8 @@ OUT_DIR = pathlib.Path(__file__).parent / "out"
 
 
 def main() -> None:
-    grid = CartesianGrid3D(20, 20, 4)
-    perm = lognormal_permeability(grid, sigma_log=1.0, seed=7)
-    problem = api.quarter_five_spot_problem(
-        grid.nx, grid.ny, grid.nz, permeability=perm
-    )
+    # The registered heterogeneous-formation scenario (20x20x4 lognormal).
+    problem = repro.scenario("transient_injection").build()
 
     report = simulate_transient(
         problem,
@@ -60,7 +55,7 @@ def main() -> None:
         )
     )
 
-    steady = api.solve_reference(problem).pressure
+    steady = repro.solve(problem, backend="reference").pressure
     gap = float(np.abs(report.final_pressure - steady).max())
     print(f"\ndistance to steady state after t={report.times[-1]:.0f}: {gap:.3e}")
 

@@ -7,20 +7,49 @@ Darcy flow, mapped onto a simulated wafer-scale dataflow architecture
 (`repro.gpu`) and performance/roofline models regenerating every table and
 figure of the paper's evaluation (`repro.perf`, `benchmarks/`).
 
+The front door is one signature across every machine: pick a scenario (or
+build a problem), pick a backend, call :func:`solve` and get a canonical
+:class:`SolveResult` back.
+
 Quickstart
 ----------
->>> from repro import api
->>> problem = api.quarter_five_spot_problem(nx=12, ny=12, nz=4)
->>> report = api.solve_reference(problem)
->>> report.pressure.shape
-(12, 12, 4)
+>>> import repro
+>>> result = repro.solve("quarter_five_spot", backend="reference")
+>>> result.pressure.shape
+(16, 16, 8)
+>>> repro.available_backends()
+['gpu', 'reference', 'wse']
 
-See README.md for the architecture overview and DESIGN.md for the full
-system inventory and experiment index.
+See README.md for the architecture overview, the backend/scenario
+registries, and the experiment index.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-from repro import api
+from repro import api, backends, scenarios
+from repro.backends import (
+    SolveResult,
+    SolverBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from repro.driver import solve, solve_many
+from repro.scenarios import Scenario, available_scenarios, scenario
 
-__all__ = ["api", "__version__"]
+__all__ = [
+    "Scenario",
+    "SolveResult",
+    "SolverBackend",
+    "__version__",
+    "api",
+    "available_backends",
+    "available_scenarios",
+    "backends",
+    "get_backend",
+    "register_backend",
+    "scenario",
+    "scenarios",
+    "solve",
+    "solve_many",
+]

@@ -1,0 +1,90 @@
+"""Canonical solver result and the backend contract.
+
+Every backend — the NumPy host reference, the wafer-scale dataflow
+simulator, the CUDA-like GPU model, and anything registered later —
+answers the same question ("solve this pressure problem") through the same
+signature and returns the same :class:`SolveResult`.  Backend-specific
+riches (fabric traces, instruction counters, memory high-water marks, GPU
+DRAM traffic) live in the open ``telemetry`` mapping so cross-backend code
+never has to branch on the concrete type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.physics.darcy import SinglePhaseProblem
+
+
+@dataclass
+class SolveResult:
+    """The canonical outcome of a pressure solve on any backend.
+
+    Attributes
+    ----------
+    pressure:
+        Converged pressure field, shaped like the problem grid.
+    iterations:
+        Linear (CG) iterations performed, summed over Newton steps where
+        applicable.
+    converged:
+        Whether the backend's convergence criterion was met.
+    residual_history:
+        ``r^T r`` values as the backend observed them, initial residual
+        first.
+    elapsed_seconds:
+        The backend's native notion of solve time: wall clock for the
+        host reference, simulated device time for the fabric, modeled
+        kernel time for the GPU.  ``telemetry["time_kind"]`` says which.
+    backend:
+        Registry name of the backend that produced this result.
+    telemetry:
+        Open mapping of backend-specific extras (e.g. ``trace``,
+        ``counters``, ``memory`` for the fabric; ``counters``,
+        ``device_bytes`` for the GPU; ``newton_iterations`` for the
+        reference).  Keys are backend-defined; consumers must tolerate
+        absence.
+    """
+
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    backend: str = ""
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_rtr(self) -> float:
+        return self.residual_history[-1] if self.residual_history else float("nan")
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by examples)."""
+        return (
+            f"[{self.backend}] {self.iterations} iterations, "
+            f"converged={self.converged}, "
+            f"elapsed={self.elapsed_seconds:.3e}s, "
+            f"pressure in [{float(self.pressure.min()):.4f}, "
+            f"{float(self.pressure.max()):.4f}]"
+        )
+
+
+@runtime_checkable
+class SolverBackend(Protocol):
+    """The contract every registered backend satisfies.
+
+    ``name`` is the registry key; ``solve`` takes a problem plus
+    backend-interpreted keyword options and returns a
+    :class:`SolveResult`.  Backends are stateless: per-solve state lives
+    inside ``solve``.
+    """
+
+    name: str
+
+    def solve(
+        self, problem: SinglePhaseProblem, **options: Any
+    ) -> SolveResult:  # pragma: no cover - protocol signature
+        ...

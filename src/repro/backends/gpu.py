@@ -1,0 +1,45 @@
+"""The CUDA-like GPU reference model as a registered backend."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import SolveResult
+from repro.physics.darcy import SinglePhaseProblem
+
+
+class GpuBackend:
+    """Matrix-free CG driven through the device-model kernels.
+
+    Options map onto :class:`repro.gpu.cg.GpuCGSolver` (``specs``,
+    ``timing``, ``block_shape``, ``dtype``, ``tol_rtr``, ``rel_tol``,
+    ``max_iters``, ``fixed_iterations``).  ``elapsed_seconds`` is the
+    calibrated timing model applied to the run's measured DRAM traffic,
+    never Python wall clock.
+    """
+
+    name = "gpu"
+
+    def solve_native(self, problem: SinglePhaseProblem, **options: Any):
+        """Run the solve and return the legacy ``GpuSolveReport``."""
+        from repro.gpu.cg import GpuCGSolver
+
+        return GpuCGSolver.for_problem(problem, **options).solve()
+
+    def solve(self, problem: SinglePhaseProblem, **options: Any) -> SolveResult:
+        report = self.solve_native(problem, **options)
+        return SolveResult(
+            pressure=np.asarray(report.pressure),
+            iterations=report.iterations,
+            converged=report.converged,
+            residual_history=[float(v) for v in report.residual_history],
+            elapsed_seconds=report.modeled_seconds,
+            backend=self.name,
+            telemetry={
+                "time_kind": "modeled_kernel",
+                "counters": report.counters,
+                "device_bytes": report.device_bytes,
+            },
+        )

@@ -1,0 +1,51 @@
+"""The simulated wafer-scale dataflow fabric as a registered backend.
+
+The simulator machinery is imported lazily inside ``solve`` so importing
+``repro`` (or solving on the reference/GPU paths) never pays for it.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.backends.base import SolveResult
+from repro.physics.darcy import SinglePhaseProblem
+
+
+class WseBackend:
+    """Matrix-free CG on the event-driven fabric simulator.
+
+    Options map onto :class:`repro.core.solver.WseMatrixFreeSolver`
+    (``spec``, ``dtype``, ``variant``, ``reuse_buffers``, ``simd_width``,
+    ``tol_rtr``, ``rel_tol``, ``max_iters``, ``comm_only``,
+    ``fixed_iterations``, ``jacobi`` …).  The default :data:`WSE2` spec is
+    the full 750×994 CS-2 fabric, so any simulator-scale grid fits.
+    """
+
+    name = "wse"
+
+    def solve_native(self, problem: SinglePhaseProblem, **options: Any):
+        """Run the solve and return the legacy ``WseSolveReport``."""
+        from repro.core.solver import WseMatrixFreeSolver
+
+        return WseMatrixFreeSolver.for_problem(problem, **options).solve()
+
+    def solve(self, problem: SinglePhaseProblem, **options: Any) -> SolveResult:
+        report = self.solve_native(problem, **options)
+        return SolveResult(
+            pressure=np.asarray(report.pressure),
+            iterations=report.iterations,
+            converged=report.converged,
+            residual_history=[float(v) for v in report.residual_history],
+            elapsed_seconds=report.elapsed_seconds,
+            backend=self.name,
+            telemetry={
+                "time_kind": "simulated_device",
+                "trace": report.trace,
+                "counters": report.counters,
+                "memory": report.memory,
+                "state_visits": report.state_visits,
+            },
+        )

@@ -13,10 +13,9 @@ from typing import Any
 
 import numpy as np
 
-from repro import api
-from repro.core.solver import WseMatrixFreeSolver
-from repro.gpu.cg import GpuCGSolver
+from repro.driver import solve
 from repro.gpu.timing import GpuTimingModel
+from repro.scenarios import scenario
 from repro.perf.memmodel import PeMemoryModel
 from repro.perf.opcount import (
     PAPER_TABLE5,
@@ -155,15 +154,17 @@ def table4_simulator_rows(nx: int = 6, ny: int = 6, nz: int = 8,
     """The same methodology executed on the small-scale simulator: one run
     with arithmetic suppressed (comm time) vs. the full run."""
     spec = WSE2.with_fabric(32, 32)
-    problem = api.quarter_five_spot_problem(nx, ny, nz)
-    full = WseMatrixFreeSolver(
-        problem, spec=spec, dtype=np.float32, fixed_iterations=iterations
-    ).solve()
-    comm = WseMatrixFreeSolver(
-        problem, spec=spec, comm_only=True, fixed_iterations=iterations
-    ).solve()
-    total = full.trace.makespan_cycles
-    movement = comm.trace.makespan_cycles
+    problem = scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz).build()
+    full = solve(
+        problem, backend="wse", spec=spec, dtype=np.float32,
+        fixed_iterations=iterations,
+    )
+    comm = solve(
+        problem, backend="wse", spec=spec, comm_only=True,
+        fixed_iterations=iterations,
+    )
+    total = full.telemetry["trace"].makespan_cycles
+    movement = comm.telemetry["trace"].makespan_cycles
     return [
         ["Data Movement (sim)", movement, round(100.0 * movement / total, 2)],
         ["Computation (sim)", total - movement, round(100.0 * (total - movement) / total, 2)],
@@ -211,21 +212,17 @@ def fig5_field(
     """The converged pressure field of the quarter-five-spot scenario
     (injector top-left, producer bottom-right), depth-averaged to the 2D
     plane the paper plots."""
-    problem = api.quarter_five_spot_problem(nx, ny, nz)
-    if backend == "reference":
-        pressure = api.solve_reference(problem).pressure
-    elif backend == "wse":
-        spec = WSE2.with_fabric(max(nx, 1), max(ny, 1))
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float64, rel_tol=1e-8, max_iters=5000
-        ).solve()
-        pressure = report.pressure
+    problem = scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz).build()
+    options: dict[str, Any] = {}
+    if backend == "wse":
+        options = dict(
+            spec=WSE2.with_fabric(max(nx, 1), max(ny, 1)),
+            dtype=np.float64, rel_tol=1e-8, max_iters=5000,
+        )
     elif backend == "gpu":
-        report = GpuCGSolver(problem, dtype=np.float64, rel_tol=1e-8).solve()
-        pressure = report.pressure
-    else:
-        raise ValueError(f"unknown backend {backend!r}")
-    return np.asarray(pressure, dtype=np.float64).mean(axis=2).T  # (ny, nx), row 0 at top
+        options = dict(dtype=np.float64, rel_tol=1e-8)
+    result = solve(problem, backend=backend, **options)
+    return np.asarray(result.pressure, dtype=np.float64).mean(axis=2).T  # (ny, nx), row 0 at top
 
 
 # -- Fig. 6: rooflines ---------------------------------------------------------------------
@@ -267,7 +264,7 @@ def fig6_rows() -> list[list[Any]]:
 
 
 def _small_problem(nx=5, ny=5, nz=6):
-    return api.quarter_five_spot_problem(nx, ny, nz)
+    return scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz).build()
 
 
 def ablation_simd(iterations: int = 6) -> list[list[Any]]:
@@ -277,17 +274,18 @@ def ablation_simd(iterations: int = 6) -> list[list[Any]]:
     rows = []
     results = {}
     for width in (1, 2):
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float32, simd_width=width,
-            fixed_iterations=iterations,
-        ).solve()
+        report = solve(
+            problem, backend="wse", spec=spec, dtype=np.float32,
+            simd_width=width, fixed_iterations=iterations,
+        )
         results[width] = report
         rows.append(
-            [f"SIMD width {width}", report.counters.compute_cycles,
-             report.trace.makespan_cycles]
+            [f"SIMD width {width}", report.telemetry["counters"].compute_cycles,
+             report.telemetry["trace"].makespan_cycles]
         )
     ratio = (
-        results[1].counters.compute_cycles / results[2].counters.compute_cycles
+        results[1].telemetry["counters"].compute_cycles
+        / results[2].telemetry["counters"].compute_cycles
     )
     rows.append(["compute-cycle ratio (1 vs 2)", f"{ratio:.2f}x", "ideal 2.00x"])
     return rows
@@ -299,15 +297,15 @@ def ablation_buffer_reuse(iterations: int = 4) -> list[list[Any]]:
     problem = _small_problem()
     rows = []
     for reuse in (True, False):
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float32, reuse_buffers=reuse,
-            fixed_iterations=iterations,
-        ).solve()
+        report = solve(
+            problem, backend="wse", spec=spec, dtype=np.float32,
+            reuse_buffers=reuse, fixed_iterations=iterations,
+        )
         model = PeMemoryModel(reuse_buffers=reuse)
         rows.append(
             [
                 f"reuse={'on' if reuse else 'off'}",
-                int(report.memory["max_high_water"]),
+                int(report.telemetry["memory"]["max_high_water"]),
                 model.num_columns(),
                 model.max_depth(),
             ]
@@ -323,18 +321,22 @@ def ablation_comm_overlap(iterations: int = 6) -> list[list[Any]]:
     """
     spec = WSE2.with_fabric(32, 32)
     problem = _small_problem(6, 6, 8)
-    full = WseMatrixFreeSolver(
-        problem, spec=spec, dtype=np.float32, fixed_iterations=iterations
-    ).solve()
-    comm = WseMatrixFreeSolver(
-        problem, spec=spec, comm_only=True, fixed_iterations=iterations
-    ).solve()
-    compute_critical = full.trace.max_compute_cycles
-    unoverlapped = comm.trace.makespan_cycles + compute_critical
-    hidden = max(0, unoverlapped - full.trace.makespan_cycles)
+    full = solve(
+        problem, backend="wse", spec=spec, dtype=np.float32,
+        fixed_iterations=iterations,
+    )
+    comm = solve(
+        problem, backend="wse", spec=spec, comm_only=True,
+        fixed_iterations=iterations,
+    )
+    full_trace = full.telemetry["trace"]
+    comm_trace = comm.telemetry["trace"]
+    compute_critical = full_trace.max_compute_cycles
+    unoverlapped = comm_trace.makespan_cycles + compute_critical
+    hidden = max(0, unoverlapped - full_trace.makespan_cycles)
     return [
-        ["full run makespan", full.trace.makespan_cycles],
-        ["comm-only makespan", comm.trace.makespan_cycles],
+        ["full run makespan", full_trace.makespan_cycles],
+        ["comm-only makespan", comm_trace.makespan_cycles],
         ["compute critical path", compute_critical],
         ["serial (no overlap) estimate", unoverlapped],
         ["cycles hidden by overlap", hidden],
@@ -347,7 +349,7 @@ def ablation_matrix_free_memory(nx=12, ny=12, nz=8) -> list[list[Any]]:
     the full Jacobian matrix")."""
     from repro.fv.assembly import assemble_jacobian, assembled_matrix_bytes
 
-    problem = api.quarter_five_spot_problem(nx, ny, nz)
+    problem = _small_problem(nx, ny, nz)
     J = assemble_jacobian(problem.coefficients, problem.dirichlet, dtype=np.float32)
     csr = assembled_matrix_bytes(J)
     c = problem.coefficients
@@ -368,20 +370,22 @@ def ablation_jacobi(rel_tol: float = 1e-8) -> list[list[Any]]:
 
     grid = CartesianGrid3D(6, 5, 3)
     perm = lognormal_permeability(grid, seed=21, sigma_log=2.5)
-    problem = api.quarter_five_spot_problem(6, 5, 3, permeability=perm)
+    problem = scenario(
+        "quarter_five_spot", nx=6, ny=5, nz=3, permeability=perm
+    ).build()
     spec = WSE2.with_fabric(32, 32)
     rows = []
     for jacobi in (False, True):
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float64, rel_tol=rel_tol,
-            max_iters=5000, jacobi=jacobi,
-        ).solve()
+        report = solve(
+            problem, backend="wse", spec=spec, dtype=np.float64,
+            rel_tol=rel_tol, max_iters=5000, jacobi=jacobi,
+        )
         rows.append(
             [
                 "jacobi" if jacobi else "plain CG",
                 report.iterations,
                 report.converged,
-                report.trace.total_messages,
+                report.telemetry["trace"].total_messages,
             ]
         )
     return rows
@@ -394,16 +398,16 @@ def ablation_kernel_variant(iterations: int = 4) -> list[list[Any]]:
     problem = _small_problem()
     rows = []
     for variant in ("precomputed", "fused_mobility"):
-        report = WseMatrixFreeSolver(
-            problem, spec=spec, dtype=np.float32, variant=variant,
-            fixed_iterations=iterations,
-        ).solve()
+        report = solve(
+            problem, backend="wse", spec=spec, dtype=np.float32,
+            variant=variant, fixed_iterations=iterations,
+        )
         rows.append(
             [
                 variant,
-                report.counters.flops,
-                int(report.memory["max_high_water"]),
-                report.trace.makespan_cycles,
+                report.telemetry["counters"].flops,
+                int(report.telemetry["memory"]["max_high_water"]),
+                report.telemetry["trace"].makespan_cycles,
             ]
         )
     return rows

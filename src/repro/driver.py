@@ -1,0 +1,86 @@
+"""Top-level solve entry points: ``repro.solve`` and ``repro.solve_many``.
+
+One signature for every machine and every workload::
+
+    result = repro.solve("quarter_five_spot", backend="wse", dtype=np.float64)
+    results = repro.solve_many(scenarios.weak_scaling_family(), backend="gpu",
+                               n_workers=4)
+
+``solve`` accepts a built :class:`SinglePhaseProblem`, a bound
+:class:`Scenario`, or a registered scenario name; ``solve_many`` fans a
+batch out over a thread pool (the kernels are NumPy-heavy, so threads
+overlap well) and returns results in input order.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+from typing import Any, Iterable, Sequence
+
+from repro.backends import SolveResult, get_backend
+from repro.physics.darcy import SinglePhaseProblem
+from repro.scenarios.base import Scenario, scenario as _bind_scenario
+from repro.util.errors import ConfigurationError
+
+
+def _resolve_problem(target: Any) -> SinglePhaseProblem:
+    if isinstance(target, SinglePhaseProblem):
+        return target
+    if isinstance(target, Scenario):
+        return target.build()
+    if isinstance(target, str):
+        return _bind_scenario(target).build()
+    raise ConfigurationError(
+        f"cannot solve {target!r}: expected a SinglePhaseProblem, a "
+        f"Scenario, or a registered scenario name"
+    )
+
+
+def solve(target: Any, *, backend: str = "reference", **options: Any) -> SolveResult:
+    """Solve a problem/scenario on a named backend.
+
+    Parameters
+    ----------
+    target:
+        A :class:`SinglePhaseProblem`, a bound :class:`Scenario`, or the
+        name of a registered scenario (solved with its default
+        parameters).
+    backend:
+        Registry name — ``"reference"``, ``"wse"``, ``"gpu"``, or anything
+        registered via :func:`repro.backends.register_backend`.
+    options:
+        Backend-interpreted keyword options (``tol_rtr``, ``rel_tol``,
+        ``max_iters``, ``dtype``, plus machine knobs like ``spec`` /
+        ``simd_width`` / ``block_shape``).
+    """
+    return get_backend(backend).solve(_resolve_problem(target), **options)
+
+
+def solve_many(
+    targets: Iterable[Any],
+    *,
+    backend: str = "reference",
+    n_workers: int | None = None,
+    **options: Any,
+) -> list[SolveResult]:
+    """Solve a batch of problems/scenarios, fanned out over threads.
+
+    Results come back in input order.  ``n_workers`` defaults to
+    ``min(len(targets), os.cpu_count())``; ``n_workers=1`` runs serially
+    in-process (no pool), which keeps tracebacks simple.
+    """
+    items: Sequence[Any] = list(targets)
+    if not items:
+        return []
+    if n_workers is None:
+        n_workers = min(len(items), os.cpu_count() or 1)
+    if n_workers < 1:
+        raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if n_workers == 1:
+        return [solve(item, backend=backend, **options) for item in items]
+    with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
+        futures = [
+            pool.submit(solve, item, backend=backend, **options) for item in items
+        ]
+        return [f.result() for f in futures]

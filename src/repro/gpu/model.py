@@ -134,14 +134,17 @@ class GpuDevice:
 
     def alloc_like(self, shape, dtype=np.float32) -> np.ndarray:
         """cudaMalloc-style allocation with device-capacity accounting."""
-        arr = np.zeros(shape, dtype=dtype)
-        self._allocated_bytes += arr.nbytes
-        if self._allocated_bytes > self.specs.device_memory_bytes:
+        # Check the modeled capacity before touching host memory, so an
+        # oversized request fails like cudaMalloc would instead of OOMing
+        # the host.
+        nbytes = int(np.prod(np.asarray(shape, dtype=np.int64))) * np.dtype(dtype).itemsize
+        if self._allocated_bytes + nbytes > self.specs.device_memory_bytes:
             raise ConfigurationError(
-                f"device memory exhausted: {self._allocated_bytes} B > "
+                f"device memory exhausted: {self._allocated_bytes + nbytes} B > "
                 f"{self.specs.device_memory_bytes:.0f} B on {self.specs.name}"
             )
-        return arr
+        self._allocated_bytes += nbytes
+        return np.zeros(shape, dtype=dtype)
 
     def htod(self, host_array: np.ndarray, dtype=np.float32) -> np.ndarray:
         """Host-to-device copy (counted as allocation, not kernel traffic:

@@ -1,0 +1,33 @@
+"""Declarative, registry-discoverable problem scenarios.
+
+>>> from repro import scenarios
+>>> scenarios.available_scenarios()
+['channelized_reservoir', 'layered_reservoir', 'lognormal_reservoir',
+ 'quarter_five_spot', 'transient_injection', 'weak_scaling']
+>>> sc = scenarios.scenario("quarter_five_spot", nx=12, ny=12, nz=4)
+>>> result = sc.solve(backend="wse", dtype="float64", rel_tol=1e-8)
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    Scenario,
+    ScenarioSpec,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario,
+    unregister_scenario,
+)
+from repro.scenarios.library import weak_scaling_family
+
+__all__ = [
+    "Scenario",
+    "ScenarioSpec",
+    "available_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "scenario",
+    "unregister_scenario",
+    "weak_scaling_family",
+]

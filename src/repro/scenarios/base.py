@@ -1,0 +1,172 @@
+"""Declarative scenario specs and their registry.
+
+A *scenario* is a named, parameterized recipe for a
+:class:`~repro.physics.darcy.SinglePhaseProblem` — the quarter-five-spot
+pattern, a heterogeneous geomodel, one rung of a weak-scaling family.
+Registering the recipe once makes it discoverable by name from
+:func:`repro.solve`, the examples and the benchmarks, and makes parameter
+sweeps data (a list of :class:`Scenario` values) instead of code.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Mapping
+
+from repro.physics.darcy import SinglePhaseProblem
+from repro.util.errors import ConfigurationError
+
+ProblemBuilder = Callable[..., SinglePhaseProblem]
+
+_REGISTRY: dict[str, "ScenarioSpec"] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A registered scenario family: builder + defaults + docs."""
+
+    name: str
+    builder: ProblemBuilder
+    defaults: Mapping[str, Any] = field(default_factory=dict)
+    description: str = ""
+    tags: tuple[str, ...] = ()
+
+    def parameters(self) -> dict[str, Any]:
+        """Effective default parameters (builder signature ∪ overrides)."""
+        params: dict[str, Any] = {}
+        for pname, p in inspect.signature(self.builder).parameters.items():
+            if p.kind in (p.VAR_POSITIONAL, p.VAR_KEYWORD):
+                continue
+            params[pname] = p.default if p.default is not p.empty else None
+        params.update(self.defaults)
+        return params
+
+    def bind(self, **overrides: Any) -> "Scenario":
+        """Produce a concrete :class:`Scenario` with merged parameters."""
+        params = dict(self.defaults)
+        params.update(overrides)
+        _check_params(self, params)
+        return Scenario(name=self.name, params=params, description=self.description)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A concrete, fully parameterized problem description.
+
+    Scenarios are plain values: hashable-ish, comparable, cheap to build
+    and to ship across worker threads.  ``build()`` materializes the
+    :class:`SinglePhaseProblem`; ``solve()`` is the one-stop shorthand.
+    """
+
+    name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    description: str = ""
+
+    def build(self) -> SinglePhaseProblem:
+        """Materialize the problem this scenario describes."""
+        return get_scenario(self.name).builder(**self.params)
+
+    def with_params(self, **overrides: Any) -> "Scenario":
+        """A new scenario with some parameters replaced."""
+        merged = dict(self.params)
+        merged.update(overrides)
+        _check_params(get_scenario(self.name), merged)
+        return replace(self, params=merged)
+
+    def solve(self, *, backend: str = "reference", **options: Any):
+        """Build and solve in one call (see :func:`repro.solve`)."""
+        from repro.backends import get_backend
+
+        return get_backend(backend).solve(self.build(), **options)
+
+    def label(self) -> str:
+        """Compact human-readable identity, e.g. for table rows."""
+        if not self.params:
+            return self.name
+        inner = ", ".join(f"{k}={_short(v)}" for k, v in sorted(self.params.items()))
+        return f"{self.name}({inner})"
+
+
+def _short(value: Any) -> str:
+    text = repr(value)
+    return text if len(text) <= 24 else text[:21] + "..."
+
+
+def _check_params(spec: ScenarioSpec, params: Mapping[str, Any]) -> None:
+    """Reject parameters the builder cannot accept (typo safety)."""
+    sig = inspect.signature(spec.builder)
+    if any(p.kind is p.VAR_KEYWORD for p in sig.parameters.values()):
+        return
+    accepted = set(sig.parameters)
+    unknown = sorted(set(params) - accepted)
+    if unknown:
+        raise ConfigurationError(
+            f"scenario {spec.name!r} does not accept parameter(s) "
+            f"{', '.join(map(repr, unknown))}; accepted: "
+            f"{', '.join(sorted(accepted))}"
+        )
+
+
+def register_scenario(
+    name: str,
+    builder: ProblemBuilder | None = None,
+    *,
+    defaults: Mapping[str, Any] | None = None,
+    description: str = "",
+    tags: tuple[str, ...] = (),
+    overwrite: bool = False,
+) -> Callable[[ProblemBuilder], ProblemBuilder] | ScenarioSpec:
+    """Register a scenario family; usable directly or as a decorator.
+
+    >>> @register_scenario("my-case", description="...")
+    ... def build_my_case(nx=8, ny=8, nz=4): ...
+    """
+
+    def _register(fn: ProblemBuilder) -> ProblemBuilder:
+        if name in _REGISTRY and not overwrite:
+            raise ConfigurationError(
+                f"scenario {name!r} is already registered; pass "
+                f"overwrite=True to replace it"
+            )
+        _REGISTRY[name] = ScenarioSpec(
+            name=name,
+            builder=fn,
+            defaults=dict(defaults or {}),
+            description=description or (inspect.getdoc(fn) or "").split("\n")[0],
+            tags=tuple(tags),
+        )
+        return fn
+
+    if builder is not None:
+        _register(builder)
+        return _REGISTRY[name]
+    return _register
+
+
+def unregister_scenario(name: str) -> None:
+    """Remove a scenario (mainly for tests tearing down fakes)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    """Look up a scenario family; unknown names list what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown scenario {name!r}; available scenarios: "
+            f"{', '.join(available_scenarios()) or '(none)'}"
+        ) from None
+
+
+def available_scenarios(tag: str | None = None) -> list[str]:
+    """Sorted names of registered scenarios, optionally filtered by tag."""
+    if tag is None:
+        return sorted(_REGISTRY)
+    return sorted(n for n, s in _REGISTRY.items() if tag in s.tags)
+
+
+def scenario(name: str, **overrides: Any) -> Scenario:
+    """The front-door constructor: a bound scenario ready to build/solve."""
+    return get_scenario(name).bind(**overrides)

@@ -1,0 +1,172 @@
+"""Builtin scenario library.
+
+Collects the problem-construction recipes that were previously scattered
+across ``repro.api``, the examples and the benchmarks into named,
+registry-discoverable specs: the quarter-five-spot pattern, the
+heterogeneous geomodels of the CCS motivation, the transient-injection
+formation, and the weak-scaling grid family of Table III.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mesh.geomodel import (
+    channelized_permeability,
+    layered_permeability,
+    lognormal_permeability,
+)
+from repro.mesh.grid import CartesianGrid3D
+from repro.mesh.wells import quarter_five_spot
+from repro.physics.darcy import SinglePhaseProblem, build_problem
+from repro.scenarios.base import Scenario, register_scenario, scenario
+
+
+def _five_spot_problem(
+    grid: CartesianGrid3D,
+    permeability: np.ndarray,
+    *,
+    viscosity: float = 1.0,
+    injection_pressure: float = 1.0,
+    production_pressure: float = 0.0,
+) -> SinglePhaseProblem:
+    _, dirichlet = quarter_five_spot(
+        grid,
+        injection_pressure=injection_pressure,
+        production_pressure=production_pressure,
+    )
+    return build_problem(grid, permeability, dirichlet, viscosity=viscosity)
+
+
+@register_scenario(
+    "quarter_five_spot",
+    description="Fig. 5: injector at (0,0), producer at (nx-1,ny-1), "
+    "homogeneous (or caller-supplied) permeability.",
+    tags=("paper", "steady"),
+)
+def build_quarter_five_spot(
+    nx: int = 16,
+    ny: int = 16,
+    nz: int = 8,
+    permeability: "np.ndarray | float" = 100.0,
+    viscosity: float = 1.0,
+    injection_pressure: float = 1.0,
+    production_pressure: float = 0.0,
+) -> SinglePhaseProblem:
+    from repro.api import quarter_five_spot_problem
+
+    return quarter_five_spot_problem(
+        nx,
+        ny,
+        nz,
+        permeability=permeability,
+        viscosity=viscosity,
+        injection_pressure=injection_pressure,
+        production_pressure=production_pressure,
+    )
+
+
+@register_scenario(
+    "layered_reservoir",
+    description="Stacked strata with log-uniform layer contrasts "
+    "(quarter-five-spot wells).",
+    tags=("geomodel", "steady"),
+)
+def build_layered_reservoir(
+    nx: int = 12,
+    ny: int = 12,
+    nz: int = 6,
+    num_layers: int = 4,
+    low: float = 1.0,
+    high: float = 1000.0,
+    seed: int = 1,
+    viscosity: float = 1.0,
+) -> SinglePhaseProblem:
+    grid = CartesianGrid3D(nx, ny, nz)
+    perm = layered_permeability(grid, num_layers=num_layers, low=low, high=high, seed=seed)
+    return _five_spot_problem(grid, perm, viscosity=viscosity)
+
+
+@register_scenario(
+    "lognormal_reservoir",
+    description="Spatially-correlated lognormal permeability "
+    "(quarter-five-spot wells).",
+    tags=("geomodel", "steady"),
+)
+def build_lognormal_reservoir(
+    nx: int = 12,
+    ny: int = 12,
+    nz: int = 6,
+    sigma_log: float = 1.5,
+    correlation_cells: float = 4.0,
+    seed: int = 2,
+    viscosity: float = 1.0,
+) -> SinglePhaseProblem:
+    grid = CartesianGrid3D(nx, ny, nz)
+    perm = lognormal_permeability(
+        grid, sigma_log=sigma_log, correlation_cells=correlation_cells, seed=seed
+    )
+    return _five_spot_problem(grid, perm, viscosity=viscosity)
+
+
+@register_scenario(
+    "channelized_reservoir",
+    description="Sinuous high-permeability channels in a tight background "
+    "(quarter-five-spot wells).",
+    tags=("geomodel", "steady"),
+)
+def build_channelized_reservoir(
+    nx: int = 12,
+    ny: int = 12,
+    nz: int = 6,
+    channel: float = 500.0,
+    background: float = 1.0,
+    num_channels: int = 3,
+    seed: int = 3,
+    viscosity: float = 1.0,
+) -> SinglePhaseProblem:
+    grid = CartesianGrid3D(nx, ny, nz)
+    perm = channelized_permeability(
+        grid,
+        channel=channel,
+        background=background,
+        num_channels=num_channels,
+        seed=seed,
+    )
+    return _five_spot_problem(grid, perm, viscosity=viscosity)
+
+
+@register_scenario(
+    "transient_injection",
+    description="Heterogeneous formation used by the transient "
+    "CO2-injection example (steady problem; time-step it with "
+    "repro.physics.transient.simulate_transient).",
+    tags=("transient",),
+)
+def build_transient_injection(
+    nx: int = 20,
+    ny: int = 20,
+    nz: int = 4,
+    sigma_log: float = 1.0,
+    seed: int = 7,
+) -> SinglePhaseProblem:
+    grid = CartesianGrid3D(nx, ny, nz)
+    perm = lognormal_permeability(grid, sigma_log=sigma_log, seed=seed)
+    return _five_spot_problem(grid, perm)
+
+
+@register_scenario(
+    "weak_scaling",
+    description="One rung of the Table III weak-scaling family: a "
+    "lateral×lateral×nz quarter-five-spot grid.",
+    tags=("paper", "scaling"),
+)
+def build_weak_scaling(lateral: int = 6, nz: int = 6) -> SinglePhaseProblem:
+    return build_quarter_five_spot(nx=lateral, ny=lateral, nz=nz)
+
+
+def weak_scaling_family(
+    laterals: "list[int] | tuple[int, ...]" = (3, 4, 6, 8, 10), nz: int = 6
+) -> list[Scenario]:
+    """The simulator-scale weak-scaling sweep as a list of scenarios."""
+    return [scenario("weak_scaling", lateral=int(n), nz=nz) for n in laterals]

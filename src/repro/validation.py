@@ -15,9 +15,8 @@ import numpy as np
 
 from repro.fv.assembly import assemble_jacobian
 from repro.physics.darcy import SinglePhaseProblem
-from repro.physics.simulation import solve_pressure
 from repro.solvers.baseline import dense_direct_solve
-from repro.util.errors import ValidationError
+from repro.util.errors import ConfigurationError, ValidationError
 from repro.wse.specs import WSE2, WseSpecs
 
 
@@ -100,34 +99,31 @@ def _run_backend(
     spec: WseSpecs | None,
     dtype,
 ) -> BackendResult:
-    if name == "reference":
-        rep = solve_pressure(problem, max_iters=max_iters, dtype=dtype)
-        return BackendResult(
-            "reference", rep.pressure, rep.total_linear_iterations, True
-        )
     if name == "direct":
+        # Assembled-matrix dense LU: the only path outside the registry
+        # (it is a validation yardstick, not a solver backend).
         J = assemble_jacobian(problem.coefficients, problem.dirichlet)
         b = np.zeros(problem.grid.num_cells)
         mask_flat = problem.dirichlet.mask.reshape(-1)
         b[mask_flat] = problem.dirichlet.values.reshape(-1)[mask_flat]
         x = dense_direct_solve(J, b).reshape(problem.grid.shape)
         return BackendResult("direct", x, 0, True)
-    if name == "wse":
-        from repro.core.solver import WseMatrixFreeSolver
 
-        wse_spec = spec or WSE2.with_fabric(
+    from repro.backends import get_backend
+
+    try:
+        backend = get_backend(name)
+    except ConfigurationError as exc:
+        raise ValidationError(str(exc)) from None
+    options: dict = dict(rel_tol=rel_tol, max_iters=max_iters, dtype=dtype)
+    if name == "reference":
+        # The Newton driver picks a dtype-aware relative tolerance (1e-4 in
+        # fp32); forcing the harness's device-style rel_tol on it would ask
+        # fp32 runs for an unattainable residual.
+        options.pop("rel_tol")
+    if name == "wse":
+        options["spec"] = spec or WSE2.with_fabric(
             max(problem.grid.nx, 1), max(problem.grid.ny, 1)
         )
-        rep = WseMatrixFreeSolver(
-            problem, spec=wse_spec, dtype=dtype, rel_tol=rel_tol,
-            max_iters=max_iters,
-        ).solve()
-        return BackendResult("wse", rep.pressure, rep.iterations, rep.converged)
-    if name == "gpu":
-        from repro.gpu.cg import GpuCGSolver
-
-        rep = GpuCGSolver(
-            problem, dtype=dtype, rel_tol=rel_tol, max_iters=max_iters
-        ).solve()
-        return BackendResult("gpu", rep.pressure, rep.iterations, rep.converged)
-    raise ValidationError(f"unknown backend {name!r}")
+    result = backend.solve(problem, **options)
+    return BackendResult(name, result.pressure, result.iterations, result.converged)

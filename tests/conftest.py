@@ -1,11 +1,15 @@
-"""Shared fixtures and hypothesis strategies for the test suite."""
+"""Shared fixtures for the test suite.
+
+Importable helpers (``make_problem``, hypothesis strategies) live in
+``tests/helpers.py`` — import them with ``from helpers import ...``, not
+from this module (conftest imports are rootdir-dependent).
+"""
 
 from __future__ import annotations
 
 import numpy as np
 import pytest
 from hypothesis import HealthCheck, settings
-from hypothesis import strategies as st
 
 from repro.mesh.boundary import DirichletSet
 from repro.mesh.geomodel import lognormal_permeability
@@ -54,40 +58,3 @@ def homogeneous_problem(small_grid: CartesianGrid3D) -> SinglePhaseProblem:
     return build_problem(small_grid, 100.0, dirichlet)
 
 
-def make_problem(
-    nx: int = 5,
-    ny: int = 4,
-    nz: int = 3,
-    *,
-    seed: int = 0,
-    heterogeneous: bool = True,
-) -> SinglePhaseProblem:
-    """Helper used by non-fixture tests (hypothesis bodies can't take fixtures)."""
-    grid = CartesianGrid3D(nx, ny, nz)
-    if heterogeneous:
-        perm = lognormal_permeability(grid, seed=seed, sigma_log=0.7)
-    else:
-        perm = np.full(grid.shape, 10.0, dtype=np.float32)
-    _, dirichlet = quarter_five_spot(grid)
-    return build_problem(grid, perm, dirichlet)
-
-
-# -- hypothesis strategies ---------------------------------------------------
-
-grid_dims = st.tuples(
-    st.integers(min_value=1, max_value=6),
-    st.integers(min_value=1, max_value=6),
-    st.integers(min_value=1, max_value=6),
-)
-
-#: Grids with at least 2 cells along X and Y (so quarter-five-spot wells are
-#: distinct cells).
-solvable_grid_dims = st.tuples(
-    st.integers(min_value=2, max_value=6),
-    st.integers(min_value=2, max_value=6),
-    st.integers(min_value=1, max_value=5),
-)
-
-positive_spacing = st.floats(
-    min_value=0.1, max_value=10.0, allow_nan=False, allow_infinity=False
-)

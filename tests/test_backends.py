@@ -1,0 +1,207 @@
+"""Tests for the unified backend registry and the `repro.solve` front door.
+
+Covers the ISSUE-1 acceptance criteria: all three builtin backends return
+canonical `SolveResult`s whose pressure fields agree on a small
+quarter-five-spot; registry errors are self-diagnosing; the deprecated
+`repro.api.solve_*` shims warn and stay numerically equivalent to the new
+path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from helpers import make_problem
+from repro import api
+from repro.backends import (
+    SolveResult,
+    available_backends,
+    get_backend,
+    register_backend,
+    unregister_backend,
+)
+from repro.util.errors import ConfigurationError
+
+#: Options that drive every backend to a tight float64 solve.
+TIGHT = dict(dtype=np.float64, rel_tol=1e-9, max_iters=2000)
+
+
+@pytest.fixture(scope="module")
+def parity_problem():
+    return repro.scenario("quarter_five_spot", nx=6, ny=5, nz=3).build()
+
+
+@pytest.fixture(scope="module")
+def parity_results(parity_problem):
+    return {
+        name: repro.solve(parity_problem, backend=name, **TIGHT)
+        for name in ("reference", "wse", "gpu")
+    }
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert available_backends() == ["gpu", "reference", "wse"]
+
+    def test_unknown_backend_lists_available(self):
+        with pytest.raises(ConfigurationError) as err:
+            get_backend("abacus")
+        message = str(err.value)
+        assert "abacus" in message
+        for name in ("gpu", "reference", "wse"):
+            assert name in message
+
+    def test_duplicate_registration_raises(self):
+        class Fake:
+            name = "reference"
+
+            def solve(self, problem, **options):
+                raise NotImplementedError
+
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_backend(Fake())
+        # overwrite=True is the explicit escape hatch; restore after.
+        original = get_backend("reference")
+        try:
+            register_backend(Fake(), overwrite=True)
+            assert isinstance(get_backend("reference"), Fake)
+        finally:
+            register_backend(original, overwrite=True)
+
+    def test_register_requires_name_and_solve(self):
+        class NoName:
+            def solve(self, problem, **options):
+                return None
+
+        class NoSolve:
+            name = "no-solve"
+
+        with pytest.raises(ConfigurationError, match="name"):
+            register_backend(NoName())
+        with pytest.raises(ConfigurationError, match="solve"):
+            register_backend(NoSolve())
+
+    def test_custom_backend_round_trip(self, parity_problem):
+        class Echo:
+            name = "echo"
+
+            def solve(self, problem, **options):
+                return SolveResult(
+                    pressure=problem.initial_pressure(dtype=np.float64),
+                    iterations=0,
+                    converged=True,
+                    backend=self.name,
+                )
+
+        try:
+            register_backend(Echo())
+            result = repro.solve(parity_problem, backend="echo")
+            assert result.backend == "echo"
+            assert result.iterations == 0
+        finally:
+            unregister_backend("echo")
+
+
+class TestCrossBackendParity:
+    def test_all_return_solve_result(self, parity_results):
+        for name, result in parity_results.items():
+            assert isinstance(result, SolveResult)
+            assert result.backend == name
+            assert result.converged
+            assert result.iterations > 0
+            assert result.residual_history, name
+            assert result.pressure.shape == (6, 5, 3)
+
+    def test_pressures_agree(self, parity_results):
+        ref = parity_results["reference"].pressure
+        for name in ("wse", "gpu"):
+            np.testing.assert_allclose(
+                parity_results[name].pressure, ref, atol=1e-6,
+                err_msg=f"{name} disagrees with reference",
+            )
+
+    def test_telemetry_is_backend_specific(self, parity_results):
+        assert "newton_iterations" in parity_results["reference"].telemetry
+        assert "trace" in parity_results["wse"].telemetry
+        assert "memory" in parity_results["wse"].telemetry
+        assert "counters" in parity_results["gpu"].telemetry
+        kinds = {r.telemetry["time_kind"] for r in parity_results.values()}
+        assert kinds == {"wall_clock", "simulated_device", "modeled_kernel"}
+
+
+class TestFrontDoor:
+    def test_solve_accepts_scenario_name(self):
+        result = repro.solve("quarter_five_spot", backend="reference")
+        assert isinstance(result, SolveResult)
+        assert result.pressure.shape == (16, 16, 8)
+
+    def test_solve_rejects_junk_target(self):
+        with pytest.raises(ConfigurationError, match="cannot solve"):
+            repro.solve(42)
+
+    def test_solve_many_preserves_order(self):
+        scenarios = [
+            repro.scenario("quarter_five_spot", nx=n, ny=n, nz=2)
+            for n in (3, 4, 5)
+        ]
+        results = repro.solve_many(scenarios, backend="reference", n_workers=3)
+        assert [r.pressure.shape[0] for r in results] == [3, 4, 5]
+
+    def test_solve_many_serial_matches_threaded(self):
+        scenarios = [repro.scenario("quarter_five_spot", nx=4, ny=4, nz=2)] * 2
+        serial = repro.solve_many(scenarios, n_workers=1)
+        threaded = repro.solve_many(scenarios, n_workers=2)
+        np.testing.assert_array_equal(serial[0].pressure, threaded[1].pressure)
+
+    def test_solve_many_empty(self):
+        assert repro.solve_many([]) == []
+
+    def test_solve_many_rejects_bad_workers(self):
+        with pytest.raises(ConfigurationError, match="n_workers"):
+            repro.solve_many(["quarter_five_spot"], n_workers=0)
+
+
+class TestDeprecatedShims:
+    def test_solve_reference_warns_and_matches(self):
+        problem = make_problem(5, 4, 3, seed=11)
+        with pytest.warns(DeprecationWarning, match="solve_reference"):
+            legacy = api.solve_reference(problem)
+        new = repro.solve(problem, backend="reference")
+        np.testing.assert_allclose(legacy.pressure, new.pressure, atol=1e-12)
+        assert legacy.total_linear_iterations == new.iterations
+
+    def test_solve_on_wse_warns_and_matches(self):
+        problem = make_problem(4, 4, 2, seed=12)
+        options = dict(dtype=np.float64, rel_tol=1e-9, max_iters=1000)
+        with pytest.warns(DeprecationWarning, match="solve_on_wse"):
+            legacy = api.solve_on_wse(problem, **options)
+        new = repro.solve(problem, backend="wse", **options)
+        np.testing.assert_allclose(legacy.pressure, new.pressure, atol=1e-12)
+        assert legacy.iterations == new.iterations
+        assert legacy.converged and new.converged
+
+    def test_solve_on_gpu_model_warns_and_matches(self):
+        problem = make_problem(4, 4, 2, seed=13)
+        options = dict(dtype=np.float64, rel_tol=1e-9)
+        with pytest.warns(DeprecationWarning, match="solve_on_gpu_model"):
+            legacy = api.solve_on_gpu_model(problem, **options)
+        new = repro.solve(problem, backend="gpu", **options)
+        np.testing.assert_allclose(legacy.pressure, new.pressure, atol=1e-12)
+        assert legacy.iterations == new.iterations
+
+
+class TestSolveResult:
+    def test_final_rtr(self):
+        result = SolveResult(
+            pressure=np.zeros((2, 2, 2)), iterations=1, converged=True,
+            residual_history=[1.0, 0.25],
+        )
+        assert result.final_rtr == 0.25
+        empty = SolveResult(pressure=np.zeros(1), iterations=0, converged=False)
+        assert np.isnan(empty.final_rtr)
+
+    def test_summary_mentions_backend(self, parity_results):
+        text = parity_results["wse"].summary()
+        assert "[wse]" in text and "converged=True" in text

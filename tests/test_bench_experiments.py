@@ -24,6 +24,7 @@ from repro.bench.experiments import (
     table5_rows,
     table5_simulator_rows,
 )
+from repro.util.errors import ConfigurationError
 
 
 class TestTable2:
@@ -112,7 +113,7 @@ class TestFig5:
         np.testing.assert_allclose(ref, gpu, atol=1e-5)
 
     def test_unknown_backend(self):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigurationError, match="available backends"):
             fig5_field(4, 4, 2, backend="abacus")
 
 

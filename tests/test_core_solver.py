@@ -8,7 +8,8 @@ permeability field, precision and kernel variant.
 import numpy as np
 import pytest
 
-from conftest import make_problem
+from helpers import make_problem
+import repro
 from repro import api
 from repro.core.fv_kernel import (
     DirichletKind,
@@ -41,7 +42,7 @@ class TestSolverMatchesReference:
     @pytest.mark.parametrize("shape", [(4, 4, 3), (5, 3, 2), (2, 6, 4), (3, 3, 1)])
     def test_heterogeneous_problems(self, shape):
         problem = make_problem(*shape, seed=shape[0])
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = wse_solve(problem)
         assert report.converged
         # The reference solve stops at newton_rtol=1e-6 (relative norm),
@@ -50,14 +51,14 @@ class TestSolverMatchesReference:
 
     def test_fp32_paper_precision(self):
         problem = make_problem(5, 4, 3, seed=1)
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = wse_solve(problem, dtype=np.float32, rel_tol=1e-6)
         assert report.converged
         np.testing.assert_allclose(report.pressure, ref.pressure, atol=5e-5)
 
     def test_fused_mobility_variant(self):
         problem = make_problem(4, 4, 3, seed=2)
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = wse_solve(problem, variant="fused_mobility")
         assert report.converged
         np.testing.assert_allclose(report.pressure, ref.pressure, atol=5e-8)
@@ -82,7 +83,7 @@ class TestSolverMatchesReference:
             channelized_permeability(grid, seed=5, channel=100.0),
         ):
             problem = api.quarter_five_spot_problem(6, 5, 4, permeability=perm)
-            ref = api.solve_reference(problem)
+            ref = repro.solve(problem)
             report = wse_solve(problem)
             assert report.converged
             # High-contrast fields are worse conditioned; agreement is

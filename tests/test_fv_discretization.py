@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from conftest import grid_dims
+from helpers import grid_dims
 from repro.fv.coefficients import (
     build_flux_coefficients,
     coefficients_from_faces,

@@ -12,7 +12,7 @@ import scipy.sparse as sp
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from conftest import make_problem, solvable_grid_dims
+from helpers import make_problem, solvable_grid_dims
 from repro.fv.assembly import (
     assemble_jacobian,
     assembled_matrix_bytes,

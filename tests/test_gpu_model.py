@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from conftest import make_problem
-from repro import api
+from helpers import make_problem
+import repro
 from repro.fv.operator import apply_jx
 from repro.gpu.cg import GpuCGSolver
 from repro.gpu.kernels import (
@@ -141,14 +141,14 @@ class TestGpuKernels:
 class TestGpuCG:
     def test_matches_reference_solution(self):
         problem = make_problem(10, 8, 6, seed=4)
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = GpuCGSolver(problem, dtype=np.float64, rel_tol=1e-10).solve()
         assert report.converged
         np.testing.assert_allclose(report.pressure, ref.pressure, atol=2e-6)
 
     def test_fp32_mode(self):
         problem = make_problem(8, 8, 4, seed=5)
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = GpuCGSolver(problem, dtype=np.float32, rel_tol=1e-6).solve()
         assert report.converged
         np.testing.assert_allclose(report.pressure, ref.pressure, atol=5e-4)

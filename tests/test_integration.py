@@ -12,7 +12,7 @@ import sys
 import numpy as np
 import pytest
 
-from conftest import make_problem
+from helpers import make_problem
 from repro import api
 from repro.core.exchange import ExchangeColors, HaloExchange
 from repro.core.solver import WseMatrixFreeSolver

@@ -3,8 +3,8 @@
 import numpy as np
 import pytest
 
-from conftest import make_problem
-from repro import api
+from helpers import make_problem
+import repro
 from repro.io import load_problem, load_solution, save_problem, save_solution
 from repro.util.errors import ValidationError
 
@@ -29,8 +29,8 @@ class TestProblemRoundtrip:
         path = tmp_path / "p.npz"
         save_problem(path, problem)
         loaded = load_problem(path)
-        a = api.solve_reference(problem)
-        b = api.solve_reference(loaded)
+        a = repro.solve(problem)
+        b = repro.solve(loaded)
         np.testing.assert_array_equal(a.pressure, b.pressure)
 
     def test_anisotropic_spacing_preserved(self, tmp_path):
@@ -49,19 +49,19 @@ class TestProblemRoundtrip:
 class TestSolutionRoundtrip:
     def test_roundtrip(self, tmp_path):
         problem = make_problem(4, 4, 2, seed=15)
-        report = api.solve_reference(problem)
+        report = repro.solve(problem)
         path = tmp_path / "solution.npz"
         save_solution(
             path,
             report.pressure,
-            iterations=report.total_linear_iterations,
+            iterations=report.iterations,
             converged=True,
             residual_history=[1.0, 0.1, 0.001],
             extra={"backend": "reference"},
         )
         loaded = load_solution(path)
         np.testing.assert_array_equal(loaded["pressure"], report.pressure)
-        assert loaded["iterations"] == report.total_linear_iterations
+        assert loaded["iterations"] == report.iterations
         assert loaded["converged"] is True
         assert loaded["residual_history"] == [1.0, 0.1, 0.001]
         assert loaded["backend"] == "reference"

@@ -3,7 +3,8 @@
 import numpy as np
 import pytest
 
-from conftest import make_problem
+from helpers import make_problem
+import repro
 from repro import api
 from repro.core.solver import WseMatrixFreeSolver
 from repro.mesh.geomodel import lognormal_permeability
@@ -23,7 +24,7 @@ def _hard_problem():
 class TestJacobiDataflow:
     def test_same_solution_as_plain(self):
         problem = make_problem(5, 4, 3, seed=9)
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = WseMatrixFreeSolver(
             problem, spec=SPEC, dtype=np.float64, rel_tol=1e-9,
             max_iters=3000, jacobi=True,
@@ -88,7 +89,7 @@ class TestJacobiDataflow:
 
     def test_fp32_jacobi(self):
         problem = _hard_problem()
-        ref = api.solve_reference(problem)
+        ref = repro.solve(problem)
         report = WseMatrixFreeSolver(
             problem, spec=SPEC, dtype=np.float32, rel_tol=1e-5,
             max_iters=5000, jacobi=True,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from conftest import grid_dims
+from helpers import grid_dims
 from repro.mesh.grid import (
     CartesianGrid3D,
     Direction,

@@ -5,7 +5,8 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from conftest import make_problem, solvable_grid_dims
+from helpers import make_problem, solvable_grid_dims
+import repro
 from repro import api
 from repro.mesh.boundary import DirichletSet
 from repro.mesh.geomodel import lognormal_permeability
@@ -152,7 +153,7 @@ class TestApi:
 
     def test_quickstart_docstring_flow(self):
         problem = api.quarter_five_spot_problem(nx=12, ny=12, nz=4)
-        report = api.solve_reference(problem)
+        report = repro.solve(problem)
         assert report.pressure.shape == (12, 12, 4)
 
     def test_custom_permeability_array(self):
@@ -165,6 +166,6 @@ class TestApi:
         p = api.quarter_five_spot_problem(
             6, 6, 2, injection_pressure=10.0, production_pressure=2.0
         )
-        report = api.solve_reference(p)
+        report = repro.solve(p)
         assert report.pressure.max() == pytest.approx(10.0, abs=1e-4)
         assert report.pressure.min() == pytest.approx(2.0, abs=1e-4)

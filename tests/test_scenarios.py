@@ -1,0 +1,122 @@
+"""Tests for the declarative scenario registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro.physics.darcy import SinglePhaseProblem
+from repro.scenarios import (
+    Scenario,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+    scenario,
+    unregister_scenario,
+    weak_scaling_family,
+)
+from repro.util.errors import ConfigurationError
+
+BUILTINS = [
+    "channelized_reservoir",
+    "layered_reservoir",
+    "lognormal_reservoir",
+    "quarter_five_spot",
+    "transient_injection",
+    "weak_scaling",
+]
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        for name in BUILTINS:
+            assert name in available_scenarios()
+
+    def test_unknown_scenario_lists_available(self):
+        with pytest.raises(ConfigurationError) as err:
+            scenario("atlantis")
+        assert "atlantis" in str(err.value)
+        assert "quarter_five_spot" in str(err.value)
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(ConfigurationError, match="already registered"):
+
+            @register_scenario("quarter_five_spot")
+            def clash():  # pragma: no cover - never registered
+                raise NotImplementedError
+
+    def test_register_and_unregister(self):
+        @register_scenario("test-tiny", description="one-cell sanity case")
+        def build_tiny(nx: int = 2, ny: int = 2, nz: int = 1) -> SinglePhaseProblem:
+            return get_scenario("quarter_five_spot").builder(nx=nx, ny=ny, nz=nz)
+
+        try:
+            sc = scenario("test-tiny", nz=2)
+            assert sc.build().grid.nz == 2
+            assert get_scenario("test-tiny").description == "one-cell sanity case"
+        finally:
+            unregister_scenario("test-tiny")
+        assert "test-tiny" not in available_scenarios()
+
+    def test_tag_filter(self):
+        assert "lognormal_reservoir" in available_scenarios(tag="geomodel")
+        assert "quarter_five_spot" not in available_scenarios(tag="geomodel")
+
+
+class TestScenarioValues:
+    def test_build_returns_problem(self):
+        problem = scenario("quarter_five_spot", nx=5, ny=4, nz=3).build()
+        assert isinstance(problem, SinglePhaseProblem)
+        assert problem.grid.shape == (5, 4, 3)
+
+    def test_unknown_parameter_rejected(self):
+        with pytest.raises(ConfigurationError, match="does not accept"):
+            scenario("quarter_five_spot", warp_factor=9)
+
+    def test_with_params(self):
+        base = scenario("quarter_five_spot", nx=4, ny=4, nz=2)
+        deeper = base.with_params(nz=5)
+        assert base.params["nz"] == 2  # original untouched
+        assert deeper.build().grid.nz == 5
+
+    def test_label_is_stable(self):
+        sc = scenario("weak_scaling", lateral=4, nz=2)
+        assert sc.label() == "weak_scaling(lateral=4, nz=2)"
+
+    def test_scenario_solve_shorthand(self):
+        result = scenario("quarter_five_spot", nx=4, ny=4, nz=2).solve(
+            backend="reference"
+        )
+        assert result.converged
+        assert result.backend == "reference"
+
+    def test_spec_parameters_listing(self):
+        params = get_scenario("quarter_five_spot").parameters()
+        assert params["nx"] == 16 and params["permeability"] == 100.0
+
+
+class TestGeomodelScenarios:
+    @pytest.mark.parametrize(
+        "name", ["layered_reservoir", "lognormal_reservoir", "channelized_reservoir"]
+    )
+    def test_heterogeneous_and_solvable(self, name):
+        problem = scenario(name, nx=6, ny=6, nz=3).build()
+        perm = problem.permeability
+        assert float(perm.max()) > float(perm.min())  # actually heterogeneous
+        result = repro.solve(problem, backend="reference")
+        assert result.converged
+
+    def test_seeded_builds_are_deterministic(self):
+        a = scenario("lognormal_reservoir", nx=5, ny=5, nz=2).build()
+        b = scenario("lognormal_reservoir", nx=5, ny=5, nz=2).build()
+        np.testing.assert_array_equal(a.permeability, b.permeability)
+
+
+class TestWeakScalingFamily:
+    def test_family_shape(self):
+        family = weak_scaling_family(laterals=(3, 5), nz=4)
+        assert [sc.params["lateral"] for sc in family] == [3, 5]
+        assert all(isinstance(sc, Scenario) for sc in family)
+        grids = [sc.build().grid for sc in family]
+        assert [(g.nx, g.ny, g.nz) for g in grids] == [(3, 3, 4), (5, 5, 4)]

@@ -10,7 +10,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from conftest import make_problem, solvable_grid_dims
+from helpers import make_problem, solvable_grid_dims
 from repro.fv.assembly import assemble_jacobian
 from repro.fv.operator import MatrixFreeOperator
 from repro.solvers.baseline import dense_direct_solve, scipy_cg_baseline

@@ -4,7 +4,8 @@ extension)."""
 import numpy as np
 import pytest
 
-from conftest import make_problem
+from helpers import make_problem
+import repro
 from repro import api
 from repro.physics.transient import (
     TransientOperator,
@@ -74,7 +75,7 @@ class TestTimeStepping:
 
     def test_large_dt_recovers_steady_state(self):
         problem = api.quarter_five_spot_problem(6, 5, 3)
-        steady = api.solve_reference(problem).pressure
+        steady = repro.solve(problem).pressure
         report = simulate_transient(problem, num_steps=20, dt=1e9)
         np.testing.assert_allclose(report.final_pressure, steady, atol=1e-6)
 

@@ -4,7 +4,7 @@ alternating broadcast protocol."""
 import numpy as np
 import pytest
 
-from conftest import make_problem
+from helpers import make_problem
 from repro.core.fig4_broadcast import Fig4EastwardBroadcast
 from repro.util.errors import ConfigurationError, ValidationError
 from repro.validation import validate_backends
