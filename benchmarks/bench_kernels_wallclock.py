@@ -70,13 +70,12 @@ def test_bench_reference_cg(benchmark, medium_problem):
 
 def test_bench_wse_simulator_solve(benchmark):
     problem = repro.scenario("quarter_five_spot", nx=6, ny=6, nz=6).build()
-    spec = WSE2.with_fabric(32, 32)
+    spec = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32, fixed_iterations=5,
+    )
 
     def _solve():
-        return repro.solve(
-            problem, backend="wse", spec=spec, dtype=np.float32,
-            fixed_iterations=5,
-        )
+        return repro.solve(problem, backend="wse", spec=spec)
 
     report = benchmark(_solve)
     assert report.iterations == 5
@@ -85,10 +84,10 @@ def test_bench_wse_simulator_solve(benchmark):
 def test_bench_gpu_model_solve(benchmark):
     problem = repro.scenario("quarter_five_spot", nx=24, ny=24, nz=12).build()
 
+    spec = repro.SolveSpec.from_kwargs(dtype=np.float32, fixed_iterations=10)
+
     def _solve():
-        return repro.solve(
-            problem, backend="gpu", dtype=np.float32, fixed_iterations=10
-        )
+        return repro.solve(problem, backend="gpu", spec=spec)
 
     report = benchmark(_solve)
     assert report.iterations == 10

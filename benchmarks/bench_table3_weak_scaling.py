@@ -45,15 +45,16 @@ def test_table3_paper_scale(benchmark):
 
 
 def _simulate_scaling():
-    """Small-fabric weak scaling on the event-driven simulator."""
-    spec = WSE2.with_fabric(32, 32)
+    """Small-fabric weak scaling on the event-driven simulator, run
+    through a Session plan (serial executor keeps timings comparable)."""
     nz, iters = 6, 4
     laterals = (3, 5, 8)
     family = weak_scaling_family(laterals=laterals, nz=nz)
-    reports = repro.solve_many(
-        family, backend="wse", n_workers=1,
-        spec=spec, dtype=np.float32, fixed_iterations=iters,
+    spec = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32, fixed_iterations=iters,
     )
+    plan = repro.Session().plan(family, spec, backend="wse")
+    reports = [er.result for er in plan.run(executor="serial")]
     results = []
     for lateral, report in zip(laterals, reports):
         per_pe_compute = (

@@ -50,14 +50,15 @@ def test_table4_simulator_methodology(benchmark):
 
 
 def _comm_share(nz: int) -> float:
-    spec = WSE2.with_fabric(32, 32)
-    problem = repro.scenario("quarter_five_spot", nx=5, ny=5, nz=nz).build()
-    full = repro.solve(
-        problem, backend="wse", spec=spec, dtype=np.float32, fixed_iterations=5
+    sc = repro.scenario("quarter_five_spot", nx=5, ny=5, nz=nz)
+    full_spec = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32, fixed_iterations=5
     )
-    comm = repro.solve(
-        problem, backend="wse", spec=spec, comm_only=True, fixed_iterations=5
+    plan = repro.Session().plan(
+        [(sc, full_spec), (sc, full_spec.with_options(comm_only=True))],
+        backend="wse",
     )
+    full, comm = (er.result for er in plan.run(executor="serial"))
     return (
         comm.telemetry["trace"].makespan_cycles
         / full.telemetry["trace"].makespan_cycles

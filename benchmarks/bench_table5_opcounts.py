@@ -58,10 +58,12 @@ def test_table5_simulator_mix(benchmark):
 
 
 def _measured_counts():
-    spec = WSE2.with_fabric(32, 32)
     result = repro.solve(
         repro.scenario("quarter_five_spot", nx=4, ny=4, nz=8),
-        backend="wse", spec=spec, dtype=np.float32, fixed_iterations=3,
+        backend="wse",
+        spec=repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(32, 32), dtype=np.float32, fixed_iterations=3,
+        ),
     )
     return result.telemetry["counters"]
 

@@ -1,0 +1,129 @@
+"""Run the Table III/IV/V simulator benchmarks through one Session.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py [--smoke] [--out PATH]
+
+Builds a single :class:`repro.Session` plan covering the simulator-scale
+workloads behind the paper's weak-scaling (Table III), time-distribution
+(Table IV) and instruction-count (Table V) studies plus a reference-
+backend baseline, executes it with per-entry error capture, and writes a
+machine-readable ``BENCH_session.json`` at the repo root — the perf
+baseline future PRs diff against.
+
+``--smoke`` shrinks every grid/iteration count for CI; the JSON schema is
+identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.scenarios import weak_scaling_family  # noqa: E402
+from repro.wse.specs import WSE2  # noqa: E402
+
+
+def build_targets(smoke: bool) -> list[tuple]:
+    """(table, target, spec, backend) rows for the session plan."""
+    fabric = WSE2.with_fabric(32, 32)
+    if smoke:
+        laterals, nz, iters = (3, 4), 3, 2
+        t4_grid, t4_iters = dict(nx=4, ny=4, nz=4), 3
+        t5_grid, t5_iters = dict(nx=3, ny=3, nz=4), 2
+    else:
+        laterals, nz, iters = (3, 5, 8), 6, 4
+        t4_grid, t4_iters = dict(nx=6, ny=6, nz=8), 8
+        t5_grid, t5_iters = dict(nx=4, ny=4, nz=8), 3
+
+    wse = repro.SolveSpec.from_kwargs(spec=fabric, dtype="float32")
+    rows: list[tuple] = []
+
+    # Table III — weak scaling: growing fabric, fixed column depth.
+    for sc in weak_scaling_family(laterals=laterals, nz=nz):
+        rows.append(("table3", sc, wse.with_options(fixed_iterations=iters), "wse"))
+
+    # Table IV — time distribution: full run vs. comm-only on one scenario
+    # (shared scenario fingerprint -> one assembly).
+    t4 = repro.scenario("quarter_five_spot", **t4_grid)
+    t4_spec = wse.with_options(fixed_iterations=t4_iters)
+    rows.append(("table4_full", t4, t4_spec, "wse"))
+    rows.append(("table4_comm", t4, t4_spec.with_options(comm_only=True), "wse"))
+
+    # Table V — instruction counts: the trace cross-check run.
+    t5 = repro.scenario("quarter_five_spot", **t5_grid)
+    rows.append(("table5", t5, wse.with_options(fixed_iterations=t5_iters), "wse"))
+
+    # Reference baseline for cross-machine context (converged solve).
+    ref_spec = repro.SolveSpec.from_kwargs(dtype="float64", rel_tol=1e-8, max_iters=2000)
+    rows.append(("reference_baseline", t4, ref_spec, "reference"))
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny grids/iteration counts (CI-sized)")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_session.json")
+    parser.add_argument("--executor", default="thread",
+                        choices=("serial", "thread", "process"))
+    parser.add_argument("--n-workers", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    rows = build_targets(args.smoke)
+    plan = repro.Session().plan(
+        [(target, spec, backend) for _, target, spec, backend in rows]
+    )
+    print(f"plan: {len(plan)} entries ({'smoke' if args.smoke else 'full'})")
+    for index, label, backend, fp in plan.describe():
+        print(f"  [{index}] {rows[index][0]:<18} {backend:<9} {label}  ({fp})")
+
+    start = time.perf_counter()
+    results = plan.run(executor=args.executor, n_workers=args.n_workers)
+    wall = time.perf_counter() - start
+
+    records = []
+    failures = 0
+    for (table, _target, _spec, _backend), er in zip(rows, results):
+        record = {
+            "table": table,
+            "scenario": er.entry.label,
+            "backend": er.entry.backend,
+            "fingerprint": er.entry.fingerprint,
+        }
+        if er.ok:
+            record.update(
+                iterations=er.result.iterations,
+                converged=bool(er.result.converged),
+                elapsed_seconds=er.result.elapsed_seconds,
+                time_kind=er.result.telemetry.get("time_kind"),
+                host_seconds=er.elapsed_seconds,
+            )
+        else:
+            failures += 1
+            record["error"] = f"{type(er.error).__name__}: {er.error}"
+        records.append(record)
+
+    payload = {
+        "schema": "repro.bench_session/1",
+        "smoke": args.smoke,
+        "executor": args.executor,
+        "wall_seconds": wall,
+        "results": records,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {args.out} ({len(records)} records, "
+          f"{failures} failures, {wall:.1f}s wall)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

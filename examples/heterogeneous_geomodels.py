@@ -38,8 +38,10 @@ def main() -> None:
         problems[name] = problem
         ref = repro.solve(problem)  # backend="reference"
         wse = repro.solve(
-            problem, backend="wse", spec=spec, dtype=np.float64,
-            rel_tol=1e-8, max_iters=5000,
+            problem, backend="wse",
+            spec=repro.SolveSpec.from_kwargs(
+                spec=spec, dtype=np.float64, rel_tol=1e-8, max_iters=5000,
+            ),
         )
         perm = problem.permeability
         contrast = float(perm.max() / perm.min())

@@ -41,9 +41,8 @@ def main() -> None:
     # 2) The dataflow fabric simulator: one PE per (x, y) column, the
     #    Table-I halo exchange, the whole-fabric all-reduce and the
     #    14-state CG machine.
-    wse = repro.solve(
-        problem, backend="wse", dtype=np.float64, rel_tol=1e-9, max_iters=3000
-    )
+    tight = repro.SolveSpec.from_kwargs(dtype=np.float64, rel_tol=1e-9, max_iters=3000)
+    wse = repro.solve(problem, backend="wse", spec=tight)
     print(
         f"dataflow  : {wse.iterations} CG iterations on a "
         f"{problem.grid.nx}x{problem.grid.ny} PE fabric, "
@@ -57,7 +56,10 @@ def main() -> None:
     )
 
     # 3) The GPU model: 16x8x8 thread blocks, one thread per cell.
-    gpu = repro.solve(problem, backend="gpu", dtype=np.float64, rel_tol=1e-9)
+    gpu = repro.solve(
+        problem, backend="gpu",
+        spec=repro.SolveSpec.from_kwargs(dtype=np.float64, rel_tol=1e-9),
+    )
     print(
         f"gpu model : {gpu.iterations} CG iterations, "
         f"{gpu.telemetry['counters'].kernel_launches} kernel launches, "

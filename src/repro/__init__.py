@@ -8,8 +8,12 @@ Darcy flow, mapped onto a simulated wafer-scale dataflow architecture
 figure of the paper's evaluation (`repro.perf`, `benchmarks/`).
 
 The front door is one signature across every machine: pick a scenario (or
-build a problem), pick a backend, call :func:`solve` and get a canonical
-:class:`SolveResult` back.
+build a problem), pick a backend, describe the configuration with a typed
+:class:`SolveSpec`, call :func:`solve` and get a canonical
+:class:`SolveResult` back.  Batches go through a :class:`Session`: build
+an inspectable :class:`~repro.session.ExecutionPlan`, fan it out over
+threads or processes, and persist/resume results with a
+:class:`~repro.session.ResultStore`.
 
 Quickstart
 ----------
@@ -17,16 +21,18 @@ Quickstart
 >>> result = repro.solve("quarter_five_spot", backend="reference")
 >>> result.pressure.shape
 (16, 16, 8)
->>> repro.available_backends()
-['gpu', 'reference', 'wse']
+>>> spec = repro.SolveSpec.from_kwargs(dtype="float64", rel_tol=1e-9)
+>>> plan = repro.Session().plan(
+...     repro.scenarios.weak_scaling_family(), spec, backend="reference")
+>>> results = plan.run(executor="process", n_workers=4)
 
 See README.md for the architecture overview, the backend/scenario
-registries, and the experiment index.
+registries, specs & sessions, and the experiment index.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-from repro import api, backends, scenarios
+from repro import api, backends, scenarios, spec, session
 from repro.backends import (
     SolveResult,
     SolverBackend,
@@ -36,11 +42,33 @@ from repro.backends import (
 )
 from repro.driver import solve, solve_many
 from repro.scenarios import Scenario, available_scenarios, scenario
+from repro.session import (
+    ExecutionPlan,
+    PlanEntry,
+    PlanEntryResult,
+    ResultStore,
+    Session,
+)
+from repro.spec import (
+    MachineSpec,
+    PrecisionSpec,
+    SolveSpec,
+    ToleranceSpec,
+)
 
 __all__ = [
+    "ExecutionPlan",
+    "MachineSpec",
+    "PlanEntry",
+    "PlanEntryResult",
+    "PrecisionSpec",
+    "ResultStore",
     "Scenario",
+    "Session",
     "SolveResult",
+    "SolveSpec",
     "SolverBackend",
+    "ToleranceSpec",
     "__version__",
     "api",
     "available_backends",
@@ -50,6 +78,8 @@ __all__ = [
     "register_backend",
     "scenario",
     "scenarios",
+    "session",
     "solve",
     "solve_many",
+    "spec",
 ]

@@ -76,15 +76,18 @@ class SolveResult:
 class SolverBackend(Protocol):
     """The contract every registered backend satisfies.
 
-    ``name`` is the registry key; ``solve`` takes a problem plus
-    backend-interpreted keyword options and returns a
-    :class:`SolveResult`.  Backends are stateless: per-solve state lives
+    ``name`` is the registry key; ``solve`` takes a problem plus a typed,
+    validated :class:`~repro.spec.SolveSpec` (``None`` meaning "all
+    defaults") and returns a :class:`SolveResult`.  Backends are strict:
+    a spec field the machine cannot honour raises
+    :class:`~repro.util.errors.ConfigurationError` instead of being
+    silently ignored.  Backends are stateless: per-solve state lives
     inside ``solve``.
     """
 
     name: str
 
     def solve(
-        self, problem: SinglePhaseProblem, **options: Any
+        self, problem: SinglePhaseProblem, spec: Any = None
     ) -> SolveResult:  # pragma: no cover - protocol signature
         ...

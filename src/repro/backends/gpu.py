@@ -7,20 +7,29 @@ from typing import Any
 import numpy as np
 
 from repro.backends.base import SolveResult
+from repro.gpu.specs import GpuSpecs
 from repro.physics.darcy import SinglePhaseProblem
+from repro.spec import SolveSpec, coerce_spec
+from repro.util.errors import ConfigurationError
 
 
 class GpuBackend:
     """Matrix-free CG driven through the device-model kernels.
 
-    Options map onto :class:`repro.gpu.cg.GpuCGSolver` (``specs``,
-    ``timing``, ``block_shape``, ``dtype``, ``tol_rtr``, ``rel_tol``,
-    ``max_iters``, ``fixed_iterations``).  ``elapsed_seconds`` is the
-    calibrated timing model applied to the run's measured DRAM traffic,
-    never Python wall clock.
+    Consumes a :class:`~repro.spec.SolveSpec`: ``machine.spec`` is the
+    :class:`GpuSpecs` target (default: the paper's A100),
+    ``machine.block_shape`` the CUDA thread-block shape, plus tolerances,
+    precision and ``fixed_iterations``.  Dataflow-only knobs
+    (``simd_width``, ``variant``, ``reuse_buffers``, ``comm_only``) and
+    the Jacobi preconditioner (not implemented in the device-model CG)
+    are rejected.  ``elapsed_seconds`` is the calibrated timing model
+    applied to the run's measured DRAM traffic, never Python wall clock.
     """
 
     name = "gpu"
+
+    #: MachineSpec knobs this backend honours.
+    SUPPORTED_MACHINE_FIELDS = {"spec", "block_shape", "fixed_iterations"}
 
     def solve_native(self, problem: SinglePhaseProblem, **options: Any):
         """Run the solve and return the legacy ``GpuSolveReport``."""
@@ -28,8 +37,42 @@ class GpuBackend:
 
         return GpuCGSolver.for_problem(problem, **options).solve()
 
-    def solve(self, problem: SinglePhaseProblem, **options: Any) -> SolveResult:
-        report = self.solve_native(problem, **options)
+    def _native_options(self, spec: SolveSpec) -> dict[str, Any]:
+        spec.require_machine_support(self.name, self.SUPPORTED_MACHINE_FIELDS)
+        machine = spec.machine
+        if machine.spec is not None and not isinstance(machine.spec, GpuSpecs):
+            raise ConfigurationError(
+                f"backend {self.name!r} needs machine.spec to be a GpuSpecs, "
+                f"got {type(machine.spec).__name__}"
+            )
+        if spec.preconditioner != "none":
+            raise ConfigurationError(
+                f"backend {self.name!r} does not support "
+                f"preconditioner={spec.preconditioner!r}; the device-model CG "
+                f"is unpreconditioned (Algorithm 1)"
+            )
+        options: dict[str, Any] = {
+            "dtype": spec.precision.numpy_dtype(default=np.float32),
+        }
+        if machine.spec is not None:
+            options["specs"] = machine.spec
+        if machine.block_shape is not None:
+            from repro.gpu.model import BlockShape
+
+            options["block_shape"] = BlockShape(*machine.block_shape)
+        if machine.fixed_iterations is not None:
+            options["fixed_iterations"] = machine.fixed_iterations
+        if spec.tolerance.tol_rtr is not None:
+            options["tol_rtr"] = spec.tolerance.tol_rtr
+        if spec.tolerance.rel_tol is not None:
+            options["rel_tol"] = spec.tolerance.rel_tol
+        if spec.tolerance.max_iters is not None:
+            options["max_iters"] = spec.tolerance.max_iters
+        return options
+
+    def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
+        spec = coerce_spec(spec)
+        report = self.solve_native(problem, **self._native_options(spec))
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.iterations,
@@ -39,6 +82,7 @@ class GpuBackend:
             backend=self.name,
             telemetry={
                 "time_kind": "modeled_kernel",
+                "preconditioner": spec.preconditioner,
                 "counters": report.counters,
                 "device_bytes": report.device_bytes,
             },

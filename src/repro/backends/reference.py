@@ -11,17 +11,26 @@ from repro.backends.base import SolveResult
 from repro.physics.darcy import SinglePhaseProblem
 from repro.physics.simulation import NewtonReport, newton_solve
 from repro.solvers.cg import PAPER_TOLERANCE_RTR
+from repro.solvers.preconditioning import linear_solver_for
+from repro.spec import SolveSpec, coerce_spec
 
 
 class ReferenceBackend:
     """Float64 NumPy Newton/CG solve — the numerical ground truth.
 
-    Options map onto :func:`repro.physics.simulation.newton_solve`;
-    ``rel_tol`` is accepted as the cross-backend spelling of the relative
-    tolerance and forwarded as ``newton_rtol``.
+    Consumes a :class:`~repro.spec.SolveSpec`: tolerances map onto
+    :func:`repro.physics.simulation.newton_solve` (``rel_tol`` is the
+    cross-backend spelling of the relative tolerance, forwarded as
+    ``newton_rtol``), ``precision.dtype`` defaults to float64, and
+    ``preconditioner="jacobi"`` swaps the inner linear solver for the
+    diagonally scaled CG.  Machine knobs (fabric specs, SIMD widths,
+    block shapes) are rejected — there is no machine here.
     """
 
     name = "reference"
+
+    #: MachineSpec knobs this backend honours: none — it is the host.
+    SUPPORTED_MACHINE_FIELDS: set[str] = set()
 
     def solve_native(
         self, problem: SinglePhaseProblem, **options: Any
@@ -33,7 +42,29 @@ class ReferenceBackend:
             options.setdefault("newton_rtol", float(rel_tol))
         return newton_solve(problem, **options)
 
-    def solve(self, problem: SinglePhaseProblem, **options: Any) -> SolveResult:
+    def _native_options(
+        self, problem: SinglePhaseProblem, spec: SolveSpec
+    ) -> dict[str, Any]:
+        spec.require_machine_support(self.name, self.SUPPORTED_MACHINE_FIELDS)
+        options: dict[str, Any] = {
+            "tol_rtr": (
+                spec.tolerance.tol_rtr
+                if spec.tolerance.tol_rtr is not None
+                else PAPER_TOLERANCE_RTR
+            ),
+            "dtype": spec.precision.numpy_dtype(default=np.float64),
+        }
+        if spec.tolerance.rel_tol is not None:
+            options["newton_rtol"] = spec.tolerance.rel_tol
+        if spec.tolerance.max_iters is not None:
+            options["max_iters"] = spec.tolerance.max_iters
+        if spec.preconditioner != "none":
+            options["linear_solver"] = linear_solver_for(problem, spec.preconditioner)
+        return options
+
+    def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
+        spec = coerce_spec(spec)
+        options = self._native_options(problem, spec)
         start = time.perf_counter()
         report = self.solve_native(problem, **options)
         elapsed = time.perf_counter() - start
@@ -51,6 +82,7 @@ class ReferenceBackend:
             backend=self.name,
             telemetry={
                 "time_kind": "wall_clock",
+                "preconditioner": spec.preconditioner,
                 "newton_iterations": report.newton_iterations,
                 "newton_residual_norms": list(report.residual_norms),
                 "linear_results": list(report.linear_results),

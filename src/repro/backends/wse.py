@@ -12,19 +12,31 @@ import numpy as np
 
 from repro.backends.base import SolveResult
 from repro.physics.darcy import SinglePhaseProblem
+from repro.spec import SolveSpec, coerce_spec
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WseSpecs
 
 
 class WseBackend:
     """Matrix-free CG on the event-driven fabric simulator.
 
-    Options map onto :class:`repro.core.solver.WseMatrixFreeSolver`
-    (``spec``, ``dtype``, ``variant``, ``reuse_buffers``, ``simd_width``,
-    ``tol_rtr``, ``rel_tol``, ``max_iters``, ``comm_only``,
-    ``fixed_iterations``, ``jacobi`` …).  The default :data:`WSE2` spec is
-    the full 750×994 CS-2 fabric, so any simulator-scale grid fits.
+    Consumes a :class:`~repro.spec.SolveSpec`: ``machine.spec`` is the
+    :class:`WseSpecs` target (default :data:`WSE2`, the full 750×994 CS-2
+    fabric, so any simulator-scale grid fits), plus the dataflow design
+    knobs ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ``
+    vs. in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
+    ``comm_only``/``fixed_iterations`` (§V-C's Table IV methodology) and
+    ``preconditioner="jacobi"`` (purely PE-local diagonal scaling).
+    ``block_shape`` belongs to the GPU and is rejected here.
     """
 
     name = "wse"
+
+    #: MachineSpec knobs this backend honours.
+    SUPPORTED_MACHINE_FIELDS = {
+        "spec", "simd_width", "variant", "reuse_buffers", "comm_only",
+        "fixed_iterations",
+    }
 
     def solve_native(self, problem: SinglePhaseProblem, **options: Any):
         """Run the solve and return the legacy ``WseSolveReport``."""
@@ -32,8 +44,41 @@ class WseBackend:
 
         return WseMatrixFreeSolver.for_problem(problem, **options).solve()
 
-    def solve(self, problem: SinglePhaseProblem, **options: Any) -> SolveResult:
-        report = self.solve_native(problem, **options)
+    def _native_options(self, spec: SolveSpec) -> dict[str, Any]:
+        spec.require_machine_support(self.name, self.SUPPORTED_MACHINE_FIELDS)
+        machine = spec.machine
+        if machine.spec is not None and not isinstance(machine.spec, WseSpecs):
+            raise ConfigurationError(
+                f"backend {self.name!r} needs machine.spec to be a WseSpecs, "
+                f"got {type(machine.spec).__name__}"
+            )
+        options: dict[str, Any] = {
+            "dtype": spec.precision.numpy_dtype(default=np.float32),
+            "jacobi": spec.preconditioner == "jacobi",
+        }
+        if machine.spec is not None:
+            options["spec"] = machine.spec
+        if machine.simd_width is not None:
+            options["simd_width"] = machine.simd_width
+        if machine.variant is not None:
+            options["variant"] = machine.variant
+        if machine.reuse_buffers is not None:
+            options["reuse_buffers"] = machine.reuse_buffers
+        if machine.comm_only:
+            options["comm_only"] = True
+        if machine.fixed_iterations is not None:
+            options["fixed_iterations"] = machine.fixed_iterations
+        if spec.tolerance.tol_rtr is not None:
+            options["tol_rtr"] = spec.tolerance.tol_rtr
+        if spec.tolerance.rel_tol is not None:
+            options["rel_tol"] = spec.tolerance.rel_tol
+        if spec.tolerance.max_iters is not None:
+            options["max_iters"] = spec.tolerance.max_iters
+        return options
+
+    def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
+        spec = coerce_spec(spec)
+        report = self.solve_native(problem, **self._native_options(spec))
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.iterations,
@@ -43,6 +88,7 @@ class WseBackend:
             backend=self.name,
             telemetry={
                 "time_kind": "simulated_device",
+                "preconditioner": spec.preconditioner,
                 "trace": report.trace,
                 "counters": report.counters,
                 "memory": report.memory,

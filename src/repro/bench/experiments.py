@@ -16,6 +16,8 @@ import numpy as np
 from repro.driver import solve
 from repro.gpu.timing import GpuTimingModel
 from repro.scenarios import scenario
+from repro.session import Session
+from repro.spec import SolveSpec
 from repro.perf.memmodel import PeMemoryModel
 from repro.perf.opcount import (
     PAPER_TABLE5,
@@ -152,17 +154,18 @@ def table4_rows() -> list[list[Any]]:
 def table4_simulator_rows(nx: int = 6, ny: int = 6, nz: int = 8,
                           iterations: int = 10) -> list[list[Any]]:
     """The same methodology executed on the small-scale simulator: one run
-    with arithmetic suppressed (comm time) vs. the full run."""
-    spec = WSE2.with_fabric(32, 32)
-    problem = scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz).build()
-    full = solve(
-        problem, backend="wse", spec=spec, dtype=np.float32,
+    with arithmetic suppressed (comm time) vs. the full run.
+
+    Both runs share one plan entry target, so the session's memoized
+    assembly builds the problem exactly once."""
+    sc = scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz)
+    full_spec = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32,
         fixed_iterations=iterations,
     )
-    comm = solve(
-        problem, backend="wse", spec=spec, comm_only=True,
-        fixed_iterations=iterations,
-    )
+    comm_spec = full_spec.with_options(comm_only=True)
+    plan = Session().plan([(sc, full_spec), (sc, comm_spec)], backend="wse")
+    full, comm = (er.result for er in plan.run(executor="serial"))
     total = full.telemetry["trace"].makespan_cycles
     movement = comm.telemetry["trace"].makespan_cycles
     return [
@@ -213,15 +216,15 @@ def fig5_field(
     (injector top-left, producer bottom-right), depth-averaged to the 2D
     plane the paper plots."""
     problem = scenario("quarter_five_spot", nx=nx, ny=ny, nz=nz).build()
-    options: dict[str, Any] = {}
+    spec = SolveSpec()
     if backend == "wse":
-        options = dict(
+        spec = SolveSpec.from_kwargs(
             spec=WSE2.with_fabric(max(nx, 1), max(ny, 1)),
             dtype=np.float64, rel_tol=1e-8, max_iters=5000,
         )
     elif backend == "gpu":
-        options = dict(dtype=np.float64, rel_tol=1e-8)
-    result = solve(problem, backend=backend, **options)
+        spec = SolveSpec.from_kwargs(dtype=np.float64, rel_tol=1e-8)
+    result = solve(problem, backend=backend, spec=spec)
     return np.asarray(result.pressure, dtype=np.float64).mean(axis=2).T  # (ny, nx), row 0 at top
 
 
@@ -269,14 +272,16 @@ def _small_problem(nx=5, ny=5, nz=6):
 
 def ablation_simd(iterations: int = 6) -> list[list[Any]]:
     """§III-E.3: DSD vectorization on/off (SIMD width 2 vs 1)."""
-    spec = WSE2.with_fabric(32, 32)
+    base = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32,
+        fixed_iterations=iterations,
+    )
     problem = _small_problem()
     rows = []
     results = {}
     for width in (1, 2):
         report = solve(
-            problem, backend="wse", spec=spec, dtype=np.float32,
-            simd_width=width, fixed_iterations=iterations,
+            problem, backend="wse", spec=base.with_options(simd_width=width)
         )
         results[width] = report
         rows.append(
@@ -293,13 +298,15 @@ def ablation_simd(iterations: int = 6) -> list[list[Any]]:
 
 def ablation_buffer_reuse(iterations: int = 4) -> list[list[Any]]:
     """§III-E.1: memory footprint and max depth with/without reuse."""
-    spec = WSE2.with_fabric(32, 32)
+    base = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32,
+        fixed_iterations=iterations,
+    )
     problem = _small_problem()
     rows = []
     for reuse in (True, False):
         report = solve(
-            problem, backend="wse", spec=spec, dtype=np.float32,
-            reuse_buffers=reuse, fixed_iterations=iterations,
+            problem, backend="wse", spec=base.with_options(reuse_buffers=reuse)
         )
         model = PeMemoryModel(reuse_buffers=reuse)
         rows.append(
@@ -319,16 +326,13 @@ def ablation_comm_overlap(iterations: int = 6) -> list[list[Any]]:
     Measured as full-run makespan vs. the sum of the comm-only makespan
     and the aggregate compute-critical-path cycles.
     """
-    spec = WSE2.with_fabric(32, 32)
+    full_spec = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32,
+        fixed_iterations=iterations,
+    )
     problem = _small_problem(6, 6, 8)
-    full = solve(
-        problem, backend="wse", spec=spec, dtype=np.float32,
-        fixed_iterations=iterations,
-    )
-    comm = solve(
-        problem, backend="wse", spec=spec, comm_only=True,
-        fixed_iterations=iterations,
-    )
+    full = solve(problem, backend="wse", spec=full_spec)
+    comm = solve(problem, backend="wse", spec=full_spec.with_options(comm_only=True))
     full_trace = full.telemetry["trace"]
     comm_trace = comm.telemetry["trace"]
     compute_critical = full_trace.max_compute_cycles
@@ -373,12 +377,15 @@ def ablation_jacobi(rel_tol: float = 1e-8) -> list[list[Any]]:
     problem = scenario(
         "quarter_five_spot", nx=6, ny=5, nz=3, permeability=perm
     ).build()
-    spec = WSE2.with_fabric(32, 32)
+    base = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float64,
+        rel_tol=rel_tol, max_iters=5000,
+    )
     rows = []
     for jacobi in (False, True):
         report = solve(
-            problem, backend="wse", spec=spec, dtype=np.float64,
-            rel_tol=rel_tol, max_iters=5000, jacobi=jacobi,
+            problem, backend="wse",
+            spec=base.with_options(preconditioner="jacobi" if jacobi else "none"),
         )
         rows.append(
             [
@@ -394,13 +401,15 @@ def ablation_jacobi(rel_tol: float = 1e-8) -> list[list[Any]]:
 def ablation_kernel_variant(iterations: int = 4) -> list[list[Any]]:
     """Precomputed c = Υλ vs. in-kernel mobility fusion: flops and
     memory footprint trade."""
-    spec = WSE2.with_fabric(32, 32)
+    base = SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(32, 32), dtype=np.float32,
+        fixed_iterations=iterations,
+    )
     problem = _small_problem()
     rows = []
     for variant in ("precomputed", "fused_mobility"):
         report = solve(
-            problem, backend="wse", spec=spec, dtype=np.float32,
-            variant=variant, fixed_iterations=iterations,
+            problem, backend="wse", spec=base.with_options(variant=variant)
         )
         rows.append(
             [

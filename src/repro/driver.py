@@ -2,26 +2,37 @@
 
 One signature for every machine and every workload::
 
-    result = repro.solve("quarter_five_spot", backend="wse", dtype=np.float64)
-    results = repro.solve_many(scenarios.weak_scaling_family(), backend="gpu",
-                               n_workers=4)
+    spec = repro.SolveSpec.from_kwargs(dtype="float64", rel_tol=1e-9)
+    result = repro.solve("quarter_five_spot", backend="wse", spec=spec)
+    results = repro.solve_many(scenarios.weak_scaling_family(),
+                               backend="gpu", spec=spec, n_workers=4)
 
 ``solve`` accepts a built :class:`SinglePhaseProblem`, a bound
-:class:`Scenario`, or a registered scenario name; ``solve_many`` fans a
-batch out over a thread pool (the kernels are NumPy-heavy, so threads
-overlap well) and returns results in input order.
+:class:`Scenario`, or a registered scenario name.  Configuration travels
+as a typed :class:`~repro.spec.SolveSpec`; the legacy flat-kwarg form
+(``repro.solve(..., dtype=..., rel_tol=...)``) still works as a
+deprecation shim — kwargs are validated through
+:meth:`SolveSpec.from_kwargs` (typos raise ``ConfigurationError``) under
+a :class:`DeprecationWarning`.
+
+``solve_many`` routes through a :class:`~repro.session.Session` plan, so
+one raising entry no longer loses the rest of the batch: every entry
+finishes, then the first error (in input order) is raised.  For plans,
+stores and process fan-out, use :class:`repro.Session` directly.
 """
 
 from __future__ import annotations
 
-import concurrent.futures
-import os
-from typing import Any, Iterable, Sequence
+import warnings
+from typing import Any, Iterable, Mapping, Sequence
 
 from repro.backends import SolveResult, get_backend
+from repro.gpu.specs import GpuSpecs
 from repro.physics.darcy import SinglePhaseProblem
 from repro.scenarios.base import Scenario, scenario as _bind_scenario
+from repro.spec import SolveSpec
 from repro.util.errors import ConfigurationError
+from repro.wse.specs import WseSpecs
 
 
 def _resolve_problem(target: Any) -> SinglePhaseProblem:
@@ -37,7 +48,55 @@ def _resolve_problem(target: Any) -> SinglePhaseProblem:
     )
 
 
-def solve(target: Any, *, backend: str = "reference", **options: Any) -> SolveResult:
+def _warn_kwargs_deprecated() -> None:
+    warnings.warn(
+        "passing flat keyword options to repro.solve/solve_many is "
+        "deprecated; build a typed spec with repro.SolveSpec.from_kwargs(...) "
+        "and pass it as spec=...",
+        DeprecationWarning,
+        stacklevel=4,
+    )
+
+
+def resolve_spec(spec: Any, options: dict[str, Any]) -> SolveSpec:
+    """Coerce the ``spec=`` argument plus legacy kwargs into a SolveSpec.
+
+    ``spec`` may be a :class:`SolveSpec`, a ``SolveSpec.to_dict()``
+    mapping, ``None``, or — for back compatibility with the PR-1
+    vocabulary where ``spec=`` meant the *machine* spec — a
+    :class:`WseSpecs`/:class:`GpuSpecs`, which is folded into the legacy
+    kwargs.  Legacy kwargs are validated (unknown keys raise) and warn.
+    """
+    if isinstance(spec, (WseSpecs, GpuSpecs)):
+        options = dict(options, spec=spec)
+        spec = None
+    if isinstance(spec, SolveSpec) or isinstance(spec, Mapping):
+        if options:
+            raise ConfigurationError(
+                f"pass configuration either as spec=... or as keyword "
+                f"options, not both (got spec plus "
+                f"{', '.join(sorted(options))})"
+            )
+        return spec if isinstance(spec, SolveSpec) else SolveSpec.from_dict(spec)
+    if spec is not None:
+        raise ConfigurationError(
+            f"spec must be a SolveSpec, a SolveSpec.to_dict() mapping, a "
+            f"machine spec (WseSpecs/GpuSpecs), or None; got "
+            f"{type(spec).__name__}"
+        )
+    if options:
+        _warn_kwargs_deprecated()
+        return SolveSpec.from_kwargs(**options)
+    return SolveSpec()
+
+
+def solve(
+    target: Any,
+    *,
+    backend: str = "reference",
+    spec: Any = None,
+    **options: Any,
+) -> SolveResult:
     """Solve a problem/scenario on a named backend.
 
     Parameters
@@ -49,12 +108,15 @@ def solve(target: Any, *, backend: str = "reference", **options: Any) -> SolveRe
     backend:
         Registry name — ``"reference"``, ``"wse"``, ``"gpu"``, or anything
         registered via :func:`repro.backends.register_backend`.
+    spec:
+        A :class:`~repro.spec.SolveSpec` (or its ``to_dict()`` form).
     options:
-        Backend-interpreted keyword options (``tol_rtr``, ``rel_tol``,
-        ``max_iters``, ``dtype``, plus machine knobs like ``spec`` /
-        ``simd_width`` / ``block_shape``).
+        Deprecated flat-kwarg configuration (``tol_rtr``, ``rel_tol``,
+        ``max_iters``, ``dtype``, machine knobs …); validated through
+        :meth:`SolveSpec.from_kwargs` and folded into the spec.
     """
-    return get_backend(backend).solve(_resolve_problem(target), **options)
+    solve_spec = resolve_spec(spec, options)
+    return get_backend(backend).solve(_resolve_problem(target), solve_spec)
 
 
 def solve_many(
@@ -62,6 +124,7 @@ def solve_many(
     *,
     backend: str = "reference",
     n_workers: int | None = None,
+    spec: Any = None,
     **options: Any,
 ) -> list[SolveResult]:
     """Solve a batch of problems/scenarios, fanned out over threads.
@@ -69,18 +132,24 @@ def solve_many(
     Results come back in input order.  ``n_workers`` defaults to
     ``min(len(targets), os.cpu_count())``; ``n_workers=1`` runs serially
     in-process (no pool), which keeps tracebacks simple.
+
+    Execution routes through an :class:`~repro.session.ExecutionPlan`, so
+    errors are captured per entry: every entry runs to completion, then
+    the first error (in input order) is raised.
     """
+    from repro.session import Session
+
+    solve_spec = resolve_spec(spec, options)
     items: Sequence[Any] = list(targets)
     if not items:
         return []
-    if n_workers is None:
-        n_workers = min(len(items), os.cpu_count() or 1)
-    if n_workers < 1:
+    if n_workers is not None and n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
-    if n_workers == 1:
-        return [solve(item, backend=backend, **options) for item in items]
-    with concurrent.futures.ThreadPoolExecutor(max_workers=n_workers) as pool:
-        futures = [
-            pool.submit(solve, item, backend=backend, **options) for item in items
-        ]
-        return [f.result() for f in futures]
+    plan = Session().plan(items, solve_spec, backend=backend)
+    entry_results = plan.run(
+        executor="serial" if n_workers == 1 else "thread", n_workers=n_workers
+    )
+    for entry_result in entry_results:
+        if entry_result.error is not None:
+            raise entry_result.error
+    return [er.result for er in entry_results]  # type: ignore[misc]

@@ -74,11 +74,11 @@ class Scenario:
         _check_params(get_scenario(self.name), merged)
         return replace(self, params=merged)
 
-    def solve(self, *, backend: str = "reference", **options: Any):
+    def solve(self, *, backend: str = "reference", spec: Any = None, **options: Any):
         """Build and solve in one call (see :func:`repro.solve`)."""
-        from repro.backends import get_backend
+        from repro.driver import solve as _solve
 
-        return get_backend(backend).solve(self.build(), **options)
+        return _solve(self, backend=backend, spec=spec, **options)
 
     def label(self) -> str:
         """Compact human-readable identity, e.g. for table rows."""

@@ -1,0 +1,519 @@
+"""The execution engine: :class:`Session`, :class:`ExecutionPlan`,
+:class:`ResultStore`.
+
+``repro.solve`` answers one question; studies ask hundreds (Table III's
+weak-scaling family, Table IV's full/comm-only pairs, heterogeneity
+sweeps).  A :class:`Session` turns a batch into an *inspectable plan*
+before anything runs:
+
+>>> session = repro.Session(store="runs/table3")
+>>> plan = session.plan(weak_scaling_family(), spec, backend="wse")
+>>> plan.entries          # what will run, with content fingerprints
+>>> results = plan.run(executor="process", n_workers=4)
+
+Design points (the matrix-free lesson applied to execution — separate
+the operator/configuration from how it is driven):
+
+* **Deferred, memoized assembly** — a :class:`PlanEntry` stores the
+  resolved scenario, not the built problem; assembly happens at run time
+  and is memoized by scenario fingerprint, so N specs over one scenario
+  assemble once.
+* **Executor fan-out** — ``serial`` (simple tracebacks), ``thread``
+  (NumPy-heavy kernels overlap well), ``process`` (true parallelism for
+  long reference solves; entries are plain picklable values).
+* **Per-entry error capture** — one diverging entry yields a
+  :class:`PlanEntryResult` with ``error`` set instead of poisoning the
+  batch; results always come back in input order.
+* **Persistent results** — a :class:`ResultStore` writes a JSON manifest
+  plus NPZ pressure fields per entry; re-running a plan against a
+  populated store skips completed entries (``from_store=True``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import hashlib
+import json
+import os
+import pickle
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.backends import SolveResult, get_backend
+from repro.physics.darcy import SinglePhaseProblem
+from repro.scenarios.base import Scenario, scenario as _bind_scenario
+from repro.spec import SolveSpec, coerce_spec
+from repro.util.errors import ConfigurationError
+
+EXECUTORS = ("serial", "thread", "process")
+
+
+# -- fingerprinting ----------------------------------------------------------
+
+
+def _jsonable(value: Any) -> Any:
+    """A JSON-encodable stand-in for arbitrary scenario parameters."""
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "shape": list(value.shape),
+            "dtype": value.dtype.name,
+        }
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items())}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    # Fall back to a content digest of the pickle stream: deterministic for
+    # value-like objects (pickle carries no memory addresses), and a loud
+    # failure for things that cannot be fingerprinted at all — a repr()
+    # fallback would silently embed `object at 0x...` addresses and defeat
+    # both memoization and store resume.
+    try:
+        stream = pickle.dumps(value, protocol=4)
+    except Exception:  # noqa: BLE001
+        raise ConfigurationError(
+            f"cannot fingerprint scenario parameter of type "
+            f"{type(value).__name__}: use JSON-able values, ndarrays, or "
+            f"picklable objects"
+        ) from None
+    return {
+        "__pickle__": type(value).__name__,
+        "digest": hashlib.sha256(stream).hexdigest(),
+    }
+
+
+def _problem_fingerprint(problem: SinglePhaseProblem) -> dict[str, Any]:
+    grid = problem.grid
+    digest = hashlib.sha256()
+    digest.update(np.ascontiguousarray(problem.permeability).tobytes())
+    digest.update(np.ascontiguousarray(problem.dirichlet.mask).tobytes())
+    digest.update(np.ascontiguousarray(problem.dirichlet.values).tobytes())
+    return {
+        "grid": [grid.nx, grid.ny, grid.nz, grid.dx, grid.dy, grid.dz],
+        "viscosity": problem.viscosity,
+        "fields": digest.hexdigest(),
+    }
+
+
+def _target_payload(scenario: Scenario | None, problem: SinglePhaseProblem | None) -> Any:
+    if scenario is not None:
+        return {"scenario": scenario.name, "params": _jsonable(scenario.params)}
+    assert problem is not None
+    return {"problem": _problem_fingerprint(problem)}
+
+
+# -- plan entries ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    """One scheduled solve: a resolved target + spec + backend.
+
+    Problem assembly is deferred: ``scenario`` holds the recipe and
+    :meth:`build_problem` materializes it (optionally through a shared
+    memo cache keyed by :attr:`scenario_key`).  ``fingerprint`` is the
+    content identity of the whole entry (target + spec + backend) — the
+    result-store and resume key.
+    """
+
+    index: int
+    spec: SolveSpec
+    backend: str
+    scenario: Scenario | None = None
+    problem: SinglePhaseProblem | None = None
+    fingerprint: str = ""
+    scenario_key: str = ""
+
+    @property
+    def label(self) -> str:
+        if self.scenario is not None:
+            return self.scenario.label()
+        assert self.problem is not None
+        shape = "x".join(str(v) for v in self.problem.grid.shape)
+        return f"problem[{shape}]"
+
+    def build_problem(
+        self, cache: dict[str, SinglePhaseProblem] | None = None
+    ) -> SinglePhaseProblem:
+        """Materialize the problem, memoized by scenario fingerprint."""
+        if self.problem is not None:
+            return self.problem
+        assert self.scenario is not None
+        if cache is None:
+            return self.scenario.build()
+        problem = cache.get(self.scenario_key)
+        if problem is None:
+            problem = self.scenario.build()
+            cache[self.scenario_key] = problem
+        return problem
+
+
+@dataclass
+class PlanEntryResult:
+    """Outcome of one plan entry: a result, or a captured error.
+
+    ``elapsed_seconds`` is host wall clock around the backend call (the
+    result's own ``elapsed_seconds`` keeps the backend's native time
+    notion); ``from_store`` marks entries satisfied by the
+    :class:`ResultStore` without re-solving.
+    """
+
+    entry: PlanEntry
+    result: SolveResult | None = None
+    error: Exception | None = None
+    elapsed_seconds: float = 0.0
+    from_store: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _execute_entry(
+    entry: PlanEntry, cache: dict[str, SinglePhaseProblem] | None = None
+) -> tuple[SolveResult | None, Exception | None, float]:
+    """Run one entry, capturing any exception."""
+    start = time.perf_counter()
+    try:
+        problem = entry.build_problem(cache)
+        result = get_backend(entry.backend).solve(problem, entry.spec)
+        return result, None, time.perf_counter() - start
+    except Exception as exc:  # noqa: BLE001 - per-entry capture is the contract
+        return None, exc, time.perf_counter() - start
+
+
+def _execute_entry_in_worker(
+    entry: PlanEntry,
+) -> tuple[SolveResult | None, Exception | None, float]:
+    """Process-pool worker: like :func:`_execute_entry`, pickle-safe errors.
+
+    Results travel back through pickle; an exception whose constructor
+    signature breaks the default reduce protocol would otherwise kill the
+    whole batch at *deserialization* time, so unpicklable errors are
+    replaced by a faithful stand-in.  Serial/thread executors keep the
+    original exception object (no pickle boundary there).
+    """
+    result, error, elapsed = _execute_entry(entry)
+    if error is not None:
+        try:
+            pickle.loads(pickle.dumps(error))
+        except Exception:  # noqa: BLE001
+            error = RuntimeError(f"{type(error).__name__}: {error}")
+    return result, error, elapsed
+
+
+# -- result store ------------------------------------------------------------
+
+
+class ResultStore:
+    """Directory-backed persistence for :class:`SolveResult` batches.
+
+    Layout::
+
+        <root>/manifest.json      one record per fingerprint (scenario,
+                                  backend, spec, iterations, timings)
+        <root>/<fingerprint>.npz  pressure field + residual history
+
+    Only the JSON-able core survives persistence: reloaded results carry
+    ``telemetry = {"time_kind": ..., "from_store": True}``, not live
+    fabric traces or counters.
+    """
+
+    MANIFEST = "manifest.json"
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._manifest: dict[str, dict[str, Any]] = {}
+        manifest_path = self.root / self.MANIFEST
+        if manifest_path.exists():
+            self._manifest = json.loads(manifest_path.read_text())
+
+    def __len__(self) -> int:
+        return len(self._manifest)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.has(fingerprint)
+
+    def keys(self) -> list[str]:
+        return sorted(self._manifest)
+
+    def records(self) -> list[dict[str, Any]]:
+        """Manifest records (copies), sorted by fingerprint."""
+        return [dict(self._manifest[k]) for k in self.keys()]
+
+    def has(self, fingerprint: str) -> bool:
+        return (
+            fingerprint in self._manifest
+            and (self.root / f"{fingerprint}.npz").exists()
+        )
+
+    def save(self, entry: PlanEntry, result: SolveResult) -> None:
+        """Persist one completed entry (manifest rewritten atomically)."""
+        fingerprint = entry.fingerprint
+        np.savez_compressed(
+            self.root / f"{fingerprint}.npz",
+            pressure=result.pressure,
+            residual_history=np.asarray(result.residual_history, dtype=np.float64),
+        )
+        self._manifest[fingerprint] = {
+            "fingerprint": fingerprint,
+            "label": entry.label,
+            "scenario": entry.scenario.name if entry.scenario is not None else None,
+            "backend": entry.backend,
+            "spec": entry.spec.to_dict(),
+            "iterations": int(result.iterations),
+            "converged": bool(result.converged),
+            "elapsed_seconds": float(result.elapsed_seconds),
+            "time_kind": result.telemetry.get("time_kind"),
+        }
+        self._flush()
+
+    def load(self, fingerprint: str) -> SolveResult:
+        """Rehydrate a persisted :class:`SolveResult`."""
+        if not self.has(fingerprint):
+            raise ConfigurationError(
+                f"result store at {self.root} has no entry {fingerprint!r}"
+            )
+        record = self._manifest[fingerprint]
+        with np.load(self.root / f"{fingerprint}.npz") as arrays:
+            pressure = arrays["pressure"]
+            history = [float(v) for v in arrays["residual_history"]]
+        return SolveResult(
+            pressure=pressure,
+            iterations=record["iterations"],
+            converged=record["converged"],
+            residual_history=history,
+            elapsed_seconds=record["elapsed_seconds"],
+            backend=record["backend"],
+            telemetry={"time_kind": record["time_kind"], "from_store": True},
+        )
+
+    def _flush(self) -> None:
+        path = self.root / self.MANIFEST
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+
+# -- the plan ----------------------------------------------------------------
+
+
+class ExecutionPlan:
+    """An ordered, inspectable batch of solves bound to a session.
+
+    Build one with :meth:`Session.plan`; inspect :attr:`entries` (or
+    :meth:`describe`); execute with :meth:`run`.
+    """
+
+    def __init__(self, session: "Session", entries: Sequence[PlanEntry]):
+        self.session = session
+        self.entries: list[PlanEntry] = list(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[PlanEntry]:
+        return iter(self.entries)
+
+    def describe(self) -> list[list[Any]]:
+        """Table rows (index, label, backend, fingerprint prefix)."""
+        return [
+            [e.index, e.label, e.backend, e.fingerprint[:12]] for e in self.entries
+        ]
+
+    def run(
+        self,
+        *,
+        executor: str = "thread",
+        n_workers: int | None = None,
+        on_result: Callable[[PlanEntryResult], None] | None = None,
+        resume: bool = True,
+    ) -> list[PlanEntryResult]:
+        """Execute every entry; results return in input order.
+
+        Parameters
+        ----------
+        executor:
+            ``"serial"`` (in-process loop), ``"thread"`` (default;
+            NumPy releases the GIL in the hot kernels), or ``"process"``
+            (true parallelism; entries and results cross a pickle
+            boundary, so live telemetry objects must be picklable).
+        n_workers:
+            Pool width; defaults to ``min(len(pending), cpu_count)``.
+        on_result:
+            Callback invoked as each entry finishes (completion order),
+            including store-satisfied entries.
+        resume:
+            When the session has a :class:`ResultStore`, skip entries
+            whose fingerprint is already stored and rehydrate them
+            (``from_store=True``) instead of re-solving.
+        """
+        if executor not in EXECUTORS:
+            raise ConfigurationError(
+                f"unknown executor {executor!r}; choose one of "
+                f"{', '.join(EXECUTORS)}"
+            )
+        if n_workers is not None and n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+
+        store = self.session.store
+        slots: list[PlanEntryResult | None] = [None] * len(self.entries)
+        pending: list[int] = []
+        for i, entry in enumerate(self.entries):
+            if resume and store is not None and store.has(entry.fingerprint):
+                slots[i] = PlanEntryResult(
+                    entry=entry, result=store.load(entry.fingerprint),
+                    from_store=True,
+                )
+                if on_result is not None:
+                    on_result(slots[i])
+            else:
+                pending.append(i)
+
+        def _finish(i: int, outcome: tuple) -> None:
+            result, error, elapsed = outcome
+            slots[i] = PlanEntryResult(
+                entry=self.entries[i], result=result, error=error,
+                elapsed_seconds=elapsed,
+            )
+            if store is not None and error is None and result is not None:
+                store.save(self.entries[i], result)
+            if on_result is not None:
+                on_result(slots[i])
+
+        cache = self.session._problem_cache
+        if not pending:
+            pass
+        elif executor == "serial" or (n_workers == 1):
+            for i in pending:
+                _finish(i, _execute_entry(self.entries[i], cache))
+        else:
+            workers = n_workers or min(len(pending), os.cpu_count() or 1)
+            if executor == "thread":
+                pool_cls = concurrent.futures.ThreadPoolExecutor
+                submit = lambda e: (_execute_entry, e, cache)  # noqa: E731
+            else:
+                # Workers rebuild problems themselves: scenarios are plain
+                # values and builtin recipes re-register on import.  The
+                # parent's memo cache is not shared across processes.
+                pool_cls = concurrent.futures.ProcessPoolExecutor
+                submit = lambda e: (_execute_entry_in_worker, e)  # noqa: E731
+            with pool_cls(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(*submit(self.entries[i])): i for i in pending
+                }
+                for future in concurrent.futures.as_completed(futures):
+                    _finish(futures[future], future.result())
+
+        return [slot for slot in slots if slot is not None]
+
+
+class Session:
+    """Owns problem-assembly memoization and (optionally) a result store.
+
+    One session per study: plans created from it share the assembly cache
+    (N specs over one scenario build the problem once) and the store
+    (completed entries are skipped on re-runs).
+    """
+
+    def __init__(self, *, store: ResultStore | str | Path | None = None):
+        if store is not None and not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        self.store: ResultStore | None = store
+        self._problem_cache: dict[str, SinglePhaseProblem] = {}
+
+    def plan(
+        self,
+        targets: Iterable[Any],
+        spec: SolveSpec | Mapping[str, Any] | None = None,
+        *,
+        backend: str = "reference",
+    ) -> ExecutionPlan:
+        """Resolve a batch of targets into an :class:`ExecutionPlan`.
+
+        Each target may be a registered scenario name, a bound
+        :class:`Scenario`, a built :class:`SinglePhaseProblem`, or a
+        ``(target, spec)`` / ``(target, spec, backend)`` tuple overriding
+        the plan-wide spec/backend per entry (heterogeneous batches like
+        Table IV's full vs. comm-only pair).
+        """
+        default_spec = coerce_spec(spec)
+        get_backend(backend)  # fail fast on a typo'd plan-wide backend
+        entries: list[PlanEntry] = []
+        for index, item in enumerate(targets):
+            entry_spec, entry_backend = default_spec, backend
+            target = item
+            if isinstance(item, tuple):
+                if not 2 <= len(item) <= 3:
+                    raise ConfigurationError(
+                        f"plan tuple entries are (target, spec) or "
+                        f"(target, spec, backend); got length {len(item)}"
+                    )
+                target = item[0]
+                entry_spec = coerce_spec(item[1])
+                if len(item) == 3:
+                    entry_backend = item[2]
+            get_backend(entry_backend)
+            entries.append(
+                self._entry(index, target, entry_spec, entry_backend)
+            )
+        return ExecutionPlan(self, entries)
+
+    def _entry(
+        self, index: int, target: Any, spec: SolveSpec, backend: str
+    ) -> PlanEntry:
+        scenario: Scenario | None = None
+        problem: SinglePhaseProblem | None = None
+        if isinstance(target, SinglePhaseProblem):
+            problem = target
+        elif isinstance(target, Scenario):
+            scenario = target
+        elif isinstance(target, str):
+            scenario = _bind_scenario(target)
+        else:
+            raise ConfigurationError(
+                f"cannot plan {target!r}: expected a SinglePhaseProblem, a "
+                f"Scenario, or a registered scenario name"
+            )
+        target_payload = _target_payload(scenario, problem)
+        scenario_key = _digest({"target": target_payload})
+        fingerprint = _digest(
+            {
+                "target": target_payload,
+                "spec": spec.to_dict(),
+                "backend": backend,
+            }
+        )
+        return PlanEntry(
+            index=index,
+            spec=spec,
+            backend=backend,
+            scenario=scenario,
+            problem=problem,
+            fingerprint=fingerprint,
+            scenario_key=scenario_key,
+        )
+
+
+def _digest(payload: Mapping[str, Any]) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+__all__ = [
+    "EXECUTORS",
+    "ExecutionPlan",
+    "PlanEntry",
+    "PlanEntryResult",
+    "ResultStore",
+    "Session",
+]

@@ -13,6 +13,7 @@ from repro.solvers.cg import CGResult, conjugate_gradient
 from repro.solvers.state_machine import CGState, CGStateMachine, CG_NUM_STATES
 from repro.solvers.baseline import scipy_cg_baseline, dense_direct_solve
 from repro.solvers.jacobi import jacobi_preconditioned_cg
+from repro.solvers.preconditioning import linear_solver_for, operator_diagonal
 
 __all__ = [
     "CGResult",
@@ -23,4 +24,6 @@ __all__ = [
     "scipy_cg_baseline",
     "dense_direct_solve",
     "jacobi_preconditioned_cg",
+    "linear_solver_for",
+    "operator_diagonal",
 ]

@@ -1,0 +1,57 @@
+"""Spec-driven linear-solver (preconditioner) selection.
+
+The :class:`~repro.spec.SolveSpec` names a preconditioner
+(``"none"``/``"jacobi"``); this module turns that name into the concrete
+linear solver a backend's driver loop calls.  For the reference Newton
+driver that means a callable with the :func:`conjugate_gradient`
+signature; diagonal scaling binds the problem's operator diagonal (with
+identity Dirichlet rows, matching the dataflow implementation) into a
+closure over :func:`jacobi_preconditioned_cg`.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.physics.darcy import SinglePhaseProblem
+from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.jacobi import jacobi_preconditioned_cg
+from repro.util.errors import ConfigurationError
+
+
+def operator_diagonal(problem: SinglePhaseProblem, dtype=np.float64) -> np.ndarray:
+    """The diagonal of the matrix-free operator ``J``.
+
+    Interior rows carry the flux-coefficient diagonal; Dirichlet rows are
+    identity (``(Jx)_K = x_K`` on ``T_D``), exactly as the dataflow
+    backend scales them.
+    """
+    diag = problem.coefficients.diagonal.astype(dtype).copy()
+    diag[problem.dirichlet.mask] = 1.0
+    return diag
+
+
+def linear_solver_for(problem: SinglePhaseProblem, preconditioner: str):
+    """The reference linear solver implementing ``preconditioner``.
+
+    Returns a callable usable as ``newton_solve(..., linear_solver=...)``.
+    """
+    if preconditioner == "none":
+        return conjugate_gradient
+    if preconditioner == "jacobi":
+        diagonal = operator_diagonal(problem)
+
+        def _jacobi_cg(operator, b, x0=None, **options: Any) -> CGResult:
+            # The Newton driver only forwards tol_rtr/max_iters; drop knobs
+            # the preconditioned solver does not take.
+            options.pop("rel_tol", None)
+            options.pop("callback", None)
+            options.pop("raise_on_fail", None)
+            return jacobi_preconditioned_cg(
+                operator, diagonal.astype(np.asarray(b).dtype), b, x0, **options
+            )
+
+        return _jacobi_cg
+    raise ConfigurationError(f"unknown preconditioner {preconditioner!r}")

@@ -1,0 +1,422 @@
+"""Typed, validated solve configuration: :class:`SolveSpec`.
+
+PR 1 unified the *entry point* (every backend answers through
+``repro.solve``), but configuration stayed a stringly-typed ``**options``
+bag that each backend interpreted — and silently ignored — differently.
+``SolveSpec`` replaces that bag with a frozen dataclass tree:
+
+* :class:`ToleranceSpec` — convergence knobs (``tol_rtr``, ``rel_tol``,
+  ``max_iters``);
+* :class:`PrecisionSpec` — working precision (``float32``/``float64``);
+* :class:`MachineSpec` — machine-level knobs (a :class:`WseSpecs` or
+  :class:`GpuSpecs` target, SIMD width, CUDA block shape, kernel variant,
+  buffer reuse, comm-only mode, fixed iteration counts);
+* ``preconditioner`` — ``"none"`` (the paper's unpreconditioned CG) or
+  ``"jacobi"`` (the documented diagonal-scaling extension).
+
+Every field is validated at construction; ``None`` means "backend
+default".  :meth:`SolveSpec.from_kwargs` is the bridge from the legacy
+flat-kwarg vocabulary (it rejects unknown keys, naming the nearest valid
+one), and :meth:`SolveSpec.to_dict` / :meth:`SolveSpec.from_dict` give a
+JSON-able round trip for persistence (the session result store records
+exactly what configuration produced each result).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.gpu.specs import GpuSpecs
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WseSpecs
+
+#: Working precisions the machines support (fp32 on-device, fp64 checks).
+SUPPORTED_DTYPES = ("float32", "float64")
+
+#: Preconditioner choices (Jacobi is the purely PE-local extension).
+PRECONDITIONERS = ("none", "jacobi")
+
+
+def _check_optional_int(name: str, value: Any, minimum: int) -> int | None:
+    if value is None:
+        return None
+    if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+        raise ConfigurationError(f"{name} must be an integer, got {value!r}")
+    value = int(value)
+    if value < minimum:
+        raise ConfigurationError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_optional_float(name: str, value: Any, *, positive: bool = True) -> float | None:
+    if value is None:
+        return None
+    try:
+        value = float(value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must be a number, got {value!r}") from None
+    if positive and not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class ToleranceSpec:
+    """Convergence criteria for the linear (CG) solve.
+
+    ``tol_rtr`` is the paper's absolute tolerance on ``r^T r`` (§V-C uses
+    2e-10); ``rel_tol`` the relative alternative (converge when
+    ``r^T r <= rel_tol² · r0^T r0``); ``max_iters`` the iteration cap.
+    ``None`` defers to the backend default.
+    """
+
+    tol_rtr: float | None = None
+    rel_tol: float | None = None
+    max_iters: int | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "tol_rtr", _check_optional_float("tol_rtr", self.tol_rtr))
+        object.__setattr__(self, "rel_tol", _check_optional_float("rel_tol", self.rel_tol))
+        object.__setattr__(
+            self, "max_iters", _check_optional_int("max_iters", self.max_iters, 1)
+        )
+
+
+@dataclass(frozen=True)
+class PrecisionSpec:
+    """Working precision; stored as a canonical NumPy dtype name.
+
+    Accepts anything ``np.dtype`` understands (``np.float32``,
+    ``"float64"``, ``np.dtype("f4")``) and normalizes it; ``None`` defers
+    to the backend default (float64 reference, float32 devices).
+    """
+
+    dtype: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.dtype is None:
+            return
+        try:
+            name = np.dtype(self.dtype).name
+        except TypeError:
+            raise ConfigurationError(f"unrecognized dtype {self.dtype!r}") from None
+        if name not in SUPPORTED_DTYPES:
+            raise ConfigurationError(
+                f"dtype {name!r} is not supported; choose one of "
+                f"{', '.join(SUPPORTED_DTYPES)}"
+            )
+        object.__setattr__(self, "dtype", name)
+
+    def numpy_dtype(self, default: Any = np.float64) -> np.dtype:
+        """The resolved ``np.dtype`` (falling back to ``default``)."""
+        return np.dtype(self.dtype if self.dtype is not None else default)
+
+
+#: Names of every MachineSpec knob (used for per-backend strictness checks).
+MACHINE_FIELDS = (
+    "spec",
+    "simd_width",
+    "block_shape",
+    "variant",
+    "reuse_buffers",
+    "comm_only",
+    "fixed_iterations",
+)
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Machine-level execution knobs.
+
+    Each backend supports a subset and *rejects* the rest (a spec asking
+    the GPU for a SIMD width is a configuration error, not a silent
+    no-op):
+
+    * ``spec`` — the hardware description: a :class:`WseSpecs` for the
+      dataflow backend, a :class:`GpuSpecs` for the GPU model;
+    * ``simd_width`` — §III-E.3 DSD vectorization (dataflow only);
+    * ``block_shape`` — CUDA thread-block shape (GPU only);
+    * ``variant`` — kernel variant name, e.g. ``"precomputed"`` or
+      ``"fused_mobility"`` (dataflow only);
+    * ``reuse_buffers`` — §III-E.1 buffer-reuse toggle (dataflow only);
+    * ``comm_only`` — Table IV methodology: suppress floating point
+      (dataflow only, requires ``fixed_iterations``);
+    * ``fixed_iterations`` — run exactly N CG steps (dataflow and GPU).
+    """
+
+    spec: WseSpecs | GpuSpecs | None = None
+    simd_width: int | None = None
+    block_shape: tuple[int, int, int] | None = None
+    variant: str | None = None
+    reuse_buffers: bool | None = None
+    comm_only: bool = False
+    fixed_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.spec is not None and not isinstance(self.spec, (WseSpecs, GpuSpecs)):
+            raise ConfigurationError(
+                f"machine.spec must be a WseSpecs or GpuSpecs, got "
+                f"{type(self.spec).__name__}"
+            )
+        object.__setattr__(
+            self, "simd_width", _check_optional_int("simd_width", self.simd_width, 1)
+        )
+        if self.block_shape is not None:
+            shape = tuple(int(v) for v in self.block_shape)
+            if len(shape) != 3 or any(v < 1 for v in shape):
+                raise ConfigurationError(
+                    f"block_shape must be three positive integers, got "
+                    f"{self.block_shape!r}"
+                )
+            object.__setattr__(self, "block_shape", shape)
+        if self.variant is not None:
+            variant = getattr(self.variant, "value", self.variant)
+            if not isinstance(variant, str):
+                raise ConfigurationError(f"variant must be a string, got {self.variant!r}")
+            object.__setattr__(self, "variant", variant)
+        if self.reuse_buffers is not None:
+            object.__setattr__(self, "reuse_buffers", bool(self.reuse_buffers))
+        object.__setattr__(self, "comm_only", bool(self.comm_only))
+        object.__setattr__(
+            self,
+            "fixed_iterations",
+            _check_optional_int("fixed_iterations", self.fixed_iterations, 1),
+        )
+
+    def set_fields(self) -> set[str]:
+        """Names of knobs that differ from their defaults."""
+        default = _DEFAULT_MACHINE
+        return {
+            name for name in MACHINE_FIELDS
+            if getattr(self, name) != getattr(default, name)
+        }
+
+
+_DEFAULT_MACHINE = MachineSpec()
+
+#: The flat-kwarg vocabulary ``from_kwargs`` understands, mapped to the
+#: (section, field) it configures.  ``specs`` is the GPU-native spelling of
+#: the machine spec; ``jacobi`` the dataflow-native preconditioner toggle.
+KWARG_MAP: dict[str, tuple[str, str]] = {
+    "tol_rtr": ("tolerance", "tol_rtr"),
+    "rel_tol": ("tolerance", "rel_tol"),
+    "max_iters": ("tolerance", "max_iters"),
+    "dtype": ("precision", "dtype"),
+    "spec": ("machine", "spec"),
+    "specs": ("machine", "spec"),
+    "simd_width": ("machine", "simd_width"),
+    "block_shape": ("machine", "block_shape"),
+    "variant": ("machine", "variant"),
+    "reuse_buffers": ("machine", "reuse_buffers"),
+    "comm_only": ("machine", "comm_only"),
+    "fixed_iterations": ("machine", "fixed_iterations"),
+    "preconditioner": ("", "preconditioner"),
+    "jacobi": ("", "preconditioner"),
+}
+
+
+def _unknown_key_error(key: str) -> ConfigurationError:
+    valid = sorted(KWARG_MAP)
+    close = difflib.get_close_matches(key, valid, n=1, cutoff=0.5)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    return ConfigurationError(
+        f"unknown solve option {key!r}{hint} (valid options: {', '.join(valid)})"
+    )
+
+
+@dataclass(frozen=True)
+class SolveSpec:
+    """The complete, validated configuration of one solve.
+
+    Immutable and hashable-by-value; cheap to share across plan entries,
+    worker processes and the on-disk result store.
+
+    Examples
+    --------
+    >>> spec = SolveSpec(
+    ...     tolerance=ToleranceSpec(rel_tol=1e-9, max_iters=2000),
+    ...     precision=PrecisionSpec("float64"),
+    ... )
+    >>> spec = SolveSpec.from_kwargs(dtype=np.float64, rel_tol=1e-9)
+    >>> SolveSpec.from_dict(spec.to_dict()) == spec
+    True
+    """
+
+    tolerance: ToleranceSpec = field(default_factory=ToleranceSpec)
+    precision: PrecisionSpec = field(default_factory=PrecisionSpec)
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    preconditioner: str = "none"
+
+    def __post_init__(self) -> None:
+        if self.preconditioner not in PRECONDITIONERS:
+            raise ConfigurationError(
+                f"unknown preconditioner {self.preconditioner!r}; choose one "
+                f"of {', '.join(PRECONDITIONERS)}"
+            )
+
+    # -- flat-kwarg bridge ---------------------------------------------------
+
+    @classmethod
+    def from_kwargs(cls, **kwargs: Any) -> "SolveSpec":
+        """Build a spec from the legacy flat-kwarg vocabulary.
+
+        Unknown keys raise :class:`ConfigurationError` naming the nearest
+        valid key — the typo ``tol_rt=1e-9`` fails loudly instead of being
+        silently swallowed by a backend ``**options`` bag.
+        """
+        return cls().with_options(**kwargs)
+
+    def with_options(self, **kwargs: Any) -> "SolveSpec":
+        """A new spec with flat-kwarg overrides applied over this one."""
+        sections: dict[str, dict[str, Any]] = {
+            "tolerance": {}, "precision": {}, "machine": {},
+        }
+        top: dict[str, Any] = {}
+        for key, value in kwargs.items():
+            if key not in KWARG_MAP:
+                raise _unknown_key_error(key)
+            section, fname = KWARG_MAP[key]
+            if key == "jacobi":
+                top["preconditioner"] = "jacobi" if value else "none"
+            elif section == "":
+                top[fname] = value
+            else:
+                sections[section][fname] = value
+        out = self
+        if sections["tolerance"]:
+            out = replace(out, tolerance=replace(out.tolerance, **sections["tolerance"]))
+        if sections["precision"]:
+            out = replace(out, precision=PrecisionSpec(**sections["precision"]))
+        if sections["machine"]:
+            out = replace(out, machine=replace(out.machine, **sections["machine"]))
+        if top:
+            out = replace(out, **top)
+        return out
+
+    # -- persistence ---------------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able dict that :meth:`from_dict` round-trips exactly."""
+        m = self.machine
+        return {
+            "tolerance": {
+                "tol_rtr": self.tolerance.tol_rtr,
+                "rel_tol": self.tolerance.rel_tol,
+                "max_iters": self.tolerance.max_iters,
+            },
+            "precision": {"dtype": self.precision.dtype},
+            "machine": {
+                "spec": _machine_spec_to_dict(m.spec),
+                "simd_width": m.simd_width,
+                "block_shape": None if m.block_shape is None else list(m.block_shape),
+                "variant": m.variant,
+                "reuse_buffers": m.reuse_buffers,
+                "comm_only": m.comm_only,
+                "fixed_iterations": m.fixed_iterations,
+            },
+            "preconditioner": self.preconditioner,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
+        """Inverse of :meth:`to_dict`; unknown sections or keys raise."""
+        known = {"tolerance", "precision", "machine", "preconditioner"}
+        extra = sorted(set(data) - known)
+        if extra:
+            raise ConfigurationError(
+                f"unknown SolveSpec section(s) {', '.join(map(repr, extra))}; "
+                f"expected {', '.join(sorted(known))}"
+            )
+        tol = dict(data.get("tolerance", {}))
+        prec = dict(data.get("precision", {}))
+        mach = dict(data.get("machine", {}))
+        for section, payload, fields in (
+            ("tolerance", tol, {"tol_rtr", "rel_tol", "max_iters"}),
+            ("precision", prec, {"dtype"}),
+            ("machine", mach, set(MACHINE_FIELDS)),
+        ):
+            bad = sorted(set(payload) - fields)
+            if bad:
+                raise ConfigurationError(
+                    f"unknown {section} key(s) {', '.join(map(repr, bad))}"
+                )
+        if mach.get("spec") is not None:
+            mach["spec"] = _machine_spec_from_dict(mach["spec"])
+        if mach.get("block_shape") is not None:
+            mach["block_shape"] = tuple(mach["block_shape"])
+        return cls(
+            tolerance=ToleranceSpec(**tol),
+            precision=PrecisionSpec(**prec),
+            machine=MachineSpec(**mach),
+            preconditioner=data.get("preconditioner", "none"),
+        )
+
+    def fingerprint(self) -> str:
+        """Stable content hash of this configuration (store/memo key part)."""
+        payload = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    # -- backend support checks ----------------------------------------------
+
+    def require_machine_support(self, backend: str, supported: set[str]) -> None:
+        """Raise if a machine knob is set that ``backend`` cannot honour."""
+        unsupported = sorted(self.machine.set_fields() - set(supported))
+        if unsupported:
+            raise ConfigurationError(
+                f"backend {backend!r} does not support machine option(s) "
+                f"{', '.join(map(repr, unsupported))}; supported: "
+                f"{', '.join(sorted(supported)) or '(none)'}"
+            )
+
+
+def _machine_spec_to_dict(spec: WseSpecs | GpuSpecs | None) -> dict[str, Any] | None:
+    if spec is None:
+        return None
+    kind = "wse" if isinstance(spec, WseSpecs) else "gpu"
+    return {"kind": kind, **dataclasses.asdict(spec)}
+
+
+def _machine_spec_from_dict(data: Mapping[str, Any]) -> WseSpecs | GpuSpecs:
+    payload = dict(data)
+    kind = payload.pop("kind", None)
+    if kind == "wse":
+        return WseSpecs(**payload)
+    if kind == "gpu":
+        return GpuSpecs(**payload)
+    raise ConfigurationError(
+        f"machine spec dict needs 'kind' of 'wse' or 'gpu', got {kind!r}"
+    )
+
+
+def coerce_spec(spec: Any) -> SolveSpec:
+    """Accept a :class:`SolveSpec`, a ``to_dict`` payload, or ``None``."""
+    if spec is None:
+        return SolveSpec()
+    if isinstance(spec, SolveSpec):
+        return spec
+    if isinstance(spec, Mapping):
+        return SolveSpec.from_dict(spec)
+    raise ConfigurationError(
+        f"expected a SolveSpec, a SolveSpec.to_dict() mapping, or None; "
+        f"got {type(spec).__name__}"
+    )
+
+
+__all__ = [
+    "KWARG_MAP",
+    "MACHINE_FIELDS",
+    "MachineSpec",
+    "PRECONDITIONERS",
+    "PrecisionSpec",
+    "SUPPORTED_DTYPES",
+    "SolveSpec",
+    "ToleranceSpec",
+    "coerce_spec",
+]

@@ -36,6 +36,11 @@ class ConvergenceError(ReproError):
         self.iterations = int(iterations)
         self.residual_norm = float(residual_norm)
 
+    def __reduce__(self):
+        # args only holds the message; default reduce would re-call
+        # __init__ with one argument and fail on unpickle (process pools).
+        return (self.__class__, (self.args[0], self.iterations, self.residual_norm))
+
 
 class PeOutOfMemory(ReproError):
     """A processing element exhausted its private local memory (48 KiB).
@@ -49,6 +54,12 @@ class PeOutOfMemory(ReproError):
         self.requested = int(requested)
         self.available = int(available)
         self.capacity = int(capacity)
+
+    def __reduce__(self):
+        return (
+            self.__class__,
+            (self.args[0], self.requested, self.available, self.capacity),
+        )
 
 
 class RoutingError(ReproError):

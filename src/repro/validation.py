@@ -110,20 +110,22 @@ def _run_backend(
         return BackendResult("direct", x, 0, True)
 
     from repro.backends import get_backend
+    from repro.spec import SolveSpec
 
     try:
         backend = get_backend(name)
     except ConfigurationError as exc:
         raise ValidationError(str(exc)) from None
-    options: dict = dict(rel_tol=rel_tol, max_iters=max_iters, dtype=dtype)
+    solve_spec = SolveSpec.from_kwargs(rel_tol=rel_tol, max_iters=max_iters, dtype=dtype)
     if name == "reference":
         # The Newton driver picks a dtype-aware relative tolerance (1e-4 in
         # fp32); forcing the harness's device-style rel_tol on it would ask
         # fp32 runs for an unattainable residual.
-        options.pop("rel_tol")
+        solve_spec = SolveSpec.from_kwargs(max_iters=max_iters, dtype=dtype)
     if name == "wse":
-        options["spec"] = spec or WSE2.with_fabric(
-            max(problem.grid.nx, 1), max(problem.grid.ny, 1)
+        solve_spec = solve_spec.with_options(
+            spec=spec
+            or WSE2.with_fabric(max(problem.grid.nx, 1), max(problem.grid.ny, 1))
         )
-    result = backend.solve(problem, **options)
+    result = backend.solve(problem, solve_spec)
     return BackendResult(name, result.pressure, result.iterations, result.converged)

@@ -22,10 +22,11 @@ from repro.backends import (
     register_backend,
     unregister_backend,
 )
+from repro.spec import SolveSpec
 from repro.util.errors import ConfigurationError
 
-#: Options that drive every backend to a tight float64 solve.
-TIGHT = dict(dtype=np.float64, rel_tol=1e-9, max_iters=2000)
+#: Spec that drives every backend to a tight float64 solve.
+TIGHT = SolveSpec.from_kwargs(dtype=np.float64, rel_tol=1e-9, max_iters=2000)
 
 
 @pytest.fixture(scope="module")
@@ -36,7 +37,7 @@ def parity_problem():
 @pytest.fixture(scope="module")
 def parity_results(parity_problem):
     return {
-        name: repro.solve(parity_problem, backend=name, **TIGHT)
+        name: repro.solve(parity_problem, backend=name, spec=TIGHT)
         for name in ("reference", "wse", "gpu")
     }
 
@@ -57,7 +58,7 @@ class TestRegistry:
         class Fake:
             name = "reference"
 
-            def solve(self, problem, **options):
+            def solve(self, problem, spec=None):
                 raise NotImplementedError
 
         with pytest.raises(ConfigurationError, match="already registered"):
@@ -72,7 +73,7 @@ class TestRegistry:
 
     def test_register_requires_name_and_solve(self):
         class NoName:
-            def solve(self, problem, **options):
+            def solve(self, problem, spec=None):
                 return None
 
         class NoSolve:
@@ -87,7 +88,7 @@ class TestRegistry:
         class Echo:
             name = "echo"
 
-            def solve(self, problem, **options):
+            def solve(self, problem, spec=None):
                 return SolveResult(
                     pressure=problem.initial_pressure(dtype=np.float64),
                     iterations=0,
@@ -129,6 +130,127 @@ class TestCrossBackendParity:
         assert "counters" in parity_results["gpu"].telemetry
         kinds = {r.telemetry["time_kind"] for r in parity_results.values()}
         assert kinds == {"wall_clock", "simulated_device", "modeled_kernel"}
+
+
+class TestStrictOptions:
+    """ISSUE-2 satellite: misspelled/unknown options must raise on every
+    builtin backend instead of being silently swallowed by ``**options``."""
+
+    @pytest.mark.parametrize("backend", ["reference", "wse", "gpu"])
+    def test_typo_rejected_with_suggestion(self, parity_problem, backend):
+        with pytest.raises(ConfigurationError, match="tol_rtr"):
+            with pytest.warns(DeprecationWarning):
+                repro.solve(parity_problem, backend=backend, tol_rt=1e-9)
+
+    @pytest.mark.parametrize("backend", ["reference", "wse", "gpu"])
+    def test_unknown_option_rejected(self, parity_problem, backend):
+        with pytest.raises(ConfigurationError, match="unknown solve option"):
+            with pytest.warns(DeprecationWarning):
+                repro.solve(parity_problem, backend=backend, warp_factor=9)
+
+    def test_machine_knobs_are_backend_checked(self, parity_problem):
+        # SIMD width belongs to the dataflow fabric, not the GPU or host.
+        spec = SolveSpec.from_kwargs(simd_width=2)
+        repro.solve(
+            repro.scenario("quarter_five_spot", nx=3, ny=3, nz=2),
+            backend="wse",
+            spec=spec.with_options(fixed_iterations=2),
+        )
+        for backend in ("reference", "gpu"):
+            with pytest.raises(ConfigurationError, match="simd_width"):
+                repro.solve(parity_problem, backend=backend, spec=spec)
+
+    def test_gpu_rejects_jacobi(self, parity_problem):
+        with pytest.raises(ConfigurationError, match="preconditioner"):
+            repro.solve(
+                parity_problem, backend="gpu",
+                spec=SolveSpec.from_kwargs(preconditioner="jacobi"),
+            )
+
+    def test_wrong_machine_spec_type_rejected(self, parity_problem):
+        from repro.gpu.specs import A100
+        from repro.wse.specs import WSE2
+
+        with pytest.raises(ConfigurationError, match="WseSpecs"):
+            repro.solve(
+                parity_problem, backend="wse",
+                spec=SolveSpec.from_kwargs(spec=A100),
+            )
+        with pytest.raises(ConfigurationError, match="GpuSpecs"):
+            repro.solve(
+                parity_problem, backend="gpu",
+                spec=SolveSpec.from_kwargs(spec=WSE2),
+            )
+
+
+class TestPreconditionerSpec:
+    """Preconditioner selection moved into the spec (reference + wse)."""
+
+    def test_reference_jacobi_matches_plain(self):
+        problem = make_problem(6, 5, 3, seed=21)
+        plain = repro.solve(problem, backend="reference")
+        jac = repro.solve(
+            problem, backend="reference",
+            spec=SolveSpec.from_kwargs(preconditioner="jacobi"),
+        )
+        np.testing.assert_allclose(jac.pressure, plain.pressure, atol=1e-6)
+        assert jac.telemetry["preconditioner"] == "jacobi"
+        assert jac.iterations > 0
+
+    def test_wse_jacobi_matches_reference(self):
+        problem = make_problem(5, 4, 3, seed=22)
+        ref = repro.solve(problem, backend="reference")
+        jac = repro.solve(
+            problem, backend="wse",
+            spec=TIGHT.with_options(preconditioner="jacobi"),
+        )
+        np.testing.assert_allclose(jac.pressure, ref.pressure, atol=1e-6)
+        assert jac.converged
+
+
+class TestTimeKind:
+    """ISSUE-2 satellite: every builtin backend declares its time notion."""
+
+    EXPECTED = {
+        "reference": "wall_clock",
+        "wse": "simulated_device",
+        "gpu": "modeled_kernel",
+    }
+
+    @pytest.mark.parametrize("backend", sorted(EXPECTED))
+    def test_time_kind_present_and_correct(self, parity_results, backend):
+        result = parity_results[backend]
+        assert result.telemetry["time_kind"] == self.EXPECTED[backend]
+
+
+class TestLegacyKwargs:
+    """The flat-kwarg path stays usable under DeprecationWarning."""
+
+    def test_kwargs_warn_and_match_spec_path(self, parity_problem):
+        with pytest.warns(DeprecationWarning, match="SolveSpec"):
+            legacy = repro.solve(
+                parity_problem, backend="reference",
+                dtype=np.float64, rel_tol=1e-9, max_iters=2000,
+            )
+        new = repro.solve(parity_problem, backend="reference", spec=TIGHT)
+        np.testing.assert_allclose(legacy.pressure, new.pressure, atol=1e-12)
+
+    def test_machine_spec_kwarg_still_accepted(self):
+        from repro.wse.specs import WSE2
+
+        problem = repro.scenario("quarter_five_spot", nx=4, ny=4, nz=2).build()
+        with pytest.warns(DeprecationWarning):
+            result = repro.solve(
+                problem, backend="wse", spec=WSE2.with_fabric(8, 8),
+                dtype=np.float32, fixed_iterations=3,
+            )
+        assert result.iterations == 3
+
+    def test_spec_plus_kwargs_rejected(self, parity_problem):
+        with pytest.raises(ConfigurationError, match="not both"):
+            repro.solve(
+                parity_problem, backend="reference", spec=TIGHT, rel_tol=1e-9
+            )
 
 
 class TestFrontDoor:

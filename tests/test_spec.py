@@ -1,0 +1,165 @@
+"""Tests for the typed SolveSpec layer (`repro.spec`).
+
+ISSUE-2 acceptance: unknown keys are rejected with the nearest valid key
+named; `to_dict()`/`from_dict()` round-trips byte-identically (including
+machine specs and block shapes); precision/tolerance/machine fields are
+validated at construction.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.gpu.specs import A100, GpuSpecs
+from repro.spec import (
+    MachineSpec,
+    PrecisionSpec,
+    SolveSpec,
+    ToleranceSpec,
+    coerce_spec,
+)
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WSE2, WseSpecs
+
+
+class TestFromKwargs:
+    def test_maps_flat_vocabulary_into_sections(self):
+        spec = SolveSpec.from_kwargs(
+            tol_rtr=2e-10, rel_tol=1e-9, max_iters=500, dtype=np.float32,
+            spec=WSE2, simd_width=2, variant="precomputed",
+            reuse_buffers=False, comm_only=True, fixed_iterations=7,
+        )
+        assert spec.tolerance == ToleranceSpec(2e-10, 1e-9, 500)
+        assert spec.precision.dtype == "float32"
+        assert spec.machine.spec == WSE2
+        assert spec.machine.simd_width == 2
+        assert spec.machine.variant == "precomputed"
+        assert spec.machine.reuse_buffers is False
+        assert spec.machine.comm_only is True
+        assert spec.machine.fixed_iterations == 7
+
+    def test_unknown_key_names_nearest_valid_key(self):
+        with pytest.raises(ConfigurationError, match="did you mean 'tol_rtr'"):
+            SolveSpec.from_kwargs(tol_rt=1e-9)
+        with pytest.raises(ConfigurationError, match="did you mean 'max_iters'"):
+            SolveSpec.from_kwargs(max_iter=10)
+        with pytest.raises(ConfigurationError, match="unknown solve option"):
+            SolveSpec.from_kwargs(completely_bogus=1)
+
+    def test_specs_spelling_and_jacobi_toggle(self):
+        spec = SolveSpec.from_kwargs(specs=A100, jacobi=True)
+        assert spec.machine.spec == A100
+        assert spec.preconditioner == "jacobi"
+        assert SolveSpec.from_kwargs(jacobi=False).preconditioner == "none"
+
+    def test_with_options_layers_over_base(self):
+        base = SolveSpec.from_kwargs(dtype="float64", rel_tol=1e-8)
+        derived = base.with_options(comm_only=True, fixed_iterations=3)
+        assert derived.tolerance.rel_tol == 1e-8
+        assert derived.machine.comm_only is True
+        # The base is unchanged (specs are immutable values).
+        assert base.machine.comm_only is False
+
+
+class TestValidation:
+    def test_dtype_normalized_and_restricted(self):
+        assert PrecisionSpec(np.float64).dtype == "float64"
+        assert PrecisionSpec("f4").dtype == "float32"
+        with pytest.raises(ConfigurationError, match="not supported"):
+            PrecisionSpec("int32")
+        with pytest.raises(ConfigurationError, match="dtype"):
+            PrecisionSpec("not-a-dtype")
+
+    def test_tolerance_bounds(self):
+        with pytest.raises(ConfigurationError, match="tol_rtr"):
+            ToleranceSpec(tol_rtr=-1.0)
+        with pytest.raises(ConfigurationError, match="max_iters"):
+            ToleranceSpec(max_iters=0)
+
+    def test_machine_field_bounds(self):
+        with pytest.raises(ConfigurationError, match="simd_width"):
+            MachineSpec(simd_width=0)
+        with pytest.raises(ConfigurationError, match="block_shape"):
+            MachineSpec(block_shape=(16, 8))
+        with pytest.raises(ConfigurationError, match="fixed_iterations"):
+            MachineSpec(fixed_iterations=0)
+        with pytest.raises(ConfigurationError, match="WseSpecs or GpuSpecs"):
+            MachineSpec(spec="CS-2")
+
+    def test_preconditioner_restricted(self):
+        with pytest.raises(ConfigurationError, match="preconditioner"):
+            SolveSpec(preconditioner="ilu")
+
+    def test_require_machine_support(self):
+        spec = SolveSpec.from_kwargs(simd_width=2, block_shape=(16, 8, 8))
+        with pytest.raises(ConfigurationError, match="block_shape"):
+            spec.require_machine_support("wse", {"simd_width"})
+        spec.require_machine_support("wse", {"simd_width", "block_shape"})
+
+
+class TestRoundTrip:
+    CASES = {
+        "default": SolveSpec(),
+        "tolerances": SolveSpec.from_kwargs(tol_rtr=2e-10, rel_tol=1e-9, max_iters=42),
+        "wse": SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(32, 32), dtype="float32", simd_width=1,
+            variant="fused_mobility", reuse_buffers=False, comm_only=True,
+            fixed_iterations=5,
+        ),
+        "gpu": SolveSpec.from_kwargs(
+            specs=A100, block_shape=(16, 8, 8), dtype="float64",
+        ),
+        "jacobi": SolveSpec.from_kwargs(preconditioner="jacobi"),
+    }
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_to_dict_from_dict_byte_identical(self, name):
+        spec = self.CASES[name]
+        payload = spec.to_dict()
+        text = json.dumps(payload, sort_keys=True)  # must be JSON-able
+        rebuilt = SolveSpec.from_dict(payload)
+        assert rebuilt == spec
+        assert json.dumps(rebuilt.to_dict(), sort_keys=True) == text
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_json_wire_round_trip(self, name):
+        # Through an actual JSON encode/decode (what the ResultStore does).
+        spec = self.CASES[name]
+        wire = json.loads(json.dumps(spec.to_dict()))
+        rebuilt = SolveSpec.from_dict(wire)
+        assert rebuilt == spec
+        assert isinstance(rebuilt.machine.spec, (WseSpecs, GpuSpecs, type(None)))
+
+    def test_fingerprint_stable_and_distinct(self):
+        a = SolveSpec.from_kwargs(rel_tol=1e-9)
+        assert a.fingerprint() == SolveSpec.from_kwargs(rel_tol=1e-9).fingerprint()
+        assert a.fingerprint() != SolveSpec.from_kwargs(rel_tol=1e-8).fingerprint()
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError, match="section"):
+            SolveSpec.from_dict({"tolerances": {}})
+        with pytest.raises(ConfigurationError, match="tolerance key"):
+            SolveSpec.from_dict({"tolerance": {"tol_rt": 1e-9}})
+        with pytest.raises(ConfigurationError, match="kind"):
+            SolveSpec.from_dict({"machine": {"spec": {"fabric_width": 2}}})
+
+    def test_specs_are_picklable(self):
+        # Plans cross process boundaries; the spec must survive pickle.
+        for spec in self.CASES.values():
+            assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestCoerce:
+    def test_accepts_spec_mapping_none(self):
+        spec = SolveSpec.from_kwargs(rel_tol=1e-9)
+        assert coerce_spec(spec) is spec
+        assert coerce_spec(spec.to_dict()) == spec
+        assert coerce_spec(None) == SolveSpec()
+
+    def test_rejects_junk(self):
+        with pytest.raises(ConfigurationError, match="SolveSpec"):
+            coerce_spec(42)
