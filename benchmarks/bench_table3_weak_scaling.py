@@ -58,10 +58,10 @@ def _simulate_scaling():
     results = []
     for lateral, report in zip(laterals, reports):
         per_pe_compute = (
-            report.telemetry["counters"].compute_cycles / (lateral * lateral)
+            report.telemetry["counters"]["compute_cycles"] / (lateral * lateral)
         )
         results.append(
-            (lateral, per_pe_compute, report.telemetry["trace"].makespan_cycles)
+            (lateral, per_pe_compute, report.telemetry["trace"]["makespan_cycles"])
         )
     return results
 

@@ -60,8 +60,8 @@ def _comm_share(nz: int) -> float:
     )
     full, comm = (er.result for er in plan.run(executor="serial"))
     return (
-        comm.telemetry["trace"].makespan_cycles
-        / full.telemetry["trace"].makespan_cycles
+        comm.telemetry["trace"]["makespan_cycles"]
+        / full.telemetry["trace"]["makespan_cycles"]
     )
 
 

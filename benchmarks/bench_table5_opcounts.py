@@ -77,15 +77,15 @@ def test_table5_trace_cross_check(benchmark):
         format_table(
             ["Counter", "Value"],
             [
-                ["total FLOPs", counters.flops],
-                ["memory bytes", counters.mem_bytes],
-                ["fabric bytes", counters.fabric_bytes],
+                ["total FLOPs", counters["flops"]],
+                ["memory bytes", counters["mem_bytes"]],
+                ["fabric bytes", counters["fabric_bytes"]],
             ],
             title="Fabric trace totals (4x4x8, 3 fixed iterations)",
         ),
     )
-    assert counters.flops > 0
+    assert counters["flops"] > 0
     # Fabric traffic must be FMOV-dominated: each halo element is moved
     # exactly once per direction per iteration.
-    assert counters.fabric_load_bytes > 0
-    assert counters.mem_bytes > counters.fabric_bytes
+    assert counters["fabric_load_bytes"] > 0
+    assert counters["mem_bytes"] > counters["fabric_bytes"]

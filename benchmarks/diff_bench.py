@@ -1,0 +1,132 @@
+"""Diff a bench-session run against the committed baseline (warn-only).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_all.py --smoke --out bench_smoke.json
+    python benchmarks/diff_bench.py bench_smoke.json [--baseline BENCH_session.json]
+
+Matches rows by ``(table, scenario)`` so every rung of a multi-row
+sweep (table3's laterals, table3_vector's 16/64/128 fabrics) gets its
+own line; when one side is a smoke run and the other full-size, the
+grids differ, so rows collapse to one per ``table`` and ratios are
+informational only.  Prints a regression table of ``host_seconds``
+(baseline vs. current, ratio) and flags rows whose slowdown exceeds
+``--warn-ratio`` (default 2.0 — host timings on shared CI runners are
+noisy, so this is a visibility tool, not a gate).
+
+Always exits 0: perf drift becomes *visible* per-PR without blocking
+merges.  Missing/new/failed rows are listed, not errored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def load_rows(path: pathlib.Path, *, by_scenario: bool) -> dict[str, dict]:
+    payload = json.loads(path.read_text())
+    rows: dict[str, dict] = {}
+    for record in payload.get("results", []):
+        if by_scenario:
+            # Multi-row tables (table3's lateral sweep, table3_vector's
+            # 16/64/128 rungs) each get their own diff line.
+            key = f"{record['table']} {record.get('scenario', '')}".strip()
+            rows[key] = record
+        else:
+            rows.setdefault(record["table"], record)
+    return rows
+
+
+def format_row(cells: list[str], widths: list[int]) -> str:
+    return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) + " |"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", type=pathlib.Path,
+                        help="bench JSON produced by this PR's run")
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        default=REPO_ROOT / "BENCH_session.json")
+    parser.add_argument("--warn-ratio", type=float, default=2.0,
+                        help="flag rows slower than baseline by this factor")
+    args = parser.parse_args(argv)
+
+    if not args.baseline.exists():
+        print(f"diff_bench: no baseline at {args.baseline}; nothing to diff")
+        return 0
+    if not args.current.exists():
+        print(f"diff_bench: no current run at {args.current}; nothing to diff")
+        return 0
+
+    base_smoke = json.loads(args.baseline.read_text()).get("smoke")
+    cur_smoke = json.loads(args.current.read_text()).get("smoke")
+    if base_smoke != cur_smoke:
+        print(
+            f"diff_bench: baseline is a {'smoke' if base_smoke else 'full'} "
+            f"run, current is {'smoke' if cur_smoke else 'full'} — grids "
+            "differ, so ratios show workload shape only, not regressions."
+        )
+    like_for_like = base_smoke == cur_smoke
+    base = load_rows(args.baseline, by_scenario=like_for_like)
+    cur = load_rows(args.current, by_scenario=like_for_like)
+
+    header = ["table", "baseline host_s", "current host_s", "ratio", "flag"]
+    table_rows: list[list[str]] = []
+    warnings = 0
+    for key in sorted(set(base) | set(cur)):
+        b, c = base.get(key), cur.get(key)
+        if b is None:
+            table_rows.append([key, "-", _fmt(c), "-", "new row"])
+            continue
+        if c is None:
+            table_rows.append([key, _fmt(b), "-", "-", "missing"])
+            continue
+        if "error" in c or "error" in b:
+            table_rows.append([key, _fmt(b), _fmt(c), "-", "error"])
+            warnings += 1
+            continue
+        bs, cs = b.get("host_seconds"), c.get("host_seconds")
+        if not bs or cs is None:
+            table_rows.append([key, _fmt(b), _fmt(c), "-", ""])
+            continue
+        ratio = cs / bs
+        flag = ""
+        if like_for_like and ratio > args.warn_ratio:
+            flag = f"WARN >{args.warn_ratio:.1f}x"
+            warnings += 1
+        table_rows.append([key, f"{bs:.4f}", f"{cs:.4f}", f"{ratio:.2f}x", flag])
+
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in table_rows)) if table_rows
+        else len(header[i])
+        for i in range(len(header))
+    ]
+    sep = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    print("\nbench host_seconds vs baseline (warn-only)")
+    print(format_row(header, widths))
+    print(sep)
+    for row in table_rows:
+        print(format_row(row, widths))
+    if warnings:
+        print(f"\ndiff_bench: {warnings} row(s) flagged (non-blocking)")
+    else:
+        print("\ndiff_bench: no regressions flagged")
+    return 0
+
+
+def _fmt(record: dict | None) -> str:
+    if record is None:
+        return "-"
+    if "error" in record:
+        return "error"
+    value = record.get("host_seconds")
+    return f"{value:.4f}" if value is not None else "-"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,18 @@ workloads behind the paper's weak-scaling (Table III), time-distribution
 (Table IV) and instruction-count (Table V) studies plus a reference-
 backend baseline, executes it with per-entry error capture, and writes a
 machine-readable ``BENCH_session.json`` at the repo root — the perf
-baseline future PRs diff against.
+baseline future PRs diff against (see ``benchmarks/diff_bench.py``).
+
+The vectorized fabric engine adds the paper-scale rows the event engine
+cannot reach: Table III weak scaling extended to 128×128-PE fabrics, an
+event-vs-vectorized engine comparison on the largest fabric both can
+run, and a full-fabric 750×994 smoke row.
+
+Every row records its convergence *mode*: Table III/IV/V rows run under
+``fixed_iterations`` (truncated by design, the paper's Table IV
+methodology), so their ``converged: false`` is expected — the ``mode``
+and ``fixed_iterations`` fields keep them distinguishable from actual
+convergence failures.
 
 ``--smoke`` shrinks every grid/iteration count for CI; the JSON schema is
 identical.
@@ -38,10 +49,18 @@ def build_targets(smoke: bool) -> list[tuple]:
         laterals, nz, iters = (3, 4), 3, 2
         t4_grid, t4_iters = dict(nx=4, ny=4, nz=4), 3
         t5_grid, t5_iters = dict(nx=3, ny=3, nz=4), 2
+        vector_laterals = (16, 32)
+        compare_lateral = 8
+        full_fabric = dict(nx=128, ny=128, nz=2)
     else:
         laterals, nz, iters = (3, 5, 8), 6, 4
         t4_grid, t4_iters = dict(nx=6, ny=6, nz=8), 8
         t5_grid, t5_iters = dict(nx=4, ny=4, nz=8), 3
+        # Starts above compare_lateral so the sweep and the comparison
+        # pair never duplicate a (scenario, spec) fingerprint.
+        vector_laterals = (32, 64, 128)
+        compare_lateral = 16
+        full_fabric = dict(nx=750, ny=994, nz=2)
 
     wse = repro.SolveSpec.from_kwargs(spec=fabric, dtype="float32")
     rows: list[tuple] = []
@@ -49,6 +68,38 @@ def build_targets(smoke: bool) -> list[tuple]:
     # Table III — weak scaling: growing fabric, fixed column depth.
     for sc in weak_scaling_family(laterals=laterals, nz=nz):
         rows.append(("table3", sc, wse.with_options(fixed_iterations=iters), "wse"))
+
+    # Table III extended — the vectorized engine reaches paper-scale
+    # fabrics the per-PE event simulation cannot.
+    for sc in weak_scaling_family(laterals=vector_laterals, nz=nz):
+        lateral = sc.params["lateral"]
+        vec_spec = repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+            dtype="float32", engine="vectorized", fixed_iterations=iters,
+        )
+        rows.append(("table3_vector", sc, vec_spec, "wse"))
+
+    # Engine comparison — same scenario, same program, both engines, on
+    # the largest fabric the event engine can still run in bench time.
+    # The host_seconds ratio of this pair is the vectorized engine's
+    # speedup (the diff tool and the scale-proof assertion read it).
+    compare = repro.scenario("weak_scaling", lateral=compare_lateral, nz=nz)
+    compare_spec = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(max(32, compare_lateral), max(32, compare_lateral)),
+        dtype="float32", fixed_iterations=iters,
+    )
+    rows.append(("engine_compare_event", compare,
+                 compare_spec.with_options(engine="event"), "wse"))
+    rows.append(("engine_compare_vectorized", compare,
+                 compare_spec.with_options(engine="vectorized"), "wse"))
+
+    # Full-fabric smoke — the wafer rectangle of the paper (§III intro):
+    # 750×994 PEs, vectorized engine only.
+    full = repro.scenario("quarter_five_spot", **full_fabric)
+    full_spec = repro.SolveSpec.from_kwargs(
+        spec=WSE2, dtype="float32", engine="vectorized", fixed_iterations=2,
+    )
+    rows.append(("full_fabric_smoke", full, full_spec, "wse"))
 
     # Table IV — time distribution: full run vs. comm-only on one scenario
     # (shared scenario fingerprint -> one assembly).
@@ -79,25 +130,57 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     rows = build_targets(args.smoke)
-    plan = repro.Session().plan(
-        [(target, spec, backend) for _, target, spec, backend in rows]
+    # The engine-comparison pair is a controlled measurement: its
+    # host_seconds become the recorded speedup, so it must not share the
+    # interpreter with concurrently running entries (the pure-Python
+    # event engine is GIL-bound and would absorb the pool's contention).
+    # It runs in its own serial plan; everything else fans out.
+    compare_idx = [i for i, row in enumerate(rows)
+                   if row[0].startswith("engine_compare")]
+    other_idx = [i for i in range(len(rows)) if i not in compare_idx]
+
+    session = repro.Session()
+    plan = session.plan(
+        [(rows[i][1], rows[i][2], rows[i][3]) for i in other_idx]
     )
-    print(f"plan: {len(plan)} entries ({'smoke' if args.smoke else 'full'})")
+    compare_plan = session.plan(
+        [(rows[i][1], rows[i][2], rows[i][3]) for i in compare_idx]
+    )
+    print(f"plan: {len(plan)} + {len(compare_plan)} serial comparison "
+          f"entries ({'smoke' if args.smoke else 'full'})")
     for index, label, backend, fp in plan.describe():
-        print(f"  [{index}] {rows[index][0]:<18} {backend:<9} {label}  ({fp})")
+        print(f"  [{index}] {rows[other_idx[index]][0]:<26} {backend:<9} {label}  ({fp})")
+    for index, label, backend, fp in compare_plan.describe():
+        print(f"  [serial {index}] {rows[compare_idx[index]][0]:<19} "
+              f"{backend:<9} {label}  ({fp})")
 
     start = time.perf_counter()
-    results = plan.run(executor=args.executor, n_workers=args.n_workers)
+    results_by_row: dict[int, object] = dict(zip(
+        other_idx, plan.run(executor=args.executor, n_workers=args.n_workers)
+    ))
+    results_by_row.update(zip(compare_idx, compare_plan.run(executor="serial")))
     wall = time.perf_counter() - start
+    results = [results_by_row[i] for i in range(len(rows))]
 
     records = []
     failures = 0
-    for (table, _target, _spec, _backend), er in zip(rows, results):
+    for (table, _target, spec, _backend), er in zip(rows, results):
+        fixed = spec.machine.fixed_iterations
+        # Record the engine that actually ran (the backend reports it in
+        # telemetry; rows that never ran fall back to the requested knob).
+        engine = spec.machine.engine
+        if er.ok:
+            engine = er.result.telemetry.get("engine", engine)
         record = {
             "table": table,
             "scenario": er.entry.label,
             "backend": er.entry.backend,
+            "engine": engine,
             "fingerprint": er.entry.fingerprint,
+            # Truncated-by-design rows (the Table IV methodology) must not
+            # read as convergence failures: record how the run terminates.
+            "mode": "fixed_iterations" if fixed is not None else "to_convergence",
+            "fixed_iterations": fixed,
         }
         if er.ok:
             record.update(
@@ -112,8 +195,17 @@ def main(argv: list[str] | None = None) -> int:
             record["error"] = f"{type(er.error).__name__}: {er.error}"
         records.append(record)
 
+    by_table = {r["table"]: r for r in records}
+    ev = by_table.get("engine_compare_event", {})
+    vec = by_table.get("engine_compare_vectorized", {})
+    if ev.get("host_seconds") and vec.get("host_seconds"):
+        speedup = ev["host_seconds"] / vec["host_seconds"]
+        print(f"\nengine comparison ({ev['scenario']}): "
+              f"event {ev['host_seconds']:.3f}s vs vectorized "
+              f"{vec['host_seconds']:.3f}s -> {speedup:.1f}x")
+
     payload = {
-        "schema": "repro.bench_session/1",
+        "schema": "repro.bench_session/2",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -48,7 +48,7 @@ def main() -> None:
         f"{problem.grid.nx}x{problem.grid.ny} PE fabric, "
         f"converged={wse.converged}, "
         f"modeled device time {wse.elapsed_seconds * 1e6:.1f} us, "
-        f"{wse.telemetry['counters'].flops:,} FLOPs executed"
+        f"{wse.telemetry['counters']['flops']:,} FLOPs executed"
     )
     print(
         f"            max |dataflow - reference| = "

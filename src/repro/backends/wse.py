@@ -22,9 +22,12 @@ class WseBackend:
 
     Consumes a :class:`~repro.spec.SolveSpec`: ``machine.spec`` is the
     :class:`WseSpecs` target (default :data:`WSE2`, the full 750×994 CS-2
-    fabric, so any simulator-scale grid fits), plus the dataflow design
-    knobs ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ``
-    vs. in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
+    fabric, so any simulator-scale grid fits), ``machine.engine`` selects
+    the fabric execution engine (``"event"``, the per-PE discrete-event
+    oracle and the default; or ``"vectorized"``, whole-fabric NumPy
+    sweeps for paper-scale fabrics), plus the dataflow design knobs
+    ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ`` vs.
+    in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
     ``comm_only``/``fixed_iterations`` (§V-C's Table IV methodology) and
     ``preconditioner="jacobi"`` (purely PE-local diagonal scaling).
     ``block_shape`` belongs to the GPU and is rejected here.
@@ -34,8 +37,8 @@ class WseBackend:
 
     #: MachineSpec knobs this backend honours.
     SUPPORTED_MACHINE_FIELDS = {
-        "spec", "simd_width", "variant", "reuse_buffers", "comm_only",
-        "fixed_iterations",
+        "spec", "engine", "simd_width", "variant", "reuse_buffers",
+        "comm_only", "fixed_iterations",
     }
 
     def solve_native(self, problem: SinglePhaseProblem, **options: Any):
@@ -58,6 +61,8 @@ class WseBackend:
         }
         if machine.spec is not None:
             options["spec"] = machine.spec
+        if machine.engine is not None:
+            options["engine"] = machine.engine
         if machine.simd_width is not None:
             options["simd_width"] = machine.simd_width
         if machine.variant is not None:
@@ -79,6 +84,10 @@ class WseBackend:
     def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
         spec = coerce_spec(spec)
         report = self.solve_native(problem, **self._native_options(spec))
+        # Telemetry carries stable to_dict() summaries, not live simulator
+        # objects: ResultStore manifests, bench JSON and pickled
+        # process-pool results stay serializable and small.  The native
+        # path (solve_native) still returns the live WseSolveReport.
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.iterations,
@@ -89,9 +98,10 @@ class WseBackend:
             telemetry={
                 "time_kind": "simulated_device",
                 "preconditioner": spec.preconditioner,
-                "trace": report.trace,
-                "counters": report.counters,
-                "memory": report.memory,
-                "state_visits": report.state_visits,
+                "engine": report.engine,
+                "trace": report.trace.to_dict(),
+                "counters": report.counters.to_dict(),
+                "memory": dict(report.memory),
+                "state_visits": [state.name for state in report.state_visits],
             },
         )

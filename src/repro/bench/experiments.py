@@ -166,8 +166,8 @@ def table4_simulator_rows(nx: int = 6, ny: int = 6, nz: int = 8,
     comm_spec = full_spec.with_options(comm_only=True)
     plan = Session().plan([(sc, full_spec), (sc, comm_spec)], backend="wse")
     full, comm = (er.result for er in plan.run(executor="serial"))
-    total = full.telemetry["trace"].makespan_cycles
-    movement = comm.telemetry["trace"].makespan_cycles
+    total = full.telemetry["trace"]["makespan_cycles"]
+    movement = comm.telemetry["trace"]["makespan_cycles"]
     return [
         ["Data Movement (sim)", movement, round(100.0 * movement / total, 2)],
         ["Computation (sim)", total - movement, round(100.0 * (total - movement) / total, 2)],
@@ -285,12 +285,12 @@ def ablation_simd(iterations: int = 6) -> list[list[Any]]:
         )
         results[width] = report
         rows.append(
-            [f"SIMD width {width}", report.telemetry["counters"].compute_cycles,
-             report.telemetry["trace"].makespan_cycles]
+            [f"SIMD width {width}", report.telemetry["counters"]["compute_cycles"],
+             report.telemetry["trace"]["makespan_cycles"]]
         )
     ratio = (
-        results[1].telemetry["counters"].compute_cycles
-        / results[2].telemetry["counters"].compute_cycles
+        results[1].telemetry["counters"]["compute_cycles"]
+        / results[2].telemetry["counters"]["compute_cycles"]
     )
     rows.append(["compute-cycle ratio (1 vs 2)", f"{ratio:.2f}x", "ideal 2.00x"])
     return rows
@@ -335,12 +335,12 @@ def ablation_comm_overlap(iterations: int = 6) -> list[list[Any]]:
     comm = solve(problem, backend="wse", spec=full_spec.with_options(comm_only=True))
     full_trace = full.telemetry["trace"]
     comm_trace = comm.telemetry["trace"]
-    compute_critical = full_trace.max_compute_cycles
-    unoverlapped = comm_trace.makespan_cycles + compute_critical
-    hidden = max(0, unoverlapped - full_trace.makespan_cycles)
+    compute_critical = full_trace["max_compute_cycles"]
+    unoverlapped = comm_trace["makespan_cycles"] + compute_critical
+    hidden = max(0, unoverlapped - full_trace["makespan_cycles"])
     return [
-        ["full run makespan", full_trace.makespan_cycles],
-        ["comm-only makespan", comm_trace.makespan_cycles],
+        ["full run makespan", full_trace["makespan_cycles"]],
+        ["comm-only makespan", comm_trace["makespan_cycles"]],
         ["compute critical path", compute_critical],
         ["serial (no overlap) estimate", unoverlapped],
         ["cycles hidden by overlap", hidden],
@@ -392,7 +392,7 @@ def ablation_jacobi(rel_tol: float = 1e-8) -> list[list[Any]]:
                 "jacobi" if jacobi else "plain CG",
                 report.iterations,
                 report.converged,
-                report.telemetry["trace"].total_messages,
+                report.telemetry["trace"]["total_messages"],
             ]
         )
     return rows
@@ -414,9 +414,9 @@ def ablation_kernel_variant(iterations: int = 4) -> list[list[Any]]:
         rows.append(
             [
                 variant,
-                report.telemetry["counters"].flops,
+                report.telemetry["counters"]["flops"],
                 int(report.telemetry["memory"]["max_high_water"]),
-                report.telemetry["trace"].makespan_cycles,
+                report.telemetry["trace"]["makespan_cycles"],
             ]
         )
     return rows

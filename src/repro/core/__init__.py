@@ -10,6 +10,12 @@ Composes the `repro.wse` simulator into the system of §III:
                   vectorized with DSDs (§III-E.3);
 * `cg_dataflow` — conjugate gradient as the 14-state event-driven machine
                   (§III-D), distributed over all PEs;
+* `program`     — the engine-agnostic CG program description (phases:
+                  halo exchange, FV apply, axpy/dot, all-reduce);
+* `engines`     — the pluggable engine registry: ``"event"`` (per-PE
+                  discrete-event oracle) / ``"vectorized"`` (whole-fabric
+                  NumPy sweeps, `repro.wse.vector_engine`);
+* `event_engine`— the event-driven engine composition;
 * `solver`      — :class:`WseMatrixFreeSolver`, the public entry point;
 * `host`        — memcpy-style host staging (outside kernel timing, §IV/V).
 """
@@ -17,7 +23,9 @@ Composes the `repro.wse` simulator into the system of §III:
 from repro.core.mapping import ProblemMapping, PORT_FOR_DIRECTION
 from repro.core.exchange import HaloExchange, ExchangeColors
 from repro.core.allreduce import AllReduce, AllReduceColors
+from repro.core.engines import DEFAULT_ENGINE, ENGINE_NAMES, create_engine
 from repro.core.fv_kernel import PeKernelConfig, FvColumnKernel
+from repro.core.program import CG_PHASES, CgProgram, EngineReport, Phase
 from repro.core.solver import WseMatrixFreeSolver, WseSolveReport
 
 __all__ = [
@@ -29,6 +37,13 @@ __all__ = [
     "AllReduceColors",
     "PeKernelConfig",
     "FvColumnKernel",
+    "CG_PHASES",
+    "CgProgram",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "EngineReport",
+    "Phase",
+    "create_engine",
     "WseMatrixFreeSolver",
     "WseSolveReport",
 ]

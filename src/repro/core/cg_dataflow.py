@@ -33,6 +33,7 @@ import numpy as np
 from repro.core.allreduce import AllReduce
 from repro.core.exchange import HaloExchange
 from repro.core.fv_kernel import FvColumnKernel, PeKernelConfig
+from repro.core.program import CgProgram
 from repro.solvers.state_machine import CGState
 from repro.util.errors import ConfigurationError
 from repro.wse.dsd import Dsd
@@ -74,18 +75,12 @@ class DataflowCG:
     kernel_configs:
         Per-PE kernel configuration keyed by (x, y) (Dirichlet kinds
         differ between well columns and interior PEs).
-    tol_rtr:
-        Algorithm 1's ε on the *global* ``r^T r``.
-    max_iters:
-        Iteration cap ``k_max``.
-    fixed_iterations:
-        If set, run exactly this many iterations, ignoring ε (Table IV
-        methodology; required when the fabric runs with FP suppressed).
-    jacobi:
-        Diagonal (Jacobi) scaling — the extension preconditioner that is
-        purely PE-local (each PE multiplies its own residual column by
-        1/diag; no extra communication).  The CG scalars become
-        ``r^T z`` and the convergence check applies ε to ``r^T z``.
+    program:
+        The engine-agnostic :class:`~repro.core.program.CgProgram`:
+        resolved tolerance (Algorithm 1's ε on the *global* ``r^T r``),
+        iteration cap, ``fixed_iterations`` (Table IV methodology),
+        Jacobi preconditioning (purely PE-local diagonal scaling — the
+        CG scalars become ``r^T z`` and ε applies to ``r^T z``).
     """
 
     def __init__(
@@ -95,24 +90,20 @@ class DataflowCG:
         allreduce: AllReduce,
         kernel: FvColumnKernel,
         kernel_configs: dict[tuple[int, int], PeKernelConfig],
+        program: CgProgram,
         *,
-        tol_rtr: float = 2e-10,
-        max_iters: int = 10_000,
-        fixed_iterations: int | None = None,
         track_states_for: tuple[int, int] = (0, 0),
-        jacobi: bool = False,
     ):
         self.fabric = fabric
         self.exchange = exchange
         self.allreduce = allreduce
         self.kernel = kernel
         self.kernel_configs = kernel_configs
-        self.tol_rtr = float(tol_rtr)
-        self.max_iters = int(max_iters)
-        self.fixed_iterations = fixed_iterations
-        self.jacobi = bool(jacobi)
-        if fixed_iterations is not None and fixed_iterations < 1:
-            raise ConfigurationError("fixed_iterations must be >= 1")
+        self.program = program
+        self.tol_rtr = float(program.tol_rtr)
+        self.max_iters = int(program.max_iters)
+        self.fixed_iterations = program.fixed_iterations
+        self.jacobi = bool(program.jacobi)
         self._pe_state: dict[tuple[int, int], PeCgState] = {
             (pe.x, pe.y): PeCgState() for pe in fabric.iter_pes()
         }

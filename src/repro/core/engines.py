@@ -1,0 +1,74 @@
+"""Fabric engine registry: how a :class:`CgProgram` gets executed.
+
+Two engines execute the same engine-agnostic program description
+(:mod:`repro.core.program`):
+
+* ``"event"`` — the discrete-event oracle (one Python PE per fabric PE,
+  one event per wavelet; cycle-accurate, byte-stable traces);
+* ``"vectorized"`` — whole-fabric NumPy array sweeps with an analytic
+  cycle/counter model (paper-scale fabrics, identical numerics and
+  instruction counts).
+
+Selection is declarative via ``MachineSpec(engine=...)``; the solver
+resolves the name here.  Engine construction is lazy per name so the
+default event path never imports the vectorized module and vice versa.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+import numpy as np
+
+from repro.core.program import CgProgram, EngineReport
+from repro.physics.darcy import SinglePhaseProblem
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WseSpecs
+
+#: Engine names MachineSpec.engine accepts (None defers to the default).
+ENGINE_NAMES = ("event", "vectorized")
+
+DEFAULT_ENGINE = "event"
+
+
+class FabricEngine(Protocol):
+    """What the solver needs from an engine (structural typing)."""
+
+    name: str
+
+    def run(self, *, track_states_for: tuple[int, int] = (0, 0)) -> EngineReport:
+        ...
+
+
+def create_engine(
+    name: str,
+    problem: SinglePhaseProblem,
+    program: CgProgram,
+    *,
+    spec: WseSpecs,
+    dtype=np.float32,
+    simd_width: int | None = None,
+    initial_pressure: np.ndarray | None = None,
+) -> FabricEngine:
+    """Instantiate the engine ``name`` for one solve (staging included)."""
+    if name not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown fabric engine {name!r}; choose one of "
+            f"{', '.join(ENGINE_NAMES)}"
+        )
+    kwargs = dict(
+        spec=spec,
+        dtype=dtype,
+        simd_width=simd_width,
+        initial_pressure=initial_pressure,
+    )
+    if name == "event":
+        from repro.core.event_engine import EventEngine
+
+        return EventEngine(problem, program, **kwargs)
+    from repro.wse.vector_engine import VectorEngine
+
+    return VectorEngine(problem, program, **kwargs)
+
+
+__all__ = ["DEFAULT_ENGINE", "ENGINE_NAMES", "FabricEngine", "create_engine"]

@@ -274,6 +274,49 @@ class FvColumnKernel:
     # -- analytic op counts (for trace cross-checks) ------------------------------
 
     @staticmethod
+    def instruction_plan(config: PeKernelConfig) -> list[tuple[Op, int]]:
+        """The exact DSD instruction sequence of one column apply.
+
+        One ``(op, element_count)`` pair per issued vector instruction, in
+        program order — the ground truth both engines share: the event
+        engine's trace must execute exactly this sequence (pinned by
+        tests via :meth:`expected_op_counts`), and the vectorized engine
+        charges its analytic cycle/counter model from it.
+        """
+        nz = config.depth
+        n = nz - 1
+        plan: list[tuple[Op, int]] = []
+        if config.variant is KernelVariant.PRECOMPUTED:
+            for i in range(4):  # lateral directions in HALO_ORDER
+                plan.append((Op.FSUB, nz))  # diff = x - halo
+                plan.append((Op.FMUL if i == 0 else Op.FMA, nz))
+            if nz >= 2:
+                for _ in ("up", "down"):
+                    plan.append((Op.FSUB, n))
+                    plan.append((Op.FMA, n))
+        else:
+            for i in range(4):
+                plan.append((Op.FADD, nz))  # λ_K + λ_L
+                plan.append((Op.FMUL, nz))  # · 0.5
+                plan.append((Op.FMUL, nz))  # · Υ
+                plan.append((Op.FSUB, nz))  # diff = x - halo
+                plan.append((Op.FMUL, nz))  # c ⊙ diff
+                plan.append((Op.FMOV if i == 0 else Op.FADD, nz))
+            if nz >= 2:
+                for _ in ("up", "down"):
+                    plan.append((Op.FSUB, n))  # shifted diff
+                    plan.append((Op.FADD, n))  # λ_z + λ_z±1
+                    plan.append((Op.FMUL, n))  # · 0.5
+                    plan.append((Op.FMUL, n))  # · Υ
+                    plan.append((Op.FMA, n))
+        if config.dirichlet is DirichletKind.FULL:
+            plan.append((Op.FMOV, nz))
+        elif config.dirichlet is DirichletKind.PARTIAL:
+            plan.append((Op.FSUB, nz))
+            plan.append((Op.FMA, nz))
+        return plan
+
+    @staticmethod
     def expected_op_counts(config: PeKernelConfig) -> CounterT:
         """Instruction elements the kernel executes for one column.
 
@@ -281,31 +324,17 @@ class FvColumnKernel:
         definition, and by `repro.perf.opcount` to document our kernel's
         mix next to the paper's Table V.
         """
-        nz = config.depth
-        n = nz - 1
         counts: CounterT = Counter()
-        if config.variant is KernelVariant.PRECOMPUTED:
-            counts[Op.FSUB] += 4 * nz  # lateral diffs
-            counts[Op.FMUL] += nz  # first-direction init
-            counts[Op.FMA] += 3 * nz  # remaining lateral terms
-            if nz >= 2:
-                counts[Op.FSUB] += 2 * n
-                counts[Op.FMA] += 2 * n
-        else:
-            counts[Op.FADD] += 4 * nz  # λ sums
-            counts[Op.FMUL] += 4 * 2 * nz  # ·0.5 and ·Υ
-            counts[Op.FSUB] += 4 * nz  # diffs
-            counts[Op.FMUL] += 4 * nz  # c ⊙ diff
-            counts[Op.FMOV] += nz  # accumulator init
-            counts[Op.FADD] += 3 * nz  # accumulation
-            if nz >= 2:
-                counts[Op.FSUB] += 2 * n
-                counts[Op.FADD] += 2 * n
-                counts[Op.FMUL] += 2 * 2 * n
-                counts[Op.FMA] += 2 * n
-        if config.dirichlet is DirichletKind.FULL:
-            counts[Op.FMOV] += nz
-        elif config.dirichlet is DirichletKind.PARTIAL:
-            counts[Op.FSUB] += nz
-            counts[Op.FMA] += nz
+        for op, num_elements in FvColumnKernel.instruction_plan(config):
+            counts[op] += num_elements
         return counts
+
+    @staticmethod
+    def expected_cycles(config: PeKernelConfig, simd_width: int) -> int:
+        """Cycles one PE spends in a single column apply (ISA cost model)."""
+        from repro.wse.isa import vector_cycles
+
+        return sum(
+            vector_cycles(num_elements, simd_width)
+            for _, num_elements in FvColumnKernel.instruction_plan(config)
+        )

@@ -1,0 +1,137 @@
+"""Engine-agnostic description of the dataflow CG program.
+
+The paper's program is the same on every PE — a fixed cycle of four
+phases (§III-B..III-D):
+
+1. **halo exchange** — obtain the four lateral neighbour columns;
+2. **FV apply** — the matrix-free column kernel ``Jx``;
+3. **axpy/dot** — the PE-local CG vector updates and partial dot
+   products;
+4. **all-reduce** — combine the partials into the global scalars that
+   gate the next state transition.
+
+:class:`CgProgram` captures that cycle plus every knob that changes what
+the phases compute (kernel variant, buffer reuse, preconditioner,
+suppressed arithmetic, tolerances), *without* saying how the phases are
+executed.  Two engines consume it:
+
+* the event-driven engine (``repro.core.event_engine``) instantiates one
+  :class:`~repro.wse.pe.ProcessingElement` per PE and plays the program
+  as discrete wavelet events — the cycle-accurate oracle;
+* the vectorized engine (``repro.wse.vector_engine``) executes each
+  phase over the whole fabric as ``(nx, ny, nz)`` NumPy array sweeps —
+  the paper-scale path (Kronbichler & Kormann's observation that a
+  matrix-free operator is just structured array sweeps, applied to the
+  fabric itself).
+
+Engines return an :class:`EngineReport`, the shared result vocabulary
+(solution + machine telemetry) that ``repro.core.solver`` republishes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.fv_kernel import KernelVariant
+from repro.solvers.state_machine import CGState
+from repro.util.errors import ConfigurationError
+from repro.wse.trace import FabricTrace, PerfCounters
+
+
+class Phase(enum.Enum):
+    """The four phases of the per-PE dataflow program."""
+
+    HALO_EXCHANGE = "halo_exchange"
+    FV_APPLY = "fv_apply"
+    AXPY_DOT = "axpy_dot"
+    ALLREDUCE = "allreduce"
+
+
+#: One CG iteration in phase order (the exchange gates the apply, the
+#: all-reduce gates the next iteration — §III-D's state transitions).
+CG_PHASES: tuple[Phase, ...] = (
+    Phase.HALO_EXCHANGE,
+    Phase.FV_APPLY,
+    Phase.AXPY_DOT,
+    Phase.ALLREDUCE,
+)
+
+
+@dataclass(frozen=True)
+class CgProgram:
+    """Everything an engine needs to run the distributed CG.
+
+    ``tol_rtr`` is the *resolved* absolute tolerance on the global
+    ``r^T r`` (any ``rel_tol`` scaling happens host-side before the
+    program is built, as on the real machine).  ``fixed_iterations``
+    selects the Table IV methodology (run exactly N steps, convergence
+    check disabled); ``comm_only`` additionally suppresses arithmetic.
+    """
+
+    variant: KernelVariant = KernelVariant.PRECOMPUTED
+    reuse_buffers: bool = True
+    jacobi: bool = False
+    comm_only: bool = False
+    tol_rtr: float = 2e-10
+    max_iters: int = 10_000
+    fixed_iterations: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.fixed_iterations is not None and self.fixed_iterations < 1:
+            raise ConfigurationError("fixed_iterations must be >= 1")
+        if self.comm_only and self.fixed_iterations is None:
+            raise ConfigurationError(
+                "comm_only runs never converge; set fixed_iterations "
+                "(the paper used the converged run's 225 steps)"
+            )
+        if self.max_iters < 1:
+            raise ConfigurationError("max_iters must be >= 1")
+
+    @property
+    def check_convergence(self) -> bool:
+        return self.fixed_iterations is None
+
+    @property
+    def iteration_limit(self) -> int:
+        return (
+            self.fixed_iterations
+            if self.fixed_iterations is not None
+            else self.max_iters
+        )
+
+    @property
+    def phases(self) -> tuple[Phase, ...]:
+        return CG_PHASES
+
+    def describe(self) -> list[str]:
+        """Phase names in execution order (introspection/docs)."""
+        return [phase.value for phase in self.phases]
+
+
+@dataclass
+class EngineReport:
+    """What any fabric engine produces for one solve.
+
+    The field vocabulary matches the event-driven oracle's native report
+    (``WseSolveReport`` republishes it unchanged): solution, CG outcome,
+    and the machine-level telemetry the benchmarks consume.  For the
+    vectorized engine, ``trace``/``counters``/``memory`` come from the
+    analytic model over the same ISA cost tables.
+    """
+
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float]
+    trace: FabricTrace
+    counters: PerfCounters
+    elapsed_seconds: float
+    memory: dict[str, float]
+    state_visits: list[CGState] = field(default_factory=list)
+    engine: str = "event"
+
+
+__all__ = ["CG_PHASES", "CgProgram", "EngineReport", "Phase"]

@@ -1,64 +1,29 @@
 """Public dataflow solver: :class:`WseMatrixFreeSolver`.
 
-Composes mapping + staging + exchange + all-reduce + kernel + distributed
-CG into a one-call solve, and reports both the solution and the machine-
-level telemetry (instruction counts, traffic, cycle makespan) the
-benchmarks consume.
+Builds the engine-agnostic :class:`~repro.core.program.CgProgram` from
+the paper's design knobs, hands it to a pluggable fabric engine
+(``engine="event"`` — the cycle-accurate discrete-event oracle — or
+``engine="vectorized"`` — whole-fabric NumPy sweeps for paper-scale
+fabrics), and reports both the solution and the machine-level telemetry
+(instruction counts, traffic, cycle makespan) the benchmarks consume.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 
-from repro.core.allreduce import AllReduce, AllReduceColors
-from repro.core.cg_dataflow import DataflowCG
-from repro.core.exchange import ExchangeColors, HaloExchange
-from repro.core.fv_kernel import FvColumnKernel, KernelVariant
-from repro.core.host import fabric_memory_report, gather_field, stage_problem
-from repro.core.mapping import ProblemMapping
+from repro.core.engines import DEFAULT_ENGINE, create_engine
+from repro.core.fv_kernel import KernelVariant
+from repro.core.program import CgProgram, EngineReport
 from repro.physics.darcy import SinglePhaseProblem
-from repro.solvers.state_machine import CGState
-from repro.util.errors import ConfigurationError
-from repro.wse.color import ColorAllocator
-from repro.wse.fabric import Fabric
 from repro.wse.specs import WSE2, WseSpecs
-from repro.wse.trace import FabricTrace, PerfCounters
 
-
-@dataclass
-class WseSolveReport:
-    """Everything a dataflow solve produces.
-
-    Attributes
-    ----------
-    pressure:
-        The solution field, gathered from the ``y`` buffers.
-    iterations, converged, residual_history:
-        CG outcome (global ``r^T r`` totals as every PE saw them).
-    trace:
-        Fabric-level trace (makespan, message/wavelet counts).
-    counters:
-        Fabric-aggregated instruction/traffic counters.
-    elapsed_seconds:
-        Simulated device time (makespan cycles / clock) — the simulator-
-        scale analogue of the paper's kernel time.
-    memory:
-        PE memory statistics (high-water marks vs. the 48 KiB budget).
-    state_visits:
-        State sequence of the tracked PE (validates the 14-state graph).
-    """
-
-    pressure: np.ndarray
-    iterations: int
-    converged: bool
-    residual_history: list[float]
-    trace: FabricTrace
-    counters: PerfCounters
-    elapsed_seconds: float
-    memory: dict[str, float]
-    state_visits: list[CGState] = field(default_factory=list)
+#: Everything a dataflow solve produces: the solution field gathered from
+#: the ``y`` buffers, the CG outcome (global ``r^T r`` totals as every PE
+#: saw them), the fabric trace/counters, the simulated device time, the
+#: per-PE memory statistics, the tracked PE's state sequence, and the
+#: engine that produced it.  Shared verbatim with the engines.
+WseSolveReport = EngineReport
 
 
 class WseMatrixFreeSolver:
@@ -74,7 +39,11 @@ class WseMatrixFreeSolver:
     * ``simd_width`` — §III-E.3 vectorization (2 = DSD SIMD, 1 = scalar);
     * ``comm_only`` — §V-C's Table IV methodology (suppress FP, fixed
       iteration count);
-    * ``dtype`` — fp32 (paper) or fp64 (tight numerical cross-checks).
+    * ``dtype`` — fp32 (paper) or fp64 (tight numerical cross-checks);
+    * ``engine`` — ``"event"`` (default: per-PE discrete-event oracle)
+      or ``"vectorized"`` (whole-fabric array execution with an analytic
+      cycle/counter model; same numerics and instruction counts, fabrics
+      the event engine cannot reach).
     """
 
     def __init__(
@@ -93,16 +62,11 @@ class WseMatrixFreeSolver:
         fixed_iterations: int | None = None,
         initial_pressure: np.ndarray | None = None,
         jacobi: bool = False,
+        engine: str = DEFAULT_ENGINE,
     ):
         if isinstance(variant, str):
             variant = KernelVariant(variant)
-        if comm_only and fixed_iterations is None:
-            raise ConfigurationError(
-                "comm_only runs never converge; set fixed_iterations "
-                "(the paper used the converged run's 225 steps)"
-            )
         self.problem = problem
-        self.mapping = ProblemMapping(problem.grid, spec)
         self.spec = spec
         self.dtype = np.dtype(dtype)
         self.variant = variant
@@ -115,88 +79,68 @@ class WseMatrixFreeSolver:
         self.initial_pressure = initial_pressure
         self.simd_width = simd_width
         self.jacobi = bool(jacobi)
+        self.engine_name = engine
 
-        from repro.perf.memmodel import SCALAR_RESERVE_BYTES
-
-        self.fabric = Fabric(
-            spec,
-            width=problem.grid.nx,
-            height=problem.grid.ny,
-            dtype=self.dtype,
-            simd_width=simd_width,
-            # CG scalars, state-machine bookkeeping and stack live outside
-            # the column buffers; reserve them so the capacity model's
-            # max_depth is exactly the staging boundary (tested).
-            reserved_pe_bytes=SCALAR_RESERVE_BYTES,
-        )
-        self.colors = ColorAllocator(31)
-        self.exchange_colors = ExchangeColors.allocate(self.colors)
-        self.allreduce_colors = AllReduceColors.allocate(self.colors)
-        self.exchange = HaloExchange(self.fabric, self.exchange_colors, problem.grid.nz)
-        self.allreduce = AllReduce(self.fabric, self.allreduce_colors)
-        self.kernel = FvColumnKernel()
-        self._kernel_configs = stage_problem(
-            self.fabric,
-            problem,
-            self.mapping,
+        self.program = CgProgram(
             variant=variant,
             reuse_buffers=reuse_buffers,
-            initial_pressure=initial_pressure,
-            jacobi=jacobi,
+            jacobi=self.jacobi,
+            comm_only=comm_only,
+            tol_rtr=self._resolved_tolerance(),
+            max_iters=self.max_iters,
+            fixed_iterations=fixed_iterations,
         )
-        if comm_only:
-            for pe in self.fabric.iter_pes():
-                pe.suppress_fp = True
+        # Engine construction stages the problem (and enforces the 48 KiB
+        # per-PE budget), exactly as loading an oversized CSL program
+        # would fail before the run.
+        self.engine = create_engine(
+            engine,
+            problem,
+            self.program,
+            spec=spec,
+            dtype=self.dtype,
+            simd_width=simd_width,
+            initial_pressure=initial_pressure,
+        )
+        self.mapping = self.engine.mapping
+        # Event-engine internals stay reachable for fabric inspection and
+        # the protocol-level tests (the vectorized engine has no per-PE
+        # machinery to expose).
+        self.fabric = getattr(self.engine, "fabric", None)
+        self.exchange = getattr(self.engine, "exchange", None)
+        self.allreduce = getattr(self.engine, "allreduce", None)
+        self.kernel = getattr(self.engine, "kernel", None)
+        self._kernel_configs = getattr(self.engine, "kernel_configs", None)
 
     @classmethod
     def for_problem(cls, problem: SinglePhaseProblem, **kwargs) -> "WseMatrixFreeSolver":
         """Build a solver sized exactly to the problem's lateral grid."""
         return cls(problem, **kwargs)
 
+    def _resolved_tolerance(self) -> float:
+        """The absolute ε on the global ``r^T r`` the device applies.
+
+        ``rel_tol`` is scaled from the initial residual host-side (the
+        device still applies a single absolute ε, as the paper does).
+        """
+        tol = self.tol_rtr
+        if self.rel_tol is None:
+            return tol
+        p0 = (
+            self.problem.initial_pressure(dtype=np.float64)
+            if self.initial_pressure is None
+            else np.asarray(self.initial_pressure, dtype=np.float64)
+        )
+        r0 = self.problem.residual(p0)
+        if self.jacobi:
+            # The device checks ε against r^T z = r^T M^{-1} r.
+            diag = self.problem.coefficients.diagonal.astype(np.float64).copy()
+            diag[self.problem.dirichlet.mask] = 1.0
+            scale = float(np.vdot(r0, r0 / diag).real)
+        else:
+            scale = float(np.vdot(r0, r0).real)
+        return max(tol, self.rel_tol**2 * scale)
+
     def solve(self) -> WseSolveReport:
         """Run the dataflow CG to completion and gather the results."""
-        tol = self.tol_rtr
-        if self.rel_tol is not None:
-            # Scale the absolute ε from the initial residual (host-side
-            # estimate; the device still applies a single absolute ε, as
-            # the paper does).
-            p0 = (
-                self.problem.initial_pressure(dtype=np.float64)
-                if self.initial_pressure is None
-                else np.asarray(self.initial_pressure, dtype=np.float64)
-            )
-            r0 = self.problem.residual(p0)
-            if self.jacobi:
-                # The device checks ε against r^T z = r^T M^{-1} r.
-                diag = self.problem.coefficients.diagonal.astype(np.float64).copy()
-                diag[self.problem.dirichlet.mask] = 1.0
-                scale = float(np.vdot(r0, r0 / diag).real)
-            else:
-                scale = float(np.vdot(r0, r0).real)
-            tol = max(tol, self.rel_tol**2 * scale)
-
-        cg = DataflowCG(
-            self.fabric,
-            self.exchange,
-            self.allreduce,
-            self.kernel,
-            self._kernel_configs,
-            tol_rtr=tol,
-            max_iters=self.max_iters,
-            fixed_iterations=self.fixed_iterations,
-            jacobi=self.jacobi,
-        )
-        cg.launch()
-        trace = self.fabric.run()
-        pressure = gather_field(self.fabric, self.mapping, "y")
-        return WseSolveReport(
-            pressure=pressure,
-            iterations=cg.result.iterations,
-            converged=cg.result.converged,
-            residual_history=cg.result.residual_history,
-            trace=trace,
-            counters=self.fabric.merged_counters(),
-            elapsed_seconds=self.fabric.elapsed_seconds(),
-            memory=fabric_memory_report(self.fabric),
-            state_visits=cg.result.state_visits,
-        )
+        return self.engine.run()

@@ -122,6 +122,7 @@ class PrecisionSpec:
 #: Names of every MachineSpec knob (used for per-backend strictness checks).
 MACHINE_FIELDS = (
     "spec",
+    "engine",
     "simd_width",
     "block_shape",
     "variant",
@@ -129,6 +130,10 @@ MACHINE_FIELDS = (
     "comm_only",
     "fixed_iterations",
 )
+
+#: Fabric execution engines the dataflow backend offers (``None`` keeps
+#: the backend default, the event-driven oracle).
+FABRIC_ENGINES = ("event", "vectorized")
 
 
 @dataclass(frozen=True)
@@ -141,6 +146,11 @@ class MachineSpec:
 
     * ``spec`` — the hardware description: a :class:`WseSpecs` for the
       dataflow backend, a :class:`GpuSpecs` for the GPU model;
+    * ``engine`` — fabric execution engine (dataflow only):
+      ``"event"`` (per-PE discrete-event oracle, cycle-accurate) or
+      ``"vectorized"`` (whole-fabric NumPy sweeps with an analytic
+      cycle/counter model — paper-scale fabrics).  Omitting it keeps
+      today's behaviour (``"event"``);
     * ``simd_width`` — §III-E.3 DSD vectorization (dataflow only);
     * ``block_shape`` — CUDA thread-block shape (GPU only);
     * ``variant`` — kernel variant name, e.g. ``"precomputed"`` or
@@ -152,6 +162,7 @@ class MachineSpec:
     """
 
     spec: WseSpecs | GpuSpecs | None = None
+    engine: str | None = None
     simd_width: int | None = None
     block_shape: tuple[int, int, int] | None = None
     variant: str | None = None
@@ -164,6 +175,11 @@ class MachineSpec:
             raise ConfigurationError(
                 f"machine.spec must be a WseSpecs or GpuSpecs, got "
                 f"{type(self.spec).__name__}"
+            )
+        if self.engine is not None and self.engine not in FABRIC_ENGINES:
+            raise ConfigurationError(
+                f"unknown fabric engine {self.engine!r}; choose one of "
+                f"{', '.join(FABRIC_ENGINES)}"
             )
         object.__setattr__(
             self, "simd_width", _check_optional_int("simd_width", self.simd_width, 1)
@@ -211,6 +227,7 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "dtype": ("precision", "dtype"),
     "spec": ("machine", "spec"),
     "specs": ("machine", "spec"),
+    "engine": ("machine", "engine"),
     "simd_width": ("machine", "simd_width"),
     "block_shape": ("machine", "block_shape"),
     "variant": ("machine", "variant"),
@@ -314,6 +331,7 @@ class SolveSpec:
             "precision": {"dtype": self.precision.dtype},
             "machine": {
                 "spec": _machine_spec_to_dict(m.spec),
+                "engine": m.engine,
                 "simd_width": m.simd_width,
                 "block_shape": None if m.block_shape is None else list(m.block_shape),
                 "variant": m.variant,
@@ -410,6 +428,7 @@ def coerce_spec(spec: Any) -> SolveSpec:
 
 
 __all__ = [
+    "FABRIC_ENGINES",
     "KWARG_MAP",
     "MACHINE_FIELDS",
     "MachineSpec",

@@ -17,6 +17,12 @@ same numbers the algorithm specifies) and *cycle-approximate* (instruction
 and transfer costs follow a documented cost model, not RTL).  All paper-
 scale timing claims are produced by `repro.perf.timemodel`, which this
 simulator cross-validates at small scale.
+
+Two execution engines share this machine model (see `repro.core.engines`):
+the event-driven oracle built from `fabric`/`pe`/`router`, and the
+vectorized whole-fabric engine in `vector_engine` (imported lazily — not
+re-exported here — which executes the same program as NumPy array sweeps
+with an analytic cycle/counter model over the same `isa` costs).
 """
 
 from repro.wse.specs import WseSpecs, WSE2

@@ -75,6 +75,28 @@ class PerfCounters:
     def fabric_bytes(self) -> int:
         return self.fabric_load_bytes + self.fabric_store_bytes
 
+    def to_dict(self) -> dict:
+        """A stable, JSON-able summary (plain ints, op names as keys).
+
+        This — not the live counter object — is what backend telemetry
+        carries, so ``ResultStore`` manifests, bench JSON and pickled
+        process-pool results stay serializable and small.
+        """
+        return {
+            "op_counts": {op.value: int(n) for op, n in sorted(
+                self.op_counts.items(), key=lambda item: item[0].value
+            )},
+            "flops": int(self.flops),
+            "mem_load_bytes": int(self.mem_load_bytes),
+            "mem_store_bytes": int(self.mem_store_bytes),
+            "mem_bytes": int(self.mem_bytes),
+            "fabric_load_bytes": int(self.fabric_load_bytes),
+            "fabric_store_bytes": int(self.fabric_store_bytes),
+            "fabric_bytes": int(self.fabric_bytes),
+            "compute_cycles": int(self.compute_cycles),
+            "idle_cycles": int(self.idle_cycles),
+        }
+
     def merged_with(self, other: "PerfCounters") -> "PerfCounters":
         merged = PerfCounters(
             op_counts=self.op_counts + other.op_counts,
@@ -119,3 +141,15 @@ class FabricTrace:
         """Communication time not hidden behind compute (Table IV's
         'data movement' bucket at simulator scale)."""
         return max(0, self.makespan_cycles - self.max_compute_cycles)
+
+    def to_dict(self) -> dict:
+        """A stable, JSON-able summary (see :meth:`PerfCounters.to_dict`)."""
+        return {
+            "makespan_cycles": int(self.makespan_cycles),
+            "total_messages": int(self.total_messages),
+            "total_wavelets": int(self.total_wavelets),
+            "total_hop_wavelets": int(self.total_hop_wavelets),
+            "comm_busy_cycles": int(self.comm_busy_cycles),
+            "max_compute_cycles": int(self.max_compute_cycles),
+            "comm_exposed_cycles": int(self.comm_exposed_cycles),
+        }

@@ -1,0 +1,598 @@
+"""The vectorized whole-fabric engine: paper-scale execution.
+
+The per-PE program is identical across the fabric (the premise of the
+paper's SPMD kernel), so instead of instantiating one Python
+:class:`~repro.wse.pe.ProcessingElement` per PE and one event per
+wavelet, this engine executes each phase of the
+:class:`~repro.core.program.CgProgram` over the *whole fabric at once*
+as ``(nx, ny, nz)`` NumPy array sweeps — the matrix-free observation
+(operator evaluation is structured array sweeps, Kronbichler & Kormann)
+applied to the machine simulation itself:
+
+* **halo exchange** becomes four zero-padded slice shifts — the data
+  every PE's ``halo_W/E/N/S`` buffer would hold after a 4-step round;
+* **FV apply** mirrors ``FvColumnKernel`` instruction by instruction
+  (same operand order, so fp results are bit-identical per element);
+* **axpy/dot** are whole-array updates; dot products accumulate in
+  float64 (within round-off of the fabric's sequential per-PE chain);
+* **all-reduce** is exact in exact arithmetic — a single global sum.
+
+Fidelity is preserved through an *analytic* cycle/counter model charged
+from the same :mod:`repro.wse.isa` cost tables the event engine uses:
+instruction counts, FLOPs, memory and fabric traffic reproduce the
+event-driven oracle exactly (tested in ``tests/test_engine_parity.py``);
+the makespan is a per-phase critical-path estimate rather than an
+event-accurate schedule.  Per-PE memory is enforced by rehearsing the
+exact staging allocation sequence against a real
+:class:`~repro.wse.memory.MemoryArena`, so oversized columns raise
+:class:`~repro.util.errors.PeOutOfMemory` exactly like the oracle.
+
+What the model gives up: link-level contention, task skew between
+neighbouring PEs, and per-wavelet ordering.  What it buys: fabrics the
+event engine cannot reach — the full 750×994 wafer runs in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.exchange import HALO_BUFFER
+from repro.core.fv_kernel import (
+    COEFF_BUFFER,
+    COEFF_DOWN,
+    COEFF_UP,
+    DirichletKind,
+    FvColumnKernel,
+    HALO_ORDER,
+    KernelVariant,
+    MOBILITY_BUFFER,
+    MOBILITY_OWN,
+    PeKernelConfig,
+    UPSILON_BUFFER,
+    UPSILON_DOWN,
+    UPSILON_UP,
+)
+from repro.core.host import CG_COLUMN_BUFFERS
+from repro.core.mapping import DIRECTION_FOR_PORT, ProblemMapping
+from repro.core.program import CgProgram, EngineReport
+from repro.fv.transmissibility import compute_transmissibility
+from repro.mesh.grid import Direction
+from repro.physics.darcy import SinglePhaseProblem
+from repro.solvers.state_machine import CGState
+from repro.util.errors import ConfigurationError
+from repro.wse.isa import Op, vector_cycles
+from repro.wse.memory import MemoryArena
+from repro.wse.router import Port
+from repro.wse.specs import WseSpecs
+from repro.wse.trace import FabricTrace, PerfCounters
+
+
+def _shifted(field: np.ndarray, port: Port) -> np.ndarray:
+    """The neighbour column every PE would receive on ``port``.
+
+    ``out[x, y, :] = field[x + dx, y + dy, :]`` with zeros where the
+    neighbour is off-fabric — exactly the halo buffer contents after an
+    exchange round (edge halos stay zero; the boundary coefficient is
+    zero anyway)."""
+    dx, dy = port.offset
+    out = np.zeros_like(field)
+    src = [slice(None)] * 3
+    dst = [slice(None)] * 3
+    for axis, d in ((0, dx), (1, dy)):
+        if d == -1:
+            dst[axis], src[axis] = slice(1, None), slice(None, -1)
+        elif d == 1:
+            dst[axis], src[axis] = slice(None, -1), slice(1, None)
+    out[tuple(dst)] = field[tuple(src)]
+    return out
+
+
+class VectorEngine:
+    """Whole-fabric array execution of the dataflow CG program.
+
+    Same constructor vocabulary as the event engine: the problem, the
+    program, and the machine staging knobs (spec, dtype, SIMD width,
+    initial guess).  Construction stages the field arrays and rehearses
+    the per-PE memory budget; :meth:`run` executes the CG.
+    """
+
+    name = "vectorized"
+
+    def __init__(
+        self,
+        problem: SinglePhaseProblem,
+        program: CgProgram,
+        *,
+        spec: WseSpecs,
+        dtype=np.float32,
+        simd_width: int | None = None,
+        initial_pressure: np.ndarray | None = None,
+    ):
+        self.problem = problem
+        self.program = program
+        self.spec = spec
+        self.mapping = ProblemMapping(problem.grid, spec)
+        self.dtype = np.dtype(dtype)
+        self.simd_width = int(
+            simd_width if simd_width is not None else spec.simd_width_f32
+        )
+        grid = problem.grid
+        self.width, self.height, self.depth = grid.nx, grid.ny, grid.nz
+        self.num_pes = self.width * self.height
+        self._suppress = program.comm_only
+
+        # -- field staging (the whole-fabric analogue of stage_problem) -----
+        if initial_pressure is None:
+            p0 = problem.initial_pressure(dtype=self.dtype)
+        else:
+            p0 = np.array(initial_pressure, dtype=self.dtype, copy=True)
+            problem.dirichlet.apply_to(p0)
+        self.y = p0
+        self.b = np.zeros(grid.shape, dtype=self.dtype)
+        self.b[problem.dirichlet.mask] = problem.dirichlet.values[
+            problem.dirichlet.mask
+        ]
+        self.r = np.zeros(grid.shape, dtype=self.dtype)
+        self.p = np.zeros(grid.shape, dtype=self.dtype)
+
+        if program.variant is KernelVariant.PRECOMPUTED:
+            self._coeff = {
+                port: problem.coefficients.cell_view(
+                    DIRECTION_FOR_PORT[port]
+                ).astype(self.dtype)
+                for port in COEFF_BUFFER
+            }
+            self._coeff_down = problem.coefficients.cell_view(Direction.DOWN).astype(
+                self.dtype
+            )
+            self._coeff_up = problem.coefficients.cell_view(Direction.UP).astype(
+                self.dtype
+            )
+        else:
+            trans = compute_transmissibility(
+                grid, problem.permeability, dtype=np.float64
+            )
+            self._ups = {
+                port: trans.cell_view(DIRECTION_FOR_PORT[port], dtype=self.dtype)
+                for port in UPSILON_BUFFER
+            }
+            self._ups_down = trans.cell_view(Direction.DOWN, dtype=self.dtype)
+            self._ups_up = trans.cell_view(Direction.UP, dtype=self.dtype)
+            self._lam = np.full(grid.shape, 1.0 / problem.viscosity, dtype=self.dtype)
+            self._lam_nbr = {
+                port: _shifted(self._lam, port) for port in MOBILITY_BUFFER
+            }
+
+        if program.jacobi:
+            diag = problem.coefficients.diagonal.astype(np.float64).copy()
+            diag[problem.dirichlet.mask] = 1.0
+            self._inv_diag = (1.0 / diag).astype(self.dtype)
+            self.z = np.zeros(grid.shape, dtype=self.dtype)
+
+        # Column classification against the Dirichlet set (per-PE kernel
+        # configs collapse to a histogram over DirichletKind).
+        mask = problem.dirichlet.mask
+        col_any = mask.any(axis=2)
+        col_all = mask.all(axis=2)
+        self._full_cols = col_all
+        self._partial_cols = col_any & ~col_all
+        self._blend_mask = np.where(
+            self._partial_cols[:, :, None], mask, False
+        ).astype(self.dtype)
+        self._kind_counts = {
+            DirichletKind.FULL: int(np.count_nonzero(col_all)),
+            DirichletKind.PARTIAL: int(np.count_nonzero(self._partial_cols)),
+        }
+        self._kind_counts[DirichletKind.NONE] = (
+            self.num_pes
+            - self._kind_counts[DirichletKind.FULL]
+            - self._kind_counts[DirichletKind.PARTIAL]
+        )
+        self._kernel_plans = {
+            kind: FvColumnKernel.instruction_plan(
+                PeKernelConfig(
+                    depth=self.depth,
+                    dirichlet=kind,
+                    variant=program.variant,
+                    reuse_buffers=program.reuse_buffers,
+                )
+            )
+            for kind, count in self._kind_counts.items()
+            if count > 0
+        }
+
+        self._memory = self._rehearse_memory()
+
+        # -- analytic model state -------------------------------------------
+        self.counters = PerfCounters()
+        self.trace = FabricTrace()
+        self._makespan = 0
+        self._pe_compute = 0  # critical-path compute of the busiest PE class
+        self._state_visits: list[CGState] = []
+        self._history: list[float] = []
+
+    # -- memory model ------------------------------------------------------------
+
+    def _rehearse_memory(self) -> dict[str, float]:
+        """Replay the event engine's per-PE allocation sequence.
+
+        One rehearsal per column class (with/without ``bc_mask``) against
+        a real :class:`MemoryArena` reproduces both the capacity
+        enforcement (:class:`PeOutOfMemory` at construction, like an
+        oversized CSL program) and the high-water statistics exactly.
+        """
+        from repro.perf.memmodel import SCALAR_RESERVE_BYTES
+
+        program, nz = self.program, self.depth
+
+        def rehearse(with_mask: bool) -> int:
+            arena = MemoryArena(
+                self.spec.pe_memory_bytes, reserved_bytes=SCALAR_RESERVE_BYTES
+            )
+            for name in HALO_BUFFER.values():  # HaloExchange allocates first
+                arena.alloc(name, nz, dtype=self.dtype)
+            for name in CG_COLUMN_BUFFERS:
+                arena.alloc(name, nz, dtype=self.dtype)
+            if not program.reuse_buffers:
+                arena.alloc("scratch", nz, dtype=self.dtype)
+            if program.jacobi:
+                arena.alloc("z", nz, dtype=self.dtype)
+                arena.alloc("inv_diag", nz, dtype=self.dtype)
+            if program.variant is KernelVariant.PRECOMPUTED:
+                for name in COEFF_BUFFER.values():
+                    arena.alloc(name, nz, dtype=self.dtype)
+                arena.alloc(COEFF_DOWN, nz, dtype=self.dtype)
+                arena.alloc(COEFF_UP, nz, dtype=self.dtype)
+            else:
+                for name in UPSILON_BUFFER.values():
+                    arena.alloc(name, nz, dtype=self.dtype)
+                arena.alloc(UPSILON_DOWN, nz, dtype=self.dtype)
+                arena.alloc(UPSILON_UP, nz, dtype=self.dtype)
+                arena.alloc(MOBILITY_OWN, nz, dtype=self.dtype)
+                arena.alloc("lam_scratch", nz, dtype=self.dtype)
+                for name in MOBILITY_BUFFER.values():
+                    arena.alloc(name, nz, dtype=self.dtype)
+            if with_mask:
+                arena.alloc("bc_mask", nz, dtype=self.dtype)
+            return arena.used_bytes
+
+        base_bytes = rehearse(False)
+        n_partial = self._kind_counts[DirichletKind.PARTIAL]
+        mask_bytes = rehearse(True) if n_partial else base_bytes
+        high = max(base_bytes, mask_bytes) if n_partial else base_bytes
+        mean = (
+            n_partial * mask_bytes + (self.num_pes - n_partial) * base_bytes
+        ) / self.num_pes
+        return {
+            "max_high_water": float(high),
+            "mean_high_water": float(mean),
+            "max_used": float(high),
+            "capacity": float(self.spec.pe_memory_bytes),
+        }
+
+    # -- analytic charging helpers ------------------------------------------------
+
+    def _counted(self, op: Op) -> bool:
+        return not self._suppress or op in (Op.FMOV, Op.MOV32)
+
+    def _charge(self, op: Op, elements_per_instr: int, instances: int) -> None:
+        """Charge ``instances`` identical vector instructions fabric-wide."""
+        if not self._counted(op) or instances <= 0 or elements_per_instr <= 0:
+            return
+        cycles = vector_cycles(elements_per_instr, self.simd_width)
+        self.counters.record_op(
+            op, elements_per_instr * instances, cycles * instances
+        )
+
+    def _vec(self, op: Op, elements: int | None = None) -> None:
+        """One vector instruction on every PE (critical path: one issue)."""
+        n = self.depth if elements is None else elements
+        self._charge(op, n, self.num_pes)
+        if self._counted(op):
+            cycles = vector_cycles(n, self.simd_width)
+            self._makespan += cycles
+            self._pe_compute += cycles
+
+    def _scalar(self, cycles: int) -> None:
+        """Scalar/sequencer work on every PE (never suppressed)."""
+        self.counters.compute_cycles += cycles * self.num_pes
+        self._makespan += cycles
+        self._pe_compute += cycles
+
+    def _visit(self, state: CGState) -> None:
+        """Fabric-wide state transition (2 sequencer cycles per PE)."""
+        self._state_visits.append(state)
+        self._scalar(2)
+
+    def _charge_kernel(self) -> None:
+        """One FV apply on every column, charged per Dirichlet class."""
+        critical = 0
+        for kind, plan in self._kernel_plans.items():
+            count = self._kind_counts[kind]
+            cycles = 0
+            for op, n in plan:
+                self._charge(op, n, count)
+                if self._counted(op):
+                    cycles += vector_cycles(n, self.simd_width)
+            critical = max(critical, cycles)
+        self._makespan += critical
+        self._pe_compute += critical
+
+    def _charge_exchange(self) -> None:
+        """One 4-step halo-exchange round, fabric-wide.
+
+        Every live directed link carries one data message (``nz``
+        wavelets, one hop) plus one switch-advancing control wavelet;
+        every live receive moves ``nz`` elements with FMOV."""
+        W, H, nz = self.width, self.height, self.depth
+        links = 2 * ((W - 1) * H + (H - 1) * W)
+        if links:
+            self._charge(Op.FMOV, nz, links)
+            self._charge(Op.MOV32, 1, links)
+            self.counters.record_fabric_send(links * (nz + 1) * 4)
+            self.trace.total_messages += 2 * links
+            self.trace.total_wavelets += links * (nz + 1)
+            self.trace.total_hop_wavelets += links * (nz + 1)
+            self.trace.comm_busy_cycles += links * (nz + 1)
+        # Critical path: 4 serialized steps of send (link serialization +
+        # hop) then receive-fill, plus control/callback slack.
+        hop = self.spec.hop_latency_cycles
+        fill = vector_cycles(nz, self.simd_width)
+        self._makespan += 4 * (nz + hop + fill + 2)
+        self._pe_compute += 4 * fill
+
+    def _allreduce(self, local_total: float) -> float:
+        """Charge one all-reduce round; return the global total.
+
+        The value itself is exact (the chain sum is associative in exact
+        arithmetic); the charge mirrors the three-step chain/broadcast
+        protocol of §III-C."""
+        W, H = self.width, self.height
+        row_sends = (W - 1) * H
+        col_sends = H - 1
+        bcast_col = 1 if H > 1 else 0
+        bcast_row = H if W > 1 else 0
+        sends = row_sends + col_sends + bcast_col + bcast_row
+        combines = (W - 1) * H + (H - 1)
+        self._charge(Op.FADD, 1, combines)
+        self.counters.record_fabric_send(4 * sends)
+        receives = (
+            row_sends
+            + col_sends
+            + (H - 1 if H > 1 else 0)
+            + ((W - 1) * H if W > 1 else 0)
+        )
+        self.counters.record_fabric_receive(4 * receives)
+        self.trace.total_messages += sends
+        self.trace.total_wavelets += sends
+        hops = (
+            row_sends
+            + col_sends
+            + (H - 1 if H > 1 else 0)
+            + (H * (W - 1) if W > 1 else 0)
+        )
+        self.trace.total_hop_wavelets += hops
+        self.trace.comm_busy_cycles += hops
+        # Critical path: the sequential row chain, the column chain, and
+        # the two broadcast legs (one wavelet + hop + combine per link).
+        hop = self.spec.hop_latency_cycles
+        self._makespan += (
+            (W - 1) * (hop + 2) + (H - 1) * (hop + 2)
+            + (H - 1) * (hop + 1) + (W - 1) * (hop + 1) + 2
+        )
+        if W > 1 or H > 1:
+            self._pe_compute += 1
+        return 0.0 if self._suppress else float(local_total)
+
+    # -- numerics ----------------------------------------------------------------
+
+    def _dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """Global dot product, float64 accumulation."""
+        if self._suppress:
+            return 0.0
+        return float(
+            np.dot(
+                a.reshape(-1).astype(np.float64), b.reshape(-1).astype(np.float64)
+            )
+        )
+
+    def _apply(self, x: np.ndarray) -> np.ndarray:
+        """The matrix-free FV operator over the whole fabric.
+
+        Mirrors :class:`FvColumnKernel` instruction for instruction (same
+        operand order), so per-element fp results match the event engine
+        bit for bit."""
+        if self._suppress:
+            return np.zeros_like(x)
+        if self.program.variant is KernelVariant.PRECOMPUTED:
+            out = self._lateral_precomputed(x)
+        else:
+            out = self._lateral_fused(x)
+        self._vertical(x, out)
+        self._dirichlet(x, out)
+        return out
+
+    def _lateral_precomputed(self, x: np.ndarray) -> np.ndarray:
+        out = None
+        for port in HALO_ORDER:
+            diff = x - _shifted(x, port)
+            if out is None:
+                out = self._coeff[port] * diff
+            else:
+                out += self._coeff[port] * diff
+        return out
+
+    def _lateral_fused(self, x: np.ndarray) -> np.ndarray:
+        out = None
+        for port in HALO_ORDER:
+            c = self._lam + self._lam_nbr[port]
+            np.multiply(c, 0.5, out=c, casting="unsafe")
+            np.multiply(c, self._ups[port], out=c, casting="unsafe")
+            diff = x - _shifted(x, port)
+            np.multiply(diff, c, out=diff, casting="unsafe")
+            if out is None:
+                out = diff.copy()
+            else:
+                out += diff
+        return out
+
+    def _vertical(self, x: np.ndarray, out: np.ndarray) -> None:
+        nz = self.depth
+        if nz < 2:
+            return
+        lo, hi = (slice(None), slice(None), slice(0, nz - 1)), (
+            slice(None),
+            slice(None),
+            slice(1, nz),
+        )
+        diff_up = x[lo] - x[hi]
+        diff_down = x[hi] - x[lo]
+        if self.program.variant is KernelVariant.PRECOMPUTED:
+            out[lo] += self._coeff_up[lo] * diff_up
+            out[hi] += self._coeff_down[hi] * diff_down
+        else:
+            lam = self._lam
+            for rng, other, ups, diff in (
+                (lo, hi, self._ups_up, diff_up),
+                (hi, lo, self._ups_down, diff_down),
+            ):
+                lam2 = lam[rng] + lam[other]
+                np.multiply(lam2, 0.5, out=lam2, casting="unsafe")
+                np.multiply(lam2, ups[rng], out=lam2, casting="unsafe")
+                out[rng] += lam2 * diff
+
+    def _dirichlet(self, x: np.ndarray, out: np.ndarray) -> None:
+        if self._kind_counts[DirichletKind.FULL]:
+            out[self._full_cols] = x[self._full_cols]
+        if self._kind_counts[DirichletKind.PARTIAL]:
+            out += self._blend_mask * (x - out)
+
+    # -- the solve ---------------------------------------------------------------
+
+    def run(self, *, track_states_for: tuple[int, int] = (0, 0)) -> EngineReport:
+        """Execute the CG program; phase order and control flow replicate
+        the event engine's state machine exactly."""
+        program = self.program
+        y, b, r, p = self.y, self.b, self.r, self.p
+        jacobi, suppress = program.jacobi, self._suppress
+
+        # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
+        self._visit(CGState.INIT)
+        self._visit(CGState.EXCHANGE)
+        self._charge_exchange()
+        self._visit(CGState.COMPUTE_JX)
+        self._charge_kernel()
+        jx = self._apply(y)
+        self._vec(Op.FSUB)  # r = b - Jx
+        if not suppress:
+            np.subtract(b, jx, out=r, casting="unsafe")
+        if jacobi:
+            self._vec(Op.FMUL)  # z = r / diag
+            self._vec(Op.FMOV)  # p = z
+            if not suppress:
+                np.multiply(r, self._inv_diag, out=self.z, casting="unsafe")
+                p[...] = self.z
+            local = self._dot(r, self.z) if not suppress else 0.0
+        else:
+            self._vec(Op.FMOV)  # p = r
+            if not suppress:
+                p[...] = r
+            local = self._dot(r, r)
+        self._vec(Op.FMA)  # local dot
+        self._visit(CGState.DOT_RR)
+        rtr = self._allreduce(local)
+        self._history.append(rtr)
+
+        k = 0
+        terminal: CGState | None = None
+        while terminal is None:
+            self._visit(CGState.ITER_CHECK)
+            if program.check_convergence and rtr < program.tol_rtr:
+                terminal = CGState.CONVERGED
+                break
+            if k >= program.iteration_limit:
+                terminal = (
+                    CGState.CONVERGED
+                    if (program.check_convergence and rtr < program.tol_rtr)
+                    else CGState.MAXITER
+                )
+                break
+
+            self._visit(CGState.EXCHANGE)
+            self._charge_exchange()
+            self._visit(CGState.COMPUTE_JX)
+            self._charge_kernel()
+            jx = self._apply(p)
+            self._vec(Op.FMA)  # local p^T Jp
+            self._visit(CGState.DOT_PAP)
+            pap = self._allreduce(self._dot(p, jx))
+
+            self._visit(CGState.COMPUTE_ALPHA)
+            if pap == 0.0:
+                if not suppress and program.check_convergence:
+                    raise ConfigurationError(
+                        "vectorized engine: p^T A p = 0 with live arithmetic"
+                    )
+                alpha = 0.0
+            else:
+                alpha = rtr / pap
+            self._scalar(4)  # scalar divide on the CE
+
+            self._visit(CGState.UPDATE_SOL)
+            self._vec(Op.FMA)  # y += alpha p
+            self._visit(CGState.UPDATE_RES)
+            self._vec(Op.FMA)  # r -= alpha Jp
+            if not suppress:
+                y += alpha * p
+                r += (-alpha) * jx
+            if jacobi:
+                self._vec(Op.FMUL)
+                if not suppress:
+                    np.multiply(r, self._inv_diag, out=self.z, casting="unsafe")
+                local = self._dot(r, self.z)
+            else:
+                local = self._dot(r, r)
+            self._vec(Op.FMA)
+            self._visit(CGState.DOT_RR)
+            rtr_new = self._allreduce(local)
+
+            k += 1
+            self._visit(CGState.THRES_CHECK)
+            self._history.append(rtr_new)
+            if program.check_convergence and rtr_new < program.tol_rtr:
+                terminal = CGState.CONVERGED
+                break
+            self._visit(CGState.COMPUTE_BETA)
+            beta = (rtr_new / rtr) if rtr > 0 else 0.0
+            self._scalar(4)
+            self._visit(CGState.UPDATE_DIR)
+            self._vec(Op.FMUL)  # p *= beta
+            self._vec(Op.FADD)  # p += r (or z)
+            if not suppress:
+                np.multiply(p, beta, out=p, casting="unsafe")
+                p += self.z if jacobi else r
+            rtr = rtr_new
+
+        self._visit(terminal)
+        converged = terminal is CGState.CONVERGED
+
+        self.trace.makespan_cycles = self._makespan
+        self.trace.max_compute_cycles = self._pe_compute
+        self.counters.idle_cycles = max(
+            0, self._makespan * self.num_pes - self.counters.compute_cycles
+        )
+        return EngineReport(
+            pressure=y.copy(),
+            iterations=k,
+            converged=converged,
+            residual_history=list(self._history),
+            trace=self.trace,
+            counters=self.counters,
+            elapsed_seconds=self._makespan / self.spec.clock_hz,
+            memory=dict(self._memory),
+            state_visits=list(self._state_visits),
+            engine=self.name,
+        )
+
+
+__all__ = ["VectorEngine"]

@@ -56,6 +56,12 @@ class TestFromKwargs:
         assert spec.preconditioner == "jacobi"
         assert SolveSpec.from_kwargs(jacobi=False).preconditioner == "none"
 
+    def test_engine_knob(self):
+        assert SolveSpec.from_kwargs(engine="vectorized").machine.engine == "vectorized"
+        assert SolveSpec.from_kwargs(engine="event").machine.engine == "event"
+        # Omitting it keeps today's behaviour (backend default = event).
+        assert SolveSpec().machine.engine is None
+
     def test_with_options_layers_over_base(self):
         base = SolveSpec.from_kwargs(dtype="float64", rel_tol=1e-8)
         derived = base.with_options(comm_only=True, fixed_iterations=3)
@@ -83,6 +89,8 @@ class TestValidation:
     def test_machine_field_bounds(self):
         with pytest.raises(ConfigurationError, match="simd_width"):
             MachineSpec(simd_width=0)
+        with pytest.raises(ConfigurationError, match="engine"):
+            MachineSpec(engine="quantum")
         with pytest.raises(ConfigurationError, match="block_shape"):
             MachineSpec(block_shape=(16, 8))
         with pytest.raises(ConfigurationError, match="fixed_iterations"):
@@ -109,6 +117,10 @@ class TestRoundTrip:
             spec=WSE2.with_fabric(32, 32), dtype="float32", simd_width=1,
             variant="fused_mobility", reuse_buffers=False, comm_only=True,
             fixed_iterations=5,
+        ),
+        "wse_vectorized": SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(128, 128), dtype="float32",
+            engine="vectorized", fixed_iterations=3,
         ),
         "gpu": SolveSpec.from_kwargs(
             specs=A100, block_shape=(16, 8, 8), dtype="float64",

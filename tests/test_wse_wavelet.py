@@ -1,0 +1,69 @@
+"""Unit tests for wavelets and messages (`repro.wse.wavelet`).
+
+Messages are the fabric's unit of transport: a contiguous burst of
+32-bit wavelets on one color.  These tests pin the payload validation,
+the link-occupancy accounting (``num_wavelets`` drives serialization and
+trace totals) and the copy semantics the router layer depends on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.util.errors import ValidationError
+from repro.wse.wavelet import Message, Wavelet
+
+
+class TestWavelet:
+    def test_defaults(self):
+        w = Wavelet(color=3)
+        assert w.color == 3
+        assert w.data == 0.0
+        assert not w.is_control
+
+    def test_frozen(self):
+        w = Wavelet(color=1, data=2.5)
+        with pytest.raises(AttributeError):
+            w.color = 2
+
+
+class TestMessage:
+    def test_payload_coerced_to_1d(self):
+        m = Message(0, 3.5, (0, 0))
+        assert m.payload.shape == (1,)
+        assert m.payload[0] == 3.5
+
+    def test_multidimensional_payload_rejected(self):
+        with pytest.raises(ValidationError, match="1D"):
+            Message(0, np.zeros((2, 2)), (0, 0))
+
+    def test_num_wavelets_counts_elements(self):
+        m = Message(1, np.arange(5, dtype=np.float32), (0, 0))
+        assert m.num_wavelets == 5
+        assert m.nbytes() == 20
+
+    def test_control_message_occupies_one_wavelet(self):
+        """An empty control payload still occupies the link for one
+        packet — the switch command itself."""
+        m = Message(1, np.zeros(0, dtype=np.float32), (0, 0), is_control=True)
+        assert m.num_wavelets == 1
+        assert m.nbytes() == 4
+
+    def test_nbytes_honours_wavelet_size(self):
+        m = Message(1, np.arange(3, dtype=np.float32), (0, 0))
+        assert m.nbytes(wavelet_bytes=8) == 24
+
+    def test_copy_is_deep_for_payload(self):
+        payload = np.array([1.0, 2.0], dtype=np.float32)
+        m = Message(2, payload, (1, 1), tag="halo-E")
+        clone = m.copy()
+        clone.payload[0] = 9.0
+        assert m.payload[0] == 1.0
+        assert clone.color == m.color
+        assert clone.src == m.src
+        assert clone.tag == "halo-E"
+        assert clone.is_control == m.is_control
+
+    def test_scalar_payload_from_numpy_type(self):
+        m = Message(0, np.float32(4.25), (2, 3))
+        assert m.num_wavelets == 1
+        assert float(m.payload[0]) == 4.25
