@@ -16,6 +16,13 @@ cannot reach: Table III weak scaling extended to 128×128-PE fabrics, an
 event-vs-vectorized engine comparison on the largest fabric both can
 run, and a full-fabric 750×994 smoke row.
 
+``batched_throughput`` rows measure Table-III-style weak-scaling
+*throughput* (problems/sec): the same scenario family solved serially on
+the vectorized engine (batch=1, the baseline) and as fused
+``(batch, nx, ny, nz)`` programs (batch=8/64) at 16×16 and 128×128
+fabrics.  ``speedup_vs_serial`` on the batch=64 row is the scale proof
+for batched execution (expected ≥ 3× at 16×16).
+
 Every row records its convergence *mode*: Table III/IV/V rows run under
 ``fixed_iterations`` (truncated by design, the paper's Table IV
 methodology), so their ``converged: false`` is expected — the ``mode``
@@ -118,6 +125,76 @@ def build_targets(smoke: bool) -> list[tuple]:
     return rows
 
 
+def run_batched_throughput(smoke: bool) -> list[dict]:
+    """Timed outside the session plan: each row is one execution
+    strategy (serial vectorized vs. fused batches) over one problem
+    family, so ``problems_per_sec`` is a clean host-side throughput."""
+    if smoke:
+        cases = [(8, 2, 3, 8, (1, 4, 8))]
+    else:
+        # 24 fixed steps approximates a real CG solve's iteration weight
+        # (converged 16x16 runs take hundreds); at 16x16 the per-solve
+        # Python overhead dominates and fusing wins, at 128x128 the
+        # per-problem working set no longer fits in cache and serial
+        # cache reuse wins -- both regimes are recorded.
+        cases = [(16, 4, 24, 64, (1, 8, 64)), (128, 4, 24, 64, (1, 8, 64))]
+
+    records = []
+    for lateral, nz, iters, count, batches in cases:
+        # Independent problems: same grid family, per-problem fields.
+        problems = [
+            repro.scenario(
+                "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+                permeability=float(40 + 7 * i),
+            ).build()
+            for i in range(count)
+        ]
+        base = repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+            dtype="float32", engine="vectorized", fixed_iterations=iters,
+        )
+        serial_pps = None
+        for batch in batches:
+            start = time.perf_counter()
+            if batch == 1:  # the serial-vectorized baseline, one solve per entry
+                results = repro.solve_many(
+                    problems, backend="wse", spec=base, n_workers=1
+                )
+            else:
+                results = repro.solve_many(
+                    problems, backend="wse",
+                    spec=base.with_options(batch_size=batch), batch=True,
+                )
+            host = time.perf_counter() - start
+            pps = count / host
+            if serial_pps is None:
+                serial_pps = pps
+            records.append({
+                "table": "batched_throughput",
+                # batch is part of the row identity (diff_bench keys on
+                # table+scenario, and each batch size is its own rung).
+                "scenario": f"quarter_five_spot[{lateral}x{lateral}x{nz}] "
+                            f"x{count} batch={batch}",
+                "backend": "wse",
+                "engine": results[0].telemetry.get("engine"),
+                "mode": "fixed_iterations",
+                "fixed_iterations": iters,
+                "fabric": f"{lateral}x{lateral}",
+                "batch": batch,
+                "problems": count,
+                "iterations": results[0].iterations,
+                "converged": all(bool(r.converged) for r in results),
+                "time_kind": "host",
+                "host_seconds": host,
+                "problems_per_sec": pps,
+                "speedup_vs_serial": pps / serial_pps,
+            })
+            print(f"  batched_throughput {lateral:>3}x{lateral} batch={batch:<3} "
+                  f"{count} problems in {host:.3f}s -> {pps:,.1f} problems/s "
+                  f"({pps / serial_pps:.1f}x serial)")
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -159,7 +236,6 @@ def main(argv: list[str] | None = None) -> int:
         other_idx, plan.run(executor=args.executor, n_workers=args.n_workers)
     ))
     results_by_row.update(zip(compare_idx, compare_plan.run(executor="serial")))
-    wall = time.perf_counter() - start
     results = [results_by_row[i] for i in range(len(rows))]
 
     records = []
@@ -204,8 +280,16 @@ def main(argv: list[str] | None = None) -> int:
               f"event {ev['host_seconds']:.3f}s vs vectorized "
               f"{vec['host_seconds']:.3f}s -> {speedup:.1f}x")
 
+    # Batched scale proof: serial vectorized vs fused batches, timed in
+    # their own serial section (like the engine comparison, these are
+    # controlled host-side measurements).
+    print("\nbatched throughput (problems/sec):")
+    batched_records = run_batched_throughput(args.smoke)
+    records.extend(batched_records)
+    wall = time.perf_counter() - start
+
     payload = {
-        "schema": "repro.bench_session/2",
+        "schema": "repro.bench_session/3",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -38,7 +38,7 @@ class WseBackend:
     #: MachineSpec knobs this backend honours.
     SUPPORTED_MACHINE_FIELDS = {
         "spec", "engine", "simd_width", "variant", "reuse_buffers",
-        "comm_only", "fixed_iterations",
+        "comm_only", "fixed_iterations", "batch_size",
     }
 
     def solve_native(self, problem: SinglePhaseProblem, **options: Any):
@@ -81,13 +81,24 @@ class WseBackend:
             options["max_iters"] = spec.tolerance.max_iters
         return options
 
-    def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
-        spec = coerce_spec(spec)
-        report = self.solve_native(problem, **self._native_options(spec))
+    def _result_from_report(
+        self, report, spec: SolveSpec, extra_telemetry: dict[str, Any] | None = None
+    ) -> SolveResult:
         # Telemetry carries stable to_dict() summaries, not live simulator
         # objects: ResultStore manifests, bench JSON and pickled
         # process-pool results stay serializable and small.  The native
         # path (solve_native) still returns the live WseSolveReport.
+        telemetry: dict[str, Any] = {
+            "time_kind": "simulated_device",
+            "preconditioner": spec.preconditioner,
+            "engine": report.engine,
+            "trace": report.trace.to_dict(),
+            "counters": report.counters.to_dict(),
+            "memory": dict(report.memory),
+            "state_visits": [state.name for state in report.state_visits],
+        }
+        if extra_telemetry:
+            telemetry.update(extra_telemetry)
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.iterations,
@@ -95,13 +106,75 @@ class WseBackend:
             residual_history=[float(v) for v in report.residual_history],
             elapsed_seconds=report.elapsed_seconds,
             backend=self.name,
-            telemetry={
-                "time_kind": "simulated_device",
-                "preconditioner": spec.preconditioner,
-                "engine": report.engine,
-                "trace": report.trace.to_dict(),
-                "counters": report.counters.to_dict(),
-                "memory": dict(report.memory),
-                "state_visits": [state.name for state in report.state_visits],
-            },
+            telemetry=telemetry,
         )
+
+    def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
+        spec = coerce_spec(spec)
+        machine = spec.machine
+        if machine.batch_size is not None and (machine.engine or "event") == "event":
+            # In a single solve the engine default is the event oracle,
+            # which plays one problem at a time and cannot honour a
+            # batching knob.
+            raise ConfigurationError(
+                "machine.batch_size needs the vectorized engine; the "
+                "event-driven oracle plays one problem at a time "
+                "(set engine='vectorized' or drop batch_size)"
+            )
+        report = self.solve_native(problem, **self._native_options(spec))
+        return self._result_from_report(report, spec)
+
+    def solve_batch(
+        self, problems: list[SinglePhaseProblem], spec: SolveSpec | None = None
+    ) -> list[SolveResult]:
+        """Solve many independent problems as fused ``(batch, nx, ny,
+        nz)`` NumPy sweeps on the vectorized engine.
+
+        All problems must share one grid shape.  ``machine.batch_size``
+        caps lanes per fused program (``None`` fuses everything);
+        ``machine.engine`` may be omitted (batching implies
+        ``"vectorized"``) but ``"event"`` is rejected.  Results come
+        back in input order; each carries ``telemetry["engine"] ==
+        "batched"`` plus a ``telemetry["batch"]`` record (fused-chunk
+        size and lane) so batched and serial results stay
+        distinguishable, and per-problem counters identical to a serial
+        vectorized solve of that problem.
+        """
+        from repro.core.solver import solve_batch
+
+        spec = coerce_spec(spec)
+        problems = list(problems)
+        if not problems:
+            return []
+        machine = spec.machine
+        if (machine.engine or "vectorized") == "event":
+            raise ConfigurationError(
+                "the event-driven engine runs one problem at a time; "
+                "batched execution requires engine='vectorized' (or an "
+                "unset engine)"
+            )
+        options = dict(self._native_options(spec))
+        options["engine"] = machine.engine or "vectorized"
+        reports = solve_batch(
+            problems, batch_size=machine.batch_size, **options
+        )
+        # Chunk boundaries are deterministic (input order, fixed chunk
+        # width), so each report's fused-chunk size and lane follow from
+        # its index.
+        n = len(problems)
+        size = machine.batch_size or n
+        results: list[SolveResult] = []
+        for index, report in enumerate(reports):
+            chunk_start = (index // size) * size
+            results.append(
+                self._result_from_report(
+                    report, spec,
+                    extra_telemetry={
+                        "batch": {
+                            "size": min(size, n - chunk_start),
+                            "lane": index - chunk_start,
+                        },
+                    },
+                )
+            )
+        return results

@@ -71,4 +71,56 @@ def create_engine(
     return VectorEngine(problem, program, **kwargs)
 
 
-__all__ = ["DEFAULT_ENGINE", "ENGINE_NAMES", "FabricEngine", "create_engine"]
+#: Engines that can execute a ``batch > 1`` program.  The event oracle
+#: plays one wavelet at a time and cannot: asking it to batch is a
+#: configuration error, not a silent serialization.
+BATCH_CAPABLE_ENGINES = ("vectorized",)
+
+
+def create_batched_engine(
+    name: str,
+    problems,
+    program: CgProgram,
+    *,
+    spec: WseSpecs,
+    dtype=np.float32,
+    simd_width: int | None = None,
+    tol_rtrs=None,
+    initial_pressure=None,
+):
+    """Instantiate the batched engine for one multi-problem solve.
+
+    ``name`` follows the same vocabulary as :func:`create_engine`; only
+    :data:`BATCH_CAPABLE_ENGINES` are accepted."""
+    if name not in ENGINE_NAMES:
+        raise ConfigurationError(
+            f"unknown fabric engine {name!r}; choose one of "
+            f"{', '.join(ENGINE_NAMES)}"
+        )
+    if name not in BATCH_CAPABLE_ENGINES:
+        raise ConfigurationError(
+            f"fabric engine {name!r} runs one problem at a time; batched "
+            f"execution requires one of "
+            f"{', '.join(BATCH_CAPABLE_ENGINES)}"
+        )
+    from repro.wse.vector_engine import BatchedVectorEngine
+
+    return BatchedVectorEngine(
+        problems,
+        program,
+        spec=spec,
+        dtype=dtype,
+        simd_width=simd_width,
+        tol_rtrs=tol_rtrs,
+        initial_pressure=initial_pressure,
+    )
+
+
+__all__ = [
+    "BATCH_CAPABLE_ENGINES",
+    "DEFAULT_ENGINE",
+    "ENGINE_NAMES",
+    "FabricEngine",
+    "create_batched_engine",
+    "create_engine",
+]

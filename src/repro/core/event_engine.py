@@ -48,7 +48,14 @@ class EventEngine:
         initial_pressure: np.ndarray | None = None,
     ):
         from repro.perf.memmodel import SCALAR_RESERVE_BYTES
+        from repro.util.errors import ConfigurationError
 
+        if program.batch != 1:
+            raise ConfigurationError(
+                f"the event-driven engine plays one problem at a time; got "
+                f"batch={program.batch} (batched execution needs the "
+                f"vectorized engine)"
+            )
         self.problem = problem
         self.program = program
         self.spec = spec

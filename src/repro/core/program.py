@@ -69,6 +69,13 @@ class CgProgram:
     program is built, as on the real machine).  ``fixed_iterations``
     selects the Table IV methodology (run exactly N steps, convergence
     check disabled); ``comm_only`` additionally suppresses arithmetic.
+
+    ``batch`` is the number of independent problems the program's phases
+    sweep per instruction: 1 is the classic single-problem program; a
+    larger batch asks the engine to execute every phase over a
+    ``(batch, nx, ny, nz)`` stack of problems at once, freezing lanes as
+    they converge.  Only the vectorized engine can honour ``batch > 1``
+    (the event-driven oracle plays one wavelet at a time and rejects it).
     """
 
     variant: KernelVariant = KernelVariant.PRECOMPUTED
@@ -78,10 +85,13 @@ class CgProgram:
     tol_rtr: float = 2e-10
     max_iters: int = 10_000
     fixed_iterations: int | None = None
+    batch: int = 1
 
     def __post_init__(self) -> None:
         if self.fixed_iterations is not None and self.fixed_iterations < 1:
             raise ConfigurationError("fixed_iterations must be >= 1")
+        if self.batch < 1:
+            raise ConfigurationError("batch must be >= 1")
         if self.comm_only and self.fixed_iterations is None:
             raise ConfigurationError(
                 "comm_only runs never converge; set fixed_iterations "

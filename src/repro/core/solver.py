@@ -10,13 +10,48 @@ fabrics), and reports both the solution and the machine-level telemetry
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.core.engines import DEFAULT_ENGINE, create_engine
+from repro.core.engines import DEFAULT_ENGINE, create_batched_engine, create_engine
 from repro.core.fv_kernel import KernelVariant
 from repro.core.program import CgProgram, EngineReport
 from repro.physics.darcy import SinglePhaseProblem
+from repro.util.errors import ConfigurationError
 from repro.wse.specs import WSE2, WseSpecs
+
+
+def resolve_tolerance(
+    problem: SinglePhaseProblem,
+    *,
+    tol_rtr: float = 2e-10,
+    rel_tol: float | None = None,
+    jacobi: bool = False,
+    initial_pressure: np.ndarray | None = None,
+) -> float:
+    """The absolute ε on the global ``r^T r`` the device applies.
+
+    ``rel_tol`` is scaled from the initial residual host-side (the
+    device still applies a single absolute ε, as the paper does).
+    """
+    tol = float(tol_rtr)
+    if rel_tol is None:
+        return tol
+    p0 = (
+        problem.initial_pressure(dtype=np.float64)
+        if initial_pressure is None
+        else np.asarray(initial_pressure, dtype=np.float64)
+    )
+    r0 = problem.residual(p0)
+    if jacobi:
+        # The device checks ε against r^T z = r^T M^{-1} r.
+        diag = problem.coefficients.diagonal.astype(np.float64).copy()
+        diag[problem.dirichlet.mask] = 1.0
+        scale = float(np.vdot(r0, r0 / diag).real)
+    else:
+        scale = float(np.vdot(r0, r0).real)
+    return max(tol, rel_tol**2 * scale)
 
 #: Everything a dataflow solve produces: the solution field gathered from
 #: the ``y`` buffers, the CG outcome (global ``r^T r`` totals as every PE
@@ -118,29 +153,98 @@ class WseMatrixFreeSolver:
         return cls(problem, **kwargs)
 
     def _resolved_tolerance(self) -> float:
-        """The absolute ε on the global ``r^T r`` the device applies.
-
-        ``rel_tol`` is scaled from the initial residual host-side (the
-        device still applies a single absolute ε, as the paper does).
-        """
-        tol = self.tol_rtr
-        if self.rel_tol is None:
-            return tol
-        p0 = (
-            self.problem.initial_pressure(dtype=np.float64)
-            if self.initial_pressure is None
-            else np.asarray(self.initial_pressure, dtype=np.float64)
+        """See :func:`resolve_tolerance` (shared with the batched path)."""
+        return resolve_tolerance(
+            self.problem,
+            tol_rtr=self.tol_rtr,
+            rel_tol=self.rel_tol,
+            jacobi=self.jacobi,
+            initial_pressure=self.initial_pressure,
         )
-        r0 = self.problem.residual(p0)
-        if self.jacobi:
-            # The device checks ε against r^T z = r^T M^{-1} r.
-            diag = self.problem.coefficients.diagonal.astype(np.float64).copy()
-            diag[self.problem.dirichlet.mask] = 1.0
-            scale = float(np.vdot(r0, r0 / diag).real)
-        else:
-            scale = float(np.vdot(r0, r0).real)
-        return max(tol, self.rel_tol**2 * scale)
 
     def solve(self) -> WseSolveReport:
         """Run the dataflow CG to completion and gather the results."""
         return self.engine.run()
+
+
+def solve_batch(
+    problems: Sequence[SinglePhaseProblem],
+    *,
+    spec: WseSpecs = WSE2,
+    dtype=np.float32,
+    simd_width: int | None = None,
+    variant: KernelVariant | str = KernelVariant.PRECOMPUTED,
+    reuse_buffers: bool = True,
+    tol_rtr: float = 2e-10,
+    rel_tol: float | None = None,
+    max_iters: int = 10_000,
+    comm_only: bool = False,
+    fixed_iterations: int | None = None,
+    initial_pressure=None,
+    jacobi: bool = False,
+    engine: str = "vectorized",
+    batch_size: int | None = None,
+) -> list[WseSolveReport]:
+    """Solve many independent problems as fused ``(batch, nx, ny, nz)``
+    sweeps on the vectorized engine.
+
+    All problems must share one grid shape (heterogeneity fields and
+    boundary conditions are free per problem).  ``rel_tol`` is resolved
+    per problem, exactly as :class:`WseMatrixFreeSolver` would resolve
+    it for a serial solve of that problem.  ``batch_size`` caps the
+    lanes per fused program (``None`` fuses everything); reports come
+    back in input order, one per problem, and each is identical —
+    iterates to fp round-off, counters exactly — to the report a serial
+    vectorized solve of that problem alone would produce.
+    """
+    from repro.wse.vector_engine import normalize_guesses
+
+    problems = list(problems)
+    if not problems:
+        return []
+    if isinstance(variant, str):
+        variant = KernelVariant(variant)
+    if batch_size is not None and batch_size < 1:
+        raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    guesses = normalize_guesses(
+        initial_pressure, len(problems), problems[0].grid.shape
+    )
+    size = batch_size if batch_size is not None else len(problems)
+    reports: list[WseSolveReport] = []
+    for start in range(0, len(problems), size):
+        chunk = problems[start : start + size]
+        chunk_guesses = guesses[start : start + size]
+        tols = [
+            resolve_tolerance(
+                problem,
+                tol_rtr=tol_rtr,
+                rel_tol=rel_tol,
+                jacobi=jacobi,
+                initial_pressure=guess,
+            )
+            for problem, guess in zip(chunk, chunk_guesses)
+        ]
+        program = CgProgram(
+            variant=variant,
+            reuse_buffers=reuse_buffers,
+            jacobi=bool(jacobi),
+            comm_only=comm_only,
+            tol_rtr=float(tol_rtr),
+            max_iters=int(max_iters),
+            fixed_iterations=fixed_iterations,
+            batch=len(chunk),
+        )
+        batched = create_batched_engine(
+            engine,
+            chunk,
+            program,
+            spec=spec,
+            dtype=np.dtype(dtype),
+            simd_width=simd_width,
+            tol_rtrs=tols,
+            initial_pressure=chunk_guesses if any(
+                g is not None for g in chunk_guesses
+            ) else None,
+        )
+        reports.extend(batched.run())
+    return reports

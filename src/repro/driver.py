@@ -124,6 +124,7 @@ def solve_many(
     *,
     backend: str = "reference",
     n_workers: int | None = None,
+    batch: bool = False,
     spec: Any = None,
     **options: Any,
 ) -> list[SolveResult]:
@@ -132,6 +133,15 @@ def solve_many(
     Results come back in input order.  ``n_workers`` defaults to
     ``min(len(targets), os.cpu_count())``; ``n_workers=1`` runs serially
     in-process (no pool), which keeps tracebacks simple.
+
+    ``batch=True`` fuses compatible entries — same backend, spec and
+    grid shape, a backend that can batch (the dataflow fabric with the
+    vectorized engine) — into single ``(batch, nx, ny, nz)`` NumPy
+    programs instead of fanning out one Python solve per entry;
+    ``machine.batch_size`` caps the lanes per fused program.  Entries
+    that cannot batch fall back to serial execution.  Each result's
+    ``telemetry["engine"]`` says which path produced it (``"batched"``
+    vs ``"vectorized"``/``"event"``).
 
     Execution routes through an :class:`~repro.session.ExecutionPlan`, so
     errors are captured per entry: every entry runs to completion, then
@@ -145,10 +155,23 @@ def solve_many(
         return []
     if n_workers is not None and n_workers < 1:
         raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+    if batch:
+        if n_workers is not None and n_workers != 1:
+            # Batched execution is single-process by design (one fused
+            # NumPy pipeline per group); silently dropping a requested
+            # pool width would be a lie.
+            raise ConfigurationError(
+                "batch=True and n_workers are mutually exclusive: batched "
+                "execution fuses entries into single NumPy programs "
+                "instead of fanning out workers"
+            )
+        executor = "batched"
+    elif n_workers == 1:
+        executor = "serial"
+    else:
+        executor = "thread"
     plan = Session().plan(items, solve_spec, backend=backend)
-    entry_results = plan.run(
-        executor="serial" if n_workers == 1 else "thread", n_workers=n_workers
-    )
+    entry_results = plan.run(executor=executor, n_workers=n_workers)
     for entry_result in entry_results:
         if entry_result.error is not None:
             raise entry_result.error

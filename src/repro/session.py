@@ -49,7 +49,7 @@ from repro.scenarios.base import Scenario, scenario as _bind_scenario
 from repro.spec import SolveSpec, coerce_spec
 from repro.util.errors import ConfigurationError
 
-EXECUTORS = ("serial", "thread", "process")
+EXECUTORS = ("serial", "thread", "process", "batched")
 
 
 # -- fingerprinting ----------------------------------------------------------
@@ -175,6 +175,18 @@ class PlanEntryResult:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def engine(self) -> str | None:
+        """The fabric engine that produced the result (``"event"``,
+        ``"vectorized"``, ``"batched"``), if the backend reported one —
+        how batched and serial results of the same entry stay
+        distinguishable.  ``None`` for errors, non-fabric backends and
+        store-rehydrated results."""
+        if self.result is None:
+            return None
+        engine = self.result.telemetry.get("engine")
+        return engine if isinstance(engine, str) else None
 
 
 def _execute_entry(
@@ -393,6 +405,8 @@ class ExecutionPlan:
         cache = self.session._problem_cache
         if not pending:
             pass
+        elif executor == "batched":
+            self._run_batched(pending, cache, _finish)
         elif executor == "serial" or (n_workers == 1):
             for i in pending:
                 _finish(i, _execute_entry(self.entries[i], cache))
@@ -415,6 +429,64 @@ class ExecutionPlan:
                     _finish(futures[future], future.result())
 
         return [slot for slot in slots if slot is not None]
+
+    def _run_batched(
+        self,
+        pending: Sequence[int],
+        cache: dict[str, SinglePhaseProblem] | None,
+        finish: Callable[[int, tuple], None],
+    ) -> None:
+        """The ``executor="batched"`` path: fuse compatible entries.
+
+        Entries sharing (backend, spec fingerprint, grid shape) whose
+        backend can batch (``solve_batch``) and whose spec doesn't pin
+        the event engine are solved as one fused ``(batch, nx, ny, nz)``
+        program per group, chunked by ``machine.batch_size``; everything
+        else falls back to per-entry serial execution, and per-entry
+        error capture still holds (a failing group fails each of its
+        entries, nothing else).  Per-entry ``elapsed_seconds`` is the
+        group wall clock amortized over its members.
+        """
+        groups: dict[tuple, list[tuple[int, SinglePhaseProblem]]] = {}
+        spec_fps: dict[int, str] = {}  # plans share spec objects; hash once
+        for i in pending:
+            entry = self.entries[i]
+            start = time.perf_counter()
+            try:
+                backend = get_backend(entry.backend)
+                batchable = (
+                    hasattr(backend, "solve_batch")
+                    and entry.spec.machine.engine != "event"
+                )
+                if not batchable:
+                    finish(i, _execute_entry(entry, cache))
+                    continue
+                problem = entry.build_problem(cache)
+            except Exception as exc:  # noqa: BLE001 - per-entry capture
+                finish(i, (None, exc, time.perf_counter() - start))
+                continue
+            fp = spec_fps.get(id(entry.spec))
+            if fp is None:
+                fp = spec_fps[id(entry.spec)] = entry.spec.fingerprint()
+            key = (entry.backend, fp, problem.grid.shape)
+            groups.setdefault(key, []).append((i, problem))
+
+        for (backend_name, _fp, _shape), members in groups.items():
+            spec = self.entries[members[0][0]].spec
+            start = time.perf_counter()
+            try:
+                results = get_backend(backend_name).solve_batch(
+                    [problem for _, problem in members], spec
+                )
+            except Exception as exc:  # noqa: BLE001 - per-entry capture
+                elapsed = time.perf_counter() - start
+                for i, _ in members:
+                    finish(i, (None, exc, elapsed / len(members)))
+                continue
+            elapsed = time.perf_counter() - start
+            share = elapsed / len(members)
+            for (i, _), result in zip(members, results):
+                finish(i, (result, None, share))
 
 
 class Session:

@@ -129,6 +129,7 @@ MACHINE_FIELDS = (
     "reuse_buffers",
     "comm_only",
     "fixed_iterations",
+    "batch_size",
 )
 
 #: Fabric execution engines the dataflow backend offers (``None`` keeps
@@ -158,7 +159,11 @@ class MachineSpec:
     * ``reuse_buffers`` — §III-E.1 buffer-reuse toggle (dataflow only);
     * ``comm_only`` — Table IV methodology: suppress floating point
       (dataflow only, requires ``fixed_iterations``);
-    * ``fixed_iterations`` — run exactly N CG steps (dataflow and GPU).
+    * ``fixed_iterations`` — run exactly N CG steps (dataflow and GPU);
+    * ``batch_size`` — cap on problems fused per ``(batch, nx, ny, nz)``
+      program in batched execution (dataflow + vectorized engine only;
+      ``None`` fuses a whole compatible batch).  The event engine and
+      the gpu/reference backends reject it.
     """
 
     spec: WseSpecs | GpuSpecs | None = None
@@ -169,6 +174,7 @@ class MachineSpec:
     reuse_buffers: bool | None = None
     comm_only: bool = False
     fixed_iterations: int | None = None
+    batch_size: int | None = None
 
     def __post_init__(self) -> None:
         if self.spec is not None and not isinstance(self.spec, (WseSpecs, GpuSpecs)):
@@ -205,6 +211,9 @@ class MachineSpec:
             "fixed_iterations",
             _check_optional_int("fixed_iterations", self.fixed_iterations, 1),
         )
+        object.__setattr__(
+            self, "batch_size", _check_optional_int("batch_size", self.batch_size, 1)
+        )
 
     def set_fields(self) -> set[str]:
         """Names of knobs that differ from their defaults."""
@@ -234,6 +243,7 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "reuse_buffers": ("machine", "reuse_buffers"),
     "comm_only": ("machine", "comm_only"),
     "fixed_iterations": ("machine", "fixed_iterations"),
+    "batch_size": ("machine", "batch_size"),
     "preconditioner": ("", "preconditioner"),
     "jacobi": ("", "preconditioner"),
 }
@@ -338,6 +348,7 @@ class SolveSpec:
                 "reuse_buffers": m.reuse_buffers,
                 "comm_only": m.comm_only,
                 "fixed_iterations": m.fixed_iterations,
+                "batch_size": m.batch_size,
             },
             "preconditioner": self.preconditioner,
         }

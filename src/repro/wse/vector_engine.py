@@ -17,22 +17,38 @@ applied to the machine simulation itself:
   float64 (within round-off of the fabric's sequential per-PE chain);
 * **all-reduce** is exact in exact arithmetic — a single global sum.
 
-Fidelity is preserved through an *analytic* cycle/counter model charged
-from the same :mod:`repro.wse.isa` cost tables the event engine uses:
-instruction counts, FLOPs, memory and fabric traffic reproduce the
-event-driven oracle exactly (tested in ``tests/test_engine_parity.py``);
-the makespan is a per-phase critical-path estimate rather than an
-event-accurate schedule.  Per-PE memory is enforced by rehearsing the
-exact staging allocation sequence against a real
-:class:`~repro.wse.memory.MemoryArena`, so oversized columns raise
-:class:`~repro.util.errors.PeOutOfMemory` exactly like the oracle.
+Fidelity is preserved through an *analytic* cycle/counter model
+(:class:`_ChargeModel`) charged from the same :mod:`repro.wse.isa` cost
+tables the event engine uses: instruction counts, FLOPs, memory and
+fabric traffic reproduce the event-driven oracle exactly (tested in
+``tests/test_engine_parity.py`` and fuzzed in
+``tests/test_engine_fuzz.py``); the makespan is a per-phase
+critical-path estimate rather than an event-accurate schedule.  Per-PE
+memory is enforced by rehearsing the exact staging allocation sequence
+against a real :class:`~repro.wse.memory.MemoryArena`, so oversized
+columns raise :class:`~repro.util.errors.PeOutOfMemory` exactly like
+the oracle.
+
+Two engines share the machinery:
+
+* :class:`VectorEngine` — one problem, ``(nx, ny, nz)`` sweeps;
+* :class:`BatchedVectorEngine` — many independent problems on one grid
+  shape, ``(batch, nx, ny, nz)`` sweeps with per-problem convergence
+  masking: converged lanes freeze (no further updates, no further
+  charges) while the rest keep iterating, and every lane gets its own
+  :class:`~repro.core.program.EngineReport` whose counters equal what a
+  serial vectorized solve of that problem alone would have produced.
 
 What the model gives up: link-level contention, task skew between
 neighbouring PEs, and per-wavelet ordering.  What it buys: fabrics the
-event engine cannot reach — the full 750×994 wafer runs in seconds.
+event engine cannot reach — the full 750×994 wafer runs in seconds —
+and, batched, whole scenario families per NumPy pipeline.
 """
 
 from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
 
 import numpy as np
 
@@ -70,21 +86,576 @@ from repro.wse.trace import FabricTrace, PerfCounters
 def _shifted(field: np.ndarray, port: Port) -> np.ndarray:
     """The neighbour column every PE would receive on ``port``.
 
-    ``out[x, y, :] = field[x + dx, y + dy, :]`` with zeros where the
-    neighbour is off-fabric — exactly the halo buffer contents after an
-    exchange round (edge halos stay zero; the boundary coefficient is
-    zero anyway)."""
+    ``out[..., x, y, :] = field[..., x + dx, y + dy, :]`` with zeros
+    where the neighbour is off-fabric — exactly the halo buffer contents
+    after an exchange round (edge halos stay zero; the boundary
+    coefficient is zero anyway).  The lateral axes are the trailing
+    ``(nx, ny, nz)`` triple, so the same shift serves single-problem
+    fields and ``(batch, nx, ny, nz)`` stacks."""
     dx, dy = port.offset
     out = np.zeros_like(field)
-    src = [slice(None)] * 3
-    dst = [slice(None)] * 3
-    for axis, d in ((0, dx), (1, dy)):
+    src = [slice(None)] * field.ndim
+    dst = [slice(None)] * field.ndim
+    for axis, d in ((-3, dx), (-2, dy)):
         if d == -1:
             dst[axis], src[axis] = slice(1, None), slice(None, -1)
         elif d == 1:
             dst[axis], src[axis] = slice(None, -1), slice(1, None)
     out[tuple(dst)] = field[tuple(src)]
     return out
+
+
+def normalize_guesses(initial_pressure, count: int, shape: tuple) -> list:
+    """One initial guess per problem: ``None`` (problem defaults), a
+    single shared field, or a per-problem stack/sequence (the multi-RHS
+    transient case).  The single owner of this validation — the solver's
+    ``solve_batch`` and the batched engine both route through it."""
+    if initial_pressure is None:
+        return [None] * count
+    if isinstance(initial_pressure, np.ndarray):
+        if initial_pressure.shape == shape:
+            return [initial_pressure] * count
+        if initial_pressure.shape == (count,) + shape:
+            return list(initial_pressure)
+        raise ConfigurationError(
+            f"initial_pressure shape {initial_pressure.shape} matches "
+            f"neither the grid {shape} nor the batch {(count,) + shape}"
+        )
+    guesses = list(initial_pressure)
+    if len(guesses) != count:
+        raise ConfigurationError(
+            f"initial_pressure has {len(guesses)} entries for {count} "
+            f"problems"
+        )
+    return guesses
+
+
+# -- problem staging ----------------------------------------------------------
+
+
+class _Staging:
+    """Staged field arrays + per-PE column classification.
+
+    Built per problem by :func:`_stage_problem` (trailing ``(nx, ny,
+    nz)`` axes); :func:`_stack_stagings` stacks several single-problem
+    stagings into one ``(batch, nx, ny, nz)`` staging for the batched
+    engine.  The numerics kernels (:func:`_apply_fields` and friends)
+    only touch attributes, so both layouts execute the same code."""
+
+    __slots__ = (
+        "y", "b", "r", "p", "z", "inv_diag",
+        "coeff", "coeff_down", "coeff_up",
+        "ups", "ups_down", "ups_up", "lam", "lam_nbr",
+        "full_cols", "blend_mask", "has_full", "has_partial",
+        "kind_counts", "kernel_plans",
+    )
+
+
+def _classify_columns(problem: SinglePhaseProblem) -> tuple:
+    """Column histogram over DirichletKind + the full/blend masks."""
+    mask = problem.dirichlet.mask
+    col_any = mask.any(axis=2)
+    col_all = mask.all(axis=2)
+    partial_cols = col_any & ~col_all
+    num_pes = mask.shape[0] * mask.shape[1]
+    kind_counts = {
+        DirichletKind.FULL: int(np.count_nonzero(col_all)),
+        DirichletKind.PARTIAL: int(np.count_nonzero(partial_cols)),
+    }
+    kind_counts[DirichletKind.NONE] = (
+        num_pes - kind_counts[DirichletKind.FULL] - kind_counts[DirichletKind.PARTIAL]
+    )
+    return col_all, partial_cols, kind_counts
+
+
+def _stage_problem(
+    problem: SinglePhaseProblem,
+    program: CgProgram,
+    dtype: np.dtype,
+    initial_pressure: np.ndarray | None = None,
+) -> _Staging:
+    """Stage one problem's field arrays (the whole-fabric analogue of
+    ``stage_problem`` on the event fabric)."""
+    st = _Staging()
+    grid = problem.grid
+    if initial_pressure is None:
+        p0 = problem.initial_pressure(dtype=dtype)
+    else:
+        p0 = np.array(initial_pressure, dtype=dtype, copy=True)
+        problem.dirichlet.apply_to(p0)
+    st.y = p0
+    st.b = np.zeros(grid.shape, dtype=dtype)
+    st.b[problem.dirichlet.mask] = problem.dirichlet.values[problem.dirichlet.mask]
+    st.r = np.zeros(grid.shape, dtype=dtype)
+    st.p = np.zeros(grid.shape, dtype=dtype)
+    st.z = None
+    st.inv_diag = None
+    st.coeff = st.coeff_down = st.coeff_up = None
+    st.ups = st.ups_down = st.ups_up = st.lam = st.lam_nbr = None
+
+    if program.variant is KernelVariant.PRECOMPUTED:
+        st.coeff = {
+            port: problem.coefficients.cell_view(DIRECTION_FOR_PORT[port]).astype(dtype)
+            for port in COEFF_BUFFER
+        }
+        st.coeff_down = problem.coefficients.cell_view(Direction.DOWN).astype(dtype)
+        st.coeff_up = problem.coefficients.cell_view(Direction.UP).astype(dtype)
+    else:
+        trans = compute_transmissibility(grid, problem.permeability, dtype=np.float64)
+        st.ups = {
+            port: trans.cell_view(DIRECTION_FOR_PORT[port], dtype=dtype)
+            for port in UPSILON_BUFFER
+        }
+        st.ups_down = trans.cell_view(Direction.DOWN, dtype=dtype)
+        st.ups_up = trans.cell_view(Direction.UP, dtype=dtype)
+        st.lam = np.full(grid.shape, 1.0 / problem.viscosity, dtype=dtype)
+        st.lam_nbr = {port: _shifted(st.lam, port) for port in MOBILITY_BUFFER}
+
+    if program.jacobi:
+        diag = problem.coefficients.diagonal.astype(np.float64).copy()
+        diag[problem.dirichlet.mask] = 1.0
+        st.inv_diag = (1.0 / diag).astype(dtype)
+        st.z = np.zeros(grid.shape, dtype=dtype)
+
+    col_all, partial_cols, kind_counts = _classify_columns(problem)
+    st.full_cols = col_all
+    st.blend_mask = np.where(
+        partial_cols[:, :, None], problem.dirichlet.mask, False
+    ).astype(dtype)
+    st.kind_counts = kind_counts
+    st.has_full = kind_counts[DirichletKind.FULL] > 0
+    st.has_partial = kind_counts[DirichletKind.PARTIAL] > 0
+    st.kernel_plans = {
+        kind: FvColumnKernel.instruction_plan(
+            PeKernelConfig(
+                depth=grid.nz,
+                dirichlet=kind,
+                variant=program.variant,
+                reuse_buffers=program.reuse_buffers,
+            )
+        )
+        for kind, count in kind_counts.items()
+        if count > 0
+    }
+    return st
+
+
+def _gather_staging(st: _Staging, idx: np.ndarray, variant: KernelVariant) -> _Staging:
+    """The rows ``idx`` of a stacked staging, as a smaller staging.
+
+    Lets the batched engine run the FV operator over only the still-
+    active lanes once enough of the batch has converged (elementwise
+    results are identical; only frozen-lane work is skipped).  Gathers
+    just the arrays :func:`_apply_fields` reads."""
+    out = _Staging()
+    out.z = out.inv_diag = None
+    out.coeff = out.coeff_down = out.coeff_up = None
+    out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
+    if variant is KernelVariant.PRECOMPUTED:
+        out.coeff = {port: arr[idx] for port, arr in st.coeff.items()}
+        out.coeff_down = st.coeff_down[idx]
+        out.coeff_up = st.coeff_up[idx]
+    else:
+        out.ups = {port: arr[idx] for port, arr in st.ups.items()}
+        out.ups_down = st.ups_down[idx]
+        out.ups_up = st.ups_up[idx]
+        out.lam = st.lam[idx]
+        out.lam_nbr = {port: arr[idx] for port, arr in st.lam_nbr.items()}
+    out.full_cols = st.full_cols[idx]
+    out.blend_mask = st.blend_mask[idx]
+    out.has_full = st.has_full
+    out.has_partial = st.has_partial
+    out.kind_counts = None
+    out.kernel_plans = None
+    return out
+
+
+def _stack_stagings(stagings: Sequence[_Staging], program: CgProgram) -> _Staging:
+    """Stack per-problem stagings into one ``(batch, nx, ny, nz)`` staging."""
+    out = _Staging()
+
+    def stack(name: str):
+        return np.stack([getattr(s, name) for s in stagings])
+
+    for name in ("y", "b", "r", "p"):
+        setattr(out, name, stack(name))
+    out.z = out.inv_diag = None
+    out.coeff = out.coeff_down = out.coeff_up = None
+    out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
+    if program.variant is KernelVariant.PRECOMPUTED:
+        out.coeff = {
+            port: np.stack([s.coeff[port] for s in stagings]) for port in COEFF_BUFFER
+        }
+        out.coeff_down = stack("coeff_down")
+        out.coeff_up = stack("coeff_up")
+    else:
+        out.ups = {
+            port: np.stack([s.ups[port] for s in stagings]) for port in UPSILON_BUFFER
+        }
+        out.ups_down = stack("ups_down")
+        out.ups_up = stack("ups_up")
+        out.lam = stack("lam")
+        out.lam_nbr = {
+            port: np.stack([s.lam_nbr[port] for s in stagings])
+            for port in MOBILITY_BUFFER
+        }
+    if program.jacobi:
+        out.inv_diag = stack("inv_diag")
+        out.z = stack("z")
+    out.full_cols = stack("full_cols")
+    out.blend_mask = stack("blend_mask")
+    out.has_full = any(s.has_full for s in stagings)
+    out.has_partial = any(s.has_partial for s in stagings)
+    out.kind_counts = None  # per-lane; lives with each lane's charge model
+    out.kernel_plans = None
+    return out
+
+
+# -- the matrix-free operator over staged fields ------------------------------
+
+
+def _lateral_precomputed(st: _Staging, x: np.ndarray) -> np.ndarray:
+    out = None
+    for port in HALO_ORDER:
+        diff = x - _shifted(x, port)
+        if out is None:
+            out = st.coeff[port] * diff
+        else:
+            out += st.coeff[port] * diff
+    return out
+
+
+def _lateral_fused(st: _Staging, x: np.ndarray) -> np.ndarray:
+    out = None
+    for port in HALO_ORDER:
+        c = st.lam + st.lam_nbr[port]
+        np.multiply(c, 0.5, out=c, casting="unsafe")
+        np.multiply(c, st.ups[port], out=c, casting="unsafe")
+        diff = x - _shifted(x, port)
+        np.multiply(diff, c, out=diff, casting="unsafe")
+        if out is None:
+            out = diff.copy()
+        else:
+            out += diff
+    return out
+
+
+def _vertical(st: _Staging, variant: KernelVariant, x: np.ndarray, out: np.ndarray) -> None:
+    nz = x.shape[-1]
+    if nz < 2:
+        return
+    lo = (Ellipsis, slice(0, nz - 1))
+    hi = (Ellipsis, slice(1, nz))
+    diff_up = x[lo] - x[hi]
+    diff_down = x[hi] - x[lo]
+    if variant is KernelVariant.PRECOMPUTED:
+        out[lo] += st.coeff_up[lo] * diff_up
+        out[hi] += st.coeff_down[hi] * diff_down
+    else:
+        lam = st.lam
+        for rng, other, ups, diff in (
+            (lo, hi, st.ups_up, diff_up),
+            (hi, lo, st.ups_down, diff_down),
+        ):
+            lam2 = lam[rng] + lam[other]
+            np.multiply(lam2, 0.5, out=lam2, casting="unsafe")
+            np.multiply(lam2, ups[rng], out=lam2, casting="unsafe")
+            out[rng] += lam2 * diff
+
+
+def _apply_fields(st: _Staging, variant: KernelVariant, x: np.ndarray) -> np.ndarray:
+    """The matrix-free FV operator over the whole (possibly batched)
+    fabric.  Mirrors :class:`FvColumnKernel` instruction for instruction
+    (same operand order), so per-element fp results match the event
+    engine bit for bit."""
+    if variant is KernelVariant.PRECOMPUTED:
+        out = _lateral_precomputed(st, x)
+    else:
+        out = _lateral_fused(st, x)
+    _vertical(st, variant, x, out)
+    if st.has_full:
+        out[st.full_cols] = x[st.full_cols]
+    if st.has_partial:
+        out += st.blend_mask * (x - out)
+    return out
+
+
+# -- memory model -------------------------------------------------------------
+
+
+@lru_cache(maxsize=128)
+def _rehearse_bytes(
+    pe_memory_bytes: int,
+    variant: KernelVariant,
+    reuse_buffers: bool,
+    jacobi: bool,
+    nz: int,
+    dtype_name: str,
+    with_mask: bool,
+) -> int:
+    """Replay the event engine's per-PE allocation sequence.
+
+    One rehearsal per column class (with/without ``bc_mask``) against a
+    real :class:`MemoryArena` reproduces both the capacity enforcement
+    (:class:`PeOutOfMemory` at construction, like an oversized CSL
+    program) and the high-water statistics exactly.  Cached by exactly
+    the arguments that determine the layout (not the whole program —
+    per-problem resolved tolerances must not defeat the cache), so a
+    batch of problems or a sweep of solves pays for at most two
+    rehearsals per configuration.
+    """
+    from repro.perf.memmodel import SCALAR_RESERVE_BYTES
+
+    dtype = np.dtype(dtype_name)
+    arena = MemoryArena(pe_memory_bytes, reserved_bytes=SCALAR_RESERVE_BYTES)
+    for name in HALO_BUFFER.values():  # HaloExchange allocates first
+        arena.alloc(name, nz, dtype=dtype)
+    for name in CG_COLUMN_BUFFERS:
+        arena.alloc(name, nz, dtype=dtype)
+    if not reuse_buffers:
+        arena.alloc("scratch", nz, dtype=dtype)
+    if jacobi:
+        arena.alloc("z", nz, dtype=dtype)
+        arena.alloc("inv_diag", nz, dtype=dtype)
+    if variant is KernelVariant.PRECOMPUTED:
+        for name in COEFF_BUFFER.values():
+            arena.alloc(name, nz, dtype=dtype)
+        arena.alloc(COEFF_DOWN, nz, dtype=dtype)
+        arena.alloc(COEFF_UP, nz, dtype=dtype)
+    else:
+        for name in UPSILON_BUFFER.values():
+            arena.alloc(name, nz, dtype=dtype)
+        arena.alloc(UPSILON_DOWN, nz, dtype=dtype)
+        arena.alloc(UPSILON_UP, nz, dtype=dtype)
+        arena.alloc(MOBILITY_OWN, nz, dtype=dtype)
+        arena.alloc("lam_scratch", nz, dtype=dtype)
+        for name in MOBILITY_BUFFER.values():
+            arena.alloc(name, nz, dtype=dtype)
+    if with_mask:
+        arena.alloc("bc_mask", nz, dtype=dtype)
+    return arena.used_bytes
+
+
+def _memory_report(
+    spec: WseSpecs, program: CgProgram, nz: int, dtype: np.dtype, kind_counts: dict
+) -> dict[str, float]:
+    """Per-PE memory statistics for one problem's staging."""
+    num_pes = sum(kind_counts.values())
+
+    def rehearse(with_mask: bool) -> int:
+        return _rehearse_bytes(
+            spec.pe_memory_bytes, program.variant, program.reuse_buffers,
+            program.jacobi, nz, dtype.name, with_mask,
+        )
+
+    base_bytes = rehearse(False)
+    n_partial = kind_counts[DirichletKind.PARTIAL]
+    mask_bytes = rehearse(True) if n_partial else base_bytes
+    high = max(base_bytes, mask_bytes) if n_partial else base_bytes
+    mean = (n_partial * mask_bytes + (num_pes - n_partial) * base_bytes) / num_pes
+    return {
+        "max_high_water": float(high),
+        "mean_high_water": float(mean),
+        "max_used": float(high),
+        "capacity": float(spec.pe_memory_bytes),
+    }
+
+
+# -- the analytic cycle/counter model -----------------------------------------
+
+
+class _ChargeModel:
+    """Analytic per-problem cycle/counter state over the ISA cost tables.
+
+    One instance accumulates the charges of one problem's solve.  The
+    batched engine additionally uses throwaway instances as *charge
+    packets*: play a phase sequence once on a :meth:`fresh` model, then
+    :meth:`merge` the result into every lane that executed that sequence
+    — per-lane charges stay exactly what a serial solve of that lane
+    would have recorded, at a fraction of the bookkeeping cost.
+    """
+
+    def __init__(
+        self,
+        *,
+        width: int,
+        height: int,
+        depth: int,
+        simd_width: int,
+        spec: WseSpecs,
+        suppress: bool,
+        kind_counts: dict,
+        kernel_plans: dict,
+    ):
+        self.width, self.height, self.depth = width, height, depth
+        self.num_pes = width * height
+        self.simd_width = simd_width
+        self.spec = spec
+        self.suppress = suppress
+        self.kind_counts = kind_counts
+        self.kernel_plans = kernel_plans
+        self.counters = PerfCounters()
+        self.trace = FabricTrace()
+        self.makespan = 0
+        self.pe_compute = 0  # critical-path compute of the busiest PE class
+        self.state_visits: list[CGState] = []
+
+    def fresh(self) -> "_ChargeModel":
+        """A zeroed model with the same machine/problem parameters."""
+        return _ChargeModel(
+            width=self.width, height=self.height, depth=self.depth,
+            simd_width=self.simd_width, spec=self.spec, suppress=self.suppress,
+            kind_counts=self.kind_counts, kernel_plans=self.kernel_plans,
+        )
+
+    # -- charging helpers (identical semantics to the event oracle) ----------
+
+    def counted(self, op: Op) -> bool:
+        return not self.suppress or op in (Op.FMOV, Op.MOV32)
+
+    def charge(self, op: Op, elements_per_instr: int, instances: int) -> None:
+        """Charge ``instances`` identical vector instructions fabric-wide."""
+        if not self.counted(op) or instances <= 0 or elements_per_instr <= 0:
+            return
+        cycles = vector_cycles(elements_per_instr, self.simd_width)
+        self.counters.record_op(op, elements_per_instr * instances, cycles * instances)
+
+    def vec(self, op: Op, elements: int | None = None) -> None:
+        """One vector instruction on every PE (critical path: one issue)."""
+        n = self.depth if elements is None else elements
+        self.charge(op, n, self.num_pes)
+        if self.counted(op):
+            cycles = vector_cycles(n, self.simd_width)
+            self.makespan += cycles
+            self.pe_compute += cycles
+
+    def scalar(self, cycles: int) -> None:
+        """Scalar/sequencer work on every PE (never suppressed)."""
+        self.counters.compute_cycles += cycles * self.num_pes
+        self.makespan += cycles
+        self.pe_compute += cycles
+
+    def visit(self, state: CGState) -> None:
+        """Fabric-wide state transition (2 sequencer cycles per PE)."""
+        self.state_visits.append(state)
+        self.scalar(2)
+
+    def charge_kernel(self) -> None:
+        """One FV apply on every column, charged per Dirichlet class."""
+        critical = 0
+        for kind, plan in self.kernel_plans.items():
+            count = self.kind_counts[kind]
+            cycles = 0
+            for op, n in plan:
+                self.charge(op, n, count)
+                if self.counted(op):
+                    cycles += vector_cycles(n, self.simd_width)
+            critical = max(critical, cycles)
+        self.makespan += critical
+        self.pe_compute += critical
+
+    def charge_exchange(self) -> None:
+        """One 4-step halo-exchange round, fabric-wide.
+
+        Every live directed link carries one data message (``nz``
+        wavelets, one hop) plus one switch-advancing control wavelet;
+        every live receive moves ``nz`` elements with FMOV."""
+        W, H, nz = self.width, self.height, self.depth
+        links = 2 * ((W - 1) * H + (H - 1) * W)
+        if links:
+            self.charge(Op.FMOV, nz, links)
+            self.charge(Op.MOV32, 1, links)
+            self.counters.record_fabric_send(links * (nz + 1) * 4)
+            self.trace.total_messages += 2 * links
+            self.trace.total_wavelets += links * (nz + 1)
+            self.trace.total_hop_wavelets += links * (nz + 1)
+            self.trace.comm_busy_cycles += links * (nz + 1)
+        # Critical path: 4 serialized steps of send (link serialization +
+        # hop) then receive-fill, plus control/callback slack.
+        hop = self.spec.hop_latency_cycles
+        fill = vector_cycles(nz, self.simd_width)
+        self.makespan += 4 * (nz + hop + fill + 2)
+        self.pe_compute += 4 * fill
+
+    def charge_allreduce(self) -> None:
+        """Charge one all-reduce round (three-step chain/broadcast
+        protocol of §III-C); the reduced value itself is exact and
+        computed by the engine's numerics."""
+        W, H = self.width, self.height
+        row_sends = (W - 1) * H
+        col_sends = H - 1
+        bcast_col = 1 if H > 1 else 0
+        bcast_row = H if W > 1 else 0
+        sends = row_sends + col_sends + bcast_col + bcast_row
+        combines = (W - 1) * H + (H - 1)
+        self.charge(Op.FADD, 1, combines)
+        self.counters.record_fabric_send(4 * sends)
+        receives = (
+            row_sends
+            + col_sends
+            + (H - 1 if H > 1 else 0)
+            + ((W - 1) * H if W > 1 else 0)
+        )
+        self.counters.record_fabric_receive(4 * receives)
+        self.trace.total_messages += sends
+        self.trace.total_wavelets += sends
+        hops = (
+            row_sends
+            + col_sends
+            + (H - 1 if H > 1 else 0)
+            + (H * (W - 1) if W > 1 else 0)
+        )
+        self.trace.total_hop_wavelets += hops
+        self.trace.comm_busy_cycles += hops
+        # Critical path: the sequential row chain, the column chain, and
+        # the two broadcast legs (one wavelet + hop + combine per link).
+        hop = self.spec.hop_latency_cycles
+        self.makespan += (
+            (W - 1) * (hop + 2) + (H - 1) * (hop + 2)
+            + (H - 1) * (hop + 1) + (W - 1) * (hop + 1) + 2
+        )
+        if W > 1 or H > 1:
+            self.pe_compute += 1
+
+    # -- packet composition --------------------------------------------------
+
+    def merge_scaled(self, packet: "_ChargeModel", n: int) -> None:
+        """Add ``n`` repetitions of a packet's charges in one step.
+
+        Charges are additive, so replaying a per-iteration packet ``n``
+        times equals one scaled merge — O(1) bookkeeping per lane
+        instead of O(iterations).  State visits are *not* touched (their
+        order is iteration-interleaved; the batched engine reconstructs
+        the sequence explicitly)."""
+        if n <= 0:
+            return
+        c, o = self.counters, packet.counters
+        for op, count in o.op_counts.items():
+            c.op_counts[op] += count * n
+        c.flops += o.flops * n
+        c.mem_load_bytes += o.mem_load_bytes * n
+        c.mem_store_bytes += o.mem_store_bytes * n
+        c.fabric_load_bytes += o.fabric_load_bytes * n
+        c.fabric_store_bytes += o.fabric_store_bytes * n
+        c.compute_cycles += o.compute_cycles * n
+        t, ot = self.trace, packet.trace
+        t.total_messages += ot.total_messages * n
+        t.total_wavelets += ot.total_wavelets * n
+        t.total_hop_wavelets += ot.total_hop_wavelets * n
+        t.comm_busy_cycles += ot.comm_busy_cycles * n
+        self.makespan += packet.makespan * n
+        self.pe_compute += packet.pe_compute * n
+
+    def finalize(self) -> None:
+        """Close out the run: makespan, critical path, idle accounting."""
+        self.trace.makespan_cycles = self.makespan
+        self.trace.max_compute_cycles = self.pe_compute
+        self.counters.idle_cycles = max(
+            0, self.makespan * self.num_pes - self.counters.compute_cycles
+        )
+
+
+# -- the serial (batch=1) engine ----------------------------------------------
 
 
 class VectorEngine:
@@ -108,6 +679,11 @@ class VectorEngine:
         simd_width: int | None = None,
         initial_pressure: np.ndarray | None = None,
     ):
+        if program.batch != 1:
+            raise ConfigurationError(
+                f"VectorEngine runs single-problem programs; got batch="
+                f"{program.batch} (use BatchedVectorEngine)"
+            )
         self.problem = problem
         self.program = program
         self.spec = spec
@@ -121,392 +697,78 @@ class VectorEngine:
         self.num_pes = self.width * self.height
         self._suppress = program.comm_only
 
-        # -- field staging (the whole-fabric analogue of stage_problem) -----
-        if initial_pressure is None:
-            p0 = problem.initial_pressure(dtype=self.dtype)
-        else:
-            p0 = np.array(initial_pressure, dtype=self.dtype, copy=True)
-            problem.dirichlet.apply_to(p0)
-        self.y = p0
-        self.b = np.zeros(grid.shape, dtype=self.dtype)
-        self.b[problem.dirichlet.mask] = problem.dirichlet.values[
-            problem.dirichlet.mask
-        ]
-        self.r = np.zeros(grid.shape, dtype=self.dtype)
-        self.p = np.zeros(grid.shape, dtype=self.dtype)
-
-        if program.variant is KernelVariant.PRECOMPUTED:
-            self._coeff = {
-                port: problem.coefficients.cell_view(
-                    DIRECTION_FOR_PORT[port]
-                ).astype(self.dtype)
-                for port in COEFF_BUFFER
-            }
-            self._coeff_down = problem.coefficients.cell_view(Direction.DOWN).astype(
-                self.dtype
-            )
-            self._coeff_up = problem.coefficients.cell_view(Direction.UP).astype(
-                self.dtype
-            )
-        else:
-            trans = compute_transmissibility(
-                grid, problem.permeability, dtype=np.float64
-            )
-            self._ups = {
-                port: trans.cell_view(DIRECTION_FOR_PORT[port], dtype=self.dtype)
-                for port in UPSILON_BUFFER
-            }
-            self._ups_down = trans.cell_view(Direction.DOWN, dtype=self.dtype)
-            self._ups_up = trans.cell_view(Direction.UP, dtype=self.dtype)
-            self._lam = np.full(grid.shape, 1.0 / problem.viscosity, dtype=self.dtype)
-            self._lam_nbr = {
-                port: _shifted(self._lam, port) for port in MOBILITY_BUFFER
-            }
-
-        if program.jacobi:
-            diag = problem.coefficients.diagonal.astype(np.float64).copy()
-            diag[problem.dirichlet.mask] = 1.0
-            self._inv_diag = (1.0 / diag).astype(self.dtype)
-            self.z = np.zeros(grid.shape, dtype=self.dtype)
-
-        # Column classification against the Dirichlet set (per-PE kernel
-        # configs collapse to a histogram over DirichletKind).
-        mask = problem.dirichlet.mask
-        col_any = mask.any(axis=2)
-        col_all = mask.all(axis=2)
-        self._full_cols = col_all
-        self._partial_cols = col_any & ~col_all
-        self._blend_mask = np.where(
-            self._partial_cols[:, :, None], mask, False
-        ).astype(self.dtype)
-        self._kind_counts = {
-            DirichletKind.FULL: int(np.count_nonzero(col_all)),
-            DirichletKind.PARTIAL: int(np.count_nonzero(self._partial_cols)),
-        }
-        self._kind_counts[DirichletKind.NONE] = (
-            self.num_pes
-            - self._kind_counts[DirichletKind.FULL]
-            - self._kind_counts[DirichletKind.PARTIAL]
+        self.st = _stage_problem(problem, program, self.dtype, initial_pressure)
+        self._memory = _memory_report(
+            spec, program, self.depth, self.dtype, self.st.kind_counts
         )
-        self._kernel_plans = {
-            kind: FvColumnKernel.instruction_plan(
-                PeKernelConfig(
-                    depth=self.depth,
-                    dirichlet=kind,
-                    variant=program.variant,
-                    reuse_buffers=program.reuse_buffers,
-                )
-            )
-            for kind, count in self._kind_counts.items()
-            if count > 0
-        }
-
-        self._memory = self._rehearse_memory()
-
-        # -- analytic model state -------------------------------------------
-        self.counters = PerfCounters()
-        self.trace = FabricTrace()
-        self._makespan = 0
-        self._pe_compute = 0  # critical-path compute of the busiest PE class
-        self._state_visits: list[CGState] = []
+        self.model = _ChargeModel(
+            width=self.width, height=self.height, depth=self.depth,
+            simd_width=self.simd_width, spec=spec, suppress=self._suppress,
+            kind_counts=self.st.kind_counts, kernel_plans=self.st.kernel_plans,
+        )
         self._history: list[float] = []
 
-    # -- memory model ------------------------------------------------------------
-
-    def _rehearse_memory(self) -> dict[str, float]:
-        """Replay the event engine's per-PE allocation sequence.
-
-        One rehearsal per column class (with/without ``bc_mask``) against
-        a real :class:`MemoryArena` reproduces both the capacity
-        enforcement (:class:`PeOutOfMemory` at construction, like an
-        oversized CSL program) and the high-water statistics exactly.
-        """
-        from repro.perf.memmodel import SCALAR_RESERVE_BYTES
-
-        program, nz = self.program, self.depth
-
-        def rehearse(with_mask: bool) -> int:
-            arena = MemoryArena(
-                self.spec.pe_memory_bytes, reserved_bytes=SCALAR_RESERVE_BYTES
-            )
-            for name in HALO_BUFFER.values():  # HaloExchange allocates first
-                arena.alloc(name, nz, dtype=self.dtype)
-            for name in CG_COLUMN_BUFFERS:
-                arena.alloc(name, nz, dtype=self.dtype)
-            if not program.reuse_buffers:
-                arena.alloc("scratch", nz, dtype=self.dtype)
-            if program.jacobi:
-                arena.alloc("z", nz, dtype=self.dtype)
-                arena.alloc("inv_diag", nz, dtype=self.dtype)
-            if program.variant is KernelVariant.PRECOMPUTED:
-                for name in COEFF_BUFFER.values():
-                    arena.alloc(name, nz, dtype=self.dtype)
-                arena.alloc(COEFF_DOWN, nz, dtype=self.dtype)
-                arena.alloc(COEFF_UP, nz, dtype=self.dtype)
-            else:
-                for name in UPSILON_BUFFER.values():
-                    arena.alloc(name, nz, dtype=self.dtype)
-                arena.alloc(UPSILON_DOWN, nz, dtype=self.dtype)
-                arena.alloc(UPSILON_UP, nz, dtype=self.dtype)
-                arena.alloc(MOBILITY_OWN, nz, dtype=self.dtype)
-                arena.alloc("lam_scratch", nz, dtype=self.dtype)
-                for name in MOBILITY_BUFFER.values():
-                    arena.alloc(name, nz, dtype=self.dtype)
-            if with_mask:
-                arena.alloc("bc_mask", nz, dtype=self.dtype)
-            return arena.used_bytes
-
-        base_bytes = rehearse(False)
-        n_partial = self._kind_counts[DirichletKind.PARTIAL]
-        mask_bytes = rehearse(True) if n_partial else base_bytes
-        high = max(base_bytes, mask_bytes) if n_partial else base_bytes
-        mean = (
-            n_partial * mask_bytes + (self.num_pes - n_partial) * base_bytes
-        ) / self.num_pes
-        return {
-            "max_high_water": float(high),
-            "mean_high_water": float(mean),
-            "max_used": float(high),
-            "capacity": float(self.spec.pe_memory_bytes),
-        }
-
-    # -- analytic charging helpers ------------------------------------------------
-
-    def _counted(self, op: Op) -> bool:
-        return not self._suppress or op in (Op.FMOV, Op.MOV32)
-
-    def _charge(self, op: Op, elements_per_instr: int, instances: int) -> None:
-        """Charge ``instances`` identical vector instructions fabric-wide."""
-        if not self._counted(op) or instances <= 0 or elements_per_instr <= 0:
-            return
-        cycles = vector_cycles(elements_per_instr, self.simd_width)
-        self.counters.record_op(
-            op, elements_per_instr * instances, cycles * instances
-        )
-
-    def _vec(self, op: Op, elements: int | None = None) -> None:
-        """One vector instruction on every PE (critical path: one issue)."""
-        n = self.depth if elements is None else elements
-        self._charge(op, n, self.num_pes)
-        if self._counted(op):
-            cycles = vector_cycles(n, self.simd_width)
-            self._makespan += cycles
-            self._pe_compute += cycles
-
-    def _scalar(self, cycles: int) -> None:
-        """Scalar/sequencer work on every PE (never suppressed)."""
-        self.counters.compute_cycles += cycles * self.num_pes
-        self._makespan += cycles
-        self._pe_compute += cycles
-
-    def _visit(self, state: CGState) -> None:
-        """Fabric-wide state transition (2 sequencer cycles per PE)."""
-        self._state_visits.append(state)
-        self._scalar(2)
-
-    def _charge_kernel(self) -> None:
-        """One FV apply on every column, charged per Dirichlet class."""
-        critical = 0
-        for kind, plan in self._kernel_plans.items():
-            count = self._kind_counts[kind]
-            cycles = 0
-            for op, n in plan:
-                self._charge(op, n, count)
-                if self._counted(op):
-                    cycles += vector_cycles(n, self.simd_width)
-            critical = max(critical, cycles)
-        self._makespan += critical
-        self._pe_compute += critical
-
-    def _charge_exchange(self) -> None:
-        """One 4-step halo-exchange round, fabric-wide.
-
-        Every live directed link carries one data message (``nz``
-        wavelets, one hop) plus one switch-advancing control wavelet;
-        every live receive moves ``nz`` elements with FMOV."""
-        W, H, nz = self.width, self.height, self.depth
-        links = 2 * ((W - 1) * H + (H - 1) * W)
-        if links:
-            self._charge(Op.FMOV, nz, links)
-            self._charge(Op.MOV32, 1, links)
-            self.counters.record_fabric_send(links * (nz + 1) * 4)
-            self.trace.total_messages += 2 * links
-            self.trace.total_wavelets += links * (nz + 1)
-            self.trace.total_hop_wavelets += links * (nz + 1)
-            self.trace.comm_busy_cycles += links * (nz + 1)
-        # Critical path: 4 serialized steps of send (link serialization +
-        # hop) then receive-fill, plus control/callback slack.
-        hop = self.spec.hop_latency_cycles
-        fill = vector_cycles(nz, self.simd_width)
-        self._makespan += 4 * (nz + hop + fill + 2)
-        self._pe_compute += 4 * fill
-
-    def _allreduce(self, local_total: float) -> float:
-        """Charge one all-reduce round; return the global total.
-
-        The value itself is exact (the chain sum is associative in exact
-        arithmetic); the charge mirrors the three-step chain/broadcast
-        protocol of §III-C."""
-        W, H = self.width, self.height
-        row_sends = (W - 1) * H
-        col_sends = H - 1
-        bcast_col = 1 if H > 1 else 0
-        bcast_row = H if W > 1 else 0
-        sends = row_sends + col_sends + bcast_col + bcast_row
-        combines = (W - 1) * H + (H - 1)
-        self._charge(Op.FADD, 1, combines)
-        self.counters.record_fabric_send(4 * sends)
-        receives = (
-            row_sends
-            + col_sends
-            + (H - 1 if H > 1 else 0)
-            + ((W - 1) * H if W > 1 else 0)
-        )
-        self.counters.record_fabric_receive(4 * receives)
-        self.trace.total_messages += sends
-        self.trace.total_wavelets += sends
-        hops = (
-            row_sends
-            + col_sends
-            + (H - 1 if H > 1 else 0)
-            + (H * (W - 1) if W > 1 else 0)
-        )
-        self.trace.total_hop_wavelets += hops
-        self.trace.comm_busy_cycles += hops
-        # Critical path: the sequential row chain, the column chain, and
-        # the two broadcast legs (one wavelet + hop + combine per link).
-        hop = self.spec.hop_latency_cycles
-        self._makespan += (
-            (W - 1) * (hop + 2) + (H - 1) * (hop + 2)
-            + (H - 1) * (hop + 1) + (W - 1) * (hop + 1) + 2
-        )
-        if W > 1 or H > 1:
-            self._pe_compute += 1
-        return 0.0 if self._suppress else float(local_total)
-
-    # -- numerics ----------------------------------------------------------------
+    # -- numerics -------------------------------------------------------------
 
     def _dot(self, a: np.ndarray, b: np.ndarray) -> float:
         """Global dot product, float64 accumulation."""
         if self._suppress:
             return 0.0
         return float(
-            np.dot(
-                a.reshape(-1).astype(np.float64), b.reshape(-1).astype(np.float64)
-            )
+            np.dot(a.reshape(-1).astype(np.float64), b.reshape(-1).astype(np.float64))
         )
 
     def _apply(self, x: np.ndarray) -> np.ndarray:
-        """The matrix-free FV operator over the whole fabric.
-
-        Mirrors :class:`FvColumnKernel` instruction for instruction (same
-        operand order), so per-element fp results match the event engine
-        bit for bit."""
         if self._suppress:
             return np.zeros_like(x)
-        if self.program.variant is KernelVariant.PRECOMPUTED:
-            out = self._lateral_precomputed(x)
-        else:
-            out = self._lateral_fused(x)
-        self._vertical(x, out)
-        self._dirichlet(x, out)
-        return out
+        return _apply_fields(self.st, self.program.variant, x)
 
-    def _lateral_precomputed(self, x: np.ndarray) -> np.ndarray:
-        out = None
-        for port in HALO_ORDER:
-            diff = x - _shifted(x, port)
-            if out is None:
-                out = self._coeff[port] * diff
-            else:
-                out += self._coeff[port] * diff
-        return out
+    def _allreduce(self, local_total: float) -> float:
+        """Charge one all-reduce round; return the global total (exact —
+        the chain sum is associative in exact arithmetic)."""
+        self.model.charge_allreduce()
+        return 0.0 if self._suppress else float(local_total)
 
-    def _lateral_fused(self, x: np.ndarray) -> np.ndarray:
-        out = None
-        for port in HALO_ORDER:
-            c = self._lam + self._lam_nbr[port]
-            np.multiply(c, 0.5, out=c, casting="unsafe")
-            np.multiply(c, self._ups[port], out=c, casting="unsafe")
-            diff = x - _shifted(x, port)
-            np.multiply(diff, c, out=diff, casting="unsafe")
-            if out is None:
-                out = diff.copy()
-            else:
-                out += diff
-        return out
-
-    def _vertical(self, x: np.ndarray, out: np.ndarray) -> None:
-        nz = self.depth
-        if nz < 2:
-            return
-        lo, hi = (slice(None), slice(None), slice(0, nz - 1)), (
-            slice(None),
-            slice(None),
-            slice(1, nz),
-        )
-        diff_up = x[lo] - x[hi]
-        diff_down = x[hi] - x[lo]
-        if self.program.variant is KernelVariant.PRECOMPUTED:
-            out[lo] += self._coeff_up[lo] * diff_up
-            out[hi] += self._coeff_down[hi] * diff_down
-        else:
-            lam = self._lam
-            for rng, other, ups, diff in (
-                (lo, hi, self._ups_up, diff_up),
-                (hi, lo, self._ups_down, diff_down),
-            ):
-                lam2 = lam[rng] + lam[other]
-                np.multiply(lam2, 0.5, out=lam2, casting="unsafe")
-                np.multiply(lam2, ups[rng], out=lam2, casting="unsafe")
-                out[rng] += lam2 * diff
-
-    def _dirichlet(self, x: np.ndarray, out: np.ndarray) -> None:
-        if self._kind_counts[DirichletKind.FULL]:
-            out[self._full_cols] = x[self._full_cols]
-        if self._kind_counts[DirichletKind.PARTIAL]:
-            out += self._blend_mask * (x - out)
-
-    # -- the solve ---------------------------------------------------------------
+    # -- the solve ------------------------------------------------------------
 
     def run(self, *, track_states_for: tuple[int, int] = (0, 0)) -> EngineReport:
         """Execute the CG program; phase order and control flow replicate
         the event engine's state machine exactly."""
-        program = self.program
-        y, b, r, p = self.y, self.b, self.r, self.p
+        program, st, m = self.program, self.st, self.model
+        y, b, r, p = st.y, st.b, st.r, st.p
         jacobi, suppress = program.jacobi, self._suppress
 
         # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
-        self._visit(CGState.INIT)
-        self._visit(CGState.EXCHANGE)
-        self._charge_exchange()
-        self._visit(CGState.COMPUTE_JX)
-        self._charge_kernel()
+        m.visit(CGState.INIT)
+        m.visit(CGState.EXCHANGE)
+        m.charge_exchange()
+        m.visit(CGState.COMPUTE_JX)
+        m.charge_kernel()
         jx = self._apply(y)
-        self._vec(Op.FSUB)  # r = b - Jx
+        m.vec(Op.FSUB)  # r = b - Jx
         if not suppress:
             np.subtract(b, jx, out=r, casting="unsafe")
         if jacobi:
-            self._vec(Op.FMUL)  # z = r / diag
-            self._vec(Op.FMOV)  # p = z
+            m.vec(Op.FMUL)  # z = r / diag
+            m.vec(Op.FMOV)  # p = z
             if not suppress:
-                np.multiply(r, self._inv_diag, out=self.z, casting="unsafe")
-                p[...] = self.z
-            local = self._dot(r, self.z) if not suppress else 0.0
+                np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
+                p[...] = st.z
+            local = self._dot(r, st.z) if not suppress else 0.0
         else:
-            self._vec(Op.FMOV)  # p = r
+            m.vec(Op.FMOV)  # p = r
             if not suppress:
                 p[...] = r
             local = self._dot(r, r)
-        self._vec(Op.FMA)  # local dot
-        self._visit(CGState.DOT_RR)
+        m.vec(Op.FMA)  # local dot
+        m.visit(CGState.DOT_RR)
         rtr = self._allreduce(local)
         self._history.append(rtr)
 
         k = 0
         terminal: CGState | None = None
         while terminal is None:
-            self._visit(CGState.ITER_CHECK)
+            m.visit(CGState.ITER_CHECK)
             if program.check_convergence and rtr < program.tol_rtr:
                 terminal = CGState.CONVERGED
                 break
@@ -518,16 +780,16 @@ class VectorEngine:
                 )
                 break
 
-            self._visit(CGState.EXCHANGE)
-            self._charge_exchange()
-            self._visit(CGState.COMPUTE_JX)
-            self._charge_kernel()
+            m.visit(CGState.EXCHANGE)
+            m.charge_exchange()
+            m.visit(CGState.COMPUTE_JX)
+            m.charge_kernel()
             jx = self._apply(p)
-            self._vec(Op.FMA)  # local p^T Jp
-            self._visit(CGState.DOT_PAP)
+            m.vec(Op.FMA)  # local p^T Jp
+            m.visit(CGState.DOT_PAP)
             pap = self._allreduce(self._dot(p, jx))
 
-            self._visit(CGState.COMPUTE_ALPHA)
+            m.visit(CGState.COMPUTE_ALPHA)
             if pap == 0.0:
                 if not suppress and program.check_convergence:
                     raise ConfigurationError(
@@ -536,63 +798,424 @@ class VectorEngine:
                 alpha = 0.0
             else:
                 alpha = rtr / pap
-            self._scalar(4)  # scalar divide on the CE
+            m.scalar(4)  # scalar divide on the CE
 
-            self._visit(CGState.UPDATE_SOL)
-            self._vec(Op.FMA)  # y += alpha p
-            self._visit(CGState.UPDATE_RES)
-            self._vec(Op.FMA)  # r -= alpha Jp
+            m.visit(CGState.UPDATE_SOL)
+            m.vec(Op.FMA)  # y += alpha p
+            m.visit(CGState.UPDATE_RES)
+            m.vec(Op.FMA)  # r -= alpha Jp
             if not suppress:
                 y += alpha * p
                 r += (-alpha) * jx
             if jacobi:
-                self._vec(Op.FMUL)
+                m.vec(Op.FMUL)
                 if not suppress:
-                    np.multiply(r, self._inv_diag, out=self.z, casting="unsafe")
-                local = self._dot(r, self.z)
+                    np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
+                local = self._dot(r, st.z)
             else:
                 local = self._dot(r, r)
-            self._vec(Op.FMA)
-            self._visit(CGState.DOT_RR)
+            m.vec(Op.FMA)
+            m.visit(CGState.DOT_RR)
             rtr_new = self._allreduce(local)
 
             k += 1
-            self._visit(CGState.THRES_CHECK)
+            m.visit(CGState.THRES_CHECK)
             self._history.append(rtr_new)
             if program.check_convergence and rtr_new < program.tol_rtr:
                 terminal = CGState.CONVERGED
                 break
-            self._visit(CGState.COMPUTE_BETA)
+            m.visit(CGState.COMPUTE_BETA)
             beta = (rtr_new / rtr) if rtr > 0 else 0.0
-            self._scalar(4)
-            self._visit(CGState.UPDATE_DIR)
-            self._vec(Op.FMUL)  # p *= beta
-            self._vec(Op.FADD)  # p += r (or z)
+            m.scalar(4)
+            m.visit(CGState.UPDATE_DIR)
+            m.vec(Op.FMUL)  # p *= beta
+            m.vec(Op.FADD)  # p += r (or z)
             if not suppress:
                 np.multiply(p, beta, out=p, casting="unsafe")
-                p += self.z if jacobi else r
+                p += st.z if jacobi else r
             rtr = rtr_new
 
-        self._visit(terminal)
+        m.visit(terminal)
         converged = terminal is CGState.CONVERGED
-
-        self.trace.makespan_cycles = self._makespan
-        self.trace.max_compute_cycles = self._pe_compute
-        self.counters.idle_cycles = max(
-            0, self._makespan * self.num_pes - self.counters.compute_cycles
-        )
+        m.finalize()
         return EngineReport(
             pressure=y.copy(),
             iterations=k,
             converged=converged,
             residual_history=list(self._history),
-            trace=self.trace,
-            counters=self.counters,
-            elapsed_seconds=self._makespan / self.spec.clock_hz,
+            trace=m.trace,
+            counters=m.counters,
+            elapsed_seconds=m.makespan / self.spec.clock_hz,
             memory=dict(self._memory),
-            state_visits=list(self._state_visits),
+            state_visits=list(m.state_visits),
             engine=self.name,
         )
 
 
-__all__ = ["VectorEngine"]
+# -- the batched engine -------------------------------------------------------
+
+
+class BatchedVectorEngine:
+    """``(batch, nx, ny, nz)`` execution of one program over many problems.
+
+    All problems must share one grid *shape* (spacings, permeability and
+    boundary conditions are free per problem); the engine stacks their
+    stagings along a leading batch axis and sweeps every CG phase over
+    the whole stack at once.  Lanes freeze as they converge: a frozen
+    lane receives no further vector updates and no further charges, so
+    each lane's :class:`EngineReport` — iterates, residual history,
+    counters, traffic, cycles, memory — is exactly what a serial
+    :class:`VectorEngine` solve of that problem alone would produce
+    (pinned by ``tests/test_batched_engine.py`` and fuzzed in
+    ``tests/test_engine_fuzz.py``).
+
+    Charging uses *packets*: the per-iteration charge sequence of a lane
+    depends only on its Dirichlet-class histogram, so it is played once
+    per distinct histogram on a fresh :class:`_ChargeModel` and merged
+    into each lane per iteration — O(1) bookkeeping per lane-iteration
+    instead of replaying every instruction, which is where the batched
+    path's host-side throughput win comes from.
+
+    ``tol_rtrs`` supplies each lane's resolved absolute tolerance
+    (defaulting to ``program.tol_rtr``); ``initial_pressure`` accepts a
+    single shared guess or one per lane (multi-RHS transient studies).
+    """
+
+    name = "batched"
+
+    def __init__(
+        self,
+        problems: Sequence[SinglePhaseProblem],
+        program: CgProgram,
+        *,
+        spec: WseSpecs,
+        dtype=np.float32,
+        simd_width: int | None = None,
+        tol_rtrs: Sequence[float] | None = None,
+        initial_pressure=None,
+    ):
+        problems = list(problems)
+        if not problems:
+            raise ConfigurationError("batched engine needs at least one problem")
+        if program.batch != len(problems):
+            raise ConfigurationError(
+                f"program.batch is {program.batch} but {len(problems)} "
+                f"problems were supplied"
+            )
+        shapes = {p.grid.shape for p in problems}
+        if len(shapes) != 1:
+            raise ConfigurationError(
+                f"all problems in a batch must share one grid shape; got "
+                f"{sorted(shapes)}"
+            )
+        self.problems = problems
+        self.batch = len(problems)
+        self.program = program
+        self.spec = spec
+        self.mapping = ProblemMapping(problems[0].grid, spec)
+        self.dtype = np.dtype(dtype)
+        self.simd_width = int(
+            simd_width if simd_width is not None else spec.simd_width_f32
+        )
+        grid = problems[0].grid
+        self.width, self.height, self.depth = grid.nx, grid.ny, grid.nz
+        self.num_pes = self.width * self.height
+        self._suppress = program.comm_only
+
+        if tol_rtrs is None:
+            tol_rtrs = [program.tol_rtr] * self.batch
+        if len(tol_rtrs) != self.batch:
+            raise ConfigurationError(
+                f"tol_rtrs has {len(tol_rtrs)} entries for a batch of "
+                f"{self.batch}"
+            )
+        self._tols = [float(t) for t in tol_rtrs]
+
+        guesses = normalize_guesses(initial_pressure, self.batch, grid.shape)
+        stagings = [
+            _stage_problem(problem, program, self.dtype, guess)
+            for problem, guess in zip(problems, guesses)
+        ]
+        self.st = _stack_stagings(stagings, program)
+        self._memory = [
+            _memory_report(spec, program, self.depth, self.dtype, s.kind_counts)
+            for s in stagings
+        ]
+        self._models = [
+            _ChargeModel(
+                width=self.width, height=self.height, depth=self.depth,
+                simd_width=self.simd_width, spec=spec, suppress=self._suppress,
+                kind_counts=s.kind_counts, kernel_plans=s.kernel_plans,
+            )
+            for s in stagings
+        ]
+        # One packet set per distinct Dirichlet histogram (everything else
+        # in the charge sequence is shared across lanes).
+        self._packets: dict[tuple, dict[str, _ChargeModel]] = {}
+        self._lane_sig = []
+        for s, model in zip(stagings, self._models):
+            sig = tuple(sorted((k.name, v) for k, v in s.kind_counts.items()))
+            self._lane_sig.append(sig)
+            if sig not in self._packets:
+                self._packets[sig] = self._build_packets(model)
+
+
+    def _build_packets(self, model: _ChargeModel) -> dict[str, _ChargeModel]:
+        """Play each phase sequence once; the played models are the
+        per-iteration charge packets for every lane with this model's
+        Dirichlet histogram.  Sequences mirror :meth:`VectorEngine.run`
+        statement for statement."""
+        jacobi = self.program.jacobi
+
+        init = model.fresh()
+        init.visit(CGState.INIT)
+        init.visit(CGState.EXCHANGE)
+        init.charge_exchange()
+        init.visit(CGState.COMPUTE_JX)
+        init.charge_kernel()
+        init.vec(Op.FSUB)  # r = b - Jx
+        if jacobi:
+            init.vec(Op.FMUL)  # z = r / diag
+            init.vec(Op.FMOV)  # p = z
+        else:
+            init.vec(Op.FMOV)  # p = r
+        init.vec(Op.FMA)  # local dot
+        init.visit(CGState.DOT_RR)
+        init.charge_allreduce()
+
+        check = model.fresh()
+        check.visit(CGState.ITER_CHECK)
+
+        body = model.fresh()
+        body.visit(CGState.EXCHANGE)
+        body.charge_exchange()
+        body.visit(CGState.COMPUTE_JX)
+        body.charge_kernel()
+        body.vec(Op.FMA)  # local p^T Jp
+        body.visit(CGState.DOT_PAP)
+        body.charge_allreduce()
+        body.visit(CGState.COMPUTE_ALPHA)
+        body.scalar(4)  # scalar divide on the CE
+        body.visit(CGState.UPDATE_SOL)
+        body.vec(Op.FMA)  # y += alpha p
+        body.visit(CGState.UPDATE_RES)
+        body.vec(Op.FMA)  # r -= alpha Jp
+        if jacobi:
+            body.vec(Op.FMUL)
+        body.vec(Op.FMA)
+        body.visit(CGState.DOT_RR)
+        body.charge_allreduce()
+        body.visit(CGState.THRES_CHECK)
+
+        direction = model.fresh()
+        direction.visit(CGState.COMPUTE_BETA)
+        direction.scalar(4)
+        direction.visit(CGState.UPDATE_DIR)
+        direction.vec(Op.FMUL)  # p *= beta
+        direction.vec(Op.FADD)  # p += r (or z)
+
+        return {"init": init, "check": check, "body": body, "direction": direction}
+
+    # -- numerics -------------------------------------------------------------
+
+    def _dot_rows(self, a: np.ndarray, b: np.ndarray) -> float:
+        """One lane's global dot product, float64 accumulation (same
+        flatten-and-accumulate order as the serial engine)."""
+        if self._suppress:
+            return 0.0
+        return float(
+            np.dot(a.reshape(-1).astype(np.float64), b.reshape(-1).astype(np.float64))
+        )
+
+    def _lane_dot(self, i: int, a: np.ndarray, b: np.ndarray) -> float:
+        if self._suppress:
+            return 0.0
+        return self._dot_rows(a[i], b[i])
+
+    def _lane_scalars(self, values: Sequence[float]) -> np.ndarray:
+        """Per-lane scalars as a broadcastable ``(lanes, 1, 1, 1)`` array
+        in the working dtype — elementwise identical to the serial
+        engine's python-float-times-array updates."""
+        return np.asarray(values, dtype=self.dtype).reshape((-1, 1, 1, 1))
+
+    # -- the solve ------------------------------------------------------------
+
+    def run(self, *, track_states_for: tuple[int, int] = (0, 0)) -> list[EngineReport]:
+        """Execute the batched CG; per-lane control flow replicates the
+        serial vectorized engine (and therefore the event oracle)
+        exactly, with converged lanes frozen out of updates and charges.
+        """
+        program, st = self.program, self.st
+        B = self.batch
+        jacobi, suppress = program.jacobi, self._suppress
+        models, tols = self._models, self._tols
+        packets = [self._packets[sig] for sig in self._lane_sig]
+        y, b, r, p = st.y, st.b, st.r, st.p
+
+        histories: list[list[float]] = [[] for _ in range(B)]
+        iters = [0] * B
+        terminal: list[CGState | None] = [None] * B
+        # Where each lane left the loop: at ITER_CHECK ("check": init
+        # convergence or the iteration limit) or at THRES_CHECK
+        # ("thres": converged right after an iteration's DOT_RR).  The
+        # distinction fixes how many check/direction packets the lane
+        # executed; charging is composed once per lane at the end.
+        terminal_at = ["check"] * B
+        rtr = [0.0] * B
+
+        # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
+        jx = None if suppress else _apply_fields(st, program.variant, y)
+        if not suppress:
+            np.subtract(b, jx, out=r, casting="unsafe")
+            if jacobi:
+                np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
+                p[...] = st.z
+            else:
+                p[...] = r
+        for i in range(B):
+            local = self._lane_dot(i, r, st.z if jacobi else r)
+            rtr[i] = 0.0 if suppress else local
+            histories[i].append(rtr[i])
+
+        active = list(range(B))
+        while active:
+            survivors = []
+            for i in active:
+                if program.check_convergence and rtr[i] < tols[i]:
+                    terminal[i] = CGState.CONVERGED
+                elif iters[i] >= program.iteration_limit:
+                    terminal[i] = (
+                        CGState.CONVERGED
+                        if (program.check_convergence and rtr[i] < tols[i])
+                        else CGState.MAXITER
+                    )
+                else:
+                    survivors.append(i)
+            active = survivors
+            if not active:
+                break
+            idx = None if len(active) == B else np.asarray(active)
+
+            # The FV operator, with rows aligned to `active` order.  Once
+            # half the batch has frozen, sweep only the active lanes (a
+            # gather of the staged coefficient rows buys skipping the
+            # operator work on frozen lanes; elementwise results are
+            # identical either way).
+            if suppress:
+                jx_act = None
+            elif idx is None:
+                jx_act = _apply_fields(st, program.variant, p)
+            elif 2 * len(active) <= B:
+                sub = _gather_staging(st, idx, program.variant)
+                jx_act = _apply_fields(sub, program.variant, p[idx])
+            else:
+                jx_act = _apply_fields(st, program.variant, p)[idx]
+            alphas = []
+            for pos, i in enumerate(active):
+                pap = 0.0 if suppress else self._dot_rows(p[i], jx_act[pos])
+                if pap == 0.0:
+                    if not suppress and program.check_convergence:
+                        raise ConfigurationError(
+                            "vectorized engine: p^T A p = 0 with live "
+                            f"arithmetic (batch lane {i})"
+                        )
+                    alphas.append(0.0)
+                else:
+                    alphas.append(rtr[i] / pap)
+
+            if not suppress:
+                a = self._lane_scalars(alphas)
+                if idx is None:
+                    y += a * p
+                    r += (-a) * jx_act
+                    if jacobi:
+                        np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
+                else:
+                    y[idx] += a * p[idx]
+                    r[idx] += (-a) * jx_act
+                    if jacobi:
+                        st.z[idx] = r[idx] * st.inv_diag[idx]
+
+            new_rtr = dict.fromkeys(active, 0.0)
+            for i in active:
+                local = self._lane_dot(i, r, st.z if jacobi else r)
+                new_rtr[i] = 0.0 if suppress else local
+                iters[i] += 1
+                histories[i].append(new_rtr[i])
+
+            survivors = []
+            for i in active:
+                if program.check_convergence and new_rtr[i] < tols[i]:
+                    terminal[i] = CGState.CONVERGED
+                    terminal_at[i] = "thres"
+                else:
+                    survivors.append(i)
+
+            if survivors and not suppress:
+                betas = [
+                    (new_rtr[i] / rtr[i]) if rtr[i] > 0 else 0.0 for i in survivors
+                ]
+                bv = self._lane_scalars(betas)
+                if len(survivors) == B:
+                    np.multiply(p, bv, out=p, casting="unsafe")
+                    p += st.z if jacobi else r
+                else:
+                    sidx = np.asarray(survivors)
+                    chunk = p[sidx]
+                    np.multiply(chunk, bv, out=chunk, casting="unsafe")
+                    chunk += (st.z if jacobi else r)[sidx]
+                    p[sidx] = chunk
+            for i in active:
+                rtr[i] = new_rtr[i]
+            active = survivors
+
+        reports = []
+        for i in range(B):
+            m = models[i]
+            pk = packets[i]
+            k = iters[i]
+            # Compose the lane's full charge stream: init, then k (or
+            # k+1) ITER_CHECKs, k loop bodies and the direction updates
+            # its terminal path implies — numerically identical to
+            # replaying every iteration, in O(1) merges.
+            if terminal_at[i] == "thres":
+                n_check, n_body, n_dir = k, k, k - 1
+            else:
+                n_check, n_body, n_dir = k + 1, k, k
+            m.merge_scaled(pk["init"], 1)
+            m.merge_scaled(pk["check"], n_check)
+            m.merge_scaled(pk["body"], n_body)
+            m.merge_scaled(pk["direction"], n_dir)
+            full_iter = (
+                pk["check"].state_visits
+                + pk["body"].state_visits
+                + pk["direction"].state_visits
+            )
+            visits = list(pk["init"].state_visits)
+            if terminal_at[i] == "thres":
+                visits += full_iter * (k - 1)
+                visits += pk["check"].state_visits + pk["body"].state_visits
+            else:
+                visits += full_iter * k
+                visits += pk["check"].state_visits
+            m.state_visits = visits
+            m.visit(terminal[i])
+            m.finalize()
+            reports.append(
+                EngineReport(
+                    pressure=np.array(y[i], copy=True),
+                    iterations=iters[i],
+                    converged=terminal[i] is CGState.CONVERGED,
+                    residual_history=histories[i],
+                    trace=m.trace,
+                    counters=m.counters,
+                    elapsed_seconds=m.makespan / self.spec.clock_hz,
+                    memory=dict(self._memory[i]),
+                    state_visits=list(m.state_visits),
+                    engine=self.name,
+                )
+            )
+        return reports
+
+
+__all__ = ["BatchedVectorEngine", "VectorEngine"]
