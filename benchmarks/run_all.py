@@ -23,6 +23,12 @@ the vectorized engine (batch=1, the baseline) and as fused
 fabrics.  ``speedup_vs_serial`` on the batch=64 row is the scale proof
 for batched execution (expected ≥ 3× at 16×16).
 
+``transient_throughput`` rows (schema ``repro.bench_session/4``) measure
+the ``simulate()`` time-stepping path: warm- vs. cold-started CG on one
+realization (the ``warm`` row records the measured
+``iteration_reduction_vs_cold``) and batched transient lanes at
+batch=1/8/64 (steps/sec and ``speedup_vs_serial``).
+
 Every row records its convergence *mode*: Table III/IV/V rows run under
 ``fixed_iterations`` (truncated by design, the paper's Table IV
 methodology), so their ``converged: false`` is expected — the ``mode``
@@ -195,6 +201,115 @@ def run_batched_throughput(smoke: bool) -> list[dict]:
     return records
 
 
+def run_transient_throughput(smoke: bool) -> list[dict]:
+    """Transient (time-stepping) throughput rows.
+
+    Two families, all on the vectorized fabric engine:
+
+    * warm vs. cold CG starts on one realization — the ``warm`` row
+      records ``iteration_reduction_vs_cold`` (total cold CG iterations
+      over total warm), the measured payoff of carrying each step's
+      pressure into the next step's CG;
+    * batched lanes — ``count`` same-shape realizations time-stepped
+      together as fused ``(batch, nx, ny, nz)`` programs at batch=1/8/64,
+      recording steps/sec (``count × n_steps / host_seconds``) and
+      ``speedup_vs_serial``.
+    """
+    if smoke:
+        lateral, nz, n_steps, count, batches = 8, 2, 3, 8, (1, 4, 8)
+    else:
+        lateral, nz, n_steps, count, batches = 16, 4, 12, 64, (1, 8, 64)
+
+    base = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+        dtype="float32", engine="vectorized", rel_tol=1e-6, max_iters=4000,
+        n_steps=n_steps, dt=2.0, total_compressibility=5e-3,
+    )
+    scenario_label = f"transient[{lateral}x{lateral}x{nz}]"
+    records = []
+
+    # -- warm vs cold (single realization) -----------------------------------
+    problem = repro.scenario(
+        "quarter_five_spot", nx=lateral, ny=lateral, nz=nz, permeability=40.0,
+    ).build()
+    totals = {}
+    for mode, warm in (("cold", False), ("warm", True)):
+        spec = base.with_options(warm_start=warm)
+        start = time.perf_counter()
+        sim = repro.simulate(problem, spec=spec, backend="wse")
+        host = time.perf_counter() - start
+        totals[mode] = sim.total_iterations
+        record = {
+            "table": "transient_throughput",
+            "scenario": f"{scenario_label} {mode}_start",
+            "backend": "wse",
+            "engine": "vectorized",
+            "mode": "to_convergence",
+            "fixed_iterations": None,
+            "n_steps": n_steps,
+            "warm_start": warm,
+            "iterations": sim.total_iterations,
+            "converged": bool(sim.converged),
+            "time_kind": "host",
+            "host_seconds": host,
+            "steps_per_sec": n_steps / host,
+        }
+        if mode == "warm":
+            record["iteration_reduction_vs_cold"] = (
+                totals["cold"] / max(totals["warm"], 1)
+            )
+        records.append(record)
+        print(f"  transient_throughput {mode}_start: "
+              f"{sim.total_iterations} CG iters over {n_steps} steps "
+              f"in {host:.3f}s host")
+    print(f"  warm-start iteration reduction: "
+          f"{totals['cold'] / max(totals['warm'], 1):.2f}x")
+
+    # -- batched lanes --------------------------------------------------------
+    problems = [
+        repro.scenario(
+            "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+            permeability=float(40 + 7 * i),
+        ).build()
+        for i in range(count)
+    ]
+    serial_sps = None
+    for batch in batches:
+        start = time.perf_counter()
+        if batch == 1:  # one simulate() per realization — the serial baseline
+            sims = repro.simulate_many(problems, backend="wse", spec=base)
+        else:
+            sims = repro.simulate_many(
+                problems, backend="wse",
+                spec=base.with_options(batch_size=batch), batch=True,
+            )
+        host = time.perf_counter() - start
+        sps = count * n_steps / host
+        if serial_sps is None:
+            serial_sps = sps
+        records.append({
+            "table": "transient_throughput",
+            "scenario": f"{scenario_label} x{count} batch={batch}",
+            "backend": "wse",
+            "engine": sims[0].telemetry.get("engine"),
+            "mode": "to_convergence",
+            "fixed_iterations": None,
+            "n_steps": n_steps,
+            "batch": batch,
+            "problems": count,
+            "iterations": sims[0].total_iterations,
+            "converged": all(bool(s.converged) for s in sims),
+            "time_kind": "host",
+            "host_seconds": host,
+            "steps_per_sec": sps,
+            "speedup_vs_serial": sps / serial_sps,
+        })
+        print(f"  transient_throughput batch={batch:<3} {count} realizations "
+              f"x {n_steps} steps in {host:.3f}s -> {sps:,.1f} steps/s "
+              f"({sps / serial_sps:.1f}x serial)")
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -225,9 +340,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     print(f"plan: {len(plan)} + {len(compare_plan)} serial comparison "
           f"entries ({'smoke' if args.smoke else 'full'})")
-    for index, label, backend, fp in plan.describe():
+    for index, label, backend, fp, _steps in plan.describe():
         print(f"  [{index}] {rows[other_idx[index]][0]:<26} {backend:<9} {label}  ({fp})")
-    for index, label, backend, fp in compare_plan.describe():
+    for index, label, backend, fp, _steps in compare_plan.describe():
         print(f"  [serial {index}] {rows[compare_idx[index]][0]:<19} "
               f"{backend:<9} {label}  ({fp})")
 
@@ -286,10 +401,15 @@ def main(argv: list[str] | None = None) -> int:
     print("\nbatched throughput (problems/sec):")
     batched_records = run_batched_throughput(args.smoke)
     records.extend(batched_records)
+
+    # Transient rows: warm vs cold starts + batched time-stepping lanes
+    # (controlled serial host-side measurements, like the above).
+    print("\ntransient throughput (steps/sec):")
+    records.extend(run_transient_throughput(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/3",
+        "schema": "repro.bench_session/4",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -1,0 +1,85 @@
+"""Δt sweep on the drawdown formation: conditioning vs. resolution.
+
+Run:  python examples/dt_sweep_study.py
+
+The backward-Euler accumulation term `φ c_t V / Δt` sits on the operator
+diagonal, so *smaller* time steps make every CG solve better conditioned
+— per-step iteration counts fall as Δt shrinks, while the number of
+steps to reach a fixed horizon grows.  This study sweeps Δt over the
+`transient_drawdown` scenario with one `Session`-style loop of
+`repro.simulate` calls on the dataflow fabric (vectorized engine), and
+prints where the total-CG-work minimum lands.
+
+A ramped schedule (per-step Δt list) is also shown: small early steps
+resolve the fast drawdown transient, large late steps coast to the
+horizon — something a single scalar Δt cannot do.
+"""
+
+from __future__ import annotations
+
+import repro
+from repro.util.formatting import format_table
+
+HORIZON = 64.0
+
+
+def main() -> None:
+    scenario = repro.scenario("transient_drawdown", nx=12, ny=12, nz=4)
+    base = repro.SolveSpec.from_kwargs(engine="vectorized", rel_tol=1e-8)
+
+    rows = []
+    for n_steps in (4, 8, 16, 32):
+        dt = HORIZON / n_steps
+        sim = repro.simulate(
+            scenario,
+            spec=base.with_options(
+                n_steps=n_steps, dt=dt, total_compressibility=1e-2
+            ),
+            backend="wse",
+        )
+        per_step = sim.total_iterations / n_steps
+        rows.append([
+            f"{dt:g}", n_steps, f"{per_step:.1f}", sim.total_iterations,
+            f"{sim.elapsed_seconds:.2e}s",
+        ])
+    print(
+        format_table(
+            ["Δt", "steps", "CG iters/step", "total CG iters", "device time"],
+            rows,
+            title=f"Δt sweep to t={HORIZON:g} (transient_drawdown, warm-started)",
+        )
+    )
+    print(
+        "\nsmaller Δt → fewer CG iterations per step (the accumulation "
+        "diagonal dominates),\nlarger Δt → fewer steps; the sweep shows "
+        "where the total-work tradeoff lands.\n"
+    )
+
+    # A ramped schedule: 8 fast steps into the transient, 4 long coasts.
+    schedule = [1.0] * 8 + [14.0] * 4
+    ramped = repro.simulate(
+        scenario,
+        spec=base.with_options(
+            n_steps=12, dt=schedule, total_compressibility=1e-2
+        ),
+        backend="wse",
+    )
+    print(
+        f"ramped schedule {schedule}: {ramped.total_iterations} total CG "
+        f"iterations to t={ramped.times[-1]:g}"
+    )
+    uniform = repro.simulate(
+        scenario,
+        spec=base.with_options(
+            n_steps=12, dt=HORIZON / 12, total_compressibility=1e-2
+        ),
+        backend="wse",
+    )
+    print(
+        f"uniform 12-step schedule: {uniform.total_iterations} total CG "
+        f"iterations to t={uniform.times[-1]:g}"
+    )
+
+
+if __name__ == "__main__":
+    main()

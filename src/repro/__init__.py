@@ -30,17 +30,19 @@ See README.md for the architecture overview, the backend/scenario
 registries, specs & sessions, and the experiment index.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import api, backends, scenarios, spec, session
 from repro.backends import (
+    SimulationResult,
     SolveResult,
     SolverBackend,
+    StepResult,
     available_backends,
     get_backend,
     register_backend,
 )
-from repro.driver import solve, solve_many
+from repro.driver import simulate, simulate_many, simulate_steps, solve, solve_many
 from repro.scenarios import Scenario, available_scenarios, scenario
 from repro.session import (
     ExecutionPlan,
@@ -53,6 +55,7 @@ from repro.spec import (
     MachineSpec,
     PrecisionSpec,
     SolveSpec,
+    TimeSpec,
     ToleranceSpec,
 )
 
@@ -65,9 +68,12 @@ __all__ = [
     "ResultStore",
     "Scenario",
     "Session",
+    "SimulationResult",
     "SolveResult",
     "SolveSpec",
     "SolverBackend",
+    "StepResult",
+    "TimeSpec",
     "ToleranceSpec",
     "__version__",
     "api",
@@ -79,6 +85,9 @@ __all__ = [
     "scenario",
     "scenarios",
     "session",
+    "simulate",
+    "simulate_many",
+    "simulate_steps",
     "solve",
     "solve_many",
     "spec",

@@ -15,7 +15,12 @@ New targets plug in without touching any call site::
 
 from __future__ import annotations
 
-from repro.backends.base import SolveResult, SolverBackend
+from repro.backends.base import (
+    SimulationResult,
+    SolveResult,
+    SolverBackend,
+    StepResult,
+)
 from repro.backends.gpu import GpuBackend
 from repro.backends.reference import ReferenceBackend
 from repro.backends.registry import (
@@ -37,8 +42,10 @@ __all__ = [
     "BUILTIN_BACKENDS",
     "GpuBackend",
     "ReferenceBackend",
+    "SimulationResult",
     "SolveResult",
     "SolverBackend",
+    "StepResult",
     "WseBackend",
     "available_backends",
     "get_backend",

@@ -72,6 +72,159 @@ class SolveResult:
         )
 
 
+@dataclass
+class StepResult:
+    """One backward-Euler step of a transient simulation.
+
+    The per-step analogue of :class:`SolveResult`: the step's converged
+    pressure, its CG cost, and the backend's step telemetry.  ``time`` is
+    the physical time *after* the step; ``step`` is 1-based.
+    """
+
+    step: int
+    time: float
+    dt: float
+    pressure: np.ndarray
+    iterations: int
+    converged: bool
+    residual_history: list[float] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    backend: str = ""
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def final_rtr(self) -> float:
+        return self.residual_history[-1] if self.residual_history else float("nan")
+
+    def summary(self) -> str:
+        return (
+            f"[{self.backend}] step {self.step} (t={self.time:g}, "
+            f"dt={self.dt:g}): {self.iterations} iterations, "
+            f"converged={self.converged}"
+        )
+
+
+@dataclass
+class SimulationResult:
+    """The outcome of a transient simulation: an ordered step stack.
+
+    Collects the :class:`StepResult` stream of one ``simulate`` run plus
+    run-level telemetry; aggregates (total iterations, summed device
+    time) answer the questions a study asks of the whole simulation.
+    """
+
+    steps: list[StepResult] = field(default_factory=list)
+    backend: str = ""
+    telemetry: dict[str, Any] = field(default_factory=dict)
+
+    @classmethod
+    def collect(
+        cls,
+        steps: Any,
+        *,
+        backend: str = "",
+        telemetry: dict[str, Any] | None = None,
+    ) -> "SimulationResult":
+        """Drain a step iterator into a result (the non-streaming path)."""
+        out = cls(steps=list(steps), backend=backend, telemetry=dict(telemetry or {}))
+        if out.steps:
+            if not out.backend:
+                out.backend = out.steps[0].backend
+            first = out.steps[0].telemetry
+            out.telemetry.setdefault("time_kind", first.get("time_kind"))
+            if first.get("engine") is not None:
+                out.telemetry.setdefault("engine", first.get("engine"))
+        return out
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    @property
+    def n_steps(self) -> int:
+        return len(self.steps)
+
+    @property
+    def final_pressure(self) -> np.ndarray:
+        return self.steps[-1].pressure
+
+    @property
+    def times(self) -> list[float]:
+        return [s.time for s in self.steps]
+
+    @property
+    def dts(self) -> list[float]:
+        return [s.dt for s in self.steps]
+
+    @property
+    def per_step_iterations(self) -> list[int]:
+        return [s.iterations for s in self.steps]
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(s.iterations for s in self.steps)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        return sum(s.elapsed_seconds for s in self.steps)
+
+    @property
+    def converged(self) -> bool:
+        return all(s.converged for s in self.steps)
+
+    def summary(self) -> str:
+        return (
+            f"[{self.backend}] {self.n_steps} steps to t="
+            f"{self.times[-1] if self.steps else 0.0:g}, "
+            f"{self.total_iterations} total CG iterations, "
+            f"converged={self.converged}, "
+            f"elapsed={self.elapsed_seconds:.3e}s"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """The stable serialized face (scalars only, no field arrays) —
+        what the golden-schema tests pin and stores/benches may record."""
+        return {
+            "backend": self.backend,
+            "n_steps": self.n_steps,
+            "times": [float(t) for t in self.times],
+            "dts": [float(dt) for dt in self.dts],
+            "per_step_iterations": [int(n) for n in self.per_step_iterations],
+            "per_step_converged": [bool(s.converged) for s in self.steps],
+            "total_iterations": int(self.total_iterations),
+            "converged": bool(self.converged),
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "time_kind": self.telemetry.get("time_kind"),
+            "engine": self.telemetry.get("engine"),
+            "warm_start": self.telemetry.get("warm_start"),
+        }
+
+    def as_solve_result(self) -> SolveResult:
+        """Fold the simulation into one canonical :class:`SolveResult`.
+
+        The final state is the pressure; ``iterations`` and
+        ``elapsed_seconds`` aggregate over every step (so plan rows and
+        store manifests stay meaningful for multi-step entries);
+        ``residual_history`` concatenates the per-step histories;
+        ``telemetry["transient"]`` keeps the per-step breakdown.
+        """
+        if not self.steps:
+            raise ValueError("cannot fold an empty simulation")
+        history: list[float] = []
+        for s in self.steps:
+            history.extend(float(v) for v in s.residual_history)
+        telemetry = dict(self.telemetry)
+        telemetry["transient"] = self.to_dict()
+        return SolveResult(
+            pressure=self.final_pressure,
+            iterations=self.total_iterations,
+            converged=self.converged,
+            residual_history=history,
+            elapsed_seconds=self.elapsed_seconds,
+            backend=self.backend,
+            telemetry=telemetry,
+        )
+
+
 @runtime_checkable
 class SolverBackend(Protocol):
     """The contract every registered backend satisfies.
@@ -83,6 +236,13 @@ class SolverBackend(Protocol):
     :class:`~repro.util.errors.ConfigurationError` instead of being
     silently ignored.  Backends are stateless: per-solve state lives
     inside ``solve``.
+
+    Backends that can time-step declare ``supports_transient = True`` and
+    implement ``simulate(problem, spec, *, start_step=0, state=None)``
+    returning an iterator of :class:`StepResult`; their ``solve`` must
+    answer a spec with ``time`` set by folding the simulation via
+    :meth:`SimulationResult.as_solve_result` (one signature for steady
+    and transient studies).
     """
 
     name: str

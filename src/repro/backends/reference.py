@@ -3,16 +3,17 @@
 from __future__ import annotations
 
 import time
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
-from repro.backends.base import SolveResult
+from repro.backends.base import SimulationResult, SolveResult, StepResult
 from repro.physics.darcy import SinglePhaseProblem
 from repro.physics.simulation import NewtonReport, newton_solve
-from repro.solvers.cg import PAPER_TOLERANCE_RTR
-from repro.solvers.preconditioning import linear_solver_for
+from repro.solvers.cg import PAPER_TOLERANCE_RTR, conjugate_gradient
+from repro.solvers.preconditioning import linear_solver_for, operator_diagonal
 from repro.spec import SolveSpec, coerce_spec
+from repro.util.errors import ConfigurationError
 
 
 class ReferenceBackend:
@@ -28,6 +29,11 @@ class ReferenceBackend:
     """
 
     name = "reference"
+
+    #: Transient specs route through the host-side
+    #: :class:`~repro.physics.transient.TransientOperator` (the same
+    #: backward-Euler system the fabric engines solve).
+    supports_transient = True
 
     #: MachineSpec knobs this backend honours: none — it is the host.
     SUPPORTED_MACHINE_FIELDS: set[str] = set()
@@ -62,8 +68,111 @@ class ReferenceBackend:
             options["linear_solver"] = linear_solver_for(problem, spec.preconditioner)
         return options
 
+    def simulate(
+        self,
+        problem: SinglePhaseProblem,
+        spec: SolveSpec | None = None,
+        *,
+        start_step: int = 0,
+        state: np.ndarray | None = None,
+    ) -> Iterator[StepResult]:
+        """Stream the backward-Euler steps of ``spec.time``.
+
+        Each step solves ``(J + A) p^{n+1} = A p^n + b_D`` with the host
+        CG on the existing :class:`~repro.physics.transient.TransientOperator`
+        (Jacobi-scaled when the spec says so); warm starts carry the
+        previous step's pressure into the next CG.
+        """
+        from repro.physics.transient import TransientOperator, TransientStepper
+        from repro.solvers.jacobi import jacobi_preconditioned_cg
+
+        spec = coerce_spec(spec)
+        spec.require_machine_support(self.name, self.SUPPORTED_MACHINE_FIELDS)
+        tspec = spec.time
+        if tspec is None:
+            raise ConfigurationError(
+                "simulate needs spec.time (a TimeSpec); use solve() for "
+                "steady problems"
+            )
+        dtype = spec.precision.numpy_dtype(default=np.float64)
+        tol_rtr = (
+            spec.tolerance.tol_rtr
+            if spec.tolerance.tol_rtr is not None
+            else PAPER_TOLERANCE_RTR
+        )
+        rel_tol = spec.tolerance.rel_tol
+        max_iters = (
+            spec.tolerance.max_iters
+            if spec.tolerance.max_iters is not None
+            else 10_000
+        )
+        jacobi = spec.preconditioner == "jacobi"
+
+        times = tspec.times()
+        # The reference works in one precision throughout (float64 by
+        # default), so accumulation/rhs arithmetic stays in that dtype.
+        stepper = TransientStepper(
+            problem,
+            dts=tspec.dts(),
+            porosity=tspec.porosity,
+            total_compressibility=tspec.total_compressibility,
+            initial_condition=tspec.initial_condition,
+            warm_start=tspec.warm_start,
+            start_step=start_step,
+            state=state,
+            state_dtype=dtype,
+            acc_dtype=dtype,
+            rhs_dtype=dtype,
+        )
+        for idx in stepper.pending():
+            start = time.perf_counter()
+            acc, rhs, x0 = stepper.begin(idx)
+            operator = TransientOperator(problem, acc)
+            tol = float(tol_rtr)
+            if rel_tol is not None:
+                r0 = rhs - operator(x0)
+                tol = max(tol, rel_tol**2 * float(np.vdot(r0, r0).real))
+            if jacobi:
+                diagonal = operator_diagonal(problem, dtype=dtype) + acc
+                result = jacobi_preconditioned_cg(
+                    operator, diagonal, rhs, x0, tol_rtr=tol, max_iters=max_iters
+                )
+            else:
+                result = conjugate_gradient(
+                    operator, rhs, x0=x0, tol_rtr=tol, max_iters=max_iters
+                )
+            p = result.x
+            problem.dirichlet.apply_to(p)
+            stepper.advance(p)
+            yield StepResult(
+                step=idx + 1,
+                time=times[idx],
+                dt=stepper.dts[idx],
+                pressure=p.copy(),
+                iterations=result.iterations,
+                converged=result.converged,
+                residual_history=[float(v) for v in result.residual_history],
+                elapsed_seconds=time.perf_counter() - start,
+                backend=self.name,
+                telemetry={
+                    "time_kind": "wall_clock",
+                    "preconditioner": spec.preconditioner,
+                },
+            )
+
     def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
         spec = coerce_spec(spec)
+        if spec.time is not None:
+            sim = SimulationResult.collect(
+                self.simulate(problem, spec),
+                backend=self.name,
+                telemetry={
+                    "time_kind": "wall_clock",
+                    "preconditioner": spec.preconditioner,
+                    "warm_start": spec.time.warm_start,
+                },
+            )
+            return sim.as_solve_result()
         options = self._native_options(problem, spec)
         start = time.perf_counter()
         report = self.solve_native(problem, **options)

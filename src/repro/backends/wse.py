@@ -6,13 +6,13 @@ The simulator machinery is imported lazily inside ``solve`` so importing
 
 from __future__ import annotations
 
-from typing import Any
+from typing import Any, Iterator
 
 import numpy as np
 
-from repro.backends.base import SolveResult
+from repro.backends.base import SimulationResult, SolveResult, StepResult
 from repro.physics.darcy import SinglePhaseProblem
-from repro.spec import SolveSpec, coerce_spec
+from repro.spec import SolveSpec, TimeSpec, coerce_spec
 from repro.util.errors import ConfigurationError
 from repro.wse.specs import WseSpecs
 
@@ -34,6 +34,10 @@ class WseBackend:
     """
 
     name = "wse"
+
+    #: This backend answers ``spec.time`` natively: the transient kernel
+    #: (accumulation FMA) runs on either fabric engine, batched included.
+    supports_transient = True
 
     #: MachineSpec knobs this backend honours.
     SUPPORTED_MACHINE_FIELDS = {
@@ -81,9 +85,9 @@ class WseBackend:
             options["max_iters"] = spec.tolerance.max_iters
         return options
 
-    def _result_from_report(
+    def _telemetry_from_report(
         self, report, spec: SolveSpec, extra_telemetry: dict[str, Any] | None = None
-    ) -> SolveResult:
+    ) -> dict[str, Any]:
         # Telemetry carries stable to_dict() summaries, not live simulator
         # objects: ResultStore manifests, bench JSON and pickled
         # process-pool results stay serializable and small.  The native
@@ -99,6 +103,12 @@ class WseBackend:
         }
         if extra_telemetry:
             telemetry.update(extra_telemetry)
+        return telemetry
+
+    def _result_from_report(
+        self, report, spec: SolveSpec, extra_telemetry: dict[str, Any] | None = None
+    ) -> SolveResult:
+        telemetry = self._telemetry_from_report(report, spec, extra_telemetry)
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.iterations,
@@ -121,8 +131,179 @@ class WseBackend:
                 "event-driven oracle plays one problem at a time "
                 "(set engine='vectorized' or drop batch_size)"
             )
+        if spec.time is not None:
+            # Transient study: one signature for steady and time-dependent
+            # targets — the simulation folds into a canonical SolveResult
+            # (final state; aggregate iterations/device time; per-step
+            # breakdown under telemetry["transient"]).
+            return self._collect_simulation(
+                self.simulate(problem, spec), spec
+            ).as_solve_result()
         report = self.solve_native(problem, **self._native_options(spec))
         return self._result_from_report(report, spec)
+
+    # -- transient time stepping ----------------------------------------------
+
+    def _transient_options(self, spec: SolveSpec) -> tuple[TimeSpec, dict[str, Any]]:
+        """Validated native options for a transient run (shared by the
+        streaming and batched paths)."""
+        time = spec.time
+        if time is None:
+            raise ConfigurationError(
+                "simulate needs spec.time (a TimeSpec); use solve() for "
+                "steady problems"
+            )
+        if spec.machine.comm_only:
+            raise ConfigurationError(
+                "comm_only suppresses arithmetic, so a transient schedule "
+                "has no state to advance; drop comm_only or spec.time"
+            )
+        options = self._native_options(spec)
+        options.pop("comm_only", None)
+        options.update(
+            porosity=time.porosity,
+            total_compressibility=time.total_compressibility,
+            initial_condition=time.initial_condition,
+            warm_start=time.warm_start,
+        )
+        return time, options
+
+    def _step_from_report(
+        self,
+        report,
+        spec: SolveSpec,
+        *,
+        step: int,
+        time: float,
+        dt: float,
+        extra_telemetry: dict[str, Any] | None = None,
+    ) -> StepResult:
+        return StepResult(
+            step=step,
+            time=time,
+            dt=dt,
+            pressure=np.asarray(report.pressure),
+            iterations=report.iterations,
+            converged=report.converged,
+            residual_history=[float(v) for v in report.residual_history],
+            elapsed_seconds=report.elapsed_seconds,
+            backend=self.name,
+            telemetry=self._telemetry_from_report(report, spec, extra_telemetry),
+        )
+
+    def _collect_simulation(
+        self, steps: Iterator[StepResult], spec: SolveSpec
+    ) -> SimulationResult:
+        sim = SimulationResult.collect(steps, backend=self.name)
+        assert spec.time is not None
+        sim.telemetry.update(
+            time_kind="simulated_device",
+            preconditioner=spec.preconditioner,
+            engine=(
+                sim.steps[0].telemetry.get("engine")
+                if sim.steps
+                else spec.machine.engine
+            ),
+            warm_start=spec.time.warm_start,
+        )
+        return sim
+
+    def simulate(
+        self,
+        problem: SinglePhaseProblem,
+        spec: SolveSpec | None = None,
+        *,
+        start_step: int = 0,
+        state: np.ndarray | None = None,
+    ) -> Iterator[StepResult]:
+        """Stream the backward-Euler steps of ``spec.time`` as
+        :class:`StepResult`\\ s.
+
+        Each step runs the transient CG program (flux stencil plus the
+        accumulation FMA) on the spec's fabric engine; warm starts carry
+        the previous step's pressure into the next step's CG.
+        ``start_step``/``state`` resume an interrupted schedule (the
+        :class:`~repro.session.ResultStore` resume path).
+        """
+        from repro.core.solver import simulate_reports
+
+        spec = coerce_spec(spec)
+        time, options = self._transient_options(spec)
+        dts, times = time.dts(), time.times()
+        reports = simulate_reports(
+            problem, dts=dts, start_step=start_step, state=state, **options
+        )
+        for offset, report in enumerate(reports):
+            idx = start_step + offset
+            yield self._step_from_report(
+                report, spec, step=idx + 1, time=times[idx], dt=dts[idx]
+            )
+
+    def simulate_batch(
+        self,
+        problems: list[SinglePhaseProblem],
+        spec: SolveSpec | None = None,
+        *,
+        start_step: int = 0,
+        states=None,
+    ) -> list[SimulationResult]:
+        """Time-step many same-shape realizations together.
+
+        Every step is one fused ``(batch, nx, ny, nz)`` program with
+        per-lane accumulation/rhs/warm-start/tolerance and per-lane
+        convergence masking; each realization comes back as its own
+        :class:`SimulationResult` whose per-step counters equal a serial
+        vectorized simulation of that realization alone.
+        """
+        from repro.core.solver import simulate_reports_batch
+
+        spec = coerce_spec(spec)
+        problems = list(problems)
+        if not problems:
+            return []
+        machine = spec.machine
+        if (machine.engine or "vectorized") == "event":
+            raise ConfigurationError(
+                "the event-driven engine runs one problem at a time; "
+                "batched execution requires engine='vectorized' (or an "
+                "unset engine)"
+            )
+        time, options = self._transient_options(spec)
+        options["engine"] = machine.engine or "vectorized"
+        dts, times = time.dts(), time.times()
+        n = len(problems)
+        size = machine.batch_size or n
+        lane_steps: list[list[StepResult]] = [[] for _ in problems]
+        step_lists = simulate_reports_batch(
+            problems,
+            dts=dts,
+            start_step=start_step,
+            states=states,
+            batch_size=machine.batch_size,
+            **options,
+        )
+        for offset, reports in enumerate(step_lists):
+            idx = start_step + offset
+            for lane, report in enumerate(reports):
+                chunk_start = (lane // size) * size
+                lane_steps[lane].append(
+                    self._step_from_report(
+                        report,
+                        spec,
+                        step=idx + 1,
+                        time=times[idx],
+                        dt=dts[idx],
+                        extra_telemetry={
+                            "batch": {
+                                "size": min(size, n - chunk_start),
+                                "lane": lane - chunk_start,
+                            },
+                        },
+                    )
+                )
+        return [
+            self._collect_simulation(iter(steps), spec) for steps in lane_steps
+        ]
 
     def solve_batch(
         self, problems: list[SinglePhaseProblem], spec: SolveSpec | None = None
@@ -153,6 +334,13 @@ class WseBackend:
                 "batched execution requires engine='vectorized' (or an "
                 "unset engine)"
             )
+        if spec.time is not None:
+            # Batched transient: N realizations time-step together; each
+            # folds into its own canonical SolveResult.
+            return [
+                sim.as_solve_result()
+                for sim in self.simulate_batch(problems, spec)
+            ]
         options = dict(self._native_options(spec))
         options["engine"] = machine.engine or "vectorized"
         reports = solve_batch(

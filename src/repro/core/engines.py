@@ -49,6 +49,8 @@ def create_engine(
     dtype=np.float32,
     simd_width: int | None = None,
     initial_pressure: np.ndarray | None = None,
+    accumulation: np.ndarray | None = None,
+    rhs: np.ndarray | None = None,
 ) -> FabricEngine:
     """Instantiate the engine ``name`` for one solve (staging included)."""
     if name not in ENGINE_NAMES:
@@ -61,6 +63,8 @@ def create_engine(
         dtype=dtype,
         simd_width=simd_width,
         initial_pressure=initial_pressure,
+        accumulation=accumulation,
+        rhs=rhs,
     )
     if name == "event":
         from repro.core.event_engine import EventEngine
@@ -87,6 +91,8 @@ def create_batched_engine(
     simd_width: int | None = None,
     tol_rtrs=None,
     initial_pressure=None,
+    accumulation=None,
+    rhs=None,
 ):
     """Instantiate the batched engine for one multi-problem solve.
 
@@ -113,6 +119,8 @@ def create_batched_engine(
         simd_width=simd_width,
         tol_rtrs=tol_rtrs,
         initial_pressure=initial_pressure,
+        accumulation=accumulation,
+        rhs=rhs,
     )
 
 

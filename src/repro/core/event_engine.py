@@ -46,6 +46,8 @@ class EventEngine:
         dtype=np.float32,
         simd_width: int | None = None,
         initial_pressure: np.ndarray | None = None,
+        accumulation: np.ndarray | None = None,
+        rhs: np.ndarray | None = None,
     ):
         from repro.perf.memmodel import SCALAR_RESERVE_BYTES
         from repro.util.errors import ConfigurationError
@@ -55,6 +57,11 @@ class EventEngine:
                 f"the event-driven engine plays one problem at a time; got "
                 f"batch={program.batch} (batched execution needs the "
                 f"vectorized engine)"
+            )
+        if program.accumulation != (accumulation is not None):
+            raise ConfigurationError(
+                "program.accumulation and the staged accumulation array "
+                "must be supplied together"
             )
         self.problem = problem
         self.program = program
@@ -85,6 +92,8 @@ class EventEngine:
             reuse_buffers=program.reuse_buffers,
             initial_pressure=initial_pressure,
             jacobi=program.jacobi,
+            accumulation=accumulation,
+            rhs=rhs,
         )
         if program.comm_only:
             for pe in self.fabric.iter_pes():

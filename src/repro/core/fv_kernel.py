@@ -67,6 +67,10 @@ MOBILITY_BUFFER = {
 }
 MOBILITY_OWN = "lam"
 
+#: Per-PE accumulation column ``a = φ c_t V / Δt`` (transient programs;
+#: zero on Dirichlet rows, staged by the host like the coefficients).
+ACCUMULATION_BUFFER = "acc"
+
 HALO_ORDER = (Port.WEST, Port.EAST, Port.NORTH, Port.SOUTH)
 
 
@@ -90,12 +94,19 @@ class KernelVariant(enum.Enum):
 
 @dataclass(frozen=True)
 class PeKernelConfig:
-    """Static kernel configuration for one PE."""
+    """Static kernel configuration for one PE.
+
+    ``accumulation`` selects the transient kernel: one extra FMA against
+    the staged accumulation column after the flux terms (the
+    backward-Euler diagonal; zero on Dirichlet rows, so the Dirichlet
+    blend stays untouched).
+    """
 
     depth: int
     dirichlet: DirichletKind = DirichletKind.NONE
     variant: KernelVariant = KernelVariant.PRECOMPUTED
     reuse_buffers: bool = True
+    accumulation: bool = False
 
     def __post_init__(self) -> None:
         if self.depth < 1:
@@ -139,6 +150,11 @@ class FvColumnKernel:
             self._lateral_fused(pe, x, out, nz, config)
 
         self._vertical(pe, x, out, nz, config)
+        if config.accumulation:
+            # Transient term: out += a ⊙ x (a is zero on Dirichlet rows,
+            # so the blend below still sees pure flux + identity rows).
+            acc = Dsd(pe.memory.get(ACCUMULATION_BUFFER))
+            pe.fmacs(out, acc, x)
         self._dirichlet(pe, x, out, nz, config)
 
     def _lateral_precomputed(
@@ -309,6 +325,8 @@ class FvColumnKernel:
                     plan.append((Op.FMUL, n))  # · 0.5
                     plan.append((Op.FMUL, n))  # · Υ
                     plan.append((Op.FMA, n))
+        if config.accumulation:
+            plan.append((Op.FMA, nz))  # out += a ⊙ x
         if config.dirichlet is DirichletKind.FULL:
             plan.append((Op.FMOV, nz))
         elif config.dirichlet is DirichletKind.PARTIAL:

@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.fv_kernel import (
+    ACCUMULATION_BUFFER,
     COEFF_BUFFER,
     COEFF_DOWN,
     COEFF_UP,
@@ -55,12 +56,20 @@ def stage_problem(
     reuse_buffers: bool = True,
     initial_pressure: np.ndarray | None = None,
     jacobi: bool = False,
+    accumulation: np.ndarray | None = None,
+    rhs: np.ndarray | None = None,
 ) -> dict[tuple[int, int], PeKernelConfig]:
     """Allocate and fill every PE's buffers; returns per-PE kernel configs.
 
     The memory arena enforces the 48 KiB budget as a side effect: problems
     too deep for the per-PE memory raise :class:`PeOutOfMemory` here, just
     as an oversized CSL program would fail to fit.
+
+    ``accumulation`` stages the transient diagonal ``a = φ c_t V / Δt``
+    (zero on Dirichlet rows) into every PE's ``acc`` column and folds it
+    into the Jacobi diagonal; ``rhs`` overrides the staged right-hand
+    side ``b`` on interior rows (the transient ``A p^n`` term — Dirichlet
+    rows always carry ``p^D`` regardless).
     """
     grid = problem.grid
     if (grid.nx, grid.ny) != (fabric.width, fabric.height):
@@ -71,15 +80,27 @@ def stage_problem(
     nz = grid.nz
     dtype = fabric.dtype
 
+    if accumulation is not None and accumulation.shape != grid.shape:
+        raise ConfigurationError(
+            f"accumulation shape {accumulation.shape} != grid {grid.shape}"
+        )
+    if rhs is not None and rhs.shape != grid.shape:
+        raise ConfigurationError(f"rhs shape {rhs.shape} != grid {grid.shape}")
+
     if initial_pressure is None:
         p0 = problem.initial_pressure(dtype=dtype)
     else:
         p0 = np.array(initial_pressure, dtype=dtype, copy=True)
         problem.dirichlet.apply_to(p0)
 
-    # Right-hand side of the direct pressure system J p = b: interior rows
-    # have zero mass-balance rhs; Dirichlet rows carry p^D.
-    b = np.zeros(grid.shape, dtype=dtype)
+    # Right-hand side of the direct pressure system (J [+ A]) p = b:
+    # interior rows carry zero (steady) or the caller-supplied transient
+    # term; Dirichlet rows carry p^D.
+    b = (
+        np.zeros(grid.shape, dtype=dtype)
+        if rhs is None
+        else np.asarray(rhs, dtype=dtype).copy()
+    )
     b[problem.dirichlet.mask] = problem.dirichlet.values[problem.dirichlet.mask]
 
     coeff_views = {
@@ -90,9 +111,12 @@ def stage_problem(
     coeff_up = problem.coefficients.cell_view(Direction.UP)
 
     if jacobi:
-        # Jacobi scaling is purely PE-local: each PE stores 1/diag(J) for
-        # its own column (Dirichlet rows have unit diagonal).
+        # Jacobi scaling is purely PE-local: each PE stores 1/diag(J+A)
+        # for its own column (Dirichlet rows have unit diagonal; the
+        # accumulation term is zero there, so the order is immaterial).
         diag = problem.coefficients.diagonal.astype(np.float64).copy()
+        if accumulation is not None:
+            diag += accumulation.astype(np.float64)
         diag[problem.dirichlet.mask] = 1.0
         inv_diag = (1.0 / diag).astype(dtype)
 
@@ -117,6 +141,9 @@ def stage_problem(
             pe.memory.alloc("z", nz, dtype=dtype)
             pe.memory.alloc("inv_diag", nz, dtype=dtype)
             pe.host_write("inv_diag", inv_diag[x, y, :])
+        if accumulation is not None:
+            pe.memory.alloc(ACCUMULATION_BUFFER, nz, dtype=dtype)
+            pe.host_write(ACCUMULATION_BUFFER, accumulation[x, y, :])
 
         if variant is KernelVariant.PRECOMPUTED:
             for port, bufname in COEFF_BUFFER.items():
@@ -150,7 +177,8 @@ def stage_problem(
             pe.memory.alloc("bc_mask", nz, dtype=dtype)
             pe.host_write("bc_mask", problem.dirichlet.mask[x, y, :].astype(dtype))
         configs[(x, y)] = PeKernelConfig(
-            depth=nz, dirichlet=kind, variant=variant, reuse_buffers=reuse_buffers
+            depth=nz, dirichlet=kind, variant=variant,
+            reuse_buffers=reuse_buffers, accumulation=accumulation is not None,
         )
 
         pe.host_write("y", p0[x, y, :])

@@ -76,6 +76,13 @@ class CgProgram:
     ``(batch, nx, ny, nz)`` stack of problems at once, freezing lanes as
     they converge.  Only the vectorized engine can honour ``batch > 1``
     (the event-driven oracle plays one wavelet at a time and rejects it).
+
+    ``accumulation`` marks the transient program: the FV apply gains one
+    fused multiply-add against the per-PE accumulation column
+    (``(Jx)_K += a_K x_K``, the backward-Euler diagonal ``φ c_t V / Δt``)
+    and the engine stages that column plus a per-step right-hand side.
+    The instruction plan, charge model and memory rehearsal all key off
+    this flag so both engines stay counter-exact.
     """
 
     variant: KernelVariant = KernelVariant.PRECOMPUTED
@@ -86,6 +93,7 @@ class CgProgram:
     max_iters: int = 10_000
     fixed_iterations: int | None = None
     batch: int = 1
+    accumulation: bool = False
 
     def __post_init__(self) -> None:
         if self.fixed_iterations is not None and self.fixed_iterations < 1:

@@ -29,11 +29,16 @@ def resolve_tolerance(
     rel_tol: float | None = None,
     jacobi: bool = False,
     initial_pressure: np.ndarray | None = None,
+    accumulation: np.ndarray | None = None,
+    rhs: np.ndarray | None = None,
 ) -> float:
     """The absolute ε on the global ``r^T r`` the device applies.
 
     ``rel_tol`` is scaled from the initial residual host-side (the
-    device still applies a single absolute ε, as the paper does).
+    device still applies a single absolute ε, as the paper does).  For
+    transient steps, pass the step's ``accumulation`` diagonal and
+    ``rhs`` so the scale comes from the residual of the actual system
+    ``(J + A) p = rhs`` the device is about to solve.
     """
     tol = float(tol_rtr)
     if rel_tol is None:
@@ -43,10 +48,24 @@ def resolve_tolerance(
         if initial_pressure is None
         else np.asarray(initial_pressure, dtype=np.float64)
     )
-    r0 = problem.residual(p0)
+    if accumulation is None:
+        r0 = problem.residual(p0)
+    else:
+        from repro.fv.operator import apply_jx
+
+        if rhs is None:
+            raise ConfigurationError(
+                "transient tolerance resolution needs the step rhs"
+            )
+        jx = apply_jx(problem.coefficients, problem.dirichlet, p0)
+        r0 = np.asarray(rhs, dtype=np.float64) - (
+            jx + accumulation.astype(np.float64) * p0
+        )
     if jacobi:
         # The device checks ε against r^T z = r^T M^{-1} r.
         diag = problem.coefficients.diagonal.astype(np.float64).copy()
+        if accumulation is not None:
+            diag += accumulation.astype(np.float64)
         diag[problem.dirichlet.mask] = 1.0
         scale = float(np.vdot(r0, r0 / diag).real)
     else:
@@ -98,6 +117,8 @@ class WseMatrixFreeSolver:
         initial_pressure: np.ndarray | None = None,
         jacobi: bool = False,
         engine: str = DEFAULT_ENGINE,
+        accumulation: np.ndarray | None = None,
+        rhs: np.ndarray | None = None,
     ):
         if isinstance(variant, str):
             variant = KernelVariant(variant)
@@ -115,6 +136,8 @@ class WseMatrixFreeSolver:
         self.simd_width = simd_width
         self.jacobi = bool(jacobi)
         self.engine_name = engine
+        self.accumulation = accumulation
+        self.rhs = rhs
 
         self.program = CgProgram(
             variant=variant,
@@ -124,6 +147,7 @@ class WseMatrixFreeSolver:
             tol_rtr=self._resolved_tolerance(),
             max_iters=self.max_iters,
             fixed_iterations=fixed_iterations,
+            accumulation=accumulation is not None,
         )
         # Engine construction stages the problem (and enforces the 48 KiB
         # per-PE budget), exactly as loading an oversized CSL program
@@ -136,6 +160,8 @@ class WseMatrixFreeSolver:
             dtype=self.dtype,
             simd_width=simd_width,
             initial_pressure=initial_pressure,
+            accumulation=accumulation,
+            rhs=rhs,
         )
         self.mapping = self.engine.mapping
         # Event-engine internals stay reachable for fabric inspection and
@@ -160,6 +186,8 @@ class WseMatrixFreeSolver:
             rel_tol=self.rel_tol,
             jacobi=self.jacobi,
             initial_pressure=self.initial_pressure,
+            accumulation=self.accumulation,
+            rhs=self.rhs,
         )
 
     def solve(self) -> WseSolveReport:
@@ -184,6 +212,8 @@ def solve_batch(
     jacobi: bool = False,
     engine: str = "vectorized",
     batch_size: int | None = None,
+    accumulation=None,
+    rhs=None,
 ) -> list[WseSolveReport]:
     """Solve many independent problems as fused ``(batch, nx, ny, nz)``
     sweeps on the vectorized engine.
@@ -209,11 +239,15 @@ def solve_batch(
     guesses = normalize_guesses(
         initial_pressure, len(problems), problems[0].grid.shape
     )
+    accs = normalize_guesses(accumulation, len(problems), problems[0].grid.shape)
+    rhss = normalize_guesses(rhs, len(problems), problems[0].grid.shape)
     size = batch_size if batch_size is not None else len(problems)
     reports: list[WseSolveReport] = []
     for start in range(0, len(problems), size):
         chunk = problems[start : start + size]
         chunk_guesses = guesses[start : start + size]
+        chunk_accs = accs[start : start + size]
+        chunk_rhss = rhss[start : start + size]
         tols = [
             resolve_tolerance(
                 problem,
@@ -221,8 +255,12 @@ def solve_batch(
                 rel_tol=rel_tol,
                 jacobi=jacobi,
                 initial_pressure=guess,
+                accumulation=acc,
+                rhs=lane_rhs,
             )
-            for problem, guess in zip(chunk, chunk_guesses)
+            for problem, guess, acc, lane_rhs in zip(
+                chunk, chunk_guesses, chunk_accs, chunk_rhss
+            )
         ]
         program = CgProgram(
             variant=variant,
@@ -233,6 +271,7 @@ def solve_batch(
             max_iters=int(max_iters),
             fixed_iterations=fixed_iterations,
             batch=len(chunk),
+            accumulation=accumulation is not None,
         )
         batched = create_batched_engine(
             engine,
@@ -245,6 +284,184 @@ def solve_batch(
             initial_pressure=chunk_guesses if any(
                 g is not None for g in chunk_guesses
             ) else None,
+            accumulation=chunk_accs if any(
+                a is not None for a in chunk_accs
+            ) else None,
+            rhs=chunk_rhss if any(r is not None for r in chunk_rhss) else None,
         )
         reports.extend(batched.run())
     return reports
+
+
+# -- transient time stepping --------------------------------------------------
+
+
+def simulate_reports(
+    problem: SinglePhaseProblem,
+    *,
+    dts: Sequence[float],
+    porosity: float = 0.2,
+    total_compressibility: float = 1e-4,
+    initial_condition="problem",
+    warm_start: bool = True,
+    start_step: int = 0,
+    state: np.ndarray | None = None,
+    spec: WseSpecs = WSE2,
+    dtype=np.float32,
+    simd_width: int | None = None,
+    variant: KernelVariant | str = KernelVariant.PRECOMPUTED,
+    reuse_buffers: bool = True,
+    tol_rtr: float = 2e-10,
+    rel_tol: float | None = None,
+    max_iters: int = 10_000,
+    fixed_iterations: int | None = None,
+    jacobi: bool = False,
+    engine: str = DEFAULT_ENGINE,
+):
+    """Backward-Euler time stepping on the fabric: one engine solve per
+    step, yielded as :class:`EngineReport`\\ s.
+
+    Every step solves ``(J + A) p^{n+1} = A p^n + b_D`` with ``A = diag(φ
+    c_t V / Δt)`` staged into the engine's transient kernel — the same
+    program on either engine, so per-step counters and traffic stay
+    parity-exact between ``"event"`` and ``"vectorized"`` (fuzz-pinned).
+    ``warm_start`` starts each step's CG from the previous step's
+    pressure; otherwise every step restarts from the initial condition
+    (step 1 is identical either way).  ``start_step``/``state`` resume an
+    interrupted schedule: skip the first ``start_step`` entries of
+    ``dts`` and carry ``state`` as the last completed step's pressure.
+    """
+    from repro.physics.transient import TransientStepper
+
+    if isinstance(variant, str):
+        variant = KernelVariant(variant)
+    np_dtype = np.dtype(dtype)
+    stepper = TransientStepper(
+        problem,
+        dts=dts,
+        porosity=porosity,
+        total_compressibility=total_compressibility,
+        initial_condition=initial_condition,
+        warm_start=warm_start,
+        start_step=start_step,
+        state=state,
+        state_dtype=np_dtype,
+    )
+    for index in stepper.pending():
+        acc, rhs, x0 = stepper.begin(index)
+        tol = resolve_tolerance(
+            problem,
+            tol_rtr=tol_rtr,
+            rel_tol=rel_tol,
+            jacobi=jacobi,
+            initial_pressure=x0,
+            accumulation=acc,
+            rhs=rhs,
+        )
+        program = CgProgram(
+            variant=variant,
+            reuse_buffers=reuse_buffers,
+            jacobi=bool(jacobi),
+            tol_rtr=tol,
+            max_iters=int(max_iters),
+            fixed_iterations=fixed_iterations,
+            accumulation=True,
+        )
+        step_engine = create_engine(
+            engine,
+            problem,
+            program,
+            spec=spec,
+            dtype=np_dtype,
+            simd_width=simd_width,
+            initial_pressure=x0,
+            accumulation=acc,
+            rhs=rhs,
+        )
+        report = step_engine.run()
+        stepper.advance(report.pressure)
+        yield report
+
+
+def simulate_reports_batch(
+    problems: Sequence[SinglePhaseProblem],
+    *,
+    dts: Sequence[float],
+    porosity: float = 0.2,
+    total_compressibility: float = 1e-4,
+    initial_condition="problem",
+    warm_start: bool = True,
+    start_step: int = 0,
+    states: Sequence[np.ndarray] | None = None,
+    spec: WseSpecs = WSE2,
+    dtype=np.float32,
+    simd_width: int | None = None,
+    variant: KernelVariant | str = KernelVariant.PRECOMPUTED,
+    reuse_buffers: bool = True,
+    tol_rtr: float = 2e-10,
+    rel_tol: float | None = None,
+    max_iters: int = 10_000,
+    fixed_iterations: int | None = None,
+    jacobi: bool = False,
+    engine: str = "vectorized",
+    batch_size: int | None = None,
+):
+    """Time-step ``N`` same-shape realizations together: one fused
+    ``(batch, nx, ny, nz)`` program per step, yielded as a list of
+    per-lane :class:`EngineReport`\\ s in input order.
+
+    Each lane carries its own accumulation diagonal, right-hand side,
+    warm-start state and resolved tolerance; per-lane convergence
+    masking inside the batched engine freezes lanes as they converge, so
+    every lane's per-step report is exactly what a serial vectorized
+    solve of that lane would have produced (fuzz-pinned).
+    """
+    from repro.physics.transient import TransientStepper
+
+    if isinstance(variant, str):
+        variant = KernelVariant(variant)
+    problems = list(problems)
+    if not problems:
+        return
+    if states is not None and len(states) != len(problems):
+        raise ConfigurationError(
+            f"states has {len(states)} entries for {len(problems)} problems"
+        )
+    np_dtype = np.dtype(dtype)
+    steppers = [
+        TransientStepper(
+            pr,
+            dts=dts,
+            porosity=porosity,
+            total_compressibility=total_compressibility,
+            initial_condition=initial_condition,
+            warm_start=warm_start,
+            start_step=start_step,
+            state=None if states is None else states[lane],
+            state_dtype=np_dtype,
+        )
+        for lane, pr in enumerate(problems)
+    ]
+    for index in steppers[0].pending():
+        pieces = [stepper.begin(index) for stepper in steppers]
+        reports = solve_batch(
+            problems,
+            spec=spec,
+            dtype=np_dtype,
+            simd_width=simd_width,
+            variant=variant,
+            reuse_buffers=reuse_buffers,
+            tol_rtr=tol_rtr,
+            rel_tol=rel_tol,
+            max_iters=max_iters,
+            fixed_iterations=fixed_iterations,
+            initial_pressure=[x0 for _, _, x0 in pieces],
+            jacobi=jacobi,
+            engine=engine,
+            batch_size=batch_size,
+            accumulation=[acc for acc, _, _ in pieces],
+            rhs=[rhs for _, rhs, _ in pieces],
+        )
+        for stepper, report in zip(steppers, reports):
+            stepper.advance(report.pressure)
+        yield reports

@@ -24,9 +24,14 @@ stores and process fan-out, use :class:`repro.Session` directly.
 from __future__ import annotations
 
 import warnings
-from typing import Any, Iterable, Mapping, Sequence
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
-from repro.backends import SolveResult, get_backend
+from repro.backends import (
+    SimulationResult,
+    SolveResult,
+    StepResult,
+    get_backend,
+)
 from repro.gpu.specs import GpuSpecs
 from repro.physics.darcy import SinglePhaseProblem
 from repro.scenarios.base import Scenario, scenario as _bind_scenario
@@ -176,3 +181,191 @@ def solve_many(
         if entry_result.error is not None:
             raise entry_result.error
     return [er.result for er in entry_results]  # type: ignore[misc]
+
+
+# -- transient simulation ----------------------------------------------------
+
+
+def _resolve_simulation_spec(spec: Any, options: dict[str, Any]) -> SolveSpec:
+    """Like :func:`resolve_spec`, but flat kwargs are first-class sugar
+    (``repro.simulate(target, n_steps=12, dt=2.0)``), not a deprecation
+    shim, and the resulting spec must carry a time schedule."""
+    if isinstance(spec, (SolveSpec, Mapping)):
+        if options:
+            raise ConfigurationError(
+                f"pass configuration either as spec=... or as keyword "
+                f"options, not both (got spec plus "
+                f"{', '.join(sorted(options))})"
+            )
+        solve_spec = (
+            spec if isinstance(spec, SolveSpec) else SolveSpec.from_dict(spec)
+        )
+    elif spec is not None:
+        raise ConfigurationError(
+            f"spec must be a SolveSpec, a SolveSpec.to_dict() mapping, or "
+            f"None; got {type(spec).__name__}"
+        )
+    else:
+        solve_spec = SolveSpec.from_kwargs(**options)
+    if solve_spec.time is None:
+        raise ConfigurationError(
+            "simulate needs a time schedule: set spec.time to a TimeSpec "
+            "(or pass n_steps=/dt=/... keywords)"
+        )
+    return solve_spec
+
+
+def _transient_backend(backend: str):
+    backend_obj = get_backend(backend)
+    if not getattr(backend_obj, "supports_transient", False):
+        raise ConfigurationError(
+            f"backend {backend!r} does not support transient simulation "
+            f"(no supports_transient declaration)"
+        )
+    return backend_obj
+
+
+def simulate_steps(
+    target: Any,
+    *,
+    backend: str = "reference",
+    spec: Any = None,
+    **options: Any,
+) -> Iterator[StepResult]:
+    """Stream a transient solve step by step (no persistence).
+
+    The lazy sibling of :func:`simulate`: yields each
+    :class:`~repro.backends.StepResult` as its backward-Euler step
+    completes, so monitors can watch the pressure front move without
+    holding the whole stack.
+    """
+    solve_spec = _resolve_simulation_spec(spec, options)
+    backend_obj = _transient_backend(backend)
+    return backend_obj.simulate(_resolve_problem(target), solve_spec)
+
+
+def simulate(
+    target: Any,
+    *,
+    backend: str = "reference",
+    spec: Any = None,
+    store: Any = None,
+    resume: bool = True,
+    on_step: Callable[[StepResult], None] | None = None,
+    **options: Any,
+) -> SimulationResult:
+    """Run a transient (time-stepping) study on a named backend.
+
+    One signature across every machine, mirroring :func:`solve`: pick a
+    target, a backend, and a :class:`~repro.spec.SolveSpec` whose
+    ``time`` section (a :class:`~repro.spec.TimeSpec`) carries the Δt
+    schedule; get a :class:`~repro.backends.SimulationResult` (ordered
+    :class:`~repro.backends.StepResult` stack + aggregates) back.  Flat
+    keywords are accepted as sugar: ``repro.simulate("transient_injection",
+    n_steps=12, dt=2.0, backend="wse")``.
+
+    ``store`` (a :class:`~repro.session.ResultStore` or path) persists
+    every completed step under the entry's content fingerprint; with
+    ``resume=True`` (default) an interrupted schedule restarts at the
+    first missing step, warm-starting from the stored pressure — re-runs
+    of a completed simulation rehydrate entirely from disk.  ``on_step``
+    is invoked as each step completes (stored steps included).
+    """
+    from repro.session import ResultStore, entry_fingerprint
+
+    solve_spec = _resolve_simulation_spec(spec, options)
+    backend_obj = _transient_backend(backend)
+    problem = _resolve_problem(target)
+    tspec = solve_spec.time
+    assert tspec is not None
+
+    steps: list[StepResult] = []
+    fingerprint = None
+    if store is not None:
+        if not isinstance(store, ResultStore):
+            store = ResultStore(store)
+        fingerprint = entry_fingerprint(target, solve_spec, backend)
+        if resume:
+            completed = min(
+                store.simulation_steps_completed(fingerprint), tspec.n_steps
+            )
+            if completed:
+                steps = store.load_simulation_steps(fingerprint)[:completed]
+                for step in steps:
+                    if on_step is not None:
+                        on_step(step)
+        else:
+            store.clear_simulation(fingerprint)
+
+    start_step = len(steps)
+    if start_step < tspec.n_steps:
+        state = steps[-1].pressure if steps else None
+        for step in backend_obj.simulate(
+            problem, solve_spec, start_step=start_step, state=state
+        ):
+            if store is not None:
+                store.save_simulation_step(
+                    fingerprint,
+                    step,
+                    meta={
+                        "backend": backend,
+                        "spec": solve_spec.to_dict(),
+                        "n_steps": tspec.n_steps,
+                    },
+                )
+            steps.append(step)
+            if on_step is not None:
+                on_step(step)
+
+    telemetry = {
+        "preconditioner": solve_spec.preconditioner,
+        "warm_start": tspec.warm_start,
+    }
+    if steps:
+        telemetry["time_kind"] = steps[-1].telemetry.get("time_kind")
+        engine = steps[-1].telemetry.get("engine")
+        if engine is not None:
+            telemetry["engine"] = engine
+    return SimulationResult(steps=steps, backend=backend_obj.name, telemetry=telemetry)
+
+
+def simulate_many(
+    targets: Iterable[Any],
+    *,
+    backend: str = "wse",
+    spec: Any = None,
+    batch: bool = False,
+    **options: Any,
+) -> list[SimulationResult]:
+    """Simulate a family of targets; results in input order.
+
+    ``batch=True`` time-steps every realization *together* — one fused
+    ``(batch, nx, ny, nz)`` program per step with per-lane convergence
+    masking (``machine.batch_size`` caps lanes per fused program) — and
+    requires a backend with ``simulate_batch`` (the dataflow fabric).
+    ``batch=False`` simulates each target serially.
+    """
+    solve_spec = _resolve_simulation_spec(spec, options)
+    backend_obj = _transient_backend(backend)
+    items = list(targets)
+    if not items:
+        return []
+    problems = [_resolve_problem(t) for t in items]
+    if batch:
+        if not hasattr(backend_obj, "simulate_batch"):
+            raise ConfigurationError(
+                f"backend {backend!r} cannot batch simulations (no "
+                f"simulate_batch)"
+            )
+        return backend_obj.simulate_batch(problems, solve_spec)
+    return [
+        SimulationResult.collect(
+            backend_obj.simulate(problem, solve_spec),
+            backend=backend_obj.name,
+            telemetry={
+                "preconditioner": solve_spec.preconditioner,
+                "warm_start": solve_spec.time.warm_start,
+            },
+        )
+        for problem in problems
+    ]

@@ -17,6 +17,7 @@ from repro.gpu.kernels import (
     dirichlet_mask_for,
     launch_axpy,
     launch_dot,
+    launch_fma,
     launch_matrix_free_jx,
     launch_xpay,
 )
@@ -71,6 +72,9 @@ class GpuCGSolver:
         rel_tol: float | None = None,
         max_iters: int = 10_000,
         fixed_iterations: int | None = None,
+        accumulation: np.ndarray | None = None,
+        rhs: np.ndarray | None = None,
+        initial_pressure: np.ndarray | None = None,
     ):
         self.problem = problem
         self.specs = specs
@@ -103,8 +107,32 @@ class GpuCGSolver:
         }
         mask = dirichlet_mask_for(problem.dirichlet)
         self._mask = None if mask is None else self.device.htod(mask, dtype=bool)
-        self._y = self.device.htod(problem.initial_pressure(dtype=self.dtype))
-        b = np.zeros(grid.shape, dtype=self.dtype)
+        if initial_pressure is None:
+            y0 = problem.initial_pressure(dtype=self.dtype)
+        else:
+            y0 = np.array(initial_pressure, dtype=self.dtype, copy=True)
+            problem.dirichlet.apply_to(y0)
+        self._y = self.device.htod(y0)
+        # Transient staging: the accumulation diagonal rides on-device
+        # like a seventh coefficient array; the rhs carries A p^n on
+        # interior rows (Dirichlet rows always hold p^D).
+        if accumulation is not None and accumulation.shape != grid.shape:
+            raise ConfigurationError(
+                f"accumulation shape {accumulation.shape} != grid {grid.shape}"
+            )
+        if rhs is not None and rhs.shape != grid.shape:
+            raise ConfigurationError(
+                f"rhs shape {rhs.shape} != grid {grid.shape}"
+            )
+        self._acc = (
+            None if accumulation is None
+            else self.device.htod(accumulation, dtype=self.dtype)
+        )
+        b = (
+            np.zeros(grid.shape, dtype=self.dtype)
+            if rhs is None
+            else np.asarray(rhs, dtype=self.dtype).copy()
+        )
         b[problem.dirichlet.mask] = problem.dirichlet.values[problem.dirichlet.mask]
         self._b = self.device.htod(b)
         self._r = self.device.alloc_like(grid.shape, dtype=self.dtype)
@@ -117,6 +145,10 @@ class GpuCGSolver:
 
     def _jx(self, x: np.ndarray, out: np.ndarray) -> None:
         launch_matrix_free_jx(self.device, self._coeffs, self._mask, x, out)
+        if self._acc is not None:
+            # (J + A) x: accumulation is zero on Dirichlet rows, so the
+            # identity rows the Jx kernel wrote stay intact.
+            launch_fma(self.device, self._acc, x, out)
 
     def solve(self) -> GpuSolveReport:
         """Run CG to convergence (or ``fixed_iterations``)."""

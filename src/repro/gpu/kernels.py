@@ -138,6 +138,20 @@ def launch_dot(device: GpuDevice, a: np.ndarray, b: np.ndarray) -> float:
     return float(sum(partials))
 
 
+def launch_fma(device: GpuDevice, a: np.ndarray, x: np.ndarray, y: np.ndarray) -> None:
+    """``y += a ⊙ x`` (elementwise, one streaming kernel) — the transient
+    accumulation term fused after the matrix-free ``Jx`` launch."""
+    if a.shape != x.shape or x.shape != y.shape:
+        raise ValidationError("fma operands must share a shape")
+
+    def block_body(block: BlockIndex) -> tuple[int, int]:
+        sx, sy, sz = block.slices()
+        y[sx, sy, sz] += a[sx, sy, sz] * x[sx, sy, sz]
+        return block.cells * 2, 4 * block.cells * F32
+
+    device.launch(x.shape, block_body)
+
+
 def launch_axpy(device: GpuDevice, alpha: float, x: np.ndarray, y: np.ndarray) -> None:
     """``y += alpha * x`` (one streaming kernel)."""
     if x.shape != y.shape:

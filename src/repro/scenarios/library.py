@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.mesh.boundary import DirichletSet
 from repro.mesh.geomodel import (
     channelized_permeability,
     layered_permeability,
@@ -139,8 +140,8 @@ def build_channelized_reservoir(
 @register_scenario(
     "transient_injection",
     description="Heterogeneous formation used by the transient "
-    "CO2-injection example (steady problem; time-step it with "
-    "repro.physics.transient.simulate_transient).",
+    "CO2-injection example (pair with a TimeSpec and time-step it via "
+    "repro.simulate on any backend).",
     tags=("transient",),
 )
 def build_transient_injection(
@@ -153,6 +154,34 @@ def build_transient_injection(
     grid = CartesianGrid3D(nx, ny, nz)
     perm = lognormal_permeability(grid, sigma_log=sigma_log, seed=seed)
     return _five_spot_problem(grid, perm)
+
+
+@register_scenario(
+    "transient_drawdown",
+    description="Layered formation with a central producer column and a "
+    "constant-pressure top plane — the Δt-sweep companion to "
+    "transient_injection (pair with a TimeSpec via repro.simulate).",
+    tags=("transient",),
+)
+def build_transient_drawdown(
+    nx: int = 16,
+    ny: int = 16,
+    nz: int = 6,
+    num_layers: int = 4,
+    low: float = 1.0,
+    high: float = 500.0,
+    seed: int = 11,
+    producer_pressure: float = 0.0,
+    support_pressure: float = 1.0,
+) -> SinglePhaseProblem:
+    grid = CartesianGrid3D(nx, ny, nz)
+    perm = layered_permeability(
+        grid, num_layers=num_layers, low=low, high=high, seed=seed
+    )
+    dirichlet = DirichletSet(grid)
+    dirichlet.set_plane(2, nz - 1, support_pressure)
+    dirichlet.set_column(nx // 2, ny // 2, producer_pressure)
+    return build_problem(grid, perm, dirichlet)
 
 
 @register_scenario(

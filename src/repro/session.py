@@ -36,6 +36,7 @@ import hashlib
 import json
 import os
 import pickle
+import shutil
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -43,7 +44,7 @@ from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
 
 import numpy as np
 
-from repro.backends import SolveResult, get_backend
+from repro.backends import SolveResult, StepResult, get_backend
 from repro.physics.darcy import SinglePhaseProblem
 from repro.scenarios.base import Scenario, scenario as _bind_scenario
 from repro.spec import SolveSpec, coerce_spec
@@ -135,10 +136,19 @@ class PlanEntry:
     @property
     def label(self) -> str:
         if self.scenario is not None:
-            return self.scenario.label()
-        assert self.problem is not None
-        shape = "x".join(str(v) for v in self.problem.grid.shape)
-        return f"problem[{shape}]"
+            base = self.scenario.label()
+        else:
+            assert self.problem is not None
+            shape = "x".join(str(v) for v in self.problem.grid.shape)
+            base = f"problem[{shape}]"
+        if self.spec.time is not None:
+            base += f" [{self.spec.time.n_steps} steps]"
+        return base
+
+    @property
+    def n_steps(self) -> int | None:
+        """Steps of a transient entry (``None`` for steady solves)."""
+        return None if self.spec.time is None else self.spec.time.n_steps
 
     def build_problem(
         self, cache: dict[str, SinglePhaseProblem] | None = None
@@ -175,6 +185,28 @@ class PlanEntryResult:
     @property
     def ok(self) -> bool:
         return self.error is None
+
+    @property
+    def n_steps(self) -> int | None:
+        """Steps a transient entry actually ran (``None`` for steady).
+
+        Prefers the result's own ``telemetry["transient"]`` record (what
+        the backend executed); falls back to the entry's spec for errored
+        or store-rehydrated results."""
+        if self.result is not None:
+            transient = self.result.telemetry.get("transient")
+            if isinstance(transient, Mapping):
+                steps = transient.get("n_steps")
+                if steps is not None:
+                    return int(steps)
+        return self.entry.n_steps
+
+    @property
+    def total_iterations(self) -> int | None:
+        """Aggregate CG iterations — summed over every step for
+        multi-step (transient) entries, so plan rows stay meaningful.
+        ``None`` for errored entries."""
+        return None if self.result is None else int(self.result.iterations)
 
     @property
     def engine(self) -> str | None:
@@ -309,6 +341,130 @@ class ResultStore:
             telemetry={"time_kind": record["time_kind"], "from_store": True},
         )
 
+    # -- transient step stacks ------------------------------------------------
+    #
+    # A simulation persists as an append-only *step stack*: one NPZ per
+    # completed step under ``<fingerprint>.steps/`` (written atomically,
+    # tmp + rename) plus a manifest record under ``<fingerprint>#steps``
+    # tracking ``steps_completed``.  Appending step N touches only step
+    # N's file — O(1) per step — and a torn write can at worst lose the
+    # step being written, never the stack behind it, so an interrupted
+    # run always leaves a valid partial stack for
+    # ``repro.simulate(..., store=...)`` to resume from.
+
+    @staticmethod
+    def _steps_key(fingerprint: str) -> str:
+        return f"{fingerprint}#steps"
+
+    def _steps_dir(self, fingerprint: str) -> Path:
+        return self.root / f"{fingerprint}.steps"
+
+    def _step_path(self, fingerprint: str, step: int) -> Path:
+        return self._steps_dir(fingerprint) / f"{step:05d}.npz"
+
+    def simulation_steps_completed(self, fingerprint: str) -> int:
+        """How many steps of this simulation are already persisted.
+
+        Counts the consecutive on-disk prefix, capped by the manifest
+        record — a step file that never finished writing (crash before
+        the rename) is simply not there and ends the prefix.
+        """
+        record = self._manifest.get(self._steps_key(fingerprint))
+        if not record:
+            return 0
+        completed = int(record.get("steps_completed", 0))
+        for step in range(1, completed + 1):
+            if not self._step_path(fingerprint, step).exists():
+                return step - 1
+        return completed
+
+    def save_simulation_step(
+        self,
+        fingerprint: str,
+        step: StepResult,
+        *,
+        meta: Mapping[str, Any] | None = None,
+    ) -> None:
+        """Append one completed step to the fingerprint's step stack.
+
+        Steps must arrive in order (``step.step == completed + 1``); the
+        manifest record carries ``meta`` (label, backend, spec, n_steps)
+        from the first step onward.
+        """
+        completed = self.simulation_steps_completed(fingerprint)
+        if step.step != completed + 1:
+            raise ConfigurationError(
+                f"simulation store for {fingerprint[:12]} has {completed} "
+                f"step(s); cannot append step {step.step}"
+            )
+        directory = self._steps_dir(fingerprint)
+        directory.mkdir(parents=True, exist_ok=True)
+        tmp = directory / f".tmp-{step.step:05d}.npz"
+        np.savez_compressed(
+            tmp,
+            pressure=step.pressure,
+            residual_history=np.asarray(step.residual_history, dtype=np.float64),
+            iterations=np.int64(step.iterations),
+            converged=np.bool_(step.converged),
+            time=np.float64(step.time),
+            dt=np.float64(step.dt),
+            elapsed=np.float64(step.elapsed_seconds),
+        )
+        os.replace(tmp, self._step_path(fingerprint, step.step))
+        record = dict(self._manifest.get(self._steps_key(fingerprint), {}))
+        record.update(meta or {})
+        record.update(
+            kind="simulation",
+            fingerprint=fingerprint,
+            steps_completed=completed + 1,
+            time_kind=step.telemetry.get("time_kind", record.get("time_kind")),
+            backend=step.backend or record.get("backend"),
+        )
+        self._manifest[self._steps_key(fingerprint)] = record
+        self._flush()
+
+    def clear_simulation(self, fingerprint: str) -> None:
+        """Drop a fingerprint's step stack (the ``resume=False`` path)."""
+        self._manifest.pop(self._steps_key(fingerprint), None)
+        directory = self._steps_dir(fingerprint)
+        if directory.exists():
+            shutil.rmtree(directory)
+        self._flush()
+
+    def load_simulation_steps(self, fingerprint: str) -> list[StepResult]:
+        """Rehydrate the persisted step stack (JSON-able core only:
+        telemetry is ``{"time_kind": ..., "from_store": True}``)."""
+        record = self._manifest.get(self._steps_key(fingerprint))
+        completed = self.simulation_steps_completed(fingerprint)
+        if not record or not completed:
+            raise ConfigurationError(
+                f"result store at {self.root} has no step stack for "
+                f"{fingerprint!r}"
+            )
+        steps: list[StepResult] = []
+        for index in range(1, completed + 1):
+            with np.load(self._step_path(fingerprint, index)) as arrays:
+                steps.append(
+                    StepResult(
+                        step=index,
+                        time=float(arrays["time"]),
+                        dt=float(arrays["dt"]),
+                        pressure=arrays["pressure"],
+                        iterations=int(arrays["iterations"]),
+                        converged=bool(arrays["converged"]),
+                        residual_history=[
+                            float(v) for v in arrays["residual_history"]
+                        ],
+                        elapsed_seconds=float(arrays["elapsed"]),
+                        backend=record.get("backend") or "",
+                        telemetry={
+                            "time_kind": record.get("time_kind"),
+                            "from_store": True,
+                        },
+                    )
+                )
+        return steps
+
     def _flush(self) -> None:
         path = self.root / self.MANIFEST
         tmp = path.with_suffix(".json.tmp")
@@ -337,9 +493,17 @@ class ExecutionPlan:
         return iter(self.entries)
 
     def describe(self) -> list[list[Any]]:
-        """Table rows (index, label, backend, fingerprint prefix)."""
+        """Table rows (index, label, backend, fingerprint prefix, steps).
+
+        ``steps`` is the time-step count of a transient entry (1 spec =
+        1 step *sequence*) or ``"-"`` for steady solves, so transient and
+        steady rows stay distinguishable at a glance."""
         return [
-            [e.index, e.label, e.backend, e.fingerprint[:12]] for e in self.entries
+            [
+                e.index, e.label, e.backend, e.fingerprint[:12],
+                "-" if e.n_steps is None else e.n_steps,
+            ]
+            for e in self.entries
         ]
 
     def run(
@@ -543,19 +707,7 @@ class Session:
     def _entry(
         self, index: int, target: Any, spec: SolveSpec, backend: str
     ) -> PlanEntry:
-        scenario: Scenario | None = None
-        problem: SinglePhaseProblem | None = None
-        if isinstance(target, SinglePhaseProblem):
-            problem = target
-        elif isinstance(target, Scenario):
-            scenario = target
-        elif isinstance(target, str):
-            scenario = _bind_scenario(target)
-        else:
-            raise ConfigurationError(
-                f"cannot plan {target!r}: expected a SinglePhaseProblem, a "
-                f"Scenario, or a registered scenario name"
-            )
+        scenario, problem = resolve_target(target)
         target_payload = _target_payload(scenario, problem)
         scenario_key = _digest({"target": target_payload})
         fingerprint = _digest(
@@ -576,6 +728,34 @@ class Session:
         )
 
 
+def resolve_target(target: Any) -> tuple[Scenario | None, SinglePhaseProblem | None]:
+    """Normalize a plan/simulate target into (scenario, problem)."""
+    if isinstance(target, SinglePhaseProblem):
+        return None, target
+    if isinstance(target, Scenario):
+        return target, None
+    if isinstance(target, str):
+        return _bind_scenario(target), None
+    raise ConfigurationError(
+        f"cannot plan {target!r}: expected a SinglePhaseProblem, a "
+        f"Scenario, or a registered scenario name"
+    )
+
+
+def entry_fingerprint(target: Any, spec: SolveSpec, backend: str) -> str:
+    """The content identity of one (target, spec, backend) entry — the
+    same digest :meth:`Session.plan` assigns, usable standalone (e.g. by
+    ``repro.simulate``'s store/resume path)."""
+    scenario, problem = resolve_target(target)
+    return _digest(
+        {
+            "target": _target_payload(scenario, problem),
+            "spec": spec.to_dict(),
+            "backend": backend,
+        }
+    )
+
+
 def _digest(payload: Mapping[str, Any]) -> str:
     text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(text.encode()).hexdigest()
@@ -588,4 +768,6 @@ __all__ = [
     "PlanEntryResult",
     "ResultStore",
     "Session",
+    "entry_fingerprint",
+    "resolve_target",
 ]

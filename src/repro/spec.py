@@ -12,7 +12,12 @@ bag that each backend interpreted — and silently ignored — differently.
   :class:`GpuSpecs` target, SIMD width, CUDA block shape, kernel variant,
   buffer reuse, comm-only mode, fixed iteration counts);
 * ``preconditioner`` — ``"none"`` (the paper's unpreconditioned CG) or
-  ``"jacobi"`` (the documented diagonal-scaling extension).
+  ``"jacobi"`` (the documented diagonal-scaling extension);
+* :class:`TimeSpec` (optional ``time`` section) — the backward-Euler
+  schedule that turns a solve into a transient *simulation* (Δt schedule,
+  step count, compressibility, initial-condition policy, warm-start
+  toggle); consumed by ``repro.simulate`` and by any backend's ``solve``
+  when set.
 
 Every field is validated at construction; ``None`` means "backend
 default".  :meth:`SolveSpec.from_kwargs` is the bridge from the legacy
@@ -117,6 +122,141 @@ class PrecisionSpec:
     def numpy_dtype(self, default: Any = np.float64) -> np.dtype:
         """The resolved ``np.dtype`` (falling back to ``default``)."""
         return np.dtype(self.dtype if self.dtype is not None else default)
+
+
+#: Names of every TimeSpec knob (used for from_dict strictness checks).
+TIME_FIELDS = (
+    "n_steps",
+    "dt",
+    "total_compressibility",
+    "porosity",
+    "initial_condition",
+    "warm_start",
+)
+
+
+@dataclass(frozen=True)
+class TimeSpec:
+    """Backward-Euler time-stepping schedule for a transient solve.
+
+    Setting ``SolveSpec.time`` turns a solve into a *simulation*: every
+    step solves ``(J + A) p^{n+1} = A p^n + b_D`` with the accumulation
+    diagonal ``A = diag(φ c_t V / Δt)`` (see ``repro.physics.transient``
+    for the discretization and its conditioning property).
+
+    * ``n_steps`` — number of backward-Euler steps (>= 1);
+    * ``dt`` — the step size: a single positive float, or a per-step
+      schedule (sequence of ``n_steps`` positive floats) for ramped
+      Δt studies;
+    * ``total_compressibility`` — ``c_t`` (> 0);
+    * ``porosity`` — uniform ``φ`` (> 0; field porosities stay with the
+      lower-level physics API, a spec must be JSON-able);
+    * ``initial_condition`` — ``"problem"`` (the problem's
+      Dirichlet-consistent zero-fill initial pressure) or a finite float
+      (uniform fill, Dirichlet values applied on top);
+    * ``warm_start`` — start each step's CG from the previous step's
+      pressure (default) instead of re-starting from the initial
+      condition.  Step 1 is identical either way (both start from the
+      initial condition), which the tests pin down.
+    """
+
+    n_steps: int = 1
+    dt: "float | tuple[float, ...]" = 1.0
+    total_compressibility: float = 1e-4
+    porosity: float = 0.2
+    initial_condition: "str | float" = "problem"
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        n_steps = _check_optional_int("n_steps", self.n_steps, 1)
+        if n_steps is None:
+            raise ConfigurationError("n_steps must be an integer >= 1, got None")
+        object.__setattr__(self, "n_steps", n_steps)
+        dt = self.dt
+        if isinstance(dt, (list, tuple, np.ndarray)):
+            schedule = []
+            for i, v in enumerate(dt):
+                if v is None:
+                    raise ConfigurationError(
+                        f"dt[{i}] must be a positive number, got None"
+                    )
+                schedule.append(_check_optional_float(f"dt[{i}]", v))
+            schedule = tuple(schedule)
+            if len(schedule) != n_steps:
+                raise ConfigurationError(
+                    f"dt schedule has {len(schedule)} entries for "
+                    f"n_steps={n_steps}"
+                )
+            object.__setattr__(self, "dt", schedule)
+        else:
+            object.__setattr__(self, "dt", _check_optional_float("dt", dt))
+            if self.dt is None:
+                raise ConfigurationError("dt must be a positive number, got None")
+        object.__setattr__(
+            self,
+            "total_compressibility",
+            _check_optional_float("total_compressibility", self.total_compressibility),
+        )
+        object.__setattr__(
+            self, "porosity", _check_optional_float("porosity", self.porosity)
+        )
+        ic = self.initial_condition
+        if isinstance(ic, str):
+            if ic != "problem":
+                raise ConfigurationError(
+                    f"initial_condition must be 'problem' or a finite number, "
+                    f"got {ic!r}"
+                )
+        else:
+            try:
+                ic = float(ic)
+            except (TypeError, ValueError):
+                raise ConfigurationError(
+                    f"initial_condition must be 'problem' or a finite number, "
+                    f"got {self.initial_condition!r}"
+                ) from None
+            if not np.isfinite(ic):
+                raise ConfigurationError(
+                    f"initial_condition must be finite, got {ic!r}"
+                )
+            object.__setattr__(self, "initial_condition", ic)
+        object.__setattr__(self, "warm_start", bool(self.warm_start))
+
+    def dts(self) -> tuple[float, ...]:
+        """The per-step Δt schedule, always ``n_steps`` long."""
+        if isinstance(self.dt, tuple):
+            return self.dt
+        return (self.dt,) * self.n_steps
+
+    def times(self) -> tuple[float, ...]:
+        """Physical time after each step (cumulative Δt sums)."""
+        out, t = [], 0.0
+        for dt in self.dts():
+            t += dt
+            out.append(t)
+        return tuple(out)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "n_steps": self.n_steps,
+            "dt": list(self.dt) if isinstance(self.dt, tuple) else self.dt,
+            "total_compressibility": self.total_compressibility,
+            "porosity": self.porosity,
+            "initial_condition": self.initial_condition,
+            "warm_start": self.warm_start,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TimeSpec":
+        bad = sorted(set(data) - set(TIME_FIELDS))
+        if bad:
+            raise ConfigurationError(
+                f"unknown time key(s) {', '.join(map(repr, bad))}"
+            )
+        payload = dict(data)
+        if isinstance(payload.get("dt"), list):
+            payload["dt"] = tuple(payload["dt"])
+        return cls(**payload)
 
 
 #: Names of every MachineSpec knob (used for per-backend strictness checks).
@@ -246,6 +386,12 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "batch_size": ("machine", "batch_size"),
     "preconditioner": ("", "preconditioner"),
     "jacobi": ("", "preconditioner"),
+    "n_steps": ("time", "n_steps"),
+    "dt": ("time", "dt"),
+    "total_compressibility": ("time", "total_compressibility"),
+    "porosity": ("time", "porosity"),
+    "initial_condition": ("time", "initial_condition"),
+    "warm_start": ("time", "warm_start"),
 }
 
 
@@ -280,12 +426,18 @@ class SolveSpec:
     precision: PrecisionSpec = field(default_factory=PrecisionSpec)
     machine: MachineSpec = field(default_factory=MachineSpec)
     preconditioner: str = "none"
+    time: TimeSpec | None = None
 
     def __post_init__(self) -> None:
         if self.preconditioner not in PRECONDITIONERS:
             raise ConfigurationError(
                 f"unknown preconditioner {self.preconditioner!r}; choose one "
                 f"of {', '.join(PRECONDITIONERS)}"
+            )
+        if self.time is not None and not isinstance(self.time, TimeSpec):
+            raise ConfigurationError(
+                f"time must be a TimeSpec or None, got "
+                f"{type(self.time).__name__}"
             )
 
     # -- flat-kwarg bridge ---------------------------------------------------
@@ -303,7 +455,7 @@ class SolveSpec:
     def with_options(self, **kwargs: Any) -> "SolveSpec":
         """A new spec with flat-kwarg overrides applied over this one."""
         sections: dict[str, dict[str, Any]] = {
-            "tolerance": {}, "precision": {}, "machine": {},
+            "tolerance": {}, "precision": {}, "machine": {}, "time": {},
         }
         top: dict[str, Any] = {}
         for key, value in kwargs.items():
@@ -323,6 +475,19 @@ class SolveSpec:
             out = replace(out, precision=PrecisionSpec(**sections["precision"]))
         if sections["machine"]:
             out = replace(out, machine=replace(out.machine, **sections["machine"]))
+        if sections["time"]:
+            if out.time is None and "n_steps" not in sections["time"]:
+                # A lone physics knob must not silently turn a steady
+                # spec transient: establishing a time section requires
+                # the defining knob.
+                raise ConfigurationError(
+                    f"option(s) {', '.join(sorted(sections['time']))} "
+                    f"configure the time section, but this spec has no "
+                    f"time schedule; include n_steps=... (or set "
+                    f"spec.time to a TimeSpec)"
+                )
+            base = out.time if out.time is not None else TimeSpec()
+            out = replace(out, time=replace(base, **sections["time"]))
         if top:
             out = replace(out, **top)
         return out
@@ -351,12 +516,13 @@ class SolveSpec:
                 "batch_size": m.batch_size,
             },
             "preconditioner": self.preconditioner,
+            "time": None if self.time is None else self.time.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
         """Inverse of :meth:`to_dict`; unknown sections or keys raise."""
-        known = {"tolerance", "precision", "machine", "preconditioner"}
+        known = {"tolerance", "precision", "machine", "preconditioner", "time"}
         extra = sorted(set(data) - known)
         if extra:
             raise ConfigurationError(
@@ -380,11 +546,13 @@ class SolveSpec:
             mach["spec"] = _machine_spec_from_dict(mach["spec"])
         if mach.get("block_shape") is not None:
             mach["block_shape"] = tuple(mach["block_shape"])
+        time_payload = data.get("time")
         return cls(
             tolerance=ToleranceSpec(**tol),
             precision=PrecisionSpec(**prec),
             machine=MachineSpec(**mach),
             preconditioner=data.get("preconditioner", "none"),
+            time=None if time_payload is None else TimeSpec.from_dict(time_payload),
         )
 
     def fingerprint(self) -> str:
@@ -447,6 +615,8 @@ __all__ = [
     "PrecisionSpec",
     "SUPPORTED_DTYPES",
     "SolveSpec",
+    "TIME_FIELDS",
+    "TimeSpec",
     "ToleranceSpec",
     "coerce_spec",
 ]

@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.core.exchange import HALO_BUFFER
 from repro.core.fv_kernel import (
+    ACCUMULATION_BUFFER,
     COEFF_BUFFER,
     COEFF_DOWN,
     COEFF_UP,
@@ -143,7 +144,7 @@ class _Staging:
     only touch attributes, so both layouts execute the same code."""
 
     __slots__ = (
-        "y", "b", "r", "p", "z", "inv_diag",
+        "y", "b", "r", "p", "z", "inv_diag", "acc",
         "coeff", "coeff_down", "coeff_up",
         "ups", "ups_down", "ups_up", "lam", "lam_nbr",
         "full_cols", "blend_mask", "has_full", "has_partial",
@@ -173,23 +174,45 @@ def _stage_problem(
     program: CgProgram,
     dtype: np.dtype,
     initial_pressure: np.ndarray | None = None,
+    accumulation: np.ndarray | None = None,
+    rhs: np.ndarray | None = None,
 ) -> _Staging:
     """Stage one problem's field arrays (the whole-fabric analogue of
-    ``stage_problem`` on the event fabric)."""
+    ``stage_problem`` on the event fabric).
+
+    ``accumulation`` is the transient diagonal ``a = φ c_t V / Δt``
+    (required iff ``program.accumulation``); ``rhs`` overrides the
+    interior right-hand side (Dirichlet rows always carry ``p^D``)."""
     st = _Staging()
     grid = problem.grid
+    if program.accumulation != (accumulation is not None):
+        raise ConfigurationError(
+            "program.accumulation and the staged accumulation array must "
+            "be supplied together"
+        )
+    if accumulation is not None and accumulation.shape != grid.shape:
+        raise ConfigurationError(
+            f"accumulation shape {accumulation.shape} != grid {grid.shape}"
+        )
+    if rhs is not None and rhs.shape != grid.shape:
+        raise ConfigurationError(f"rhs shape {rhs.shape} != grid {grid.shape}")
     if initial_pressure is None:
         p0 = problem.initial_pressure(dtype=dtype)
     else:
         p0 = np.array(initial_pressure, dtype=dtype, copy=True)
         problem.dirichlet.apply_to(p0)
     st.y = p0
-    st.b = np.zeros(grid.shape, dtype=dtype)
+    st.b = (
+        np.zeros(grid.shape, dtype=dtype)
+        if rhs is None
+        else np.asarray(rhs, dtype=dtype).copy()
+    )
     st.b[problem.dirichlet.mask] = problem.dirichlet.values[problem.dirichlet.mask]
     st.r = np.zeros(grid.shape, dtype=dtype)
     st.p = np.zeros(grid.shape, dtype=dtype)
     st.z = None
     st.inv_diag = None
+    st.acc = None if accumulation is None else accumulation.astype(dtype)
     st.coeff = st.coeff_down = st.coeff_up = None
     st.ups = st.ups_down = st.ups_up = st.lam = st.lam_nbr = None
 
@@ -213,6 +236,8 @@ def _stage_problem(
 
     if program.jacobi:
         diag = problem.coefficients.diagonal.astype(np.float64).copy()
+        if accumulation is not None:
+            diag += accumulation.astype(np.float64)
         diag[problem.dirichlet.mask] = 1.0
         st.inv_diag = (1.0 / diag).astype(dtype)
         st.z = np.zeros(grid.shape, dtype=dtype)
@@ -232,6 +257,7 @@ def _stage_problem(
                 dirichlet=kind,
                 variant=program.variant,
                 reuse_buffers=program.reuse_buffers,
+                accumulation=program.accumulation,
             )
         )
         for kind, count in kind_counts.items()
@@ -249,6 +275,7 @@ def _gather_staging(st: _Staging, idx: np.ndarray, variant: KernelVariant) -> _S
     just the arrays :func:`_apply_fields` reads."""
     out = _Staging()
     out.z = out.inv_diag = None
+    out.acc = None if st.acc is None else st.acc[idx]
     out.coeff = out.coeff_down = out.coeff_up = None
     out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
     if variant is KernelVariant.PRECOMPUTED:
@@ -280,6 +307,7 @@ def _stack_stagings(stagings: Sequence[_Staging], program: CgProgram) -> _Stagin
     for name in ("y", "b", "r", "p"):
         setattr(out, name, stack(name))
     out.z = out.inv_diag = None
+    out.acc = stack("acc") if program.accumulation else None
     out.coeff = out.coeff_down = out.coeff_up = None
     out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
     if program.variant is KernelVariant.PRECOMPUTED:
@@ -373,6 +401,10 @@ def _apply_fields(st: _Staging, variant: KernelVariant, x: np.ndarray) -> np.nda
     else:
         out = _lateral_fused(st, x)
     _vertical(st, variant, x, out)
+    if st.acc is not None:
+        # Transient term (same operand order as the kernel's FMA; zero on
+        # Dirichlet rows, so the masks below are unaffected).
+        out += st.acc * x
     if st.has_full:
         out[st.full_cols] = x[st.full_cols]
     if st.has_partial:
@@ -389,6 +421,7 @@ def _rehearse_bytes(
     variant: KernelVariant,
     reuse_buffers: bool,
     jacobi: bool,
+    accumulation: bool,
     nz: int,
     dtype_name: str,
     with_mask: bool,
@@ -417,6 +450,8 @@ def _rehearse_bytes(
     if jacobi:
         arena.alloc("z", nz, dtype=dtype)
         arena.alloc("inv_diag", nz, dtype=dtype)
+    if accumulation:
+        arena.alloc(ACCUMULATION_BUFFER, nz, dtype=dtype)
     if variant is KernelVariant.PRECOMPUTED:
         for name in COEFF_BUFFER.values():
             arena.alloc(name, nz, dtype=dtype)
@@ -445,7 +480,7 @@ def _memory_report(
     def rehearse(with_mask: bool) -> int:
         return _rehearse_bytes(
             spec.pe_memory_bytes, program.variant, program.reuse_buffers,
-            program.jacobi, nz, dtype.name, with_mask,
+            program.jacobi, program.accumulation, nz, dtype.name, with_mask,
         )
 
     base_bytes = rehearse(False)
@@ -678,6 +713,8 @@ class VectorEngine:
         dtype=np.float32,
         simd_width: int | None = None,
         initial_pressure: np.ndarray | None = None,
+        accumulation: np.ndarray | None = None,
+        rhs: np.ndarray | None = None,
     ):
         if program.batch != 1:
             raise ConfigurationError(
@@ -697,7 +734,10 @@ class VectorEngine:
         self.num_pes = self.width * self.height
         self._suppress = program.comm_only
 
-        self.st = _stage_problem(problem, program, self.dtype, initial_pressure)
+        self.st = _stage_problem(
+            problem, program, self.dtype, initial_pressure,
+            accumulation=accumulation, rhs=rhs,
+        )
         self._memory = _memory_report(
             spec, program, self.depth, self.dtype, self.st.kind_counts
         )
@@ -893,6 +933,8 @@ class BatchedVectorEngine:
         simd_width: int | None = None,
         tol_rtrs: Sequence[float] | None = None,
         initial_pressure=None,
+        accumulation=None,
+        rhs=None,
     ):
         problems = list(problems)
         if not problems:
@@ -932,9 +974,16 @@ class BatchedVectorEngine:
         self._tols = [float(t) for t in tol_rtrs]
 
         guesses = normalize_guesses(initial_pressure, self.batch, grid.shape)
+        accs = normalize_guesses(accumulation, self.batch, grid.shape)
+        rhss = normalize_guesses(rhs, self.batch, grid.shape)
         stagings = [
-            _stage_problem(problem, program, self.dtype, guess)
-            for problem, guess in zip(problems, guesses)
+            _stage_problem(
+                problem, program, self.dtype, guess,
+                accumulation=acc, rhs=lane_rhs,
+            )
+            for problem, guess, acc, lane_rhs in zip(
+                problems, guesses, accs, rhss
+            )
         ]
         self.st = _stack_stagings(stagings, program)
         self._memory = [

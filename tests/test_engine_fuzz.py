@@ -173,6 +173,139 @@ def test_fuzz_engine_parity(case):
     assert sib.counters.to_dict() == sib_serial.counters.to_dict(), ctx
 
 
+N_TRANSIENT_CASES = 12
+
+
+def _draw_transient_case(case: int):
+    """Transient fuzz parameters — like :func:`_draw_case`, a pure
+    function of the case index, over a separate seed range."""
+    seed = MASTER_SEED + 10_000 + case
+    rng = np.random.default_rng(seed)
+    shape = (
+        int(rng.integers(2, 5)), int(rng.integers(2, 5)), int(rng.integers(1, 4))
+    )
+    grid = CartesianGrid3D(
+        *shape,
+        dx=float(rng.uniform(0.5, 2.0)),
+        dy=float(rng.uniform(0.5, 2.0)),
+        dz=float(rng.uniform(0.5, 2.0)),
+    )
+    problem = build_problem(
+        grid, _draw_permeability(rng, grid), _draw_dirichlet(rng, grid),
+        viscosity=float(rng.uniform(0.5, 2.0)),
+    )
+    sibling = build_problem(
+        grid, _draw_permeability(rng, grid), _draw_dirichlet(rng, grid),
+        viscosity=float(rng.uniform(0.5, 2.0)),
+    )
+    n_steps = int(rng.integers(2, 5))
+    if rng.random() < 0.4:  # a ramped Δt schedule
+        dts = [float(rng.uniform(0.1, 5.0)) for _ in range(n_steps)]
+    else:
+        dts = [float(rng.uniform(0.1, 5.0))] * n_steps
+    kwargs = dict(
+        spec=SPEC,
+        variant=str(rng.choice(["precomputed", "fused_mobility"])),
+        jacobi=bool(rng.random() < 0.3),
+        reuse_buffers=bool(rng.random() < 0.8),
+        simd_width=int(rng.choice([1, 2, 3])),
+        dtype=np.float64,
+        rel_tol=1e-8,
+        max_iters=3000,
+        dts=dts,
+        porosity=float(rng.uniform(0.05, 0.4)),
+        total_compressibility=float(10 ** rng.uniform(-3, -1)),
+        warm_start=bool(rng.random() < 0.7),
+    )
+    return seed, problem, sibling, kwargs
+
+
+@pytest.mark.parametrize("case", range(N_TRANSIENT_CASES))
+def test_fuzz_transient_engine_parity(case):
+    """Per-*step* parity on transient problems: event vs. vectorized vs.
+    batched lane — iterates to fp round-off, counters/traffic/memory/state
+    sequences exactly, at every backward-Euler step."""
+    from repro.core.solver import simulate_reports, simulate_reports_batch
+
+    seed, problem, sibling, kwargs = _draw_transient_case(case)
+    ctx = (
+        f"[transient fuzz case {case}: seed={seed}, "
+        f"grid={problem.grid.shape}, "
+        f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
+    )
+    event = list(simulate_reports(problem, engine="event", **kwargs))
+    vector = list(simulate_reports(problem, engine="vectorized", **kwargs))
+    assert len(event) == len(vector) == len(kwargs["dts"]), ctx
+
+    for step, (ev, vec) in enumerate(zip(event, vector), start=1):
+        sctx = (f"step {step} " + ctx, )
+        assert ev.iterations == vec.iterations, sctx
+        assert ev.converged == vec.converged, sctx
+        np.testing.assert_allclose(
+            vec.pressure.astype(np.float64),
+            ev.pressure.astype(np.float64),
+            atol=1e-8, err_msg=str(sctx),
+        )
+        ev_counts = {
+            k: v for k, v in ev.counters.to_dict().items() if k != "idle_cycles"
+        }
+        vec_counts = {
+            k: v for k, v in vec.counters.to_dict().items() if k != "idle_cycles"
+        }
+        assert ev_counts == vec_counts, sctx
+        for field in (
+            "total_messages", "total_wavelets", "total_hop_wavelets",
+            "comm_busy_cycles",
+        ):
+            assert getattr(ev.trace, field) == getattr(vec.trace, field), (
+                field, sctx,
+            )
+        assert ev.memory == vec.memory, sctx
+        assert ev.state_visits == vec.state_visits, sctx
+
+    # -- vectorized vs. batched lanes (per step) ------------------------------
+    batched = list(simulate_reports_batch([problem, sibling], **kwargs))
+    sib_serial = list(simulate_reports(sibling, engine="vectorized", **kwargs))
+    for step, (vec, lanes) in enumerate(zip(vector, batched), start=1):
+        lane = lanes[0]
+        assert lane.iterations == vec.iterations, (step, ctx)
+        np.testing.assert_array_equal(lane.pressure, vec.pressure, err_msg=ctx)
+        assert lane.residual_history == vec.residual_history, (step, ctx)
+        assert lane.counters.to_dict() == vec.counters.to_dict(), (step, ctx)
+        assert lane.trace.to_dict() == vec.trace.to_dict(), (step, ctx)
+        assert lane.memory == vec.memory, (step, ctx)
+        assert lane.state_visits == vec.state_visits, (step, ctx)
+        sib = lanes[1]
+        ser = sib_serial[step - 1]
+        assert sib.iterations == ser.iterations, (step, ctx)
+        np.testing.assert_array_equal(sib.pressure, ser.pressure, err_msg=ctx)
+        assert sib.counters.to_dict() == ser.counters.to_dict(), (step, ctx)
+
+
+def test_transient_iterations_drop_monotonically_with_dt():
+    """The conditioning property documented in ``physics/transient.py``,
+    pinned on the fabric path: the accumulation diagonal ``φ c_t V / Δt``
+    grows as Δt shrinks, so per-step CG iteration counts must be
+    non-increasing as the schedule tightens (cold starts isolate the
+    conditioning effect from warm-start history)."""
+    problem = make_problem(6, 6, 3, seed=2)
+    totals = []
+    for dt in (1e6, 1e2, 1.0, 1e-2):
+        sim = repro.simulate(
+            problem,
+            backend="wse",
+            spec=repro.SolveSpec.from_kwargs(
+                spec=SPEC, engine="vectorized", dtype="float64",
+                rel_tol=1e-8, max_iters=5000,
+                n_steps=3, dt=dt, total_compressibility=1e-2,
+                warm_start=False,
+            ),
+        )
+        totals.append(sim.total_iterations)
+    assert totals == sorted(totals, reverse=True), totals
+    assert totals[-1] < totals[0]
+
+
 def test_fuzz_is_deterministic():
     """The reproduction contract: redrawing a case yields the same
     problem and knobs (so the seed in a failure message is sufficient)."""

@@ -103,6 +103,44 @@ def test_backend_telemetry_schema_pinned():
     _check_against_golden("backend_telemetry_wse", payload)
 
 
+def test_simulation_result_schema_pinned():
+    """The serialized face of a transient run — ``StepResult`` telemetry
+    and ``SimulationResult.to_dict()`` — pinned like the solve schemas
+    (deterministic: fixed iteration count per step, fp32, simulated
+    device time is pure arithmetic)."""
+    from repro.backends import SimulationResult, StepResult
+
+    problem = make_problem(**CASE)
+    spec = repro.SolveSpec.from_kwargs(
+        spec=SPEC, dtype="float32", engine="vectorized", fixed_iterations=3,
+        n_steps=2, dt=2.0, total_compressibility=1e-2,
+    )
+    sim = repro.simulate(problem, backend="wse", spec=spec)
+    step = sim.steps[0]
+    payload = {
+        "step_fields": sorted(StepResult.__dataclass_fields__),
+        "simulation_fields": sorted(SimulationResult.__dataclass_fields__),
+        "simulation": sim.to_dict(),
+        "step1": {
+            "step": step.step,
+            "time": step.time,
+            "dt": step.dt,
+            "iterations": int(step.iterations),
+            "converged": bool(step.converged),
+            "residual_history_len": len(step.residual_history),
+            "telemetry_keys": sorted(step.telemetry),
+            "trace": step.telemetry["trace"],
+            "counters": step.telemetry["counters"],
+            "memory": step.telemetry["memory"],
+        },
+        # What a transient entry writes through solve()/ResultStore.
+        "solve_result_transient": repro.solve(
+            problem, backend="wse", spec=spec
+        ).telemetry["transient"],
+    }
+    _check_against_golden("simulation_result", payload)
+
+
 def test_engine_report_field_vocabulary():
     """The dataclass field names are API; renaming one breaks every
     telemetry consumer even before serialization."""
@@ -119,6 +157,7 @@ def test_goldens_are_committed_and_loadable():
     expected = [
         "engine_report_event", "engine_report_vectorized",
         "engine_report_batched", "backend_telemetry_wse",
+        "simulation_result",
     ]
     if BLESS:
         pytest.skip("blessing run")
