@@ -112,6 +112,28 @@ def main(argv: list[str] | None = None) -> int:
     print(sep)
     for row in table_rows:
         print(format_row(row, widths))
+    # Serving-tier visibility: cache-hit ratios ride along (warn-only,
+    # like everything here) — a hit-ratio drop is an admission/dedup
+    # regression host_seconds alone can hide.
+    hit_rows = [
+        key for key in sorted(set(base) | set(cur))
+        if "cache_hit_ratio" in (cur.get(key) or {})
+        or "cache_hit_ratio" in (base.get(key) or {})
+    ]
+    if hit_rows:
+        print("\nservice cache-hit ratio vs baseline")
+        for key in hit_rows:
+            br = (base.get(key) or {}).get("cache_hit_ratio")
+            cr = (cur.get(key) or {}).get("cache_hit_ratio")
+            flag = ""
+            if like_for_like and br is not None and cr is not None \
+                    and cr < br - 0.1:
+                flag = "  WARN hit-ratio drop"
+                warnings += 1
+            print(f"  {key}: "
+                  f"{'-' if br is None else f'{br:.2f}'} -> "
+                  f"{'-' if cr is None else f'{cr:.2f}'}{flag}")
+
     if warnings:
         print(f"\ndiff_bench: {warnings} row(s) flagged (non-blocking)")
     else:

@@ -23,11 +23,16 @@ the vectorized engine (batch=1, the baseline) and as fused
 fabrics.  ``speedup_vs_serial`` on the batch=64 row is the scale proof
 for batched execution (expected ≥ 3× at 16×16).
 
-``transient_throughput`` rows (schema ``repro.bench_session/4``) measure
-the ``simulate()`` time-stepping path: warm- vs. cold-started CG on one
-realization (the ``warm`` row records the measured
-``iteration_reduction_vs_cold``) and batched transient lanes at
-batch=1/8/64 (steps/sec and ``speedup_vs_serial``).
+``transient_throughput`` rows measure the ``simulate()`` time-stepping
+path: warm- vs. cold-started CG on one realization (the ``warm`` row
+records the measured ``iteration_reduction_vs_cold``) and batched
+transient lanes at batch=1/8/64 (steps/sec and ``speedup_vs_serial``).
+
+``service_throughput`` rows (schema ``repro.bench_session/5``) measure
+the serving tier (:mod:`repro.serve`): a ``SolveService`` fan-out of
+many concurrent requests over few distinct specs (requests/sec,
+``cache_hit_ratio``, solves actually executed, fused launches) and a
+streamed transient solve through ``SolveService.stream`` (steps/sec).
 
 Every row records its convergence *mode*: Table III/IV/V rows run under
 ``fixed_iterations`` (truncated by design, the paper's Table IV
@@ -310,6 +315,120 @@ def run_transient_throughput(smoke: bool) -> list[dict]:
     return records
 
 
+def run_service_throughput(smoke: bool) -> list[dict]:
+    """Serving-tier rows: what the SolveService front door sustains.
+
+    * ``fanout`` — ``requests`` concurrent submissions over ``distinct``
+      specs (same backend / spec / shape, so admission fuses the distinct
+      ones).  Records requests/sec, the run-record ``cache_hit_ratio``
+      (dedup + cache over all finished requests), solves actually
+      executed and fused launches.
+    * ``stream`` — one transient request streamed step by step through
+      ``SolveService.stream`` (steps/sec including per-step persistence
+      into the service store is a different measurement than the raw
+      ``simulate()`` rows above; here the store is off, so the row is the
+      pure bridge overhead).
+    """
+    import asyncio
+    import tempfile
+
+    from repro.serve import SolveService
+
+    if smoke:
+        lateral, nz, requests, distinct, n_steps = 8, 2, 40, 8, 3
+    else:
+        lateral, nz, requests, distinct, n_steps = 16, 4, 200, 16, 12
+
+    base = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+        dtype="float32", engine="vectorized", rel_tol=1e-6, max_iters=4000,
+    )
+    scenarios = [
+        repro.scenario(
+            "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+            permeability=float(40 + 7 * i),
+        )
+        for i in range(distinct)
+    ]
+    records = []
+
+    async def fanout():
+        with tempfile.TemporaryDirectory() as records_root:
+            async with SolveService(
+                records=records_root, admission_window=0.02
+            ) as service:
+                start = time.perf_counter()
+                futures = [
+                    service.submit(
+                        scenarios[i % distinct], backend="wse", spec=base
+                    )
+                    for i in range(requests)
+                ]
+                await asyncio.gather(*futures)
+                host = time.perf_counter() - start
+                return host, service.stats()
+
+    host, stats = asyncio.run(fanout())
+    rps = requests / host
+    records.append({
+        "table": "service_throughput",
+        "scenario": f"serve[{lateral}x{lateral}x{nz}] "
+                    f"x{requests} distinct={distinct}",
+        "backend": "wse",
+        "engine": "vectorized",
+        "mode": "to_convergence",
+        "fixed_iterations": None,
+        "requests": requests,
+        "distinct_specs": distinct,
+        "executed": stats["executed"],
+        "batched_launches": stats["batched_launches"],
+        "dedup_hits": stats["dedup_hits"],
+        "cache_hit_ratio": stats["cache_hit_ratio"],
+        "converged": stats["failed"] == 0,
+        "time_kind": "host",
+        "host_seconds": host,
+        "requests_per_sec": rps,
+    })
+    print(f"  service_throughput fanout: {requests} requests "
+          f"({distinct} distinct) in {host:.3f}s -> {rps:,.1f} req/s, "
+          f"{stats['executed']} solves, hit ratio "
+          f"{stats['cache_hit_ratio']:.2f}")
+
+    transient = base.with_options(
+        n_steps=n_steps, dt=2.0, total_compressibility=5e-3,
+    )
+
+    async def stream_one():
+        async with SolveService() as service:
+            start = time.perf_counter()
+            steps = [
+                s async for s in service.stream(
+                    scenarios[0], backend="wse", spec=transient
+                )
+            ]
+            return time.perf_counter() - start, steps
+
+    host, steps = asyncio.run(stream_one())
+    sps = len(steps) / host
+    records.append({
+        "table": "service_throughput",
+        "scenario": f"serve[{lateral}x{lateral}x{nz}] stream "
+                    f"n_steps={n_steps}",
+        "backend": "wse",
+        "engine": "vectorized",
+        "mode": "to_convergence",
+        "fixed_iterations": None,
+        "n_steps": n_steps,
+        "converged": all(bool(s.converged) for s in steps),
+        "time_kind": "host",
+        "host_seconds": host,
+        "steps_per_sec": sps,
+    })
+    print(f"  service_throughput stream: {len(steps)} steps in {host:.3f}s "
+          f"-> {sps:,.1f} steps/s")
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -406,10 +525,14 @@ def main(argv: list[str] | None = None) -> int:
     # (controlled serial host-side measurements, like the above).
     print("\ntransient throughput (steps/sec):")
     records.extend(run_transient_throughput(args.smoke))
+
+    # Serving-tier rows: SolveService fan-out + streamed transient.
+    print("\nservice throughput (requests/sec):")
+    records.extend(run_service_throughput(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/4",
+        "schema": "repro.bench_session/5",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -1,0 +1,133 @@
+"""CI smoke for the serving tier: boot, mixed workload, clean shutdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/service_smoke.py
+
+Boots a :class:`repro.serve.SolveService` twice — once on a process
+worker pool with a steady-state fan-out (many requests, few distinct
+specs), once on a thread pool with a transient streaming request — and
+asserts the service-level invariants a deployment cares about:
+
+* every request resolves and duplicates are answered from dedup/cache
+  (the fan-out's cache-hit ratio must reflect ``requests >> distinct``);
+* fused batched launches actually happen for compatible requests;
+* the durable run record (``run.json`` / ``attempts.jsonl``) agrees with
+  the service's own accounting;
+* shutdown leaves **zero orphaned worker processes** and no lingering
+  service worker threads.
+
+Exits non-zero on any violated invariant, so CI can gate on it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import multiprocessing
+import pathlib
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import repro  # noqa: E402
+from repro.serve import SolveService, load_run_record  # noqa: E402
+
+REQUESTS = 24
+DISTINCT = 6
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        raise AssertionError(message)
+    print(f"  ok: {message}")
+
+
+async def steady_fanout(records_root: str) -> None:
+    """Process pool, many concurrent steady-state requests."""
+    scenarios = [
+        repro.scenario(
+            "quarter_five_spot", nx=8, ny=8, nz=2,
+            permeability=float(40 + 7 * i),
+        )
+        for i in range(DISTINCT)
+    ]
+    spec = repro.SolveSpec.from_kwargs(rel_tol=1e-6, engine="vectorized")
+
+    async with SolveService(
+        records=records_root, pool="process", n_workers=2,
+        admission_window=0.02,
+    ) as service:
+        futures = [
+            service.submit(scenarios[i % DISTINCT], backend="wse", spec=spec)
+            for i in range(REQUESTS)
+        ]
+        results = await asyncio.gather(*futures)
+        stats = service.stats()
+        run_dir = service.recorder.run_dir
+
+    check(len(results) == REQUESTS and all(r.converged for r in results),
+          f"all {REQUESTS} steady requests resolved and converged")
+    check(stats["executed"] == DISTINCT,
+          f"exactly {DISTINCT} solves executed for {REQUESTS} requests")
+    check(stats["batched_launches"] >= 1,
+          f"compatible requests fused ({stats['batched_launches']} "
+          f"batched launch(es))")
+    expected_ratio = (REQUESTS - DISTINCT) / REQUESTS
+    check(abs(stats["cache_hit_ratio"] - expected_ratio) < 1e-9,
+          f"cache-hit ratio {stats['cache_hit_ratio']:.2f} matches "
+          f"requests>>distinct ({expected_ratio:.2f})")
+    record = load_run_record(run_dir)
+    check(record["summary"]["submitted"] == REQUESTS
+          and record["summary"]["failed"] == 0,
+          "durable run.json agrees with the service accounting")
+
+
+async def transient_stream() -> None:
+    """Thread pool, one streamed transient request."""
+    spec = repro.SolveSpec.from_kwargs(
+        rel_tol=1e-6, engine="vectorized", n_steps=3, dt=1.0,
+    )
+    async with SolveService() as service:
+        steps = [
+            s async for s in service.stream(
+                repro.scenario("quarter_five_spot", nx=8, ny=8, nz=2),
+                backend="wse", spec=spec,
+            )
+        ]
+        stats = service.stats()
+    check([s.step for s in steps] == [1, 2, 3],
+          "transient stream yielded every step in order")
+    check(stats["streamed_steps"] == 3 and stats["streams"] == 1,
+          "stream accounting recorded")
+
+
+def main() -> int:
+    start = time.perf_counter()
+    before_threads = {t.name for t in threading.enumerate()}
+    with tempfile.TemporaryDirectory() as records_root:
+        print("service smoke: steady fan-out on a process pool")
+        asyncio.run(steady_fanout(records_root))
+        print("service smoke: transient stream on a thread pool")
+        asyncio.run(transient_stream())
+
+    orphans = multiprocessing.active_children()
+    check(orphans == [],
+          f"zero orphaned worker processes after shutdown ({orphans!r})")
+    lingering = [
+        t.name for t in threading.enumerate()
+        if t.name.startswith("repro-serve") and t.is_alive()
+        and t.name not in before_threads
+    ]
+    check(lingering == [],
+          f"no lingering service worker threads ({lingering!r})")
+
+    print(f"service smoke passed in {time.perf_counter() - start:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,7 +36,7 @@ from repro.gpu.specs import GpuSpecs
 from repro.physics.darcy import SinglePhaseProblem
 from repro.scenarios.base import Scenario, scenario as _bind_scenario
 from repro.spec import SolveSpec
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, SolveErrorGroup
 from repro.wse.specs import WseSpecs
 
 
@@ -149,8 +149,12 @@ def solve_many(
     vs ``"vectorized"``/``"event"``).
 
     Execution routes through an :class:`~repro.session.ExecutionPlan`, so
-    errors are captured per entry: every entry runs to completion, then
-    the first error (in input order) is raised.
+    errors are captured per entry: every entry runs to completion, then a
+    single failure is raised as-is and multiple failures are raised
+    together as a :class:`~repro.util.errors.SolveErrorGroup` carrying
+    every per-entry error (in input order) — callers that triage failures
+    (e.g. the serving tier's retry taxonomy) see all of them, not just
+    whichever entry failed first.
     """
     from repro.session import Session
 
@@ -177,9 +181,19 @@ def solve_many(
         executor = "thread"
     plan = Session().plan(items, solve_spec, backend=backend)
     entry_results = plan.run(executor=executor, n_workers=n_workers)
-    for entry_result in entry_results:
-        if entry_result.error is not None:
-            raise entry_result.error
+    failures = [
+        (er.entry.index, er.error)
+        for er in entry_results
+        if er.error is not None
+    ]
+    if len(failures) == 1:
+        raise failures[0][1]
+    if failures:
+        raise SolveErrorGroup(
+            f"{len(failures)} of {len(entry_results)} solve_many entries "
+            f"failed (entries {', '.join(str(i) for i, _ in failures)})",
+            [error for _, error in failures],
+        )
     return [er.result for er in entry_results]  # type: ignore[misc]
 
 

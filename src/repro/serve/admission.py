@@ -1,0 +1,127 @@
+"""Admission control: group compatible queued requests into batch lanes.
+
+The economics: a fused ``(batch, nx, ny, nz)`` launch on the
+:class:`~repro.wse.vector_engine.BatchedVectorEngine` costs barely more
+than one lane's solve, so N concurrent requests that agree on *how* to
+solve (backend, full spec fingerprint — engine, tolerances, dtype, time
+schedule, everything) and on the grid shape should cost one launch even
+though their *targets* (permeability fields, boundary conditions)
+differ.  The admission controller implements exactly that: it drains the
+request queue in bursts, waits one small admission window for
+stragglers, then partitions the burst into :class:`Lane`\\ s.
+
+A lane is marked ``fused`` when it has >1 member and the backend can
+batch it (``solve_batch`` exists and the spec doesn't pin the
+``"event"`` engine — the per-PE oracle plays one problem at a time).
+Everything else degrades gracefully to per-request dispatch; admission
+never *rejects* work, it only decides the launch shape.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from repro.backends import get_backend
+from repro.serve.queue import RequestQueue, SolveRequest
+from repro.util.errors import ConfigurationError
+
+#: Group key: (backend, spec fingerprint, grid shape) — the spec
+#: fingerprint covers every solve knob *except* the target, so one key
+#: means "these requests can share a fused launch".
+GroupKey = tuple[str, str, tuple[int, ...]]
+
+
+def group_key(request: SolveRequest) -> GroupKey:
+    return (
+        request.backend,
+        request.entry.spec.fingerprint(),
+        tuple(request.problem.grid.shape),
+    )
+
+
+def can_fuse(request: SolveRequest) -> bool:
+    """Whether this request's backend/spec admit a fused batched launch."""
+    backend = get_backend(request.backend)
+    return (
+        hasattr(backend, "solve_batch")
+        and (request.entry.spec.machine.engine or "vectorized") != "event"
+    )
+
+
+@dataclass
+class Lane:
+    """One dispatch unit: requests sharing a group key, fused or solo."""
+
+    key: Hashable
+    requests: list[SolveRequest]
+    fused: bool
+
+    @property
+    def size(self) -> int:
+        return len(self.requests)
+
+
+class AdmissionController:
+    """Turns queue bursts into dispatch lanes.
+
+    ``window`` is how long (seconds) a burst waits for compatible
+    stragglers before dispatch — the latency/fusion trade-off knob.
+    ``max_lane_width`` caps requests per fused lane (``None`` = only the
+    spec's own ``machine.batch_size`` chunking applies).
+    """
+
+    def __init__(
+        self, *, window: float = 0.005, max_lane_width: int | None = None
+    ):
+        if window < 0:
+            raise ConfigurationError(f"window must be >= 0, got {window}")
+        if max_lane_width is not None and max_lane_width < 1:
+            raise ConfigurationError(
+                f"max_lane_width must be >= 1, got {max_lane_width}"
+            )
+        self.window = window
+        self.max_lane_width = max_lane_width
+
+    async def collect(self, queue: RequestQueue) -> list[Lane]:
+        """Block for a burst, linger one window, and partition into lanes.
+
+        Raises :class:`~repro.serve.queue.QueueClosed` when the queue is
+        closed and drained.
+        """
+        burst = await queue.get_batch()
+        if self.window > 0:
+            await asyncio.sleep(self.window)
+            burst.extend(queue.drain_nowait())
+        return self.partition(burst)
+
+    def partition(self, requests: list[SolveRequest]) -> list[Lane]:
+        """Group a burst into lanes, preserving first-arrival order.
+
+        Requests that cannot fuse (backend without ``solve_batch``, spec
+        pinned to the event engine) become solo lanes; fusable groups
+        wider than ``max_lane_width`` split into consecutive chunks.
+        """
+        groups: dict[GroupKey, list[SolveRequest]] = {}
+        order: list[GroupKey] = []
+        lanes: list[Lane] = []
+        for request in requests:
+            if not can_fuse(request):
+                lanes.append(Lane(key=None, requests=[request], fused=False))
+                continue
+            key = group_key(request)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(request)
+        for key in order:
+            members = groups[key]
+            width = self.max_lane_width or len(members)
+            for start in range(0, len(members), width):
+                chunk = members[start:start + width]
+                lanes.append(Lane(key=key, requests=chunk, fused=len(chunk) > 1))
+        return lanes
+
+
+__all__ = ["AdmissionController", "GroupKey", "Lane", "can_fuse", "group_key"]

@@ -1,0 +1,108 @@
+"""Content-addressed result cache: memory LRU in front of a ResultStore.
+
+Cache identity *is* the content fingerprint
+(:func:`repro.session.entry_fingerprint`: target + spec + backend), so
+"a million users asking for the same quarter-five-spot sweep" is by
+construction one solve — there is no TTL and no invalidation problem,
+because a fingerprint can never map to two different answers.
+
+Two tiers:
+
+* **memory** — an LRU of live :class:`~repro.backends.SolveResult`
+  objects, bounded by ``capacity`` entries;
+* **store** — an optional :class:`~repro.session.ResultStore`.  Probes
+  use the manifest-only fast path (``contains``/``get``) so cache
+  *misses* never pay NPZ I/O; a hit rehydrates the payload and is
+  promoted into the memory tier.
+
+``hits``/``misses`` counters feed the service's run record and the
+bench's cache-hit-ratio rows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.backends import SolveResult
+from repro.session import PlanEntry, ResultStore
+from repro.util.errors import ConfigurationError
+
+
+class ResultCache:
+    """Fingerprint-keyed LRU over an optional persistent store."""
+
+    def __init__(self, *, capacity: int = 1024, store: ResultStore | None = None):
+        if capacity < 0:
+            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
+        self.capacity = capacity
+        self.store = store
+        self._memory: OrderedDict[str, SolveResult] = OrderedDict()
+        self.hits = {"memory": 0, "store": 0}
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        """Membership probe (memory, then manifest); counts no stats."""
+        return fingerprint in self._memory or (
+            self.store is not None and self.store.contains(fingerprint)
+        )
+
+    def get(self, fingerprint: str) -> SolveResult | None:
+        """The cached result for a fingerprint, or ``None`` on a miss."""
+        return self.lookup(fingerprint)[0]
+
+    def lookup(self, fingerprint: str) -> tuple[SolveResult | None, str | None]:
+        """``(result, tier)`` — tier ``"memory"``/``"store"``, or a miss.
+
+        Memory hits refresh LRU recency; store hits load the payload
+        once and promote it to memory.  A manifest record whose NPZ
+        payload is missing (torn write, pruned file) counts as a miss —
+        ``contains`` is the cheap probe, ``has`` the paid verification.
+        """
+        result = self._memory.get(fingerprint)
+        if result is not None:
+            self._memory.move_to_end(fingerprint)
+            self.hits["memory"] += 1
+            return result, "memory"
+        if self.store is not None and self.store.contains(fingerprint):
+            if self.store.has(fingerprint):
+                result = self.store.load(fingerprint)
+                self._remember(fingerprint, result)
+                self.hits["store"] += 1
+                return result, "store"
+        self.misses += 1
+        return None, None
+
+    def put(self, entry: PlanEntry, result: SolveResult) -> None:
+        """Admit a fresh solve into both tiers."""
+        self._remember(entry.fingerprint, result)
+        if self.store is not None:
+            self.store.save(entry, result)
+
+    def _remember(self, fingerprint: str, result: SolveResult) -> None:
+        if self.capacity == 0:
+            return
+        self._memory[fingerprint] = result
+        self._memory.move_to_end(fingerprint)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    @property
+    def hit_ratio(self) -> float:
+        """Hits over probes so far (0.0 before any probe)."""
+        total = self.hits["memory"] + self.hits["store"] + self.misses
+        return 0.0 if total == 0 else (total - self.misses) / total
+
+    def stats(self) -> dict:
+        return {
+            "memory_entries": len(self._memory),
+            "capacity": self.capacity,
+            "hits": dict(self.hits),
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+        }
+
+
+__all__ = ["ResultCache"]

@@ -1,0 +1,170 @@
+"""Failure taxonomy and retry/backoff policy for the serving tier.
+
+A long-lived service cannot treat "the solve raised" as one kind of
+event.  The taxonomy below splits failures along the axis that matters
+for scheduling — *would trying again plausibly help?* — in the style of
+Celery's ``_is_retryable`` task idiom:
+
+``convergence``
+    :class:`~repro.util.errors.ConvergenceError` — the iteration budget
+    ran out.  Retryable by default: a lane of a fused batch retries
+    *solo* (group effects gone), and operators often pair retries with a
+    relaxed-tolerance policy.
+``resource``
+    :class:`~repro.util.errors.PeOutOfMemory` — the problem does not fit
+    the machine.  Deterministic; never retry, fail fast.
+``config``
+    :class:`~repro.util.errors.ConfigurationError` /
+    :class:`~repro.util.errors.ValidationError` — the request itself is
+    malformed.  Never retry.
+``transport``
+    The executor or its transport died underneath the solve (broken
+    process pool, pickling, OS-level errors).  Retryable — the pool
+    heals.
+``executor``
+    Anything else that escaped the backend.  Retryable: flaky
+    backends/stubs land here.
+
+Backoff is capped exponential with optional jitter
+(``base * factor**(attempt-1)``, at most ``max_delay``, scaled by up to
+``jitter`` of random spread) — the classic thundering-herd dampener.
+With ``jitter=0`` the schedule is exactly deterministic, which is what
+the fault-injection tests pin.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import pickle
+from dataclasses import dataclass, field
+from random import Random
+from typing import Iterator
+
+from repro.util.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    PeOutOfMemory,
+    SolveErrorGroup,
+    ValidationError,
+)
+
+#: Failure categories, most-specific first (the classification order).
+FAILURE_CATEGORIES = (
+    "convergence", "resource", "config", "transport", "executor",
+)
+
+#: Categories a default policy will retry.
+DEFAULT_RETRYABLE = frozenset({"convergence", "transport", "executor"})
+
+_TRANSPORT_ERRORS = (
+    concurrent.futures.BrokenExecutor,
+    pickle.PicklingError,
+    ConnectionError,
+    EOFError,
+    OSError,
+    TimeoutError,
+)
+
+
+def classify_failure(error: BaseException) -> str:
+    """Map an exception to its failure-taxonomy category.
+
+    A :class:`SolveErrorGroup` (a failed fused batch surfaces one per
+    member) classifies as its *worst* member: any non-retryable member
+    category wins, so a batch that mixed a malformed request with flaky
+    lanes is not blindly retried as a whole.
+    """
+    if isinstance(error, SolveErrorGroup):
+        members = [classify_failure(e) for e in error.errors]
+        for category in ("config", "resource"):
+            if category in members:
+                return category
+        for category in ("transport", "executor", "convergence"):
+            if category in members:
+                return category
+        return "executor"
+    if isinstance(error, ConvergenceError):
+        return "convergence"
+    if isinstance(error, PeOutOfMemory):
+        return "resource"
+    if isinstance(error, (ConfigurationError, ValidationError)):
+        return "config"
+    if isinstance(error, _TRANSPORT_ERRORS):
+        return "transport"
+    return "executor"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-request retry budget plus the backoff schedule.
+
+    ``max_attempts`` counts *attempts*, not retries: ``max_attempts=3``
+    means one initial try plus up to two retries.  ``retryable`` names
+    the failure categories worth retrying (see
+    :func:`classify_failure`); everything else fails fast on the first
+    occurrence.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    jitter: float = 0.1
+    retryable: frozenset[str] = field(default=DEFAULT_RETRYABLE)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        for name in ("backoff_base", "backoff_factor", "backoff_max"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"{name} must be >= 0")
+        if not 0 <= self.jitter <= 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+        unknown = sorted(set(self.retryable) - set(FAILURE_CATEGORIES))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown retryable categor{'y' if len(unknown) == 1 else 'ies'} "
+                f"{', '.join(map(repr, unknown))}; valid: "
+                f"{', '.join(FAILURE_CATEGORIES)}"
+            )
+        object.__setattr__(self, "retryable", frozenset(self.retryable))
+
+    def is_retryable(self, error: BaseException) -> bool:
+        """Celery-style ``_is_retryable``: would another attempt help?"""
+        return classify_failure(error) in self.retryable
+
+    def delay(self, attempt: int, rng: Random | None = None) -> float:
+        """Backoff before retry number ``attempt`` (1 = first retry).
+
+        Capped exponential; with ``jitter`` and an ``rng``, spread
+        uniformly over ``[delay * (1 - jitter), delay]`` so synchronized
+        failures don't retry in lockstep.
+        """
+        if attempt < 1:
+            raise ConfigurationError(f"attempt must be >= 1, got {attempt}")
+        delay = min(
+            self.backoff_max,
+            self.backoff_base * self.backoff_factor ** (attempt - 1),
+        )
+        if self.jitter and rng is not None:
+            delay *= 1 - self.jitter * rng.random()
+        return delay
+
+    def backoff_schedule(self) -> Iterator[float]:
+        """The jitter-free schedule (what the tests pin)."""
+        attempt = 1
+        while attempt < self.max_attempts:
+            yield self.delay(attempt)
+            attempt += 1
+
+
+__all__ = [
+    "DEFAULT_RETRYABLE",
+    "FAILURE_CATEGORIES",
+    "RetryPolicy",
+    "classify_failure",
+]

@@ -300,6 +300,27 @@ class ResultStore:
             and (self.root / f"{fingerprint}.npz").exists()
         )
 
+    def contains(self, fingerprint: str) -> bool:
+        """Manifest-only cache probe: no NPZ payload is touched.
+
+        The serving tier answers "is this fingerprint cached?" for every
+        incoming request; loading (or even ``stat``-ing) the NPZ payload
+        on that hot path would make every *miss* pay disk I/O.  This
+        answers purely from the in-memory manifest — :meth:`load` still
+        verifies the payload exists when a hit is actually consumed.
+        """
+        return fingerprint in self._manifest
+
+    def get(self, fingerprint: str) -> dict[str, Any] | None:
+        """The manifest record for a fingerprint (a copy), or ``None``.
+
+        The metadata face of :meth:`contains`: label, backend, spec,
+        iterations and timings without loading the NPZ payload — what a
+        cache probe or an admission decision needs, at manifest cost.
+        """
+        record = self._manifest.get(fingerprint)
+        return None if record is None else dict(record)
+
     def save(self, entry: PlanEntry, result: SolveResult) -> None:
         """Persist one completed entry (manifest rewritten atomically)."""
         fingerprint = entry.fingerprint
@@ -707,25 +728,7 @@ class Session:
     def _entry(
         self, index: int, target: Any, spec: SolveSpec, backend: str
     ) -> PlanEntry:
-        scenario, problem = resolve_target(target)
-        target_payload = _target_payload(scenario, problem)
-        scenario_key = _digest({"target": target_payload})
-        fingerprint = _digest(
-            {
-                "target": target_payload,
-                "spec": spec.to_dict(),
-                "backend": backend,
-            }
-        )
-        return PlanEntry(
-            index=index,
-            spec=spec,
-            backend=backend,
-            scenario=scenario,
-            problem=problem,
-            fingerprint=fingerprint,
-            scenario_key=scenario_key,
-        )
+        return plan_entry(target, spec, backend, index=index)
 
 
 def resolve_target(target: Any) -> tuple[Scenario | None, SinglePhaseProblem | None]:
@@ -739,6 +742,34 @@ def resolve_target(target: Any) -> tuple[Scenario | None, SinglePhaseProblem | N
     raise ConfigurationError(
         f"cannot plan {target!r}: expected a SinglePhaseProblem, a "
         f"Scenario, or a registered scenario name"
+    )
+
+
+def plan_entry(
+    target: Any, spec: SolveSpec, backend: str, *, index: int = 0
+) -> PlanEntry:
+    """Resolve one (target, spec, backend) into a :class:`PlanEntry`.
+
+    The same resolution and content fingerprint :meth:`Session.plan`
+    assigns, usable standalone — the serving tier builds entries this way
+    so its cache keys and store records match in-process plans exactly.
+    """
+    scenario, problem = resolve_target(target)
+    target_payload = _target_payload(scenario, problem)
+    return PlanEntry(
+        index=index,
+        spec=spec,
+        backend=backend,
+        scenario=scenario,
+        problem=problem,
+        fingerprint=_digest(
+            {
+                "target": target_payload,
+                "spec": spec.to_dict(),
+                "backend": backend,
+            }
+        ),
+        scenario_key=_digest({"target": target_payload}),
     )
 
 
@@ -769,5 +800,6 @@ __all__ = [
     "ResultStore",
     "Session",
     "entry_fingerprint",
+    "plan_entry",
     "resolve_target",
 ]

@@ -7,6 +7,8 @@ accidentally swallowing genuine programming errors.
 
 from __future__ import annotations
 
+import sys
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -64,3 +66,52 @@ class PeOutOfMemory(ReproError):
 
 class RoutingError(ReproError):
     """A wavelet could not be routed (bad color, missing route, dead link)."""
+
+
+def _group_message(message: str, errors) -> str:
+    lines = [message]
+    for exc in errors:
+        lines.append(f"  - {type(exc).__name__}: {exc}")
+    return "\n".join(lines)
+
+
+if sys.version_info >= (3, 11):
+
+    class SolveErrorGroup(ExceptionGroup, ReproError):  # noqa: F821
+        """Several batch entries failed; every per-entry error is carried.
+
+        A real :class:`ExceptionGroup` (``except*`` works) that is also a
+        :class:`ReproError`, so ``except ReproError`` keeps catching
+        library failures.  ``.errors`` lists the per-entry exceptions in
+        entry order — the service-side retry taxonomy classifies each one
+        instead of seeing only whichever entry happened to fail first.
+        """
+
+        def __new__(cls, message: str, errors):
+            errors = list(errors)
+            return super().__new__(cls, _group_message(message, errors), errors)
+
+        def derive(self, excs):
+            return SolveErrorGroup(self.message.splitlines()[0], excs)
+
+        @property
+        def errors(self) -> list[Exception]:
+            return list(self.exceptions)
+
+else:  # pragma: no cover - exercised only on Python < 3.11
+
+    class SolveErrorGroup(ReproError):  # type: ignore[no-redef]
+        """Several batch entries failed; every per-entry error is carried.
+
+        Pre-3.11 stand-in for the :class:`ExceptionGroup` variant: same
+        message format and the same ``.errors`` list, minus ``except*``.
+        """
+
+        def __init__(self, message: str, errors):
+            errors = list(errors)
+            super().__init__(_group_message(message, errors))
+            self.exceptions = tuple(errors)
+
+        @property
+        def errors(self) -> list[Exception]:
+            return list(self.exceptions)

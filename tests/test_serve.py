@@ -1,0 +1,703 @@
+"""Serving-tier tests (ISSUE 6): SolveService and its parts.
+
+Covers the retry taxonomy under fault injection, admission/fusion
+grouping, the content-addressed cache tiers, durable run records, the
+64-requests/8-specs acceptance scenario, and killed-mid-stream resume.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+
+import numpy as np
+import pytest
+
+import repro
+from helpers import make_problem
+from repro.backends import register_backend, unregister_backend
+from repro.serve import (
+    AdmissionController,
+    QueueClosed,
+    RequestQueue,
+    ResultCache,
+    RetryPolicy,
+    RunRecorder,
+    SolveRequest,
+    SolveService,
+    classify_failure,
+    load_attempts,
+    load_run_record,
+)
+from repro.session import ResultStore, plan_entry
+from repro.spec import SolveSpec
+from repro.util.errors import (
+    ConfigurationError,
+    ConvergenceError,
+    PeOutOfMemory,
+    ReproError,
+    SolveErrorGroup,
+    ValidationError,
+)
+
+SPEC = SolveSpec.from_kwargs(rel_tol=1e-7)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+@pytest.fixture()
+def fake_backend():
+    """Register a configurable fake backend; unregister on teardown."""
+    registered: list[str] = []
+
+    def make(cls):
+        backend = cls()
+        register_backend(backend, overwrite=True)
+        registered.append(cls.name)
+        return backend
+
+    yield make
+    for name in registered:
+        unregister_backend(name)
+
+
+# -- retry taxonomy -----------------------------------------------------------
+
+
+class TestRetryTaxonomy:
+    def test_classification(self):
+        assert classify_failure(ConvergenceError("x", 1, 1.0)) == "convergence"
+        assert classify_failure(PeOutOfMemory("x", 9, 1, 4)) == "resource"
+        assert classify_failure(ConfigurationError("x")) == "config"
+        assert classify_failure(ValidationError("x")) == "config"
+        assert classify_failure(ConnectionError("x")) == "transport"
+        assert classify_failure(RuntimeError("x")) == "executor"
+
+    def test_group_classifies_as_worst_member(self):
+        flaky = ConvergenceError("slow", 1, 1.0)
+        assert classify_failure(SolveErrorGroup("g", [flaky])) == "convergence"
+        mixed = SolveErrorGroup("g", [flaky, PeOutOfMemory("big", 9, 1, 4)])
+        assert classify_failure(mixed) == "resource"  # non-retryable wins
+
+    def test_default_policy_retries_only_transient_categories(self):
+        policy = RetryPolicy()
+        assert policy.is_retryable(ConvergenceError("x", 1, 1.0))
+        assert policy.is_retryable(ConnectionError("x"))
+        assert not policy.is_retryable(PeOutOfMemory("x", 9, 1, 4))
+        assert not policy.is_retryable(ConfigurationError("x"))
+
+    def test_backoff_schedule_is_capped_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, backoff_base=0.1, backoff_factor=3.0,
+            backoff_max=0.5, jitter=0.0,
+        )
+        assert list(policy.backoff_schedule()) == pytest.approx(
+            [0.1, 0.3, 0.5, 0.5]
+        )
+
+    def test_jitter_spreads_downward_only(self):
+        from random import Random
+
+        policy = RetryPolicy(backoff_base=1.0, jitter=0.25)
+        rng = Random(7)
+        delays = [policy.delay(1, rng) for _ in range(50)]
+        assert all(0.75 <= d <= 1.0 for d in delays)
+        assert len(set(delays)) > 1
+
+    def test_policy_validates(self):
+        with pytest.raises(ConfigurationError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError, match="retryable"):
+            RetryPolicy(retryable=frozenset({"cosmic-rays"}))
+
+
+# -- fault injection through the service --------------------------------------
+
+
+class TestServiceRetries:
+    def test_flaky_backend_recovers_with_recorded_backoffs(
+        self, tmp_path, fake_backend
+    ):
+        calls = []
+
+        class Flaky:
+            name = "flaky-backend"
+
+            def solve(self, problem, spec=None):
+                calls.append(1)
+                if len(calls) <= 2:
+                    raise ConvergenceError("transient wobble", 1, 1.0)
+                return repro.solve(problem, backend="reference", spec=spec)
+
+        fake_backend(Flaky)
+        policy = RetryPolicy(
+            max_attempts=4, backoff_base=0.01, backoff_factor=2.0, jitter=0.0
+        )
+
+        async def main():
+            async with SolveService(
+                records=tmp_path / "runs", retry=policy, admission_window=0
+            ) as svc:
+                result = await svc.submit(
+                    make_problem(3, 3, 2), backend="flaky-backend", spec=SPEC
+                )
+                return result, svc.recorder.run_dir
+
+        result, run_dir = run(main())
+        assert result.converged and len(calls) == 3
+
+        attempts = load_attempts(run_dir)
+        assert [a["attempt"] for a in attempts] == [1, 2, 3]
+        assert [a["outcome"] for a in attempts] == ["error", "error", "ok"]
+        assert [a["category"] for a in attempts] == [
+            "convergence", "convergence", None,
+        ]
+        # The recorded backoffs pin the jitter-free exponential schedule.
+        assert attempts[0]["backoff_seconds"] == pytest.approx(0.01)
+        assert attempts[1]["backoff_seconds"] == pytest.approx(0.02)
+        assert attempts[2]["backoff_seconds"] is None
+
+        record = load_run_record(run_dir)
+        assert record["summary"]["retries"] == 2
+        assert record["summary"]["executed"] == 1
+        assert record["summary"]["failed"] == 0
+
+    def test_pe_out_of_memory_fails_fast(self, tmp_path, fake_backend):
+        calls = []
+
+        class TooBig:
+            name = "toobig-backend"
+
+            def solve(self, problem, spec=None):
+                calls.append(1)
+                raise PeOutOfMemory("does not fit", 9000, 100, 4000)
+
+        fake_backend(TooBig)
+
+        async def main():
+            async with SolveService(
+                records=tmp_path / "runs", admission_window=0
+            ) as svc:
+                with pytest.raises(PeOutOfMemory):
+                    await svc.submit(
+                        make_problem(3, 3, 2), backend="toobig-backend",
+                        spec=SPEC,
+                    )
+                return svc.recorder.run_dir
+
+        run_dir = run(main())
+        assert len(calls) == 1  # deterministic failure: no retry
+        [attempt] = load_attempts(run_dir)
+        assert attempt["category"] == "resource"
+        assert attempt["backoff_seconds"] is None
+        record = load_run_record(run_dir)
+        assert record["summary"]["failed"] == 1
+        assert record["summary"]["retries"] == 0
+
+    def test_attempt_budget_exhausts_and_raises(self, fake_backend):
+        calls = []
+
+        class AlwaysFlaky:
+            name = "alwaysflaky-backend"
+
+            def solve(self, problem, spec=None):
+                calls.append(1)
+                raise ConvergenceError("never converges", 1, 1.0)
+
+        fake_backend(AlwaysFlaky)
+        policy = RetryPolicy(max_attempts=2, backoff_base=0.001, jitter=0.0)
+
+        async def main():
+            async with SolveService(retry=policy, admission_window=0) as svc:
+                with pytest.raises(ConvergenceError):
+                    await svc.submit(
+                        make_problem(3, 3, 2), backend="alwaysflaky-backend",
+                        spec=SPEC,
+                    )
+
+        run(main())
+        assert len(calls) == 2
+
+    def test_failed_fused_lane_unfuses_and_retries_solo(
+        self, tmp_path, fake_backend
+    ):
+        batch_calls, solo_calls = [], []
+
+        class FlakyBatch:
+            name = "flakybatch-backend"
+
+            def solve(self, problem, spec=None):
+                solo_calls.append(1)
+                return repro.solve(problem, backend="reference", spec=spec)
+
+            def solve_batch(self, problems, spec=None):
+                batch_calls.append(len(problems))
+                raise ConvergenceError("lane 1 dragged the batch", 1, 1.0)
+
+        fake_backend(FlakyBatch)
+
+        async def main():
+            async with SolveService(
+                records=tmp_path / "runs", admission_window=0.02,
+                retry=RetryPolicy(backoff_base=0.001, jitter=0.0),
+            ) as svc:
+                futs = [
+                    svc.submit(
+                        make_problem(3, 3, 2, seed=s),
+                        backend="flakybatch-backend", spec=SPEC,
+                    )
+                    for s in range(2)
+                ]
+                results = await asyncio.gather(*futs)
+                return results, svc.recorder.run_dir
+
+        results, run_dir = run(main())
+        assert all(r.converged for r in results)
+        assert batch_calls == [2] and len(solo_calls) == 2
+        record = load_run_record(run_dir)
+        assert record["summary"]["batched_launches"] == 1
+        assert record["summary"]["executed"] == 2
+        # Every request saw the fused failure (attempt 1) + solo success.
+        for req in record["requests"].values():
+            assert req["attempts"] == 2
+            assert req["lane"]["fused"] is True
+
+
+# -- admission & queue --------------------------------------------------------
+
+
+def _request(problem, *, backend="wse", spec=SPEC):
+    entry = plan_entry(problem, spec, backend)
+    loop = asyncio.new_event_loop()
+    try:
+        future = loop.create_future()
+    finally:
+        loop.close()
+    return SolveRequest(entry=entry, problem=problem, future=future)
+
+
+class TestAdmission:
+    def test_same_key_requests_fuse_into_one_lane(self):
+        requests = [_request(make_problem(4, 3, 2, seed=s)) for s in range(3)]
+        [lane] = AdmissionController().partition(requests)
+        assert lane.fused and lane.size == 3
+
+    def test_shape_and_backend_split_lanes(self):
+        requests = [
+            _request(make_problem(4, 3, 2)),
+            _request(make_problem(5, 3, 2)),            # different shape
+            _request(make_problem(4, 3, 2), backend="gpu"),  # different backend
+        ]
+        lanes = AdmissionController().partition(requests)
+        assert len(lanes) == 3 and not any(lane.fused for lane in lanes)
+
+    def test_event_engine_never_fuses(self):
+        spec = SolveSpec.from_kwargs(engine="event")
+        requests = [
+            _request(make_problem(3, 3, 2, seed=s), spec=spec) for s in range(2)
+        ]
+        lanes = AdmissionController().partition(requests)
+        assert len(lanes) == 2 and not any(lane.fused for lane in lanes)
+
+    def test_max_lane_width_chunks(self):
+        requests = [_request(make_problem(4, 3, 2, seed=s)) for s in range(5)]
+        lanes = AdmissionController(max_lane_width=2).partition(requests)
+        assert [lane.size for lane in lanes] == [2, 2, 1]
+        assert [lane.fused for lane in lanes] == [True, True, False]
+
+
+class TestRequestQueue:
+    def test_get_batch_returns_burst_then_close_raises(self):
+        async def main():
+            queue = RequestQueue()
+            reqs = [_request(make_problem(3, 3, 2, seed=s)) for s in range(3)]
+            for r in reqs:
+                queue.put(r)
+            queue.close()
+            batch = await queue.get_batch()
+            assert batch == reqs  # pre-close requests still delivered
+            with pytest.raises(QueueClosed):
+                await queue.get_batch()
+            with pytest.raises(QueueClosed):
+                queue.put(reqs[0])
+
+        run(main())
+
+    def test_resolve_fans_out_to_followers(self):
+        async def main():
+            request = _request(make_problem(3, 3, 2))
+            loop = asyncio.get_running_loop()
+            request.future = loop.create_future()
+            request.followers = [loop.create_future() for _ in range(3)]
+            request.resolve("answer")
+            assert request.future.result() == "answer"
+            assert [f.result() for f in request.followers] == ["answer"] * 3
+
+        run(main())
+
+
+# -- cache & store fast path --------------------------------------------------
+
+
+class TestStoreFastPath:
+    """Satellite: manifest-only `contains`/`get`, no NPZ I/O on probes."""
+
+    def test_contains_and_get_without_npz_reads(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path / "cache")
+        entry = plan_entry(make_problem(3, 3, 2), SPEC, "reference")
+        store.save(entry, repro.solve(entry.problem, backend="reference", spec=SPEC))
+
+        npz_reads: list = []
+        real_load = np.load
+        monkeypatch.setattr(
+            np, "load", lambda *a, **k: npz_reads.append(a) or real_load(*a, **k)
+        )
+        assert not store.contains("not-a-fingerprint")
+        assert store.get("not-a-fingerprint") is None
+        assert store.contains(entry.fingerprint)
+        record = store.get(entry.fingerprint)
+        assert record["backend"] == "reference"
+        assert npz_reads == []  # the probe satellite: zero payload I/O
+        store.load(entry.fingerprint)
+        assert len(npz_reads) == 1  # load still pays, as it should
+
+    def test_get_returns_copy(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        entry = plan_entry(make_problem(3, 3, 2), SPEC, "reference")
+        store.save(entry, repro.solve(entry.problem, backend="reference", spec=SPEC))
+        store.get(entry.fingerprint)["backend"] = "tampered"
+        assert store.get(entry.fingerprint)["backend"] == "reference"
+
+
+class TestResultCache:
+    def test_memory_then_store_tier_with_promotion(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        entry = plan_entry(make_problem(3, 3, 2), SPEC, "reference")
+        result = repro.solve(entry.problem, backend="reference", spec=SPEC)
+        store.save(entry, result)
+
+        cache = ResultCache(store=ResultStore(tmp_path / "cache"))
+        assert cache.lookup("unknown") == (None, None)
+        loaded, tier = cache.lookup(entry.fingerprint)
+        assert tier == "store"
+        np.testing.assert_array_equal(loaded.pressure, result.pressure)
+        _, tier = cache.lookup(entry.fingerprint)
+        assert tier == "memory"  # promoted
+        assert cache.stats()["hits"] == {"memory": 1, "store": 1}
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction(self):
+        cache = ResultCache(capacity=2)
+        entries = []
+        for seed in range(3):
+            entry = plan_entry(make_problem(3, 3, 2, seed=seed), SPEC, "reference")
+            result = repro.solve(entry.problem, backend="reference", spec=SPEC)
+            cache.put(entry, result)
+            entries.append(entry)
+        assert entries[0].fingerprint not in cache
+        assert entries[1].fingerprint in cache and entries[2].fingerprint in cache
+
+    def test_torn_npz_counts_as_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "cache")
+        entry = plan_entry(make_problem(3, 3, 2), SPEC, "reference")
+        store.save(entry, repro.solve(entry.problem, backend="reference", spec=SPEC))
+        (store.root / f"{entry.fingerprint}.npz").unlink()
+        cache = ResultCache(store=store)
+        assert cache.lookup(entry.fingerprint) == (None, None)
+
+
+# -- solve_many error groups --------------------------------------------------
+
+
+class TestSolveManyErrorGroup:
+    """Satellite: every per-entry error surfaces, not just the first."""
+
+    def _probe(self, fake_backend, fail_nx=(3, 5)):
+        class Probe:
+            name = "group-probe-backend"
+
+            def solve(self, problem, spec=None):
+                if problem.grid.nx in fail_nx:
+                    raise ConvergenceError(
+                        f"entry nx={problem.grid.nx} blew up", 1, 1.0
+                    )
+                return repro.solve(problem, backend="reference", spec=spec)
+
+        return fake_backend(Probe)
+
+    def test_multiple_failures_raise_group_with_all_errors(self, fake_backend):
+        self._probe(fake_backend)
+        targets = [make_problem(n, 3, 2) for n in (3, 4, 5)]
+        with pytest.raises(SolveErrorGroup) as excinfo:
+            repro.solve_many(
+                targets, backend="group-probe-backend", n_workers=1, spec=SPEC
+            )
+        group = excinfo.value
+        assert isinstance(group, ReproError)
+        assert len(group.errors) == 2
+        assert sorted(str(e) for e in group.errors) == [
+            "entry nx=3 blew up", "entry nx=5 blew up",
+        ]
+        assert "2 of 3" in str(group) and "entries 0, 2" in str(group)
+
+    def test_single_failure_still_raises_original_type(self, fake_backend):
+        self._probe(fake_backend, fail_nx=(4,))
+        targets = [make_problem(n, 3, 2) for n in (3, 4, 5)]
+        with pytest.raises(ConvergenceError, match="nx=4"):
+            repro.solve_many(
+                targets, backend="group-probe-backend", n_workers=1, spec=SPEC
+            )
+
+    def test_batch_path_also_groups_all_errors(self, fake_backend):
+        # A fused lane that fails fails *each member* — both errors must
+        # come back through the exception group, not just the first.
+        class BadBatch:
+            name = "badbatch-backend"
+
+            def solve(self, problem, spec=None):
+                return repro.solve(problem, backend="reference", spec=spec)
+
+            def solve_batch(self, problems, spec=None):
+                raise ConvergenceError("the fused lane diverged", 2, 1.0)
+
+        fake_backend(BadBatch)
+        targets = [make_problem(4, 4, 3, seed=s) for s in range(2)]
+        with pytest.raises(SolveErrorGroup) as excinfo:
+            repro.solve_many(
+                targets, backend="badbatch-backend", batch=True, spec=SPEC
+            )
+        assert len(excinfo.value.errors) == 2
+        assert all(
+            isinstance(e, ConvergenceError) for e in excinfo.value.errors
+        )
+
+
+# -- run records --------------------------------------------------------------
+
+
+class TestRunRecords:
+    def test_run_json_and_attempts_jsonl_round_trip(self, tmp_path):
+        recorder = RunRecorder(tmp_path, run_id="run-test", config={"k": 1})
+        recorder.record_submit(1, fingerprint="f" * 8, backend="wse", label="p")
+        recorder.record_attempt(
+            1, fingerprint="f" * 8, attempt=1, outcome="ok",
+            elapsed_seconds=0.1,
+        )
+        recorder.record_launch(fused=False)
+        recorder.record_outcome(1, outcome="ok")
+        recorder.close()
+
+        record = load_run_record(tmp_path / "run-test")
+        assert record["run_id"] == "run-test"
+        assert record["config"] == {"k": 1}
+        assert record["summary"]["executed"] == 1
+        assert record["requests"]["1"]["outcome"] == "ok"
+        [attempt] = load_attempts(tmp_path / "run-test")
+        assert attempt["attempt"] == 1
+
+    def test_attempts_tolerate_torn_tail(self, tmp_path):
+        recorder = RunRecorder(tmp_path, run_id="run-torn")
+        recorder.record_attempt(
+            1, fingerprint="ff", attempt=1, outcome="error",
+            category="executor",
+        )
+        path = tmp_path / "run-torn" / "attempts.jsonl"
+        with path.open("a") as handle:
+            handle.write('{"request_id": 2, "attempt"')  # crash mid-write
+        attempts = load_attempts(tmp_path / "run-torn")
+        assert len(attempts) == 1 and attempts[0]["request_id"] == 1
+
+    def test_memory_only_recorder_keeps_counters(self):
+        recorder = RunRecorder(None)
+        recorder.record_submit(1, fingerprint="ff", backend="wse", label="p")
+        recorder.record_cache_hit(1, "memory")
+        recorder.record_outcome(1, outcome="ok", cache="memory")
+        summary = recorder.to_dict()["summary"]
+        assert summary["cache_hits_memory"] == 1
+        assert summary["cache_hit_ratio"] == 1.0
+        assert recorder.run_dir is None
+
+
+# -- the acceptance scenarios -------------------------------------------------
+
+
+class TestServiceEndToEnd:
+    def test_64_requests_8_specs_solve_exactly_8(self, tmp_path):
+        """The ISSUE acceptance bar: 64 concurrent submissions of 8
+        distinct same-shape specs produce exactly 8 solves — at least one
+        fused batched launch and 56 cache/dedup hits, verified from the
+        durable run record."""
+        problems = [make_problem(4, 4, 3, seed=s) for s in range(8)]
+
+        async def main():
+            async with SolveService(
+                store=tmp_path / "cache", records=tmp_path / "runs",
+                admission_window=0.02,
+            ) as svc:
+                futures = [
+                    svc.submit(problems[i % 8], backend="wse", spec=SPEC)
+                    for i in range(64)
+                ]
+                results = await asyncio.gather(*futures)
+                return results, svc.recorder.run_dir
+
+        results, run_dir = run(main())
+        assert len(results) == 64
+
+        record = load_run_record(run_dir)
+        summary = record["summary"]
+        assert summary["submitted"] == 64
+        assert summary["executed"] == 8          # exactly 8 real solves
+        assert summary["batched_launches"] >= 1  # fused lane(s) did them
+        hits = (
+            summary["cache_hits_memory"]
+            + summary["cache_hits_store"]
+            + summary["dedup_hits"]
+        )
+        assert hits == 56
+        assert summary["failed"] == 0
+        assert len({r["fingerprint"] for r in record["requests"].values()}) == 8
+        # Duplicate submissions got the very same answers.
+        for i in range(8, 64):
+            np.testing.assert_array_equal(
+                results[i].pressure, results[i % 8].pressure
+            )
+
+    def test_warm_store_serves_new_service_from_cache(self, tmp_path):
+        problem = make_problem(4, 3, 2)
+
+        async def first():
+            async with SolveService(store=tmp_path / "cache") as svc:
+                await svc.submit(problem, backend="wse", spec=SPEC)
+
+        async def second():
+            async with SolveService(store=tmp_path / "cache") as svc:
+                result = await svc.submit(problem, backend="wse", spec=SPEC)
+                return result, svc.stats()
+
+        run(first())
+        result, stats = run(second())
+        assert result.converged
+        assert stats["executed"] == 0
+        assert stats["cache_hits_store"] == 1
+
+    def test_killed_stream_resumes_from_stored_steps(self, tmp_path):
+        """The second acceptance bar: a transient request killed
+        mid-stream resumes from the stored step stack on resubmit."""
+        problem = make_problem(4, 3, 2)
+        spec = SolveSpec.from_kwargs(n_steps=5, dt=0.5, rel_tol=1e-7)
+
+        async def killed():
+            async with SolveService(store=tmp_path / "cache") as svc:
+                steps = []
+                async for step in svc.stream(problem, backend="wse", spec=spec):
+                    steps.append(step)
+                    if len(steps) == 2:
+                        break  # the consumer dies mid-stream
+                return steps
+
+        async def resumed():
+            async with SolveService(
+                store=tmp_path / "cache", records=tmp_path / "runs"
+            ) as svc:
+                steps = [
+                    s async for s in svc.stream(problem, backend="wse", spec=spec)
+                ]
+                return steps, svc.stats(), svc.recorder.run_dir
+
+        first = run(killed())
+        assert [s.step for s in first] == [1, 2]
+
+        steps, stats, run_dir = run(resumed())
+        assert [s.step for s in steps] == [1, 2, 3, 4, 5]
+        replayed = [s.telemetry.get("from_store", False) for s in steps]
+        assert replayed[:2] == [True, True] and not any(replayed[2:])
+        assert stats["resumed_steps"] == 2
+        assert stats["streamed_steps"] == 3
+        record = load_run_record(run_dir)
+        [request] = record["requests"].values()
+        assert request["kind"] == "stream"
+
+        # Parity with the one-shot transient front door.
+        sim = repro.simulate(problem, backend="wse", spec=spec)
+        np.testing.assert_allclose(
+            sim.steps[-1].pressure, steps[-1].pressure, rtol=1e-6
+        )
+
+    def test_stream_parity_with_simulate_cold(self, tmp_path):
+        problem = make_problem(3, 3, 2)
+        spec = SolveSpec.from_kwargs(n_steps=3, dt=1.0, rel_tol=1e-7)
+
+        async def main():
+            async with SolveService() as svc:
+                return [
+                    s async for s in svc.stream(problem, backend="wse", spec=spec)
+                ]
+
+        steps = run(main())
+        sim = repro.simulate(problem, backend="wse", spec=spec)
+        assert len(steps) == 3
+        for mine, theirs in zip(steps, sim.steps):
+            np.testing.assert_allclose(
+                mine.pressure, theirs.pressure, rtol=1e-6
+            )
+
+    def test_process_pool_runs_and_leaves_no_orphans(self):
+        async def main():
+            async with SolveService(
+                pool="process", n_workers=2, admission_window=0.01
+            ) as svc:
+                futures = [
+                    svc.submit("quarter_five_spot", backend="reference"),
+                    svc.submit("layered_reservoir", backend="wse"),
+                ]
+                return await asyncio.gather(*futures)
+
+        results = run(main())
+        assert all(r.converged for r in results)
+        assert multiprocessing.active_children() == []
+
+
+class TestServiceGuards:
+    def test_unstarted_and_closed_service_refuse_submissions(self):
+        async def main():
+            service = SolveService()
+            with pytest.raises(ConfigurationError, match="not started"):
+                service.submit("quarter_five_spot")
+            async with service:
+                pass
+            with pytest.raises(ConfigurationError, match="closed"):
+                service.submit("quarter_five_spot")
+
+        run(main())
+
+    def test_unknown_backend_fails_fast_at_submit(self):
+        async def main():
+            async with SolveService() as svc:
+                with pytest.raises(ConfigurationError, match="unknown backend"):
+                    svc.submit("quarter_five_spot", backend="nope")
+
+        run(main())
+
+    def test_stream_requires_time_and_transient_backend(self):
+        async def main():
+            async with SolveService() as svc:
+                with pytest.raises(ConfigurationError, match="time schedule"):
+                    await svc.stream("quarter_five_spot").__anext__()
+
+        run(main())
+
+    def test_flat_kwargs_are_front_door_sugar(self):
+        async def main():
+            async with SolveService() as svc:
+                result = await svc.submit(
+                    "quarter_five_spot", backend="reference", rel_tol=1e-6
+                )
+                assert result.converged
+                with pytest.raises(ConfigurationError, match="not both"):
+                    svc.submit("quarter_five_spot", spec=SPEC, rel_tol=1e-6)
+
+        run(main())
