@@ -134,6 +134,41 @@ def main(argv: list[str] | None = None) -> int:
                   f"{'-' if br is None else f'{br:.2f}'} -> "
                   f"{'-' if cr is None else f'{cr:.2f}'}{flag}")
 
+    # Sharded-engine visibility: each shard layout's problems/sec
+    # against the serial-vectorized rung of the *same run* (warn-only).
+    # Only full-size runs are flagged — smoke grids are small enough
+    # that round-dispatch overhead legitimately beats the sharding win —
+    # and only on hosts with more than one CPU: with a single core the
+    # crews cannot sweep concurrently, so multi-shard rows losing to
+    # serial is physics, not a regression.
+    sharded = [
+        r for r in json.loads(args.current.read_text()).get("results", [])
+        if r.get("table") == "sharded_throughput" and "error" not in r
+    ]
+    if sharded:
+        serial = next(
+            (r for r in sharded if r.get("shard_shape") is None), None
+        )
+        print("\nsharded vs serial problems/sec (current run)")
+        for row in sharded:
+            if row is serial:
+                continue
+            pps = row.get("problems_per_sec")
+            ratio = row.get("speedup_vs_serial")
+            multi_cpu = (row.get("host_cpus") or 1) > 1
+            flag = ""
+            if not cur_smoke and multi_cpu and ratio is not None \
+                    and ratio < 1.0 and row.get("shard_shape") != [1, 1]:
+                flag = "  WARN sharded slower than serial"
+                warnings += 1
+            base_pps = serial.get("problems_per_sec") if serial else None
+            print(
+                f"  {row['scenario']}: "
+                f"{'-' if base_pps is None else f'{base_pps:.1f}'} -> "
+                f"{'-' if pps is None else f'{pps:.1f}'} "
+                f"({'-' if ratio is None else f'{ratio:.2f}x'}){flag}"
+            )
+
     if warnings:
         print(f"\ndiff_bench: {warnings} row(s) flagged (non-blocking)")
     else:

@@ -28,11 +28,19 @@ path: warm- vs. cold-started CG on one realization (the ``warm`` row
 records the measured ``iteration_reduction_vs_cold``) and batched
 transient lanes at batch=1/8/64 (steps/sec and ``speedup_vs_serial``).
 
-``service_throughput`` rows (schema ``repro.bench_session/5``) measure
-the serving tier (:mod:`repro.serve`): a ``SolveService`` fan-out of
-many concurrent requests over few distinct specs (requests/sec,
-``cache_hit_ratio``, solves actually executed, fused launches) and a
-streamed transient solve through ``SolveService.stream`` (steps/sec).
+``service_throughput`` rows measure the serving tier
+(:mod:`repro.serve`): a ``SolveService`` fan-out of many concurrent
+requests over few distinct specs (requests/sec, ``cache_hit_ratio``,
+solves actually executed, fused launches) and a streamed transient
+solve through ``SolveService.stream`` (steps/sec).
+
+``sharded_throughput`` rows (schema ``repro.bench_session/6``) measure
+the domain-sharded engine against the cache-bound ceiling the batched
+rows exposed at 128×128: the same problem family solved serially on the
+single-worker vectorized engine (the baseline) and on
+``engine="sharded"`` at 1/2/4 shards (thread crew).  The multi-shard
+``speedup_vs_serial`` is the scale proof for sharded execution —
+shard subgrids fit cache and sweep concurrently.
 
 Every row records its convergence *mode*: Table III/IV/V rows run under
 ``fixed_iterations`` (truncated by design, the paper's Table IV
@@ -48,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -203,6 +212,118 @@ def run_batched_throughput(smoke: bool) -> list[dict]:
             print(f"  batched_throughput {lateral:>3}x{lateral} batch={batch:<3} "
                   f"{count} problems in {host:.3f}s -> {pps:,.1f} problems/s "
                   f"({pps / serial_pps:.1f}x serial)")
+    return records
+
+
+def run_sharded_throughput(smoke: bool) -> list[dict]:
+    """Sharded-engine throughput rows against the serial baseline.
+
+    The batched rows show fusion *losing* at 128×128 (the fused arrays
+    blow the cache); sharding attacks the same ceiling the other way —
+    each shard's subgrid fits cache and the thread crew sweeps shards
+    concurrently (NumPy releases the GIL).  Rows: the single-worker
+    vectorized baseline, then 1/2/4 shards.  The 1-shard row isolates
+    the coordinator's round-dispatch overhead; the multi-shard rows are
+    the win.
+
+    Host timings on shared runners drift minute-to-minute — on the same
+    scale as the sharding win itself — so the configurations are
+    interleaved *per problem*: every problem is solved once by every
+    config back-to-back (rotating which config goes first) before the
+    next problem starts.  Adjacent solves land ~tens of milliseconds
+    apart, inside the same drift window, so total host time is a fair
+    throughput comparison and ``speedup_vs_serial`` — the median of the
+    per-problem paired ratios against the serial rung — cancels what
+    little drift remains.
+    """
+    if smoke:
+        cases = [(16, 2, 6, 8, ((1, 1), (2, 1)))]
+    else:
+        # Same workload as the 128x128 batched rows so the two tables
+        # share a serial baseline rung (~21-22 problems/sec committed).
+        cases = [(128, 4, 24, 64, ((1, 1), (2, 1), (2, 2)))]
+
+    records = []
+    for lateral, nz, iters, count, shapes in cases:
+        problems = [
+            repro.scenario(
+                "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+                permeability=float(40 + 7 * i),
+            ).build()
+            for i in range(count)
+        ]
+        base = repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+            dtype="float32", engine="vectorized", fixed_iterations=iters,
+        )
+        configs = []
+        for shape in (None, *shapes):  # None = the vectorized baseline
+            if shape is None:
+                spec, label = base, "serial"
+            else:
+                spec = base.with_options(engine="sharded", shard_shape=shape)
+                label = f"shards={shape[0]}x{shape[1]}"
+            configs.append({
+                "shape": shape, "spec": spec, "label": label,
+                "solve_seconds": [], "last": None, "converged": True,
+            })
+        # Warm each config once (first solve pays buffer/pool setup and
+        # allocator warm-up that steady-state throughput never sees).
+        for cfg in configs:
+            repro.solve(problems[0], backend="wse", spec=cfg["spec"])
+        for i, problem in enumerate(problems):
+            # Rotate which config goes first: host throughput drifts
+            # even within a burst, so a fixed order would systematically
+            # favour whoever runs first.
+            for j in range(len(configs)):
+                cfg = configs[(i + j) % len(configs)]
+                start = time.perf_counter()
+                result = repro.solve(problem, backend="wse", spec=cfg["spec"])
+                cfg["solve_seconds"].append(time.perf_counter() - start)
+                cfg["last"] = result
+                cfg["converged"] &= bool(result.converged)
+        def median(values):
+            ordered = sorted(values)
+            mid = len(ordered) // 2
+            if len(ordered) % 2:
+                return ordered[mid]
+            return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+        serial_solves = configs[0]["solve_seconds"]
+        for cfg in configs:
+            shape, label, last = cfg["shape"], cfg["label"], cfg["last"]
+            host = sum(cfg["solve_seconds"])
+            pps = count / host
+            speedup = median([
+                s / t for s, t in zip(serial_solves, cfg["solve_seconds"])
+            ])
+            records.append({
+                "table": "sharded_throughput",
+                "scenario": f"quarter_five_spot[{lateral}x{lateral}x{nz}] "
+                            f"x{count} {label}",
+                "backend": "wse",
+                "engine": last.telemetry.get("engine"),
+                "mode": "fixed_iterations",
+                "fixed_iterations": iters,
+                "fabric": f"{lateral}x{lateral}",
+                "shard_shape": None if shape is None else list(shape),
+                "shard_workers": None if shape is None
+                else last.telemetry["shard"]["workers"],
+                "host_cpus": os.cpu_count(),
+                "problems": count,
+                "interleave": "per_problem",
+                "median_solve_seconds": median(cfg["solve_seconds"]),
+                "iterations": last.iterations,
+                "converged": cfg["converged"],
+                "time_kind": "host",
+                "host_seconds": host,
+                "problems_per_sec": pps,
+                "speedup_vs_serial": speedup,
+            })
+            print(f"  sharded_throughput {lateral:>3}x{lateral} {label:<11} "
+                  f"{count} problems interleaved, median "
+                  f"{median(cfg['solve_seconds']) * 1e3:.1f}ms/solve -> "
+                  f"{pps:,.1f} problems/s ({speedup:.2f}x serial)")
     return records
 
 
@@ -529,10 +650,14 @@ def main(argv: list[str] | None = None) -> int:
     # Serving-tier rows: SolveService fan-out + streamed transient.
     print("\nservice throughput (requests/sec):")
     records.extend(run_service_throughput(args.smoke))
+
+    # Sharded-engine rows: domain decomposition vs the serial baseline.
+    print("\nsharded throughput (problems/sec):")
+    records.extend(run_sharded_throughput(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/5",
+        "schema": "repro.bench_session/6",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

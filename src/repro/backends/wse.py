@@ -24,8 +24,10 @@ class WseBackend:
     :class:`WseSpecs` target (default :data:`WSE2`, the full 750×994 CS-2
     fabric, so any simulator-scale grid fits), ``machine.engine`` selects
     the fabric execution engine (``"event"``, the per-PE discrete-event
-    oracle and the default; or ``"vectorized"``, whole-fabric NumPy
-    sweeps for paper-scale fabrics), plus the dataflow design knobs
+    oracle and the default; ``"vectorized"``, whole-fabric NumPy
+    sweeps for paper-scale fabrics; or ``"sharded"``, the vectorized
+    numerics domain-decomposed over a worker pool — ``shard_shape``
+    picks the decomposition), plus the dataflow design knobs
     ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ`` vs.
     in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
     ``comm_only``/``fixed_iterations`` (§V-C's Table IV methodology) and
@@ -42,8 +44,21 @@ class WseBackend:
     #: MachineSpec knobs this backend honours.
     SUPPORTED_MACHINE_FIELDS = {
         "spec", "engine", "simd_width", "variant", "reuse_buffers",
-        "comm_only", "fixed_iterations", "batch_size",
+        "comm_only", "fixed_iterations", "batch_size", "shard_shape",
     }
+
+    @staticmethod
+    def _require_batch_capable(engine: str | None) -> None:
+        """Reject multi-problem entry points on single-problem engines
+        (an unset engine defaults to ``"vectorized"`` when batching)."""
+        from repro.core.engines import BATCH_CAPABLE_ENGINES
+
+        if (engine or "vectorized") not in BATCH_CAPABLE_ENGINES:
+            raise ConfigurationError(
+                f"engine {engine!r} runs one problem at a time; batched "
+                f"execution requires one of "
+                f"{', '.join(BATCH_CAPABLE_ENGINES)} (or an unset engine)"
+            )
 
     def solve_native(self, problem: SinglePhaseProblem, **options: Any):
         """Run the solve and return the legacy ``WseSolveReport``."""
@@ -77,6 +92,8 @@ class WseBackend:
             options["comm_only"] = True
         if machine.fixed_iterations is not None:
             options["fixed_iterations"] = machine.fixed_iterations
+        if machine.shard_shape is not None:
+            options["shard_shape"] = machine.shard_shape
         if spec.tolerance.tol_rtr is not None:
             options["tol_rtr"] = spec.tolerance.tol_rtr
         if spec.tolerance.rel_tol is not None:
@@ -101,6 +118,9 @@ class WseBackend:
             "memory": dict(report.memory),
             "state_visits": [state.name for state in report.state_visits],
         }
+        shard = getattr(report, "shard", None)
+        if shard is not None:
+            telemetry["shard"] = shard
         if extra_telemetry:
             telemetry.update(extra_telemetry)
         return telemetry
@@ -122,15 +142,21 @@ class WseBackend:
     def solve(self, problem: SinglePhaseProblem, spec: SolveSpec | None = None) -> SolveResult:
         spec = coerce_spec(spec)
         machine = spec.machine
-        if machine.batch_size is not None and (machine.engine or "event") == "event":
+        if machine.batch_size is not None:
+            from repro.core.engines import BATCH_CAPABLE_ENGINES
+
             # In a single solve the engine default is the event oracle,
             # which plays one problem at a time and cannot honour a
-            # batching knob.
-            raise ConfigurationError(
-                "machine.batch_size needs the vectorized engine; the "
-                "event-driven oracle plays one problem at a time "
-                "(set engine='vectorized' or drop batch_size)"
-            )
+            # batching knob; the sharded engine spends its parallelism
+            # across the fabric, not across problems.
+            if (machine.engine or "event") not in BATCH_CAPABLE_ENGINES:
+                raise ConfigurationError(
+                    f"machine.batch_size needs a batch-capable engine "
+                    f"({', '.join(BATCH_CAPABLE_ENGINES)}); engine="
+                    f"{(machine.engine or 'event')!r} plays one problem "
+                    f"at a time (set engine='vectorized' or drop "
+                    f"batch_size)"
+                )
         if spec.time is not None:
             # Transient study: one signature for steady and time-dependent
             # targets — the simulation folds into a canonical SolveResult
@@ -262,12 +288,7 @@ class WseBackend:
         if not problems:
             return []
         machine = spec.machine
-        if (machine.engine or "vectorized") == "event":
-            raise ConfigurationError(
-                "the event-driven engine runs one problem at a time; "
-                "batched execution requires engine='vectorized' (or an "
-                "unset engine)"
-            )
+        self._require_batch_capable(machine.engine)
         time, options = self._transient_options(spec)
         options["engine"] = machine.engine or "vectorized"
         dts, times = time.dts(), time.times()
@@ -328,12 +349,7 @@ class WseBackend:
         if not problems:
             return []
         machine = spec.machine
-        if (machine.engine or "vectorized") == "event":
-            raise ConfigurationError(
-                "the event-driven engine runs one problem at a time; "
-                "batched execution requires engine='vectorized' (or an "
-                "unset engine)"
-            )
+        self._require_batch_capable(machine.engine)
         if spec.time is not None:
             # Batched transient: N realizations time-step together; each
             # folds into its own canonical SolveResult.

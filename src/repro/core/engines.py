@@ -1,13 +1,18 @@
 """Fabric engine registry: how a :class:`CgProgram` gets executed.
 
-Two engines execute the same engine-agnostic program description
+Three engines execute the same engine-agnostic program description
 (:mod:`repro.core.program`):
 
 * ``"event"`` — the discrete-event oracle (one Python PE per fabric PE,
   one event per wavelet; cycle-accurate, byte-stable traces);
 * ``"vectorized"`` — whole-fabric NumPy array sweeps with an analytic
   cycle/counter model (paper-scale fabrics, identical numerics and
-  instruction counts).
+  instruction counts);
+* ``"sharded"`` — the vectorized numerics domain-decomposed across a
+  worker pool (threads or shared-memory processes) with real halo
+  exchange between shards and cross-shard dot-product reduction;
+  counters/traffic/memory stay exactly parity-pinned to the
+  single-shard vectorized engine.
 
 Selection is declarative via ``MachineSpec(engine=...)``; the solver
 resolves the name here.  Engine construction is lazy per name so the
@@ -16,19 +21,34 @@ default event path never imports the vectorized module and vice versa.
 
 from __future__ import annotations
 
+import difflib
 from typing import Protocol
 
 import numpy as np
 
 from repro.core.program import CgProgram, EngineReport
 from repro.physics.darcy import SinglePhaseProblem
+from repro.spec import FABRIC_ENGINES
 from repro.util.errors import ConfigurationError
 from repro.wse.specs import WseSpecs
 
 #: Engine names MachineSpec.engine accepts (None defers to the default).
-ENGINE_NAMES = ("event", "vectorized")
+#: Aliases :data:`repro.spec.FABRIC_ENGINES` — one source of truth.
+ENGINE_NAMES = FABRIC_ENGINES
 
 DEFAULT_ENGINE = "event"
+
+#: Engines that accept a shard layout (``shard_shape``/``shard_workers``).
+SHARD_CAPABLE_ENGINES = ("sharded",)
+
+
+def _unknown_engine_error(name: str) -> ConfigurationError:
+    close = difflib.get_close_matches(str(name), ENGINE_NAMES, n=1, cutoff=0.5)
+    hint = f"; did you mean {close[0]!r}?" if close else ""
+    return ConfigurationError(
+        f"unknown fabric engine {name!r}{hint} "
+        f"(valid engines: {', '.join(ENGINE_NAMES)})"
+    )
 
 
 class FabricEngine(Protocol):
@@ -51,12 +71,19 @@ def create_engine(
     initial_pressure: np.ndarray | None = None,
     accumulation: np.ndarray | None = None,
     rhs: np.ndarray | None = None,
+    shard_shape=None,
+    shard_workers: str | None = None,
 ) -> FabricEngine:
     """Instantiate the engine ``name`` for one solve (staging included)."""
     if name not in ENGINE_NAMES:
+        raise _unknown_engine_error(name)
+    if name not in SHARD_CAPABLE_ENGINES and (
+        shard_shape is not None or shard_workers is not None
+    ):
         raise ConfigurationError(
-            f"unknown fabric engine {name!r}; choose one of "
-            f"{', '.join(ENGINE_NAMES)}"
+            f"fabric engine {name!r} is single-shard; shard_shape/"
+            f"shard_workers require one of "
+            f"{', '.join(SHARD_CAPABLE_ENGINES)}"
         )
     kwargs = dict(
         spec=spec,
@@ -70,14 +97,25 @@ def create_engine(
         from repro.core.event_engine import EventEngine
 
         return EventEngine(problem, program, **kwargs)
+    if name == "sharded":
+        from repro.shard import ShardedVectorEngine
+
+        return ShardedVectorEngine(
+            problem,
+            program,
+            shard_shape=shard_shape if shard_shape is not None else (1, 1),
+            shard_workers=shard_workers,  # None -> the adaptive default
+            **kwargs,
+        )
     from repro.wse.vector_engine import VectorEngine
 
     return VectorEngine(problem, program, **kwargs)
 
 
 #: Engines that can execute a ``batch > 1`` program.  The event oracle
-#: plays one wavelet at a time and cannot: asking it to batch is a
-#: configuration error, not a silent serialization.
+#: plays one wavelet at a time and cannot; the sharded engine spends its
+#: parallelism across the fabric, not across problems.  Asking either to
+#: batch is a configuration error, not a silent serialization.
 BATCH_CAPABLE_ENGINES = ("vectorized",)
 
 
@@ -99,10 +137,7 @@ def create_batched_engine(
     ``name`` follows the same vocabulary as :func:`create_engine`; only
     :data:`BATCH_CAPABLE_ENGINES` are accepted."""
     if name not in ENGINE_NAMES:
-        raise ConfigurationError(
-            f"unknown fabric engine {name!r}; choose one of "
-            f"{', '.join(ENGINE_NAMES)}"
-        )
+        raise _unknown_engine_error(name)
     if name not in BATCH_CAPABLE_ENGINES:
         raise ConfigurationError(
             f"fabric engine {name!r} runs one problem at a time; batched "
@@ -129,6 +164,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_NAMES",
     "FabricEngine",
+    "SHARD_CAPABLE_ENGINES",
     "create_batched_engine",
     "create_engine",
 ]

@@ -94,10 +94,12 @@ class WseMatrixFreeSolver:
     * ``comm_only`` — §V-C's Table IV methodology (suppress FP, fixed
       iteration count);
     * ``dtype`` — fp32 (paper) or fp64 (tight numerical cross-checks);
-    * ``engine`` — ``"event"`` (default: per-PE discrete-event oracle)
-      or ``"vectorized"`` (whole-fabric array execution with an analytic
+    * ``engine`` — ``"event"`` (default: per-PE discrete-event oracle),
+      ``"vectorized"`` (whole-fabric array execution with an analytic
       cycle/counter model; same numerics and instruction counts, fabrics
-      the event engine cannot reach).
+      the event engine cannot reach), or ``"sharded"`` (the vectorized
+      numerics domain-decomposed over a worker pool; accepts
+      ``shard_shape`` and ``shard_workers``).
     """
 
     def __init__(
@@ -119,6 +121,8 @@ class WseMatrixFreeSolver:
         engine: str = DEFAULT_ENGINE,
         accumulation: np.ndarray | None = None,
         rhs: np.ndarray | None = None,
+        shard_shape=None,
+        shard_workers: str | None = None,
     ):
         if isinstance(variant, str):
             variant = KernelVariant(variant)
@@ -138,6 +142,8 @@ class WseMatrixFreeSolver:
         self.engine_name = engine
         self.accumulation = accumulation
         self.rhs = rhs
+        self.shard_shape = shard_shape
+        self.shard_workers = shard_workers
 
         self.program = CgProgram(
             variant=variant,
@@ -162,6 +168,8 @@ class WseMatrixFreeSolver:
             initial_pressure=initial_pressure,
             accumulation=accumulation,
             rhs=rhs,
+            shard_shape=shard_shape,
+            shard_workers=shard_workers,
         )
         self.mapping = self.engine.mapping
         # Event-engine internals stay reachable for fabric inspection and
@@ -317,6 +325,8 @@ def simulate_reports(
     fixed_iterations: int | None = None,
     jacobi: bool = False,
     engine: str = DEFAULT_ENGINE,
+    shard_shape=None,
+    shard_workers: str | None = None,
 ):
     """Backward-Euler time stepping on the fabric: one engine solve per
     step, yielded as :class:`EngineReport`\\ s.
@@ -377,6 +387,8 @@ def simulate_reports(
             initial_pressure=x0,
             accumulation=acc,
             rhs=rhs,
+            shard_shape=shard_shape,
+            shard_workers=shard_workers,
         )
         report = step_engine.run()
         stepper.advance(report.pressure)

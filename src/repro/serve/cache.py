@@ -9,7 +9,12 @@ because a fingerprint can never map to two different answers.
 Two tiers:
 
 * **memory** — an LRU of live :class:`~repro.backends.SolveResult`
-  objects, bounded by ``capacity`` entries;
+  objects, bounded by ``max_bytes`` of *result payload* (pressure field
+  + residual history + a fixed per-entry overhead).  Entry counts are a
+  poor proxy on this workload — a 128×128×4 field is ~1000× the bytes
+  of an 8×8×2 one — so the budget is what actually bounds the host's
+  memory.  :meth:`pin` exempts hot fingerprints (a dashboard's standing
+  queries, a sweep's reference case) from eviction entirely.
 * **store** — an optional :class:`~repro.session.ResultStore`.  Probes
   use the manifest-only fast path (``contains``/``get``) so cache
   *misses* never pay NPZ I/O; a hit rehydrates the payload and is
@@ -27,16 +32,41 @@ from repro.backends import SolveResult
 from repro.session import PlanEntry, ResultStore
 from repro.util.errors import ConfigurationError
 
+#: Default memory-tier budget: 256 MiB of result payload.
+DEFAULT_MAX_BYTES = 256 * 1024 * 1024
+
+#: Flat per-entry bookkeeping estimate (fingerprint key, dataclass,
+#: telemetry dict) added to each result's payload size.
+ENTRY_OVERHEAD_BYTES = 2048
+
+
+def result_nbytes(result: SolveResult) -> int:
+    """The memory-tier cost of one cached result: the pressure field,
+    the float64 residual history, and a flat bookkeeping overhead."""
+    return (
+        int(result.pressure.nbytes)
+        + 8 * len(result.residual_history)
+        + ENTRY_OVERHEAD_BYTES
+    )
+
 
 class ResultCache:
-    """Fingerprint-keyed LRU over an optional persistent store."""
+    """Fingerprint-keyed, byte-budgeted LRU over an optional store."""
 
-    def __init__(self, *, capacity: int = 1024, store: ResultStore | None = None):
-        if capacity < 0:
-            raise ConfigurationError(f"capacity must be >= 0, got {capacity}")
-        self.capacity = capacity
+    def __init__(
+        self,
+        *,
+        max_bytes: int = DEFAULT_MAX_BYTES,
+        store: ResultStore | None = None,
+    ):
+        if max_bytes < 0:
+            raise ConfigurationError(f"max_bytes must be >= 0, got {max_bytes}")
+        self.max_bytes = int(max_bytes)
         self.store = store
         self._memory: OrderedDict[str, SolveResult] = OrderedDict()
+        self._sizes: dict[str, int] = {}
+        self._bytes = 0
+        self._pinned: set[str] = set()
         self.hits = {"memory": 0, "store": 0}
         self.misses = 0
 
@@ -81,13 +111,64 @@ class ResultCache:
         if self.store is not None:
             self.store.save(entry, result)
 
+    # -- pinning --------------------------------------------------------------
+
+    def pin(self, fingerprint: str) -> None:
+        """Exempt a fingerprint from eviction (a standing query, a
+        sweep's reference case).  Takes effect immediately if the entry
+        is resident and sticks for later admissions; pinned entries
+        count against the budget but are never evicted — only
+        :meth:`unpin` releases them."""
+        self._pinned.add(fingerprint)
+
+    def unpin(self, fingerprint: str) -> None:
+        """Release a pin; the entry rejoins normal LRU eviction (and is
+        evicted right away if the budget is currently exceeded)."""
+        self._pinned.discard(fingerprint)
+        self._evict()
+
+    def pinned(self) -> set[str]:
+        """The currently pinned fingerprints (resident or not)."""
+        return set(self._pinned)
+
+    # -- memory tier ----------------------------------------------------------
+
     def _remember(self, fingerprint: str, result: SolveResult) -> None:
-        if self.capacity == 0:
+        size = result_nbytes(result)
+        if size > self.max_bytes and fingerprint not in self._pinned:
+            # Larger than the whole budget: admitting it would evict
+            # everything and then evict it too — skip the memory tier
+            # (the store tier, if any, still holds it).
+            self._drop(fingerprint)
             return
+        self._drop(fingerprint)
         self._memory[fingerprint] = result
-        self._memory.move_to_end(fingerprint)
-        while len(self._memory) > self.capacity:
-            self._memory.popitem(last=False)
+        self._sizes[fingerprint] = size
+        self._bytes += size
+        self._evict()
+
+    def _drop(self, fingerprint: str) -> None:
+        if fingerprint in self._memory:
+            del self._memory[fingerprint]
+            self._bytes -= self._sizes.pop(fingerprint)
+
+    def _evict(self) -> None:
+        """Evict least-recently-used *unpinned* entries until the budget
+        holds.  If only pinned entries remain, the budget may overshoot
+        — pins are a promise, not a hint."""
+        if self._bytes <= self.max_bytes:
+            return
+        for fingerprint in list(self._memory):
+            if fingerprint in self._pinned:
+                continue
+            self._drop(fingerprint)
+            if self._bytes <= self.max_bytes:
+                return
+
+    @property
+    def memory_bytes(self) -> int:
+        """Current payload bytes resident in the memory tier."""
+        return self._bytes
 
     @property
     def hit_ratio(self) -> float:
@@ -98,11 +179,13 @@ class ResultCache:
     def stats(self) -> dict:
         return {
             "memory_entries": len(self._memory),
-            "capacity": self.capacity,
+            "memory_bytes": self._bytes,
+            "max_bytes": self.max_bytes,
+            "pinned": len(self._pinned),
             "hits": dict(self.hits),
             "misses": self.misses,
             "hit_ratio": self.hit_ratio,
         }
 
 
-__all__ = ["ResultCache"]
+__all__ = ["DEFAULT_MAX_BYTES", "ResultCache", "result_nbytes"]

@@ -52,7 +52,7 @@ from typing import Any, AsyncIterator, Mapping
 from repro.backends import SolveResult, StepResult, get_backend
 from repro.physics.darcy import SinglePhaseProblem
 from repro.serve.admission import AdmissionController, Lane
-from repro.serve.cache import ResultCache
+from repro.serve.cache import DEFAULT_MAX_BYTES as DEFAULT_CACHE_BYTES, ResultCache
 from repro.serve.queue import (
     QueueClosed,
     RequestQueue,
@@ -76,7 +76,7 @@ class ServiceConfig:
     pool: str = "thread"
     admission_window: float = 0.005
     max_lane_width: int | None = None
-    cache_capacity: int = 1024
+    cache_bytes: int = DEFAULT_CACHE_BYTES
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     jitter_seed: int | None = None
 
@@ -96,7 +96,7 @@ class ServiceConfig:
             "pool": self.pool,
             "admission_window": self.admission_window,
             "max_lane_width": self.max_lane_width,
-            "cache_capacity": self.cache_capacity,
+            "cache_bytes": self.cache_bytes,
             "retry": {
                 "max_attempts": self.retry.max_attempts,
                 "backoff_base": self.retry.backoff_base,
@@ -173,7 +173,7 @@ class SolveService:
             store = ResultStore(store)
         self.store: ResultStore | None = store
         self.cache = ResultCache(
-            capacity=self.config.cache_capacity, store=store
+            max_bytes=self.config.cache_bytes, store=store
         )
         self.recorder = RunRecorder(
             records, run_id=run_id, config=self.config.to_dict()

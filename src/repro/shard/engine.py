@@ -1,0 +1,327 @@
+"""The sharded fabric engine: domain-decomposed vectorized execution.
+
+:class:`ShardedVectorEngine` runs the same CG program as
+:class:`~repro.wse.vector_engine.VectorEngine`, but partitions the
+fabric into a :class:`~repro.shard.layout.ShardLayout` of rectangular
+shards and runs each shard's sweeps on a worker crew (serial loop,
+threads, or shared-memory processes).  Between phases the shards
+exchange *real* one-plane halos through mailbox buffers, and dot
+products reduce across shards in deterministic shard order.
+
+Parity contract (pinned in ``tests/test_sharded_engine.py`` and fuzzed
+4-way in ``tests/test_engine_fuzz.py``):
+
+* **counters / traffic / memory / state visits** — *exactly* equal to
+  the single-shard vectorized engine, including ``idle_cycles`` and the
+  makespan: the coordinator charges the analytic
+  :class:`~repro.wse.vector_engine._ChargeModel` through the identical
+  visit/vec/scalar/kernel/exchange/reduce sequence.  Sharding changes
+  who computes, not what the machine is charged for.
+* **iterates** — bitwise equal per element through every sweep (the
+  halo-extended buffers reproduce ``_shifted`` exactly); only the
+  cross-shard *reduction order* of the float64 dot partials differs, so
+  alpha/beta — and therefore the pressure field — agree to fp round-off
+  and iteration counts almost always coincide.
+* **inter-shard traffic** — counted for real by
+  :class:`~repro.shard.links.InterShardLinkModel`, charged in lockstep
+  with the engine's own exchange/reduce charges and reported under
+  ``EngineReport.shard["links"]``.  A ``1x1`` layout moves zero bytes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.mapping import ProblemMapping
+from repro.core.program import CgProgram, EngineReport
+from repro.physics.darcy import SinglePhaseProblem
+from repro.shard.layout import ShardLayout
+from repro.shard.links import InterShardLinkModel
+from repro.shard.workers import (
+    CREW_MODES,
+    WorkerParams,
+    create_crew,
+    default_crew,
+)
+from repro.solvers.state_machine import CGState
+from repro.util.errors import ConfigurationError
+from repro.wse.isa import Op
+from repro.wse.specs import WseSpecs
+from repro.wse.vector_engine import (
+    _ChargeModel,
+    _memory_report,
+    _stage_problem,
+    staging_to_arrays,
+)
+
+
+class ShardedVectorEngine:
+    """Domain-decomposed vectorized execution of the dataflow CG program.
+
+    Constructor vocabulary extends the vectorized engine's with the
+    decomposition: ``shard_shape`` (an ``(sx, sy)`` pair or an int for a
+    1-D split) and ``shard_workers`` (``"serial"``, ``"thread"`` or
+    ``"process"``; ``None`` picks :func:`~repro.shard.workers.default_crew`
+    — threads when shards can sweep concurrently, the serial loop when
+    they can't).
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        problem: SinglePhaseProblem,
+        program: CgProgram,
+        *,
+        spec: WseSpecs,
+        shard_shape=(1, 1),
+        shard_workers: str | None = None,
+        dtype=np.float32,
+        simd_width: int | None = None,
+        initial_pressure: np.ndarray | None = None,
+        accumulation: np.ndarray | None = None,
+        rhs: np.ndarray | None = None,
+    ):
+        if program.batch != 1:
+            raise ConfigurationError(
+                f"ShardedVectorEngine runs single-problem programs; got "
+                f"batch={program.batch} (use BatchedVectorEngine)"
+            )
+        if shard_workers is not None and shard_workers not in CREW_MODES:
+            raise ConfigurationError(
+                f"unknown shard worker mode {shard_workers!r}; choose one "
+                f"of {', '.join(CREW_MODES)}"
+            )
+        self.problem = problem
+        self.program = program
+        self.spec = spec
+        self.mapping = ProblemMapping(problem.grid, spec)
+        self.dtype = np.dtype(dtype)
+        self.simd_width = int(
+            simd_width if simd_width is not None else spec.simd_width_f32
+        )
+        grid = problem.grid
+        self.width, self.height, self.depth = grid.nx, grid.ny, grid.nz
+        self._suppress = program.comm_only
+        self.layout = ShardLayout.build(shard_shape, grid.nx, grid.ny)
+        self.shard_workers = (
+            shard_workers if shard_workers is not None
+            else default_crew(self.layout)
+        )
+        self.links = InterShardLinkModel(
+            self.layout, grid.nz, self.dtype.itemsize
+        )
+
+        # Staging, memory rehearsal and the charge model are *global* —
+        # the machine being modelled is one fabric, however many workers
+        # sweep it; this is what makes the counter parity exact.
+        self.st = _stage_problem(
+            problem, program, self.dtype, initial_pressure,
+            accumulation=accumulation, rhs=rhs,
+        )
+        self._memory = _memory_report(
+            spec, program, self.depth, self.dtype, self.st.kind_counts
+        )
+        self.model = _ChargeModel(
+            width=self.width, height=self.height, depth=self.depth,
+            simd_width=self.simd_width, spec=spec, suppress=self._suppress,
+            kind_counts=self.st.kind_counts, kernel_plans=self.st.kernel_plans,
+        )
+        self._arrays = staging_to_arrays(self.st, program)
+        self._params = WorkerParams(
+            variant=program.variant,
+            jacobi=program.jacobi,
+            suppress=self._suppress,
+            dtype=self.dtype.str,
+            has_full=self.st.has_full,
+            has_partial=self.st.has_partial,
+        )
+        self._history: list[float] = []
+
+    # -- cross-shard reduction ------------------------------------------------
+
+    def _reduce(self, partials) -> float:
+        """Shard-order float64 sum of the workers' local dot products —
+        the engine's only fp divergence from the single-shard sweep."""
+        if self._suppress:
+            return 0.0
+        total = 0.0
+        for value in partials:
+            total += value
+        return float(total)
+
+    def _allreduce(self, partials) -> float:
+        self.model.charge_allreduce()
+        self.links.charge_reduce()
+        return self._reduce(partials)
+
+    def _exchange(self) -> None:
+        self.model.charge_exchange()
+        self.links.charge_exchange()
+
+    # -- per-iteration charge packets -----------------------------------------
+
+    def _iteration_packets(self):
+        """The loop's charge sequence is iteration-invariant, so the
+        coordinator plays it once on fresh models — one packet per loop
+        segment, exactly the batched engine's lane-packet trick — and
+        bulk-merges per iteration instead of re-itemising ~30 charges.
+        ``merge_scaled`` is additive, so counters, trace and makespan
+        land bitwise where itemised charging would put them; state
+        visits (order-sensitive) are extended from the packets' own
+        recorded sequences."""
+        m, jacobi = self.model, self.program.jacobi
+        check = m.fresh()
+        check.visit(CGState.ITER_CHECK)
+        body = m.fresh()
+        body.visit(CGState.EXCHANGE)
+        body.charge_exchange()
+        body.visit(CGState.COMPUTE_JX)
+        body.charge_kernel()
+        body.vec(Op.FMA)  # local p^T Jp
+        body.visit(CGState.DOT_PAP)
+        body.charge_allreduce()
+        body.visit(CGState.COMPUTE_ALPHA)
+        body.scalar(4)  # scalar divide on the CE
+        body.visit(CGState.UPDATE_SOL)
+        body.vec(Op.FMA)  # y += alpha p
+        body.visit(CGState.UPDATE_RES)
+        body.vec(Op.FMA)  # r -= alpha Jp
+        if jacobi:
+            body.vec(Op.FMUL)
+        body.vec(Op.FMA)
+        body.visit(CGState.DOT_RR)
+        body.charge_allreduce()
+        body.visit(CGState.THRES_CHECK)
+        direction = m.fresh()
+        direction.visit(CGState.COMPUTE_BETA)
+        direction.scalar(4)
+        direction.visit(CGState.UPDATE_DIR)
+        direction.vec(Op.FMUL)  # p *= beta
+        direction.vec(Op.FADD)  # p += r (or z)
+        return check, body, direction
+
+    # -- the solve ------------------------------------------------------------
+
+    def run(self, *, track_states_for: tuple[int, int] = (0, 0)) -> EngineReport:
+        """Execute the CG program across the shard crew; phase order and
+        control flow replicate the vectorized engine's run exactly (the
+        charge sequence *is* the vectorized engine's, verbatim)."""
+        program, m = self.program, self.model
+        jacobi = program.jacobi
+        crew = create_crew(
+            self.shard_workers, self.layout, self._arrays, self._params,
+            self.depth, self.dtype,
+        )
+        try:
+            crew.start()  # spawn workers + stage round (publish y planes)
+
+            # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
+            # Rounds are dispatched *before* their charge-model
+            # bookkeeping and collected after: the workers' NumPy sweeps
+            # overlap the coordinator's pure-Python charging, and the
+            # charge sequence itself is still the vectorized engine's,
+            # verbatim.  collect() is the barrier each exchange needs.
+            crew.dispatch("init")
+            m.visit(CGState.INIT)
+            m.visit(CGState.EXCHANGE)
+            self._exchange()
+            m.visit(CGState.COMPUTE_JX)
+            m.charge_kernel()
+            partials = crew.collect()
+            crew.dispatch("publish")  # p planes, after the init barrier
+            m.vec(Op.FSUB)  # r = b - Jx
+            if jacobi:
+                m.vec(Op.FMUL)  # z = r / diag
+                m.vec(Op.FMOV)  # p = z
+            else:
+                m.vec(Op.FMOV)  # p = r
+            m.vec(Op.FMA)  # local dot
+            m.visit(CGState.DOT_RR)
+            rtr = self._allreduce(partials)
+            self._history.append(rtr)
+            crew.collect()  # publish barrier before any body round
+
+            # The loop charges by packet (see _iteration_packets):
+            # charges are bookkeeping, so their placement against the
+            # crew rounds is free — only the merged totals and the
+            # state-visit order must land exactly where itemised
+            # charging would put them, and merge_scaled is additive so
+            # they do.
+            pk_check, pk_body, pk_direction = self._iteration_packets()
+            k = 0
+            terminal: CGState | None = None
+            while terminal is None:
+                m.merge_scaled(pk_check, 1)
+                m.state_visits.extend(pk_check.state_visits)
+                if program.check_convergence and rtr < program.tol_rtr:
+                    terminal = CGState.CONVERGED
+                    break
+                if k >= program.iteration_limit:
+                    terminal = (
+                        CGState.CONVERGED
+                        if (program.check_convergence and rtr < program.tol_rtr)
+                        else CGState.MAXITER
+                    )
+                    break
+
+                crew.dispatch("body")  # fill(p), Jp, <p, Jp>
+                self.links.charge_exchange()
+                self.links.charge_reduce()  # the DOT_PAP reduction
+                self.links.charge_reduce()  # ... and the DOT_RR one
+                m.merge_scaled(pk_body, 1)
+                m.state_visits.extend(pk_body.state_visits)
+                partials = crew.collect()
+                pap = self._reduce(partials)
+
+                if pap == 0.0:
+                    if not self._suppress and program.check_convergence:
+                        raise ConfigurationError(
+                            "sharded engine: p^T A p = 0 with live arithmetic"
+                        )
+                    alpha = 0.0
+                else:
+                    alpha = rtr / pap
+
+                crew.dispatch("update", alpha)
+                partials = crew.collect()
+                rtr_new = self._reduce(partials)
+
+                k += 1
+                self._history.append(rtr_new)
+                if program.check_convergence and rtr_new < program.tol_rtr:
+                    terminal = CGState.CONVERGED
+                    break
+                beta = (rtr_new / rtr) if rtr > 0 else 0.0
+                crew.dispatch("direction", beta)  # also republishes p planes
+                m.merge_scaled(pk_direction, 1)
+                m.state_visits.extend(pk_direction.state_visits)
+                crew.collect()
+                rtr = rtr_new
+
+            m.visit(terminal)
+            converged = terminal is CGState.CONVERGED
+            pressure = crew.gather()
+        finally:
+            crew.close()
+        m.finalize()
+        return EngineReport(
+            pressure=pressure,
+            iterations=k,
+            converged=converged,
+            residual_history=list(self._history),
+            trace=m.trace,
+            counters=m.counters,
+            elapsed_seconds=m.makespan / self.spec.clock_hz,
+            memory=dict(self._memory),
+            state_visits=list(m.state_visits),
+            engine=self.name,
+            shard={
+                "layout": self.layout.to_dict(),
+                "workers": self.shard_workers,
+                "links": self.links.to_dict(),
+            },
+        )
+
+
+__all__ = ["ShardedVectorEngine"]

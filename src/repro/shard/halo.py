@@ -1,0 +1,286 @@
+"""Per-shard field state and one-plane halo buffers.
+
+Each shard owns a contiguous ``(snx, sny, nz)`` block of every CG field
+plus a zero-padded *extended* buffer ``(snx+2, sny+2, nz)`` for the one
+field the FV apply reads through the stencil.  The pad ring holds:
+
+* **neighbour planes** — copied from adjacent shards' mailboxes at each
+  halo exchange (real data movement, counted by
+  :mod:`repro.shard.links`);
+* **zeros at fabric edges** — never written, which reproduces the
+  vectorized engine's ``_shifted`` zero-padding (and the event fabric's
+  empty edge halos; the boundary coefficient is zero anyway).
+
+Because the FV apply, the axpys and the masks are all elementwise or
+stencil-local, every owned cell of a sharded sweep is *bitwise* equal to
+the same cell of a whole-fabric sweep — the only fp divergence in the
+whole engine is the shard-ordered dot-product reduction.
+
+Staged coefficient arrays are sliced per shard from the coordinator's
+global staging (``staging_to_arrays``) and embedded in extended buffers
+once at construction; only their owned region is ever read (stencil
+outputs on the pad ring are discarded), so the pad values are free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.fv_kernel import (
+    COEFF_BUFFER,
+    HALO_ORDER,
+    KernelVariant,
+    MOBILITY_BUFFER,
+    UPSILON_BUFFER,
+)
+from repro.shard.layout import DIRECTIONS, ShardBox
+from repro.wse.vector_engine import _Staging
+
+
+def dot64(a: np.ndarray, b: np.ndarray) -> float:
+    """Shard-local dot product, float64 accumulation (the same
+    flatten-and-accumulate the single-shard engines use, over the
+    shard's contiguous block)."""
+    return float(
+        np.dot(a.reshape(-1).astype(np.float64), b.reshape(-1).astype(np.float64))
+    )
+
+
+def boundary_plane(field: np.ndarray, direction: str) -> np.ndarray:
+    """The one-cell boundary plane a shard publishes toward ``direction``."""
+    if direction == "west":
+        return field[0, :, :]
+    if direction == "east":
+        return field[-1, :, :]
+    if direction == "north":
+        return field[:, 0, :]
+    if direction == "south":
+        return field[:, -1, :]
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+class ShardFields:
+    """One shard's staged arrays, work arrays and halo-extended buffers."""
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        box: ShardBox,
+        *,
+        variant: KernelVariant,
+        jacobi: bool,
+        has_full: bool,
+        has_partial: bool,
+        dtype: np.dtype,
+    ):
+        self.box = box
+        self.variant = variant
+        self.jacobi = jacobi
+        dtype = np.dtype(dtype)
+        snx, sny = box.nx, box.ny
+        nz = arrays["y"].shape[2]
+        owned = (slice(box.x0, box.x1), slice(box.y0, box.y1))
+        inner = (slice(1, 1 + snx), slice(1, 1 + sny))
+
+        def local(name: str) -> np.ndarray:
+            return np.ascontiguousarray(arrays[name][owned])
+
+        def extended(name: str) -> np.ndarray:
+            src = arrays[name]
+            out = np.zeros((snx + 2, sny + 2) + src.shape[2:], dtype=src.dtype)
+            out[inner] = src[owned]
+            return out
+
+        # Owned-block work arrays (the shard's CG state).
+        self.y = local("y")
+        self.b = local("b")
+        self.r = np.zeros((snx, sny, nz), dtype=dtype)
+        self.p = np.zeros((snx, sny, nz), dtype=dtype)
+        self.z = np.zeros((snx, sny, nz), dtype=dtype) if jacobi else None
+        self.inv_diag = local("inv_diag") if jacobi else None
+        self.jx: np.ndarray | None = None
+
+        # The halo-extended stencil input (pad ring starts — and at
+        # fabric edges stays — zero).
+        self.x_ext = np.zeros((snx + 2, sny + 2, nz), dtype=dtype)
+        self._inner = inner
+
+        # Extended staging for `_apply_fields`: owned slices of the
+        # global staged arrays, embedded at the same offsets as x_ext.
+        st = _Staging()
+        st.y = st.b = st.r = st.p = st.z = st.inv_diag = None
+        st.kind_counts = st.kernel_plans = None
+        st.acc = extended("acc") if "acc" in arrays else None
+        st.coeff = st.coeff_down = st.coeff_up = None
+        st.ups = st.ups_down = st.ups_up = st.lam = st.lam_nbr = None
+        if variant is KernelVariant.PRECOMPUTED:
+            st.coeff = {
+                port: extended(f"coeff_{port.name}") for port in COEFF_BUFFER
+            }
+            st.coeff_down = extended("coeff_down")
+            st.coeff_up = extended("coeff_up")
+        else:
+            st.ups = {port: extended(f"ups_{port.name}") for port in UPSILON_BUFFER}
+            st.ups_down = extended("ups_down")
+            st.ups_up = extended("ups_up")
+            st.lam = extended("lam")
+            st.lam_nbr = {
+                port: extended(f"lam_nbr_{port.name}") for port in MOBILITY_BUFFER
+            }
+        st.full_cols = extended("full_cols")
+        st.blend_mask = extended("blend_mask")
+        # Global flags, not per-shard: a shard without partial columns
+        # still runs the (no-op) blend so its op sequence — and every
+        # ±0.0 — matches the whole-fabric sweep exactly.
+        st.has_full = has_full
+        st.has_partial = has_partial
+        self.ext_st = st
+
+        # -- the zero-allocation apply path ---------------------------------
+        # `apply` computes only the owned block, through *views* of the
+        # extended buffers (the pad ring makes every stencil read a pure
+        # slice — no `_shifted` copies) and preallocated scratch, so a
+        # worker's hot round allocates nothing.  Every operation below
+        # mirrors `_apply_fields` operand for operand on the owned
+        # cells, so the results stay bitwise equal to the whole-fabric
+        # sweep.
+        self._x_in = self.x_ext[inner]
+        self._x_shift = {
+            port: self.x_ext[
+                1 + port.offset[0]: 1 + port.offset[0] + snx,
+                1 + port.offset[1]: 1 + port.offset[1] + sny,
+                :,
+            ]
+            for port in HALO_ORDER
+        }
+        view = lambda a: None if a is None else a[inner]  # noqa: E731
+        self._coeff = None if st.coeff is None else {
+            port: view(st.coeff[port]) for port in st.coeff
+        }
+        self._coeff_down = view(st.coeff_down)
+        self._coeff_up = view(st.coeff_up)
+        self._ups = None if st.ups is None else {
+            port: view(st.ups[port]) for port in st.ups
+        }
+        self._ups_down = view(st.ups_down)
+        self._ups_up = view(st.ups_up)
+        self._lam = view(st.lam)
+        self._lam_nbr = None if st.lam_nbr is None else {
+            port: view(st.lam_nbr[port]) for port in st.lam_nbr
+        }
+        self._acc = view(st.acc)
+        self._full_cols = view(st.full_cols)
+        self._blend = view(st.blend_mask)
+        shape = (snx, sny, nz)
+        self._out = np.empty(shape, dtype=dtype)
+        self._diff = np.empty(shape, dtype=dtype)
+        self._tmp = np.empty(shape, dtype=dtype)
+        if nz >= 2:
+            vshape = (snx, sny, nz - 1)
+            self._vd = np.empty(vshape, dtype=dtype)
+            self._vt = np.empty(vshape, dtype=dtype)
+            self._vl = np.empty(vshape, dtype=dtype) if self._lam is not None else None
+        self._d64a = np.empty(snx * sny * nz, dtype=np.float64)
+        self._d64b = np.empty(snx * sny * nz, dtype=np.float64)
+
+    def dot(self, a: np.ndarray, b: np.ndarray) -> float:
+        """:func:`dot64` through preallocated float64 scratch — same
+        conversion, same BLAS dot on the same values (so bitwise the
+        same result), no per-round allocation."""
+        np.copyto(self._d64a, a.reshape(-1))
+        np.copyto(self._d64b, b.reshape(-1))
+        return float(np.dot(self._d64a, self._d64b))
+
+    def fill(self, field: np.ndarray, halos: dict[str, np.ndarray | None]) -> None:
+        """Load the stencil input: owned block + neighbour halo planes.
+
+        ``halos`` maps each direction to the adjacent shard's published
+        boundary plane (``None`` at fabric edges — those pad planes stay
+        zero forever, matching ``_shifted``)."""
+        ext = self.x_ext
+        ext[self._inner] = field
+        west, east = halos.get("west"), halos.get("east")
+        north, south = halos.get("north"), halos.get("south")
+        if west is not None:
+            ext[0, 1:-1, :] = west
+        if east is not None:
+            ext[-1, 1:-1, :] = east
+        if north is not None:
+            ext[1:-1, 0, :] = north
+        if south is not None:
+            ext[1:-1, -1, :] = south
+
+    def apply(self) -> np.ndarray:
+        """The FV operator over the extended buffer, owned block only.
+
+        Allocation-free mirror of ``_apply_fields`` (same operands, same
+        order — bitwise-equal results); the returned buffer is reused by
+        the next apply, which is safe because every consumer (the dot,
+        the residual update) reads it before the next round.
+        """
+        x, out, diff, tmp = self._x_in, self._out, self._diff, self._tmp
+        if self.variant is KernelVariant.PRECOMPUTED:
+            for i, port in enumerate(HALO_ORDER):
+                np.subtract(x, self._x_shift[port], out=diff)
+                if i == 0:
+                    np.multiply(self._coeff[port], diff, out=out)
+                else:
+                    np.multiply(self._coeff[port], diff, out=tmp)
+                    out += tmp
+        else:
+            c = tmp
+            for i, port in enumerate(HALO_ORDER):
+                np.add(self._lam, self._lam_nbr[port], out=c)
+                np.multiply(c, 0.5, out=c, casting="unsafe")
+                np.multiply(c, self._ups[port], out=c, casting="unsafe")
+                np.subtract(x, self._x_shift[port], out=diff)
+                np.multiply(diff, c, out=diff, casting="unsafe")
+                if i == 0:
+                    out[...] = diff
+                else:
+                    out += diff
+        nz = x.shape[-1]
+        if nz >= 2:
+            lo = (Ellipsis, slice(0, nz - 1))
+            hi = (Ellipsis, slice(1, nz))
+            vd, vt = self._vd, self._vt
+            if self.variant is KernelVariant.PRECOMPUTED:
+                np.subtract(x[lo], x[hi], out=vd)
+                np.multiply(self._coeff_up[lo], vd, out=vt)
+                out[lo] += vt
+                np.subtract(x[hi], x[lo], out=vd)
+                np.multiply(self._coeff_down[hi], vd, out=vt)
+                out[hi] += vt
+            else:
+                vl = self._vl
+                for rng, other, ups in (
+                    (lo, hi, self._ups_up),
+                    (hi, lo, self._ups_down),
+                ):
+                    np.subtract(x[rng], x[other], out=vd)
+                    np.add(self._lam[rng], self._lam[other], out=vl)
+                    np.multiply(vl, 0.5, out=vl, casting="unsafe")
+                    np.multiply(vl, ups[rng], out=vl, casting="unsafe")
+                    np.multiply(vl, vd, out=vt)
+                    out[rng] += vt
+        if self._acc is not None:
+            np.multiply(self._acc, x, out=diff)
+            out += diff
+        if self.ext_st.has_full:
+            out[self._full_cols] = x[self._full_cols]
+        if self.ext_st.has_partial:
+            np.subtract(x, out, out=diff)
+            np.multiply(self._blend, diff, out=diff)
+            out += diff
+        return out
+
+    def publish(self, field: np.ndarray, outbox: dict[str, np.ndarray]) -> None:
+        """Copy this shard's boundary planes into its mailbox buffers
+        (one per direction with a live neighbour)."""
+        for direction, _, _ in DIRECTIONS:
+            plane = outbox.get(direction)
+            if plane is not None:
+                plane[...] = boundary_plane(field, direction)
+
+
+__all__ = ["ShardFields", "boundary_plane", "dot64"]

@@ -1,0 +1,183 @@
+"""Domain decomposition of the fabric into rectangular shards.
+
+A :class:`ShardLayout` is a validated ``shards_x x shards_y`` tensor
+decomposition of the ``nx x ny`` lateral grid: each shard owns a
+contiguous block of whole PE columns (the z axis is never split — a
+column is the unit of PE state, exactly as in the paper's mapping).
+Splits are balanced (``numpy.array_split`` semantics: the first
+``n % parts`` shards get one extra plane), so shard counts that do not
+divide the grid are first-class rather than an error.
+
+The layout is pure geometry: boxes, neighbour topology and boundary
+extents.  Halo buffers live in :mod:`repro.shard.halo`, the analytic
+link accounting in :mod:`repro.shard.links`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+#: The four lateral directions, as (attribute, dx, dy) in fabric
+#: coordinates (x grows eastward, y grows southward — matrix style, like
+#: :class:`repro.wse.router.Port`).
+DIRECTIONS = (
+    ("west", -1, 0),
+    ("east", 1, 0),
+    ("north", 0, -1),
+    ("south", 0, 1),
+)
+
+#: direction -> the direction a neighbour publishes toward us.
+OPPOSITE = {"west": "east", "east": "west", "north": "south", "south": "north"}
+
+
+def _split(n: int, parts: int) -> list[tuple[int, int]]:
+    """Balanced contiguous half-open ranges covering ``range(n)``."""
+    base, extra = divmod(n, parts)
+    ranges, start = [], 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        ranges.append((start, start + size))
+        start += size
+    return ranges
+
+
+@dataclass(frozen=True)
+class ShardBox:
+    """One shard's owned block of the fabric (half-open ranges)."""
+
+    index: int
+    ix: int
+    iy: int
+    x0: int
+    x1: int
+    y0: int
+    y1: int
+
+    @property
+    def nx(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def ny(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def columns(self) -> int:
+        """PE columns (lateral cells) this shard owns."""
+        return self.nx * self.ny
+
+
+def normalize_shard_shape(shard_shape) -> tuple[int, int]:
+    """``int`` → 1-D ``(n, 1)``; otherwise a validated 2-tuple."""
+    if isinstance(shard_shape, (int, np.integer)) and not isinstance(
+        shard_shape, bool
+    ):
+        shape = (int(shard_shape), 1)
+    else:
+        try:
+            shape = tuple(int(v) for v in shard_shape)
+        except (TypeError, ValueError):
+            raise ConfigurationError(
+                f"shard_shape must be a positive int or a "
+                f"(shards_x, shards_y) pair, got {shard_shape!r}"
+            ) from None
+    if len(shape) != 2 or any(v < 1 for v in shape):
+        raise ConfigurationError(
+            f"shard_shape must be a positive int or a (shards_x, shards_y) "
+            f"pair of positive integers, got {shard_shape!r}"
+        )
+    return shape
+
+
+@dataclass(frozen=True)
+class ShardLayout:
+    """A validated decomposition of an ``nx x ny`` fabric into shards.
+
+    Boxes are ordered row-major in shard coordinates
+    (``index = ix * shards_y + iy``); that order is also the
+    deterministic reduction order of cross-shard dot products.
+    """
+
+    shards_x: int
+    shards_y: int
+    nx: int
+    ny: int
+    boxes: tuple[ShardBox, ...]
+
+    @classmethod
+    def build(cls, shard_shape, nx: int, ny: int) -> "ShardLayout":
+        sx, sy = normalize_shard_shape(shard_shape)
+        if sx > nx or sy > ny:
+            raise ConfigurationError(
+                f"shard_shape ({sx}, {sy}) needs at least one grid plane "
+                f"per shard; the fabric is {nx} x {ny}"
+            )
+        xr = _split(nx, sx)
+        yr = _split(ny, sy)
+        boxes = tuple(
+            ShardBox(
+                index=ix * sy + iy, ix=ix, iy=iy,
+                x0=xr[ix][0], x1=xr[ix][1], y0=yr[iy][0], y1=yr[iy][1],
+            )
+            for ix in range(sx)
+            for iy in range(sy)
+        )
+        return cls(shards_x=sx, shards_y=sy, nx=nx, ny=ny, boxes=boxes)
+
+    @property
+    def n_shards(self) -> int:
+        return self.shards_x * self.shards_y
+
+    def neighbor_index(self, box: ShardBox, direction: str) -> int | None:
+        """The shard adjacent to ``box`` in ``direction``, or ``None`` at
+        the fabric edge."""
+        for name, dx, dy in DIRECTIONS:
+            if name == direction:
+                ix, iy = box.ix + dx, box.iy + dy
+                if 0 <= ix < self.shards_x and 0 <= iy < self.shards_y:
+                    return ix * self.shards_y + iy
+                return None
+        raise ConfigurationError(f"unknown direction {direction!r}")
+
+    def neighbors(self, box: ShardBox) -> dict[str, int | None]:
+        """All four lateral neighbours of ``box`` (``None`` off-fabric)."""
+        return {name: self.neighbor_index(box, name) for name, _, _ in DIRECTIONS}
+
+    def boundaries(self) -> list[tuple[int, int, int]]:
+        """Undirected inter-shard boundaries as ``(a, b, extent)``.
+
+        ``extent`` is the number of shared boundary cell columns (each
+        exchange moves ``extent * nz`` values per direction across it).
+        """
+        out: list[tuple[int, int, int]] = []
+        for box in self.boxes:
+            east = self.neighbor_index(box, "east")
+            if east is not None:
+                out.append((box.index, east, box.ny))
+            south = self.neighbor_index(box, "south")
+            if south is not None:
+                out.append((box.index, south, box.nx))
+        return out
+
+    def to_dict(self) -> dict:
+        return {
+            "shards_x": self.shards_x,
+            "shards_y": self.shards_y,
+            "nx": self.nx,
+            "ny": self.ny,
+            "columns_per_shard": [box.columns for box in self.boxes],
+        }
+
+
+__all__ = [
+    "DIRECTIONS",
+    "OPPOSITE",
+    "ShardBox",
+    "ShardLayout",
+    "normalize_shard_shape",
+]

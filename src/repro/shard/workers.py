@@ -1,0 +1,480 @@
+"""Shard workers and the pools ("crews") that run them.
+
+A :class:`ShardWorker` owns one shard's numerics; the coordinator
+(:class:`repro.shard.engine.ShardedVectorEngine`) drives all workers in
+lockstep *rounds* (named after :meth:`CgProgram.shard_rounds`): every
+round is a barrier — the coordinator dispatches it to every worker,
+collects every shard's partial dot product, reduces, and only then
+dispatches the next round.  Halo mailboxes are written at the end of one
+round and read at the start of a later one, so the barrier *is* the
+happens-before edge that makes the exchange race-free.
+
+Rounds are split into ``dispatch(name, scalar)`` / ``collect()`` halves
+so the coordinator can run its (pure-Python) charge-model bookkeeping
+*between* the two — overlapping with the workers' NumPy sweeps on the
+thread and process crews instead of serialising after them.  ``round()``
+is dispatch immediately followed by collect; ``collect()`` is the
+barrier either way.
+
+Three crews share the worker code:
+
+* ``serial`` — an in-process loop (deterministic baseline, tests);
+* ``thread`` — persistent daemon threads over the coordinator's own
+  arrays (NumPy releases the GIL inside the sweeps, so shards genuinely
+  overlap; zero-copy staging — the default);
+* ``process`` — one ``multiprocessing`` process per shard over
+  shared-memory buffers (``RawArray``: staged fields, halo mailboxes and
+  the gathered result live in anonymous shared mappings inherited by the
+  children — no files, no named segments to leak).  Pays a per-solve
+  spawn cost; wins only when sweeps are large enough that thread-level
+  parallelism is memory-bandwidth-bound.
+
+Every crew guarantees **no orphaned workers**: threads and processes are
+daemonic, and ``close()`` (called by the engine in a ``finally``) joins
+them with a terminate fallback.  ``benchmarks/shard_smoke.py`` asserts
+this in CI.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue
+import threading
+import traceback
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.fv_kernel import KernelVariant
+from repro.shard.halo import ShardFields
+from repro.shard.layout import DIRECTIONS, OPPOSITE, ShardBox, ShardLayout
+from repro.util.errors import ConfigurationError
+
+#: Worker-pool modes the sharded engine accepts.
+CREW_MODES = ("serial", "thread", "process")
+
+
+def default_crew(layout: ShardLayout) -> str:
+    """The crew a solve gets when the caller doesn't choose one.
+
+    A worker pool only pays for its barrier sync when shards can
+    actually sweep concurrently: with a single shard, or a single host
+    CPU, the pool is pure overhead, so those solves run the in-process
+    serial crew.  Every crew is bit-identical, so the choice is purely
+    a throughput matter."""
+    if len(layout.boxes) == 1 or (os.cpu_count() or 1) < 2:
+        return "serial"
+    return "thread"
+
+
+@dataclass(frozen=True)
+class WorkerParams:
+    """Per-solve scalars every worker needs (picklable — no arrays)."""
+
+    variant: KernelVariant
+    jacobi: bool
+    suppress: bool
+    dtype: str
+    has_full: bool
+    has_partial: bool
+
+
+class ShardWorker:
+    """One shard's CG numerics between coordinator rounds."""
+
+    def __init__(
+        self,
+        arrays: dict[str, np.ndarray],
+        box: ShardBox,
+        neighbors: dict[str, int | None],
+        outboxes: list[dict[str, np.ndarray]],
+        result: np.ndarray,
+        params: WorkerParams,
+    ):
+        self.box = box
+        self.params = params
+        self.fields = ShardFields(
+            arrays, box,
+            variant=params.variant, jacobi=params.jacobi,
+            has_full=params.has_full, has_partial=params.has_partial,
+            dtype=np.dtype(params.dtype),
+        )
+        self.outbox = outboxes[box.index]
+        # My halo source in direction d is that neighbour's plane
+        # published *toward me* — its OPPOSITE[d] mailbox.
+        self.inboxes: dict[str, np.ndarray | None] = {
+            direction: (
+                outboxes[nbr][OPPOSITE[direction]] if nbr is not None else None
+            )
+            for direction, nbr in neighbors.items()
+        }
+        self.result = result
+        self.jx: np.ndarray | None = None
+
+    def round(self, name: str, scalar: float | None = None) -> float | None:
+        f = self.fields
+        jacobi, suppress = self.params.jacobi, self.params.suppress
+        box = self.box
+        if name == "gather":
+            self.result[box.x0:box.x1, box.y0:box.y1, :] = f.y
+            return None
+        if suppress:
+            # comm-only programs never touch the arithmetic; partial
+            # dots are zero exactly as on the single-shard engines.
+            return 0.0 if name in ("init", "body", "update") else None
+        if name == "stage":
+            f.publish(f.y, self.outbox)
+            return None
+        if name == "init":
+            f.fill(f.y, self.inboxes)
+            jx = f.apply()
+            np.subtract(f.b, jx, out=f.r, casting="unsafe")
+            if jacobi:
+                np.multiply(f.r, f.inv_diag, out=f.z, casting="unsafe")
+                f.p[...] = f.z
+                local = f.dot(f.r, f.z)
+            else:
+                f.p[...] = f.r
+                local = f.dot(f.r, f.r)
+            # p is NOT published here: neighbours may still be filling
+            # their y halos from these same single-buffered mailbox
+            # planes — the coordinator runs the "publish" round after
+            # the init barrier.
+            return local
+        if name == "publish":
+            f.publish(f.p, self.outbox)
+            return None
+        if name == "body":
+            f.fill(f.p, self.inboxes)
+            self.jx = f.apply()
+            return f.dot(f.p, self.jx)
+        if name == "update":
+            # axpys through the fields' scratch (f._diff is only live
+            # inside apply) — `alpha * p` lands in the same dtype with
+            # the same rounding, minus the temporary.
+            alpha = scalar
+            np.multiply(f.p, alpha, out=f._diff, casting="unsafe")
+            f.y += f._diff
+            np.multiply(self.jx, -alpha, out=f._diff, casting="unsafe")
+            f.r += f._diff
+            if jacobi:
+                np.multiply(f.r, f.inv_diag, out=f.z, casting="unsafe")
+                return f.dot(f.r, f.z)
+            return f.dot(f.r, f.r)
+        if name == "direction":
+            beta = scalar
+            np.multiply(f.p, beta, out=f.p, casting="unsafe")
+            f.p += f.z if jacobi else f.r
+            f.publish(f.p, self.outbox)
+            return None
+        raise ConfigurationError(f"unknown shard round {name!r}")
+
+
+def _build_outboxes(
+    layout: ShardLayout, nz: int, dtype: np.dtype, make
+) -> list[dict[str, np.ndarray]]:
+    """One mailbox plane per live (shard, direction); ``make(shape)``
+    allocates (numpy for serial/thread, shared memory for process)."""
+    out: list[dict[str, np.ndarray]] = []
+    for box in layout.boxes:
+        planes: dict[str, np.ndarray] = {}
+        for direction, _, _ in DIRECTIONS:
+            if layout.neighbor_index(box, direction) is not None:
+                extent = box.ny if direction in ("west", "east") else box.nx
+                planes[direction] = make((extent, nz), dtype)
+        out.append(planes)
+    return out
+
+
+# -- crews --------------------------------------------------------------------
+
+
+class SerialCrew:
+    """All shards in one loop — the determinism/debug baseline."""
+
+    mode = "serial"
+
+    def __init__(self, layout, arrays, params, nz, dtype):
+        dtype = np.dtype(dtype)
+        shape = (layout.nx, layout.ny, nz)
+
+        def make(s, dt):
+            return np.zeros(s, dtype=dt)
+
+        self._result = np.zeros(shape, dtype=dtype)
+        outboxes = _build_outboxes(layout, nz, dtype, make)
+        self._workers = [
+            ShardWorker(
+                arrays, box, layout.neighbors(box), outboxes,
+                self._result, params,
+            )
+            for box in layout.boxes
+        ]
+
+    def start(self) -> None:
+        self.round("stage")
+
+    def dispatch(self, name: str, scalar: float | None = None) -> None:
+        # No workers to hand off to — run the round inline and let
+        # collect() hand back the results.
+        self._pending = [w.round(name, scalar) for w in self._workers]
+
+    def collect(self) -> list[float | None]:
+        pending, self._pending = self._pending, None
+        return pending
+
+    def round(self, name: str, scalar: float | None = None) -> list[float | None]:
+        self.dispatch(name, scalar)
+        return self.collect()
+
+    def gather(self) -> np.ndarray:
+        self.round("gather")
+        return self._result.copy()
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadCrew:
+    """Persistent daemon threads, one per shard, dispatched per round."""
+
+    mode = "thread"
+
+    def __init__(self, layout, arrays, params, nz, dtype):
+        dtype = np.dtype(dtype)
+        shape = (layout.nx, layout.ny, nz)
+
+        def make(s, dt):
+            return np.zeros(s, dtype=dt)
+
+        self._result = np.zeros(shape, dtype=dtype)
+        outboxes = _build_outboxes(layout, nz, dtype, make)
+        self._workers = [
+            ShardWorker(
+                arrays, box, layout.neighbors(box), outboxes,
+                self._result, params,
+            )
+            for box in layout.boxes
+        ]
+        self._cmd: list[queue.SimpleQueue] = [
+            queue.SimpleQueue() for _ in self._workers
+        ]
+        self._out: queue.SimpleQueue = queue.SimpleQueue()
+        self._threads = [
+            threading.Thread(
+                target=self._loop, args=(i,), daemon=True,
+                name=f"shard-worker-{i}",
+            )
+            for i in range(len(self._workers))
+        ]
+
+    def _loop(self, i: int) -> None:
+        while True:
+            cmd = self._cmd[i].get()
+            if cmd is None:
+                return
+            name, scalar = cmd
+            try:
+                self._out.put((i, "ok", self._workers[i].round(name, scalar)))
+            except BaseException as exc:  # surfaced by the coordinator
+                self._out.put((i, "err", exc))
+
+    def start(self) -> None:
+        for t in self._threads:
+            t.start()
+        self.round("stage")
+
+    def dispatch(self, name: str, scalar: float | None = None) -> None:
+        for q in self._cmd:
+            q.put((name, scalar))
+
+    def collect(self) -> list[float | None]:
+        results: list[float | None] = [None] * len(self._workers)
+        error: BaseException | None = None
+        for _ in self._workers:
+            i, status, payload = self._out.get()
+            if status == "err":
+                error = error or payload
+            else:
+                results[i] = payload
+        if error is not None:
+            raise error
+        return results
+
+    def round(self, name: str, scalar: float | None = None) -> list[float | None]:
+        self.dispatch(name, scalar)
+        return self.collect()
+
+    def gather(self) -> np.ndarray:
+        self.round("gather")
+        return self._result.copy()
+
+    def close(self) -> None:
+        for q in self._cmd:
+            q.put(None)
+        for t in self._threads:
+            if t.is_alive():
+                t.join(timeout=5.0)
+
+
+def _shared_array(ctx, shape, dtype: np.dtype):
+    """An anonymous shared-memory ndarray (inherited, never named —
+    nothing to unlink, nothing to orphan)."""
+    n = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    raw = ctx.RawArray("b", max(n, 1))
+    return raw, (tuple(int(v) for v in shape), dtype.str)
+
+
+def _view(raw, meta) -> np.ndarray:
+    shape, dtype_str = meta
+    return np.frombuffer(raw, dtype=np.dtype(dtype_str)).reshape(shape)
+
+
+def _process_main(conn, arrays_shm, box, neighbors, outbox_shm, result_shm, params):
+    """Child entry point: rebuild shared views, then serve rounds."""
+    try:
+        arrays = {k: _view(raw, meta) for k, (raw, meta) in arrays_shm.items()}
+        outboxes = [
+            {d: _view(raw, meta) for d, (raw, meta) in planes.items()}
+            for planes in outbox_shm
+        ]
+        result = _view(*result_shm)
+        worker = ShardWorker(arrays, box, neighbors, outboxes, result, params)
+        conn.send(("ready", None))
+    except BaseException:
+        conn.send(("err", traceback.format_exc()))
+        return
+    while True:
+        msg = conn.recv()
+        if msg is None:
+            return
+        name, scalar = msg
+        try:
+            conn.send(("ok", worker.round(name, scalar)))
+        except BaseException:
+            conn.send(("err", traceback.format_exc()))
+
+
+class ProcessCrew:
+    """One spawned process per shard over anonymous shared memory."""
+
+    mode = "process"
+
+    def __init__(self, layout, arrays, params, nz, dtype):
+        dtype = np.dtype(dtype)
+        ctx = mp.get_context("spawn")
+        # Stage every global array into shared memory (children slice
+        # out their shards at construction).
+        arrays_shm = {}
+        for key, arr in arrays.items():
+            raw, meta = _shared_array(ctx, arr.shape, arr.dtype)
+            _view(raw, meta)[...] = arr
+            arrays_shm[key] = (raw, meta)
+        outbox_shm = []
+
+        def make_shm(shape, dt):
+            return _shared_array(ctx, shape, np.dtype(dt))
+
+        for box in layout.boxes:
+            planes = {}
+            for direction, _, _ in DIRECTIONS:
+                if layout.neighbor_index(box, direction) is not None:
+                    extent = box.ny if direction in ("west", "east") else box.nx
+                    planes[direction] = make_shm((extent, nz), dtype)
+            outbox_shm.append(planes)
+        self._result_shm = _shared_array(ctx, (layout.nx, layout.ny, nz), dtype)
+        self._procs = []
+        self._conns = []
+        for box in layout.boxes:
+            parent, child = ctx.Pipe()
+            proc = ctx.Process(
+                target=_process_main,
+                args=(
+                    child, arrays_shm, box, layout.neighbors(box),
+                    outbox_shm, self._result_shm, params,
+                ),
+                daemon=True,
+                name=f"shard-worker-{box.index}",
+            )
+            self._procs.append(proc)
+            self._conns.append(parent)
+
+    def start(self) -> None:
+        for proc in self._procs:
+            proc.start()
+        for conn in self._conns:
+            status, payload = conn.recv()
+            if status == "err":
+                self.close()
+                raise ConfigurationError(
+                    f"shard worker failed to start:\n{payload}"
+                )
+        self.round("stage")
+
+    def dispatch(self, name: str, scalar: float | None = None) -> None:
+        self._round_name = name
+        for conn in self._conns:
+            conn.send((name, scalar))
+
+    def collect(self) -> list[float | None]:
+        results: list[float | None] = [None] * len(self._conns)
+        error: str | None = None
+        for i, conn in enumerate(self._conns):
+            status, payload = conn.recv()
+            if status == "err":
+                error = error or payload
+            else:
+                results[i] = payload
+        if error is not None:
+            raise RuntimeError(
+                f"shard worker round {self._round_name!r} failed:\n{error}"
+            )
+        return results
+
+    def round(self, name: str, scalar: float | None = None) -> list[float | None]:
+        self.dispatch(name, scalar)
+        return self.collect()
+
+    def gather(self) -> np.ndarray:
+        self.round("gather")
+        return _view(*self._result_shm).copy()
+
+    def close(self) -> None:
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+        for conn in self._conns:
+            conn.close()
+
+
+_CREWS = {"serial": SerialCrew, "thread": ThreadCrew, "process": ProcessCrew}
+
+
+def create_crew(mode: str, layout, arrays, params, nz, dtype):
+    if mode not in _CREWS:
+        raise ConfigurationError(
+            f"unknown shard worker mode {mode!r}; choose one of "
+            f"{', '.join(CREW_MODES)}"
+        )
+    return _CREWS[mode](layout, arrays, params, nz, dtype)
+
+
+__all__ = [
+    "CREW_MODES",
+    "ProcessCrew",
+    "SerialCrew",
+    "ShardWorker",
+    "ThreadCrew",
+    "WorkerParams",
+    "create_crew",
+    "default_crew",
+]

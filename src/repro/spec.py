@@ -270,11 +270,13 @@ MACHINE_FIELDS = (
     "comm_only",
     "fixed_iterations",
     "batch_size",
+    "shard_shape",
 )
 
 #: Fabric execution engines the dataflow backend offers (``None`` keeps
-#: the backend default, the event-driven oracle).
-FABRIC_ENGINES = ("event", "vectorized")
+#: the backend default, the event-driven oracle).  The single source of
+#: truth: ``repro.core.engines.ENGINE_NAMES`` aliases this tuple.
+FABRIC_ENGINES = ("event", "vectorized", "sharded")
 
 
 @dataclass(frozen=True)
@@ -304,6 +306,10 @@ class MachineSpec:
       program in batched execution (dataflow + vectorized engine only;
       ``None`` fuses a whole compatible batch).  The event engine and
       the gpu/reference backends reject it.
+    * ``shard_shape`` — ``(shards_x, shards_y)`` domain decomposition of
+      the fabric for the sharded engine (an ``int`` means a 1-D
+      ``(n, 1)`` split).  Requires ``engine="sharded"``; the layout is
+      validated against the grid at engine construction.
     """
 
     spec: WseSpecs | GpuSpecs | None = None
@@ -315,6 +321,7 @@ class MachineSpec:
     comm_only: bool = False
     fixed_iterations: int | None = None
     batch_size: int | None = None
+    shard_shape: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.spec is not None and not isinstance(self.spec, (WseSpecs, GpuSpecs)):
@@ -323,9 +330,13 @@ class MachineSpec:
                 f"{type(self.spec).__name__}"
             )
         if self.engine is not None and self.engine not in FABRIC_ENGINES:
+            close = difflib.get_close_matches(
+                str(self.engine), FABRIC_ENGINES, n=1, cutoff=0.5
+            )
+            hint = f"; did you mean {close[0]!r}?" if close else ""
             raise ConfigurationError(
-                f"unknown fabric engine {self.engine!r}; choose one of "
-                f"{', '.join(FABRIC_ENGINES)}"
+                f"unknown fabric engine {self.engine!r}{hint} "
+                f"(valid engines: {', '.join(FABRIC_ENGINES)})"
             )
         object.__setattr__(
             self, "simd_width", _check_optional_int("simd_width", self.simd_width, 1)
@@ -354,6 +365,30 @@ class MachineSpec:
         object.__setattr__(
             self, "batch_size", _check_optional_int("batch_size", self.batch_size, 1)
         )
+        if self.shard_shape is not None:
+            raw = self.shard_shape
+            if isinstance(raw, (int, np.integer)) and not isinstance(raw, bool):
+                shape = (int(raw), 1)
+            else:
+                try:
+                    shape = tuple(int(v) for v in raw)
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"shard_shape must be a positive int or a "
+                        f"(shards_x, shards_y) pair, got {raw!r}"
+                    ) from None
+            if len(shape) != 2 or any(v < 1 for v in shape):
+                raise ConfigurationError(
+                    f"shard_shape must be a positive int or a "
+                    f"(shards_x, shards_y) pair of positive integers, got "
+                    f"{raw!r}"
+                )
+            object.__setattr__(self, "shard_shape", shape)
+            if self.engine != "sharded":
+                raise ConfigurationError(
+                    f"shard_shape configures the sharded engine; set "
+                    f"engine='sharded' (got engine={self.engine!r})"
+                )
 
     def set_fields(self) -> set[str]:
         """Names of knobs that differ from their defaults."""
@@ -384,6 +419,7 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "comm_only": ("machine", "comm_only"),
     "fixed_iterations": ("machine", "fixed_iterations"),
     "batch_size": ("machine", "batch_size"),
+    "shard_shape": ("machine", "shard_shape"),
     "preconditioner": ("", "preconditioner"),
     "jacobi": ("", "preconditioner"),
     "n_steps": ("time", "n_steps"),
@@ -514,6 +550,9 @@ class SolveSpec:
                 "comm_only": m.comm_only,
                 "fixed_iterations": m.fixed_iterations,
                 "batch_size": m.batch_size,
+                "shard_shape": (
+                    None if m.shard_shape is None else list(m.shard_shape)
+                ),
             },
             "preconditioner": self.preconditioner,
             "time": None if self.time is None else self.time.to_dict(),
@@ -546,6 +585,8 @@ class SolveSpec:
             mach["spec"] = _machine_spec_from_dict(mach["spec"])
         if mach.get("block_shape") is not None:
             mach["block_shape"] = tuple(mach["block_shape"])
+        if mach.get("shard_shape") is not None:
+            mach["shard_shape"] = tuple(mach["shard_shape"])
         time_payload = data.get("time")
         return cls(
             tolerance=ToleranceSpec(**tol),

@@ -266,6 +266,38 @@ def _stage_problem(
     return st
 
 
+def staging_to_arrays(st: _Staging, program: CgProgram) -> dict[str, np.ndarray]:
+    """Flatten a staged problem into named field arrays.
+
+    The sharded engine ships a solve to its workers as this dict (plain
+    arrays copy into shared-memory buffers; a :class:`_Staging` object
+    does not), and each worker rebuilds its shard's staging from the
+    slices it owns.  Only construction-time fields are included — the
+    work arrays (``r``, ``p``, ``z``) are per-shard local state.
+    """
+    arrays: dict[str, np.ndarray] = {"y": st.y, "b": st.b}
+    if st.inv_diag is not None:
+        arrays["inv_diag"] = st.inv_diag
+    if st.acc is not None:
+        arrays["acc"] = st.acc
+    if program.variant is KernelVariant.PRECOMPUTED:
+        for port in COEFF_BUFFER:
+            arrays[f"coeff_{port.name}"] = st.coeff[port]
+        arrays["coeff_down"] = st.coeff_down
+        arrays["coeff_up"] = st.coeff_up
+    else:
+        for port in UPSILON_BUFFER:
+            arrays[f"ups_{port.name}"] = st.ups[port]
+        arrays["ups_down"] = st.ups_down
+        arrays["ups_up"] = st.ups_up
+        arrays["lam"] = st.lam
+        for port in MOBILITY_BUFFER:
+            arrays[f"lam_nbr_{port.name}"] = st.lam_nbr[port]
+    arrays["full_cols"] = st.full_cols
+    arrays["blend_mask"] = st.blend_mask
+    return arrays
+
+
 def _gather_staging(st: _Staging, idx: np.ndarray, variant: KernelVariant) -> _Staging:
     """The rows ``idx`` of a stacked staging, as a smaller staging.
 
@@ -1267,4 +1299,4 @@ class BatchedVectorEngine:
         return reports
 
 
-__all__ = ["BatchedVectorEngine", "VectorEngine"]
+__all__ = ["BatchedVectorEngine", "VectorEngine", "staging_to_arrays"]

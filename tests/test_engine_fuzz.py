@@ -117,14 +117,25 @@ def _draw_case(case: int):
         )
         if rng.random() < 0.15:
             kwargs["comm_only"] = True
-    return seed, problem, sibling, kwargs
+    # Shard-layout draws ride at the END so every earlier draw (and
+    # therefore every previously pinned case) is unchanged.  Shard
+    # counts range over the full [1, n] axis — degenerate 1xN rows and
+    # counts that do not divide the grid are the common case, not an
+    # edge case.
+    shard_shape = (
+        int(rng.integers(1, problem.grid.nx + 1)),
+        int(rng.integers(1, problem.grid.ny + 1)),
+    )
+    shard_workers = "thread" if case % 5 == 0 else "serial"
+    return seed, problem, sibling, kwargs, shard_shape, shard_workers
 
 
 @pytest.mark.parametrize("case", range(N_CASES))
 def test_fuzz_engine_parity(case):
-    seed, problem, sibling, kwargs = _draw_case(case)
+    seed, problem, sibling, kwargs, shard_shape, shard_workers = _draw_case(case)
     ctx = (
         f"[fuzz case {case}: seed={seed}, grid={problem.grid.shape}, "
+        f"shards={shard_shape}/{shard_workers}, "
         f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
     )
     event = WseMatrixFreeSolver(problem, engine="event", **kwargs).solve()
@@ -172,6 +183,50 @@ def test_fuzz_engine_parity(case):
     np.testing.assert_array_equal(sib.pressure, sib_serial.pressure, err_msg=ctx)
     assert sib.counters.to_dict() == sib_serial.counters.to_dict(), ctx
 
+    # -- vectorized vs. sharded -----------------------------------------------
+    # Per-element sweeps are bitwise identical under domain decomposition;
+    # the only fp divergence is the shard-ordered dot reduction, so
+    # alpha/beta (and the pressure) drift at round-off and a converging
+    # run may cross the tolerance one iteration early or late.  With a
+    # fixed iteration count the charge sequence is identical, so every
+    # counter is pinned exactly.
+    sharded = WseMatrixFreeSolver(
+        problem, engine="sharded", shard_shape=shard_shape,
+        shard_workers=shard_workers, **kwargs,
+    ).solve()
+    assert sharded.engine == "sharded", ctx
+    assert sharded.memory == vector.memory, ctx
+    assert abs(sharded.iterations - vector.iterations) <= 2, ctx
+    np.testing.assert_allclose(
+        sharded.pressure.astype(np.float64),
+        vector.pressure.astype(np.float64),
+        rtol=1e-5, atol=atol, err_msg=ctx,
+    )
+    n_shards = shard_shape[0] * shard_shape[1]
+    links = sharded.shard["links"]
+    if n_shards == 1:
+        assert links["halo_bytes"] == 0 and links["reduce_bytes"] == 0, ctx
+    else:
+        assert links["exchanges"] == sharded.iterations + 1, ctx
+        assert links["halo_bytes"] > 0 and links["reduce_bytes"] > 0, ctx
+    if not kwargs.get("fixed_iterations"):
+        return
+    # Fixed-iteration runs: the round-off channel cannot change control
+    # flow, so the parity is exact across the board.
+    assert sharded.iterations == vector.iterations, ctx
+    assert sharded.converged == vector.converged, ctx
+    assert sharded.counters.to_dict() == vector.counters.to_dict(), ctx
+    assert sharded.trace.to_dict() == vector.trace.to_dict(), ctx
+    assert sharded.state_visits == vector.state_visits, ctx
+    # Residuals at the bottom of a converged run are catastrophically
+    # cancelled (1e-29 vs 9e3 starts), so the floor scales to rtr0.
+    rtr0 = max(vector.residual_history[0], 1.0)
+    np.testing.assert_allclose(
+        np.asarray(sharded.residual_history),
+        np.asarray(vector.residual_history),
+        rtol=1e-5, atol=1e-12 * rtr0, err_msg=ctx,
+    )
+
 
 N_TRANSIENT_CASES = 12
 
@@ -217,7 +272,14 @@ def _draw_transient_case(case: int):
         total_compressibility=float(10 ** rng.uniform(-3, -1)),
         warm_start=bool(rng.random() < 0.7),
     )
-    return seed, problem, sibling, kwargs
+    # Appended after every pre-existing draw (same contract as
+    # :func:`_draw_case`): shard layout for the 4th parity leg.
+    shard_shape = (
+        int(rng.integers(1, problem.grid.nx + 1)),
+        int(rng.integers(1, problem.grid.ny + 1)),
+    )
+    shard_workers = "thread" if case % 4 == 0 else "serial"
+    return seed, problem, sibling, kwargs, shard_shape, shard_workers
 
 
 @pytest.mark.parametrize("case", range(N_TRANSIENT_CASES))
@@ -227,10 +289,13 @@ def test_fuzz_transient_engine_parity(case):
     sequences exactly, at every backward-Euler step."""
     from repro.core.solver import simulate_reports, simulate_reports_batch
 
-    seed, problem, sibling, kwargs = _draw_transient_case(case)
+    seed, problem, sibling, kwargs, shard_shape, shard_workers = (
+        _draw_transient_case(case)
+    )
     ctx = (
         f"[transient fuzz case {case}: seed={seed}, "
         f"grid={problem.grid.shape}, "
+        f"shards={shard_shape}/{shard_workers}, "
         f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
     )
     event = list(simulate_reports(problem, engine="event", **kwargs))
@@ -281,6 +346,25 @@ def test_fuzz_transient_engine_parity(case):
         np.testing.assert_array_equal(sib.pressure, ser.pressure, err_msg=ctx)
         assert sib.counters.to_dict() == ser.counters.to_dict(), (step, ctx)
 
+    # -- vectorized vs. sharded (per step) ------------------------------------
+    # Warm starts carry the shard-reduction round-off from step to step,
+    # so per-step states agree to fp round-off and iteration counts stay
+    # within the tolerance-crossing jitter; memory rehearsal is exact.
+    sharded = list(simulate_reports(
+        problem, engine="sharded", shard_shape=shard_shape,
+        shard_workers=shard_workers, **kwargs,
+    ))
+    assert len(sharded) == len(vector), ctx
+    for step, (vec, sh) in enumerate(zip(vector, sharded), start=1):
+        assert sh.engine == "sharded", (step, ctx)
+        assert sh.memory == vec.memory, (step, ctx)
+        assert abs(sh.iterations - vec.iterations) <= 3, (step, ctx)
+        np.testing.assert_allclose(
+            sh.pressure.astype(np.float64),
+            vec.pressure.astype(np.float64),
+            rtol=1e-5, atol=1e-7, err_msg=str((step, ctx)),
+        )
+
 
 def test_transient_iterations_drop_monotonically_with_dt():
     """The conditioning property documented in ``physics/transient.py``,
@@ -309,14 +393,15 @@ def test_transient_iterations_drop_monotonically_with_dt():
 def test_fuzz_is_deterministic():
     """The reproduction contract: redrawing a case yields the same
     problem and knobs (so the seed in a failure message is sufficient)."""
-    seed_a, problem_a, _, kwargs_a = _draw_case(7)
-    seed_b, problem_b, _, kwargs_b = _draw_case(7)
+    seed_a, problem_a, _, kwargs_a, shard_a, workers_a = _draw_case(7)
+    seed_b, problem_b, _, kwargs_b, shard_b, workers_b = _draw_case(7)
     assert seed_a == seed_b
     np.testing.assert_array_equal(problem_a.permeability, problem_b.permeability)
     np.testing.assert_array_equal(problem_a.dirichlet.mask, problem_b.dirichlet.mask)
     assert {k: v for k, v in kwargs_a.items() if k != "spec"} == {
         k: v for k, v in kwargs_b.items() if k != "spec"
     }
+    assert (shard_a, workers_a) == (shard_b, workers_b)
 
 
 def test_fuzz_spans_the_knob_space():
@@ -324,10 +409,21 @@ def test_fuzz_spans_the_knob_space():
     variants, both preconditioner settings, converging and fixed modes,
     and a comm-only case all occur (the suite actually covers what it
     claims to cover)."""
-    drawn = [_draw_case(i)[3] for i in range(N_CASES)]
+    cases = [_draw_case(i) for i in range(N_CASES)]
+    drawn = [c[3] for c in cases]
     assert {k["variant"] for k in drawn} == {"precomputed", "fused_mobility"}
     assert {k["jacobi"] for k in drawn} == {False, True}
     assert any(k.get("fixed_iterations") for k in drawn)
     assert any(k.get("rel_tol") for k in drawn)
     assert any(k.get("comm_only") for k in drawn)
     assert {k["simd_width"] for k in drawn} == {1, 2, 3}
+    shards = [c[4] for c in cases]
+    grids = [c[1].grid for c in cases]
+    assert any(sx * sy == 1 for sx, sy in shards)  # single-shard identity
+    assert any(sx * sy > 1 for sx, sy in shards)  # real decompositions
+    assert any(sx == 1 and sy > 1 for sx, sy in shards)  # degenerate 1xN
+    assert any(  # shard counts that do not divide the grid evenly
+        (sx > 1 and g.nx % sx) or (sy > 1 and g.ny % sy)
+        for (sx, sy), g in zip(shards, grids)
+    )
+    assert {c[5] for c in cases} == {"serial", "thread"}

@@ -147,7 +147,8 @@ def test_engine_report_field_vocabulary():
     fields = sorted(EngineReport.__dataclass_fields__)
     assert fields == [
         "converged", "counters", "elapsed_seconds", "engine", "iterations",
-        "memory", "pressure", "residual_history", "state_visits", "trace",
+        "memory", "pressure", "residual_history", "shard", "state_visits",
+        "trace",
     ]
 
 
