@@ -1,4 +1,4 @@
-"""Diff a bench-session run against the committed baseline (warn-only).
+"""Diff a bench-session run against the committed baseline.
 
 Usage::
 
@@ -11,11 +11,26 @@ own line; when one side is a smoke run and the other full-size, the
 grids differ, so rows collapse to one per ``table`` and ratios are
 informational only.  Prints a regression table of ``host_seconds``
 (baseline vs. current, ratio) and flags rows whose slowdown exceeds
-``--warn-ratio`` (default 2.0 — host timings on shared CI runners are
-noisy, so this is a visibility tool, not a gate).
+``--warn-ratio`` (default 2.0).
 
-Always exits 0: perf drift becomes *visible* per-PR without blocking
-merges.  Missing/new/failed rows are listed, not errored.
+**Timing is warn-only; non-timing rows gate.**  Host timings on shared
+CI runners are noisy, so they never block a merge.  Everything else a
+bench row records is deterministic, and drift there is a bug, not
+noise — the tool **exits 1** when:
+
+* any oracle-parity boolean in the *current* run is false (the fused
+  rows' ``counters_match_serial`` / ``trace_match_serial`` /
+  ``memory_match_serial`` / ``pressure_close_serial`` — these hold on
+  every machine, so this gate applies even against a mismatched
+  baseline);
+* the runs are like-for-like (same smoke/full shape) and a matched
+  row's non-timing fields drift: exact for counter scalars, iteration
+  counts, convergence flags and layout knobs
+  (:data:`GATE_EXACT_FIELDS`), within a tolerance band for the fields
+  that absorb scheduling jitter (:data:`GATE_BAND_FIELDS`, e.g. the
+  service cache-hit ratio).
+
+Missing/new/failed rows are still listed, not errored.
 """
 
 from __future__ import annotations
@@ -26,6 +41,27 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Non-timing fields compared exactly between like-for-like runs.
+#: All are deterministic replays of the same arithmetic/charge model;
+#: a mismatch means the numerics or the accounting changed.
+GATE_EXACT_FIELDS = (
+    "iterations", "converged", "mode", "fixed_iterations", "batch",
+    "problems", "n_steps", "shard_shape", "fused_tile",
+    "tiles_per_iteration", "flops", "fabric_bytes",
+)
+
+#: Non-timing fields gated within an absolute tolerance band — they are
+#: shaped by admission/scheduling timing, so they wobble without being
+#: regressions (a drop beyond the band still is one).
+GATE_BAND_FIELDS = {"cache_hit_ratio": 0.15}
+
+#: Row keys that assert oracle parity inside one run; ``True`` is the
+#: only healthy value wherever they appear.
+PARITY_KEYS = (
+    "counters_match_serial", "trace_match_serial", "memory_match_serial",
+    "pressure_close_serial",
+)
 
 
 def load_rows(path: pathlib.Path, *, by_scenario: bool) -> dict[str, dict]:
@@ -112,9 +148,10 @@ def main(argv: list[str] | None = None) -> int:
     print(sep)
     for row in table_rows:
         print(format_row(row, widths))
-    # Serving-tier visibility: cache-hit ratios ride along (warn-only,
-    # like everything here) — a hit-ratio drop is an admission/dedup
-    # regression host_seconds alone can hide.
+    # Serving-tier visibility: cache-hit ratios ride along — a hit-ratio
+    # drop is an admission/dedup regression host_seconds alone can hide.
+    # (The warn here is the early signal; drops beyond the
+    # GATE_BAND_FIELDS band hard-fail in the gate below.)
     hit_rows = [
         key for key in sorted(set(base) | set(cur))
         if "cache_hit_ratio" in (cur.get(key) or {})
@@ -169,10 +206,53 @@ def main(argv: list[str] | None = None) -> int:
                 f"({'-' if ratio is None else f'{ratio:.2f}x'}){flag}"
             )
 
+    # ---- the gate: non-timing rows ------------------------------------------
+    gate_failures: list[str] = []
+
+    # Oracle-parity booleans hold on any machine against any baseline:
+    # the fused engine's counters/trace/memory are computed, not timed.
+    for record in json.loads(args.current.read_text()).get("results", []):
+        label = f"{record.get('table', '?')} {record.get('scenario', '')}".strip()
+        for key in PARITY_KEYS:
+            if key in record and record[key] is not True:
+                gate_failures.append(f"{label}: {key} is {record[key]!r}")
+
+    # Like-for-like runs replay identical deterministic workloads, so
+    # every non-timing field must survive the PR (band fields within
+    # their tolerance).
+    if like_for_like:
+        for key in sorted(set(base) & set(cur)):
+            b, c = base[key], cur[key]
+            if "error" in b or "error" in c:
+                continue  # already surfaced in the table above
+            for name in GATE_EXACT_FIELDS:
+                if name not in b and name not in c:
+                    continue
+                if b.get(name) != c.get(name):
+                    gate_failures.append(
+                        f"{key}: {name} {b.get(name)!r} -> {c.get(name)!r}"
+                    )
+            for name, band in GATE_BAND_FIELDS.items():
+                bv, cv = b.get(name), c.get(name)
+                if bv is None or cv is None:
+                    continue
+                if abs(cv - bv) > band:
+                    gate_failures.append(
+                        f"{key}: {name} {bv:.3f} -> {cv:.3f} "
+                        f"(band +/-{band})"
+                    )
+
     if warnings:
-        print(f"\ndiff_bench: {warnings} row(s) flagged (non-blocking)")
+        print(f"\ndiff_bench: {warnings} timing row(s) flagged (non-blocking)")
     else:
-        print("\ndiff_bench: no regressions flagged")
+        print("\ndiff_bench: no timing regressions flagged")
+    if gate_failures:
+        for line in gate_failures:
+            print(f"diff_bench: GATE {line}")
+        print(f"diff_bench: {len(gate_failures)} non-timing regression(s) — "
+              f"failing")
+        return 1
+    print("diff_bench: non-timing gate clean")
     return 0
 
 

@@ -34,13 +34,28 @@ requests over few distinct specs (requests/sec, ``cache_hit_ratio``,
 solves actually executed, fused launches) and a streamed transient
 solve through ``SolveService.stream`` (steps/sec).
 
-``sharded_throughput`` rows (schema ``repro.bench_session/6``) measure
-the domain-sharded engine against the cache-bound ceiling the batched
-rows exposed at 128×128: the same problem family solved serially on the
-single-worker vectorized engine (the baseline) and on
-``engine="sharded"`` at 1/2/4 shards (thread crew).  The multi-shard
-``speedup_vs_serial`` is the scale proof for sharded execution —
-shard subgrids fit cache and sweep concurrently.
+``sharded_throughput`` rows measure the domain-sharded engine against
+the cache-bound ceiling the batched rows exposed at 128×128: the same
+problem family solved serially on the single-worker vectorized engine
+(the baseline) and on ``engine="sharded"`` at 1/2/4 shards (thread
+crew).  The multi-shard ``speedup_vs_serial`` is the scale proof for
+sharded execution — shard subgrids fit cache and sweep concurrently.
+
+``fused_throughput`` rows (schema ``repro.bench_session/7``) measure
+the fused cache-blocked hot-loop engine (``engine="fused"``) against
+the same serial-vectorized baseline, interleaved per problem like the
+sharded rows: a tile sweep (auto slab, an explicit slab, a narrow
+generic tile) at 16×16 and 128×128.  Each fused row also records the
+oracle-parity booleans (``counters_match_serial`` etc. — the charge
+model is shared, so counters/trace/memory must be *exactly* the
+vectorized engine's) and the counter scalars (``flops``,
+``fabric_bytes``) that ``diff_bench.py`` gates on.  The 128×128 auto
+row's ``speedup_vs_serial`` is the scale proof for fusion (expected
+≥ 1.5× with the pure-NumPy backend).
+
+``--profile`` prints a per-phase host-time breakdown (stage / apply /
+dot / charge, vectorized vs fused — the fused engine collapses apply,
+axpy and dot into single tiled sweeps) instead of running the benches.
 
 Every row records its convergence *mode*: Table III/IV/V rows run under
 ``fixed_iterations`` (truncated by design, the paper's Table IV
@@ -327,6 +342,225 @@ def run_sharded_throughput(smoke: bool) -> list[dict]:
     return records
 
 
+def run_fused_throughput(smoke: bool) -> list[dict]:
+    """Fused hot-loop engine throughput rows against the serial baseline.
+
+    The batched rows show fusion-across-problems losing at 128×128 (the
+    stacked arrays blow the cache); the fused engine attacks the same
+    ceiling *within* one problem — each CG phase runs as a single tiled
+    pass, so a tile's working set is touched once per iteration instead
+    of once per numpy op.  Rows: the serial-vectorized baseline, the
+    auto-picked slab tile, one explicit slab and one narrow generic
+    tile (the strided fallback path).  Timing is interleaved per
+    problem with a rotating lead config, exactly like the sharded rows,
+    and ``speedup_vs_serial`` is the median of the per-problem paired
+    ratios.
+
+    Fusion reorders host arithmetic only — the charge model is shared
+    with the vectorized engine — so every fused row carries parity
+    booleans (counters/trace/memory exactly equal, pressure within fp
+    round-off) against the serial rung's solve of the same problem.
+    ``diff_bench.py`` gates on those booleans and on the recorded
+    ``flops``/``fabric_bytes``.
+    """
+    if smoke:
+        cases = [(8, 2, 3, 8, (None, (4, 8), (3, 3)))]
+    else:
+        # Same workload as the 128x128 batched/sharded rows so all three
+        # tables share a serial baseline rung; the 16x16 case shows the
+        # small-grid regime where Python overhead, not cache, dominates.
+        cases = [
+            (16, 4, 24, 64, (None, (8, 16), (8, 8))),
+            (128, 4, 24, 64, (None, (32, 128), (16, 16))),
+        ]
+
+    records = []
+    for lateral, nz, iters, count, tiles in cases:
+        problems = [
+            repro.scenario(
+                "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+                permeability=float(40 + 7 * i),
+            ).build()
+            for i in range(count)
+        ]
+        base = repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+            dtype="float32", engine="vectorized", fixed_iterations=iters,
+        )
+        configs = [{
+            "tile": "serial", "spec": base, "label": "serial",
+            "solve_seconds": [], "last": None, "converged": True,
+        }]
+        for tile in tiles:
+            label = "fused auto" if tile is None \
+                else f"fused {tile[0]}x{tile[1]}"
+            configs.append({
+                "tile": tile, "label": label,
+                "spec": base.with_options(engine="fused", fused_tile=tile),
+                "solve_seconds": [], "last": None, "converged": True,
+            })
+        for cfg in configs:  # warm-up: first solve pays allocator setup
+            repro.solve(problems[0], backend="wse", spec=cfg["spec"])
+        for i, problem in enumerate(problems):
+            for j in range(len(configs)):
+                cfg = configs[(i + j) % len(configs)]
+                start = time.perf_counter()
+                result = repro.solve(problem, backend="wse", spec=cfg["spec"])
+                cfg["solve_seconds"].append(time.perf_counter() - start)
+                cfg["last"] = result
+                cfg["converged"] &= bool(result.converged)
+
+        def median(values):
+            ordered = sorted(values)
+            mid = len(ordered) // 2
+            if len(ordered) % 2:
+                return ordered[mid]
+            return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+        import numpy as np
+
+        serial_cfg = configs[0]
+        serial = serial_cfg["last"]  # every config ends on problems[-1]
+        for cfg in configs:
+            last = cfg["last"]
+            host = sum(cfg["solve_seconds"])
+            pps = count / host
+            speedup = median([
+                s / t for s, t in
+                zip(serial_cfg["solve_seconds"], cfg["solve_seconds"])
+            ])
+            counters = last.telemetry["counters"]
+            fused = last.telemetry.get("fused")
+            record = {
+                "table": "fused_throughput",
+                "scenario": f"quarter_five_spot[{lateral}x{lateral}x{nz}] "
+                            f"x{count} {cfg['label']}",
+                "backend": "wse",
+                "engine": last.telemetry.get("engine"),
+                "mode": "fixed_iterations",
+                "fixed_iterations": iters,
+                "fabric": f"{lateral}x{lateral}",
+                "fused_backend": None if fused is None else fused["backend"],
+                "fused_tile": None if fused is None else fused["tile"],
+                "tiles_per_iteration": None if fused is None else fused["tiles"],
+                "host_cpus": os.cpu_count(),
+                "problems": count,
+                "interleave": "per_problem",
+                "median_solve_seconds": median(cfg["solve_seconds"]),
+                "iterations": last.iterations,
+                "converged": cfg["converged"],
+                # Counter scalars + oracle-parity booleans: deterministic
+                # (unlike host timings), so diff_bench gates on them.
+                "flops": counters["flops"],
+                "fabric_bytes": counters["fabric_bytes"],
+                "time_kind": "host",
+                "host_seconds": host,
+                "problems_per_sec": pps,
+                "speedup_vs_serial": speedup,
+            }
+            if cfg is not serial_cfg:
+                record.update(
+                    counters_match_serial=(counters == serial.telemetry["counters"]),
+                    trace_match_serial=(
+                        last.telemetry["trace"] == serial.telemetry["trace"]
+                    ),
+                    memory_match_serial=(
+                        last.telemetry["memory"] == serial.telemetry["memory"]
+                    ),
+                    pressure_close_serial=bool(np.allclose(
+                        last.pressure, serial.pressure, rtol=1e-5, atol=1e-8
+                    )),
+                )
+            records.append(record)
+            parity = "" if cfg is serial_cfg else (
+                " parity=ok" if record["counters_match_serial"]
+                and record["trace_match_serial"]
+                and record["memory_match_serial"]
+                and record["pressure_close_serial"] else " parity=BROKEN"
+            )
+            print(f"  fused_throughput {lateral:>3}x{lateral} "
+                  f"{cfg['label']:<12} {count} problems interleaved, median "
+                  f"{median(cfg['solve_seconds']) * 1e3:.1f}ms/solve -> "
+                  f"{pps:,.1f} problems/s ({speedup:.2f}x serial){parity}")
+    return records
+
+
+def run_profile(smoke: bool) -> None:
+    """Per-phase host-time breakdown, vectorized vs fused (``--profile``).
+
+    Times engine construction (staging + coefficient prebuild), the hot
+    per-iteration phases, and the charge model's per-iteration packet
+    accounting.  The vectorized engine has separate apply and dot
+    phases; the fused engine collapses apply+dot into one tiled sweep
+    (``body_pass``) and axpy+dot into another (``update_pass``) — the
+    columns show exactly where the fusion win comes from.
+    """
+    import numpy as np
+
+    from repro.core.solver import WseMatrixFreeSolver
+
+    lateral, nz, iters, reps = (16, 2, 8, 20) if smoke else (128, 4, 24, 40)
+    problem = repro.scenario(
+        "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+    ).build()
+    fabric = WSE2.with_fabric(max(32, lateral), max(32, lateral))
+
+    def per_call_ms(fn, n):
+        start = time.perf_counter()
+        for _ in range(n):
+            fn()
+        return (time.perf_counter() - start) / n * 1e3
+
+    phases: dict[str, dict[str, float]] = {}
+    for name in ("vectorized", "fused"):
+        start = time.perf_counter()
+        solver = WseMatrixFreeSolver(
+            problem, spec=fabric, engine=name, dtype=np.float32,
+            rel_tol=None, fixed_iterations=iters,
+        )
+        stage_ms = (time.perf_counter() - start) * 1e3
+        eng = solver.engine
+        col = {"stage (construction)": stage_ms}
+        if name == "vectorized":
+            st = eng.st
+            col["apply (Jp sweep)"] = per_call_ms(lambda: eng._apply(st.p), reps)
+            col["dot (p.Jp)"] = per_call_ms(lambda: eng._dot(st.p, st.r), reps)
+        else:
+            bk = eng.backend
+            bk.init_pass()
+            col["fused sweep (apply+dot)"] = per_call_ms(bk.body_pass, reps)
+            col["fused update (axpy+dot)"] = per_call_ms(
+                lambda: bk.update_pass(0.5), reps
+            )
+        model = eng.model
+        col["charge (packet model/iter)"] = per_call_ms(
+            lambda: (model.charge_kernel(), model.charge_exchange(),
+                     model.charge_allreduce(), model.charge_allreduce()),
+            reps,
+        )
+        phases[name] = col
+        if name == "fused":
+            info = eng.fused_info()
+            print(f"  fused backend={info['backend']} "
+                  f"tile={info['tile'][0]}x{info['tile'][1]} "
+                  f"tiles={info['tiles']}")
+
+    labels = [
+        "stage (construction)", "apply (Jp sweep)", "dot (p.Jp)",
+        "fused sweep (apply+dot)", "fused update (axpy+dot)",
+        "charge (packet model/iter)",
+    ]
+    print(f"\nprofile: per-phase host time, ms per call "
+          f"({lateral}x{lateral}x{nz}, {reps} reps)")
+    print(f"  {'phase':<28} {'vectorized':>12} {'fused':>12}")
+    for label in labels:
+        cells = []
+        for name in ("vectorized", "fused"):
+            value = phases[name].get(label)
+            cells.append("-" if value is None else f"{value:.3f}")
+        print(f"  {label:<28} {cells[0]:>12} {cells[1]:>12}")
+
+
 def run_transient_throughput(smoke: bool) -> list[dict]:
     """Transient (time-stepping) throughput rows.
 
@@ -559,7 +793,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--executor", default="thread",
                         choices=("serial", "thread", "process"))
     parser.add_argument("--n-workers", type=int, default=None)
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-phase host-time breakdown "
+                             "(stage/apply/dot/charge, vectorized vs "
+                             "fused) and exit without running the benches")
     args = parser.parse_args(argv)
+
+    if args.profile:
+        run_profile(args.smoke)
+        return 0
 
     rows = build_targets(args.smoke)
     # The engine-comparison pair is a controlled measurement: its
@@ -654,10 +896,14 @@ def main(argv: list[str] | None = None) -> int:
     # Sharded-engine rows: domain decomposition vs the serial baseline.
     print("\nsharded throughput (problems/sec):")
     records.extend(run_sharded_throughput(args.smoke))
+
+    # Fused-engine rows: cache-blocked hot loop vs the serial baseline.
+    print("\nfused throughput (problems/sec):")
+    records.extend(run_fused_throughput(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/6",
+        "schema": "repro.bench_session/7",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

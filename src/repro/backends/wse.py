@@ -25,9 +25,12 @@ class WseBackend:
     fabric, so any simulator-scale grid fits), ``machine.engine`` selects
     the fabric execution engine (``"event"``, the per-PE discrete-event
     oracle and the default; ``"vectorized"``, whole-fabric NumPy
-    sweeps for paper-scale fabrics; or ``"sharded"``, the vectorized
+    sweeps for paper-scale fabrics; ``"sharded"``, the vectorized
     numerics domain-decomposed over a worker pool — ``shard_shape``
-    picks the decomposition), plus the dataflow design knobs
+    picks the decomposition; or ``"fused"``, the vectorized numerics
+    as cache-blocked single-pass CG sweeps — ``fused_tile`` picks the
+    tile, and also routes sharded workers through the tiled kernel),
+    plus the dataflow design knobs
     ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ`` vs.
     in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
     ``comm_only``/``fixed_iterations`` (§V-C's Table IV methodology) and
@@ -45,6 +48,7 @@ class WseBackend:
     SUPPORTED_MACHINE_FIELDS = {
         "spec", "engine", "simd_width", "variant", "reuse_buffers",
         "comm_only", "fixed_iterations", "batch_size", "shard_shape",
+        "fused_tile",
     }
 
     @staticmethod
@@ -94,6 +98,8 @@ class WseBackend:
             options["fixed_iterations"] = machine.fixed_iterations
         if machine.shard_shape is not None:
             options["shard_shape"] = machine.shard_shape
+        if machine.fused_tile is not None:
+            options["fused_tile"] = machine.fused_tile
         if spec.tolerance.tol_rtr is not None:
             options["tol_rtr"] = spec.tolerance.tol_rtr
         if spec.tolerance.rel_tol is not None:
@@ -121,6 +127,9 @@ class WseBackend:
         shard = getattr(report, "shard", None)
         if shard is not None:
             telemetry["shard"] = shard
+        fused = getattr(report, "fused", None)
+        if fused is not None:
+            telemetry["fused"] = fused
         if extra_telemetry:
             telemetry.update(extra_telemetry)
         return telemetry
@@ -154,8 +163,8 @@ class WseBackend:
                     f"machine.batch_size needs a batch-capable engine "
                     f"({', '.join(BATCH_CAPABLE_ENGINES)}); engine="
                     f"{(machine.engine or 'event')!r} plays one problem "
-                    f"at a time (set engine='vectorized' or drop "
-                    f"batch_size)"
+                    f"at a time (set engine='vectorized' or "
+                    f"engine='fused', or drop batch_size)"
                 )
         if spec.time is not None:
             # Transient study: one signature for steady and time-dependent

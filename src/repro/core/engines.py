@@ -12,7 +12,11 @@ Three engines execute the same engine-agnostic program description
   worker pool (threads or shared-memory processes) with real halo
   exchange between shards and cross-shard dot-product reduction;
   counters/traffic/memory stay exactly parity-pinned to the
-  single-shard vectorized engine.
+  single-shard vectorized engine;
+* ``"fused"`` — the vectorized numerics executed as one cache-blocked
+  pass per CG iteration (FV apply, axpys and dot partials fused per
+  lateral tile, optional numba backend); counters/traffic/memory stay
+  exactly parity-pinned to the vectorized engine.
 
 Selection is declarative via ``MachineSpec(engine=...)``; the solver
 resolves the name here.  Engine construction is lazy per name so the
@@ -28,7 +32,7 @@ import numpy as np
 
 from repro.core.program import CgProgram, EngineReport
 from repro.physics.darcy import SinglePhaseProblem
-from repro.spec import FABRIC_ENGINES
+from repro.spec import FABRIC_ENGINES, TILE_ENGINES
 from repro.util.errors import ConfigurationError
 from repro.wse.specs import WseSpecs
 
@@ -40,6 +44,11 @@ DEFAULT_ENGINE = "event"
 
 #: Engines that accept a shard layout (``shard_shape``/``shard_workers``).
 SHARD_CAPABLE_ENGINES = ("sharded",)
+
+#: Engines that accept a cache-tile shape (``fused_tile``).  The sharded
+#: engine qualifies because its workers can run the fused kernel over
+#: their halo-extended slabs.  Aliases :data:`repro.spec.TILE_ENGINES`.
+TILE_CAPABLE_ENGINES = TILE_ENGINES
 
 
 def _unknown_engine_error(name: str) -> ConfigurationError:
@@ -73,6 +82,7 @@ def create_engine(
     rhs: np.ndarray | None = None,
     shard_shape=None,
     shard_workers: str | None = None,
+    fused_tile=None,
 ) -> FabricEngine:
     """Instantiate the engine ``name`` for one solve (staging included)."""
     if name not in ENGINE_NAMES:
@@ -84,6 +94,11 @@ def create_engine(
             f"fabric engine {name!r} is single-shard; shard_shape/"
             f"shard_workers require one of "
             f"{', '.join(SHARD_CAPABLE_ENGINES)}"
+        )
+    if name not in TILE_CAPABLE_ENGINES and fused_tile is not None:
+        raise ConfigurationError(
+            f"fabric engine {name!r} is untiled; fused_tile requires "
+            f"one of {', '.join(TILE_CAPABLE_ENGINES)}"
         )
     kwargs = dict(
         spec=spec,
@@ -105,8 +120,13 @@ def create_engine(
             program,
             shard_shape=shard_shape if shard_shape is not None else (1, 1),
             shard_workers=shard_workers,  # None -> the adaptive default
+            fused_tile=fused_tile,
             **kwargs,
         )
+    if name == "fused":
+        from repro.fused import FusedVectorEngine
+
+        return FusedVectorEngine(problem, program, fused_tile=fused_tile, **kwargs)
     from repro.wse.vector_engine import VectorEngine
 
     return VectorEngine(problem, program, **kwargs)
@@ -116,7 +136,7 @@ def create_engine(
 #: plays one wavelet at a time and cannot; the sharded engine spends its
 #: parallelism across the fabric, not across problems.  Asking either to
 #: batch is a configuration error, not a silent serialization.
-BATCH_CAPABLE_ENGINES = ("vectorized",)
+BATCH_CAPABLE_ENGINES = ("vectorized", "fused")
 
 
 def create_batched_engine(
@@ -131,6 +151,7 @@ def create_batched_engine(
     initial_pressure=None,
     accumulation=None,
     rhs=None,
+    fused_tile=None,
 ):
     """Instantiate the batched engine for one multi-problem solve.
 
@@ -144,11 +165,12 @@ def create_batched_engine(
             f"execution requires one of "
             f"{', '.join(BATCH_CAPABLE_ENGINES)}"
         )
-    from repro.wse.vector_engine import BatchedVectorEngine
-
-    return BatchedVectorEngine(
-        problems,
-        program,
+    if name not in TILE_CAPABLE_ENGINES and fused_tile is not None:
+        raise ConfigurationError(
+            f"fabric engine {name!r} is untiled; fused_tile requires "
+            f"one of {', '.join(TILE_CAPABLE_ENGINES)}"
+        )
+    kwargs = dict(
         spec=spec,
         dtype=dtype,
         simd_width=simd_width,
@@ -157,6 +179,13 @@ def create_batched_engine(
         accumulation=accumulation,
         rhs=rhs,
     )
+    if name == "fused":
+        from repro.fused import BatchedFusedEngine
+
+        return BatchedFusedEngine(problems, program, fused_tile=fused_tile, **kwargs)
+    from repro.wse.vector_engine import BatchedVectorEngine
+
+    return BatchedVectorEngine(problems, program, **kwargs)
 
 
 __all__ = [
@@ -165,6 +194,7 @@ __all__ = [
     "ENGINE_NAMES",
     "FabricEngine",
     "SHARD_CAPABLE_ENGINES",
+    "TILE_CAPABLE_ENGINES",
     "create_batched_engine",
     "create_engine",
 ]

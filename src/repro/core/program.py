@@ -215,6 +215,10 @@ class EngineReport:
     #: Sharded-execution extras (layout, worker mode, inter-shard link
     #: counters) — ``None`` for single-shard engines.  JSON-able.
     shard: dict | None = None
+    #: Fused hot-loop extras (kernel backend, tile shape, tiles per
+    #: iteration, optional fallback note) — ``None`` for untiled
+    #: engines.  JSON-able.
+    fused: dict | None = None
 
 
 __all__ = ["CG_PHASES", "CgProgram", "EngineReport", "Phase", "ShardRound"]

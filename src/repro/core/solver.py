@@ -99,7 +99,9 @@ class WseMatrixFreeSolver:
       cycle/counter model; same numerics and instruction counts, fabrics
       the event engine cannot reach), or ``"sharded"`` (the vectorized
       numerics domain-decomposed over a worker pool; accepts
-      ``shard_shape`` and ``shard_workers``).
+      ``shard_shape`` and ``shard_workers``), or ``"fused"`` (the
+      vectorized numerics as cache-blocked single-pass CG sweeps;
+      accepts ``fused_tile``, also honoured by ``"sharded"`` workers).
     """
 
     def __init__(
@@ -123,6 +125,7 @@ class WseMatrixFreeSolver:
         rhs: np.ndarray | None = None,
         shard_shape=None,
         shard_workers: str | None = None,
+        fused_tile=None,
     ):
         if isinstance(variant, str):
             variant = KernelVariant(variant)
@@ -144,6 +147,7 @@ class WseMatrixFreeSolver:
         self.rhs = rhs
         self.shard_shape = shard_shape
         self.shard_workers = shard_workers
+        self.fused_tile = fused_tile
 
         self.program = CgProgram(
             variant=variant,
@@ -170,6 +174,7 @@ class WseMatrixFreeSolver:
             rhs=rhs,
             shard_shape=shard_shape,
             shard_workers=shard_workers,
+            fused_tile=fused_tile,
         )
         self.mapping = self.engine.mapping
         # Event-engine internals stay reachable for fabric inspection and
@@ -222,6 +227,7 @@ def solve_batch(
     batch_size: int | None = None,
     accumulation=None,
     rhs=None,
+    fused_tile=None,
 ) -> list[WseSolveReport]:
     """Solve many independent problems as fused ``(batch, nx, ny, nz)``
     sweeps on the vectorized engine.
@@ -296,6 +302,7 @@ def solve_batch(
                 a is not None for a in chunk_accs
             ) else None,
             rhs=chunk_rhss if any(r is not None for r in chunk_rhss) else None,
+            fused_tile=fused_tile,
         )
         reports.extend(batched.run())
     return reports
@@ -327,6 +334,7 @@ def simulate_reports(
     engine: str = DEFAULT_ENGINE,
     shard_shape=None,
     shard_workers: str | None = None,
+    fused_tile=None,
 ):
     """Backward-Euler time stepping on the fabric: one engine solve per
     step, yielded as :class:`EngineReport`\\ s.
@@ -389,6 +397,7 @@ def simulate_reports(
             rhs=rhs,
             shard_shape=shard_shape,
             shard_workers=shard_workers,
+            fused_tile=fused_tile,
         )
         report = step_engine.run()
         stepper.advance(report.pressure)
@@ -417,6 +426,7 @@ def simulate_reports_batch(
     jacobi: bool = False,
     engine: str = "vectorized",
     batch_size: int | None = None,
+    fused_tile=None,
 ):
     """Time-step ``N`` same-shape realizations together: one fused
     ``(batch, nx, ny, nz)`` program per step, yielded as a list of
@@ -473,6 +483,7 @@ def simulate_reports_batch(
             batch_size=batch_size,
             accumulation=[acc for acc, _, _ in pieces],
             rhs=[rhs for _, rhs, _ in pieces],
+            fused_tile=fused_tile,
         )
         for stepper, report in zip(steppers, reports):
             stepper.advance(report.pressure)

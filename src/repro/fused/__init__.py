@@ -1,0 +1,29 @@
+"""Fused cache-blocked hot-loop execution of the dataflow CG program.
+
+The package behind ``MachineSpec(engine="fused")``: cache-tile
+selection (:mod:`repro.fused.tiling`), the tiled FV-apply kernel and
+the numpy/numba pass backends (:mod:`repro.fused.kernels`,
+:mod:`repro.fused.numba_backend`), and the engines themselves
+(:mod:`repro.fused.engine`).
+"""
+
+from repro.fused.engine import BatchedFusedEngine, FusedVectorEngine
+from repro.fused.kernels import (
+    BACKEND_ENV,
+    BACKEND_NAMES,
+    numba_available,
+    resolve_backend,
+)
+from repro.fused.tiling import auto_tile, normalize_fused_tile, tile_boxes
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "BatchedFusedEngine",
+    "FusedVectorEngine",
+    "auto_tile",
+    "normalize_fused_tile",
+    "numba_available",
+    "resolve_backend",
+    "tile_boxes",
+]

@@ -1,0 +1,602 @@
+"""Tiled FV-apply kernel and the fused pass backends.
+
+:class:`TiledApply` is the cache-blocked matrix-free operator: it
+computes the FV apply over one lateral tile at a time, reading the
+stencil input through a globally zero-padded ``(nx+2, ny+2, nz)`` buffer
+(pure shifted *slices* — no ``_shifted`` copies, no per-sweep
+allocation) and writing straight into the output array's tile view.
+Every tile's arithmetic mirrors
+:meth:`repro.shard.halo.ShardFields.apply` operand for operand — which
+itself mirrors ``_apply_fields`` — so the tiled result is **bitwise**
+equal to the whole-fabric sweep: tiling is a pure loop reorder over
+elementwise/stencil-local operations.  The sharded engine's workers
+reuse exactly this class over their halo-extended slabs when a
+``fused_tile`` is configured.
+
+:class:`FusedNumpyBackend` drives one CG solve's numerics as four tiled
+*passes* (init / body / update / direction): per tile it fuses the FV
+apply, the axpy updates and a float64 dot partial, then the engine sums
+the per-tile partials sequentially in row-major tile order — the shard
+engine's deterministic-reduction trick, so repeated runs are
+bit-identical while iterates stay within fp round-off of the vectorized
+oracle (the only divergence is the partial-sum order of the dots).
+
+Full-width tiles (``tile_y == ny``, what
+:func:`~repro.fused.tiling.auto_tile` picks) take a *slab fast path*:
+every work array's tile view is then a contiguous row slab, so the
+apply runs with construction-time precomputed effective coefficients
+and a flattened-column vertical sweep (the strided z-slice views that
+dominate the vectorized engine's apply cost run ~8x slower than the
+same arithmetic on contiguous buffers).  The fast path's boundary
+planes are save/restored around the flattened sweeps, keeping it
+bitwise equal to the strided reference.  Narrow tiles fall back to the
+general strided :class:`TiledApply` — same results, exercised by the
+fuzz suite.
+
+An optional numba backend (:mod:`repro.fused.numba_backend`) JIT-compiles
+the tile apply; it is detected at import time and selected via
+``REPRO_FUSED_BACKEND=numpy|numba`` (or automatically when available),
+falling back to numpy with a telemetry note when numba is absent.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.core.fv_kernel import HALO_ORDER, KernelVariant
+from repro.fused.tiling import tile_boxes
+from repro.util.errors import ConfigurationError
+
+#: Kernel backends the fused engine understands (``"auto"`` picks numba
+#: when importable, numpy otherwise).
+BACKEND_NAMES = ("auto", "numpy", "numba")
+
+#: Environment override for the backend choice.
+BACKEND_ENV = "REPRO_FUSED_BACKEND"
+
+_NUMBA_AVAILABLE: bool | None = None
+
+
+def numba_available() -> bool:
+    """Whether the optional numba backend can be imported (cached)."""
+    global _NUMBA_AVAILABLE
+    if _NUMBA_AVAILABLE is None:
+        try:
+            import numba  # noqa: F401
+
+            _NUMBA_AVAILABLE = True
+        except Exception:
+            _NUMBA_AVAILABLE = False
+    return _NUMBA_AVAILABLE
+
+
+def resolve_backend(requested: str | None = None) -> tuple[str, str | None]:
+    """Resolve the kernel backend name and an optional telemetry note.
+
+    ``requested`` wins over the ``REPRO_FUSED_BACKEND`` environment
+    variable; ``None``/``"auto"`` picks numba when importable and numpy
+    otherwise.  Asking for numba without numba installed *falls back*
+    (with a note the telemetry carries) rather than failing — the numpy
+    tiled path is always available.
+    """
+    if requested is None:
+        requested = os.environ.get(BACKEND_ENV) or "auto"
+    requested = str(requested).lower()
+    if requested not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown fused backend {requested!r}; choose one of "
+            f"{', '.join(BACKEND_NAMES)} (or set {BACKEND_ENV})"
+        )
+    if requested == "numpy":
+        return "numpy", None
+    if numba_available():
+        return "numba", None
+    if requested == "numba":
+        return "numpy", "numba requested but not importable; using the numpy tiled backend"
+    return "numpy", None
+
+
+# -- the cache-blocked FV apply -----------------------------------------------
+
+
+class TiledApply:
+    """The matrix-free FV operator, one lateral tile at a time.
+
+    Construction takes the *owned-region* staged arrays (shape
+    ``(NX, NY, nz)`` — views are fine), the zero-padded stencil input
+    ``x_ext`` of shape ``(NX+2, NY+2, nz)``, the output array, and the
+    tile boxes; it prebuilds every per-tile operand view and the
+    max-tile-shaped scratch so :meth:`apply_tile` allocates nothing.
+    The pad ring of ``x_ext`` reproduces ``_shifted``'s zero halos
+    (edge planes are never written).
+    """
+
+    def __init__(
+        self,
+        *,
+        x_ext: np.ndarray,
+        out: np.ndarray,
+        boxes,
+        variant: KernelVariant,
+        dtype: np.dtype,
+        coeff=None,
+        coeff_down=None,
+        coeff_up=None,
+        ups=None,
+        ups_down=None,
+        ups_up=None,
+        lam=None,
+        lam_nbr=None,
+        acc=None,
+        full_cols=None,
+        blend_mask=None,
+        has_full: bool = False,
+        has_partial: bool = False,
+    ):
+        self.variant = variant
+        self.boxes = list(boxes)
+        self.has_full = has_full
+        self.has_partial = has_partial
+        self.has_acc = acc is not None
+        dtype = np.dtype(dtype)
+        nz = x_ext.shape[2]
+        self.nz = nz
+        max_tx = max(x1 - x0 for x0, x1, _, _ in self.boxes)
+        max_ty = max(y1 - y0 for _, _, y0, y1 in self.boxes)
+        self.max_tile = (max_tx, max_ty)
+
+        # Max-tile scratch, sliced per tile below.  `diff`/`tmp` mirror
+        # ShardFields' `_diff`/`_tmp`; `vd`/`vt`/`vl` are the vertical
+        # scratch; `diff` doubles as the engines' axpy scratch (only
+        # live inside a single tile's step, exactly like the shard
+        # workers' reuse of `f._diff`).
+        shape = (max_tx, max_ty, nz)
+        self._diff_full = np.empty(shape, dtype=dtype)
+        self._tmp_full = np.empty(shape, dtype=dtype)
+        if nz >= 2:
+            vshape = (max_tx, max_ty, nz - 1)
+            self._vd_full = np.empty(vshape, dtype=dtype)
+            self._vt_full = np.empty(vshape, dtype=dtype)
+            self._vl_full = np.empty(vshape, dtype=dtype) if lam is not None else None
+
+        lo = (Ellipsis, slice(0, nz - 1))
+        hi = (Ellipsis, slice(1, nz))
+
+        def tview(arr, box):
+            x0, x1, y0, y1 = box
+            return None if arr is None else arr[x0:x1, y0:y1]
+
+        self._t: list[dict] = []
+        for box in self.boxes:
+            x0, x1, y0, y1 = box
+            tnx, tny = x1 - x0, y1 - y0
+            t: dict = {}
+            # Stencil input: the tile's owned window of x_ext, plus the
+            # four shifted windows (each reads into the pad ring or a
+            # neighbouring tile's owned cells — same global field state).
+            t["x"] = x_ext[x0 + 1:x1 + 1, y0 + 1:y1 + 1, :]
+            t["shift"] = tuple(
+                x_ext[
+                    x0 + 1 + port.offset[0]:x1 + 1 + port.offset[0],
+                    y0 + 1 + port.offset[1]:y1 + 1 + port.offset[1],
+                    :,
+                ]
+                for port in HALO_ORDER
+            )
+            t["out"] = out[x0:x1, y0:y1]
+            if variant is KernelVariant.PRECOMPUTED:
+                t["coeff"] = tuple(tview(coeff[port], box) for port in HALO_ORDER)
+                t["coeff_down"] = tview(coeff_down, box)
+                t["coeff_up"] = tview(coeff_up, box)
+            else:
+                t["ups"] = tuple(tview(ups[port], box) for port in HALO_ORDER)
+                t["ups_down"] = tview(ups_down, box)
+                t["ups_up"] = tview(ups_up, box)
+                t["lam"] = tview(lam, box)
+                t["lam_nbr"] = tuple(tview(lam_nbr[port], box) for port in HALO_ORDER)
+            t["acc"] = tview(acc, box)
+            t["full_cols"] = tview(full_cols, box)
+            t["blend"] = tview(blend_mask, box)
+            t["diff"] = self._diff_full[:tnx, :tny]
+            t["tmp"] = self._tmp_full[:tnx, :tny]
+            if nz >= 2:
+                t["vd"] = self._vd_full[:tnx, :tny]
+                t["vt"] = self._vt_full[:tnx, :tny]
+                t["vl"] = (
+                    None if self._vl_full is None else self._vl_full[:tnx, :tny]
+                )
+                t["x_lo"], t["x_hi"] = t["x"][lo], t["x"][hi]
+                t["out_lo"], t["out_hi"] = t["out"][lo], t["out"][hi]
+                if variant is KernelVariant.PRECOMPUTED:
+                    t["cup_lo"] = t["coeff_up"][lo]
+                    t["cdn_hi"] = t["coeff_down"][hi]
+                else:
+                    t["ups_up_lo"] = t["ups_up"][lo]
+                    t["ups_dn_hi"] = t["ups_down"][hi]
+                    t["lam_lo"], t["lam_hi"] = t["lam"][lo], t["lam"][hi]
+            self._t.append(t)
+
+    def __len__(self) -> int:
+        return len(self.boxes)
+
+    def diff_view(self, t: int) -> np.ndarray:
+        """The tile's scratch buffer (free outside :meth:`apply_tile`)."""
+        return self._t[t]["diff"]
+
+    def apply_tile(self, t: int) -> np.ndarray:
+        """FV apply over tile ``t``, written into the output tile view.
+
+        Mirrors :meth:`ShardFields.apply` operand for operand (which
+        mirrors ``_apply_fields``), so results are bitwise equal to the
+        untiled sweep.
+        """
+        tv = self._t[t]
+        x, out, diff, tmp = tv["x"], tv["out"], tv["diff"], tv["tmp"]
+        if self.variant is KernelVariant.PRECOMPUTED:
+            for i in range(4):
+                np.subtract(x, tv["shift"][i], out=diff)
+                if i == 0:
+                    np.multiply(tv["coeff"][i], diff, out=out)
+                else:
+                    np.multiply(tv["coeff"][i], diff, out=tmp)
+                    out += tmp
+        else:
+            c = tmp
+            for i in range(4):
+                np.add(tv["lam"], tv["lam_nbr"][i], out=c)
+                np.multiply(c, 0.5, out=c, casting="unsafe")
+                np.multiply(c, tv["ups"][i], out=c, casting="unsafe")
+                np.subtract(x, tv["shift"][i], out=diff)
+                np.multiply(diff, c, out=diff, casting="unsafe")
+                if i == 0:
+                    out[...] = diff
+                else:
+                    out += diff
+        if self.nz >= 2:
+            vd, vt = tv["vd"], tv["vt"]
+            if self.variant is KernelVariant.PRECOMPUTED:
+                np.subtract(tv["x_lo"], tv["x_hi"], out=vd)
+                np.multiply(tv["cup_lo"], vd, out=vt)
+                tv["out_lo"] += vt
+                np.subtract(tv["x_hi"], tv["x_lo"], out=vd)
+                np.multiply(tv["cdn_hi"], vd, out=vt)
+                tv["out_hi"] += vt
+            else:
+                vl = tv["vl"]
+                for rng, other, ups in (
+                    ("lo", "hi", tv["ups_up_lo"]),
+                    ("hi", "lo", tv["ups_dn_hi"]),
+                ):
+                    np.subtract(tv[f"x_{rng}"], tv[f"x_{other}"], out=vd)
+                    np.add(tv[f"lam_{rng}"], tv[f"lam_{other}"], out=vl)
+                    np.multiply(vl, 0.5, out=vl, casting="unsafe")
+                    np.multiply(vl, ups, out=vl, casting="unsafe")
+                    np.multiply(vl, vd, out=vt)
+                    tv[f"out_{rng}"] += vt
+        if self.has_acc:
+            np.multiply(tv["acc"], x, out=diff)
+            out += diff
+        if self.has_full:
+            fc = tv["full_cols"]
+            out[fc] = x[fc]
+        if self.has_partial:
+            np.subtract(x, out, out=diff)
+            np.multiply(tv["blend"], diff, out=diff)
+            out += diff
+        return out
+
+    def apply(self) -> None:
+        """The whole-grid apply, tile by tile (the shard-composition
+        entry point — bitwise equal to an untiled sweep)."""
+        for t in range(len(self.boxes)):
+            self.apply_tile(t)
+
+
+def tiled_apply_from_staging(
+    st, variant: KernelVariant, *, x_ext: np.ndarray, out: np.ndarray, boxes,
+    dtype: np.dtype,
+) -> TiledApply:
+    """Build a :class:`TiledApply` over a staging's owned arrays.
+
+    ``st`` may be a global :class:`~repro.wse.vector_engine._Staging`
+    (fused engine) or any object exposing the same coefficient
+    attributes as owned-region arrays.
+    """
+    coeff = None if st.coeff is None else {p: st.coeff[p] for p in HALO_ORDER}
+    ups = None if st.ups is None else {p: st.ups[p] for p in HALO_ORDER}
+    lam_nbr = None if st.lam_nbr is None else {p: st.lam_nbr[p] for p in HALO_ORDER}
+    return TiledApply(
+        x_ext=x_ext, out=out, boxes=boxes, variant=variant, dtype=dtype,
+        coeff=coeff, coeff_down=st.coeff_down, coeff_up=st.coeff_up,
+        ups=ups, ups_down=st.ups_down, ups_up=st.ups_up,
+        lam=st.lam, lam_nbr=lam_nbr,
+        acc=st.acc, full_cols=st.full_cols, blend_mask=st.blend_mask,
+        has_full=st.has_full, has_partial=st.has_partial,
+    )
+
+
+# -- the fused pass backend ---------------------------------------------------
+
+
+class FusedNumpyBackend:
+    """Pure-NumPy tiled execution of the fused CG passes.
+
+    Owns one problem's work arrays (the staging's ``y``/``b``/``r``/
+    ``z``/``p`` plus a padded stencil buffer refreshed from the pass's
+    source field before each apply sweep, shard-worker style) and
+    executes each CG phase as one pass over the tiles, returning
+    per-tile float64 dot partials in row-major tile order.  Always
+    available; the tests' parity baseline.
+    """
+
+    name = "numpy"
+
+    def __init__(self, st, program, *, tile: tuple[int, int], dtype: np.dtype):
+        self.jacobi = program.jacobi
+        dtype = np.dtype(dtype)
+        nx, ny, nz = st.y.shape
+        self.y, self.b, self.r, self.p = st.y, st.b, st.r, st.p
+        self.z, self.inv_diag = st.z, st.inv_diag
+        # The padded stencil buffer: filled from the pass's source field
+        # (y at init, p in the body) so stencil reads are pure slices —
+        # the pad ring stays zero forever, reproducing `_shifted`.
+        self.x_ext = np.zeros((nx + 2, ny + 2, nz), dtype=dtype)
+        self._inner = self.x_ext[1:-1, 1:-1, :]
+        self.jx = np.empty((nx, ny, nz), dtype=dtype)
+        self.boxes = tile_boxes(nx, ny, tile)
+        self.tiled = tiled_apply_from_staging(
+            st, program.variant, x_ext=self.x_ext, out=self.jx,
+            boxes=self.boxes, dtype=dtype,
+        )
+        n_tiles = len(self.boxes)
+        self.n_tiles = n_tiles
+        # Per-tile work views + float64 dot scratch (flat, so np.dot
+        # sees contiguous buffers; the shaped views alias them for
+        # allocation-free strided copies — same conversion, same BLAS
+        # reduction as `astype(float64)` would produce).
+        max_cells = max((x1 - x0) * (y1 - y0) * nz for x0, x1, y0, y1 in self.boxes)
+        self._d64a = np.empty(max_cells, dtype=np.float64)
+        self._d64b = np.empty(max_cells, dtype=np.float64)
+        self._views = []
+        for box in self.boxes:
+            x0, x1, y0, y1 = box
+            sl = (slice(x0, x1), slice(y0, y1))
+            cells = (x1 - x0) * (y1 - y0) * nz
+            shape3 = (x1 - x0, y1 - y0, nz)
+            self._views.append({
+                "y": self.y[sl], "b": self.b[sl], "r": self.r[sl],
+                "z": None if self.z is None else self.z[sl],
+                "inv_diag": None if self.inv_diag is None else self.inv_diag[sl],
+                "p": self.p[sl], "jx": self.jx[sl],
+                "d64a": self._d64a[:cells].reshape(shape3),
+                "d64b": self._d64b[:cells].reshape(shape3),
+                "cells": cells,
+            })
+        self._partials = np.zeros(n_tiles, dtype=np.float64)
+        # Full-width tiles get the contiguous slab fast path.
+        self._use_slab = all(y0 == 0 and y1 == ny for _, _, y0, y1 in self.boxes)
+        if self._use_slab:
+            self._build_slab_path(program.variant, dtype, nx, ny, nz)
+
+    # -- the contiguous slab fast path ----------------------------------------
+
+    def _build_slab_path(self, variant, dtype, nx, ny, nz) -> None:
+        """Precompute per-slab effective coefficients and flattened
+        vertical-coefficient buffers.
+
+        The effective coefficient of a face is iteration-invariant (for
+        ``FUSED_MOBILITY`` it is computed here once with the exact
+        reference op sequence, so downstream arithmetic sees bitwise
+        what a per-apply recomputation would feed it); the vertical
+        coefficients are laid out flat so the z sweeps run on contiguous
+        buffers.  Entries of the flat buffers that cross a column
+        boundary are never consumed: the boundary planes are
+        save/restored around the flattened sweeps."""
+        max_tx = self.tiled.max_tile[0]
+        self._plane_a = np.empty((max_tx, ny), dtype=dtype)
+        self._plane_b = np.empty((max_tx, ny), dtype=dtype)
+        if nz >= 2:
+            max_cells = max_tx * ny * nz
+            self._vdf = np.empty(max_cells - 1, dtype=dtype)
+            self._vtf = np.empty(max_cells - 1, dtype=dtype)
+        self._slabs = []
+        for ti, (box, t) in enumerate(zip(self.boxes, self.tiled._t)):
+            x0, x1 = box[0], box[1]
+            sl = (slice(x0, x1),)
+            tnx = x1 - x0
+            cells = tnx * ny * nz
+            s: dict = {
+                "src": {"y": self.y[sl], "p": self.p[sl]},
+                "out": self.jx[sl],
+                "outf": self.jx[sl].reshape(-1),
+                "cells": cells,
+                "diff": self.tiled._diff_full[:tnx],
+                "tmp": self.tiled._tmp_full[:tnx],
+                "plane_a": self._plane_a[:tnx],
+                "plane_b": self._plane_b[:tnx],
+                "shift": t["shift"],
+                "acc": t["acc"],
+                "full_cols": t["full_cols"],
+                "blend": t["blend"],
+            }
+            if variant is KernelVariant.PRECOMPUTED:
+                s["ceff"] = tuple(np.ascontiguousarray(c) for c in t["coeff"])
+                cup = np.ascontiguousarray(t["coeff_up"])
+                cdn = np.ascontiguousarray(t["coeff_down"])
+            else:
+                ceff = []
+                for i in range(4):
+                    c = np.empty((tnx, ny, nz), dtype=dtype)
+                    np.add(t["lam"], t["lam_nbr"][i], out=c)
+                    np.multiply(c, 0.5, out=c, casting="unsafe")
+                    np.multiply(c, t["ups"][i], out=c, casting="unsafe")
+                    ceff.append(c)
+                s["ceff"] = tuple(ceff)
+                cup = np.zeros((tnx, ny, nz), dtype=dtype)
+                cdn = np.zeros((tnx, ny, nz), dtype=dtype)
+                if nz >= 2:
+                    lo = (Ellipsis, slice(0, nz - 1))
+                    hi = (Ellipsis, slice(1, nz))
+                    vl = np.empty((tnx, ny, nz - 1), dtype=dtype)
+                    np.add(t["lam"][lo], t["lam"][hi], out=vl)
+                    np.multiply(vl, 0.5, out=vl, casting="unsafe")
+                    np.multiply(vl, t["ups_up"][lo], out=vl, casting="unsafe")
+                    cup[lo] = vl
+                    np.add(t["lam"][hi], t["lam"][lo], out=vl)
+                    np.multiply(vl, 0.5, out=vl, casting="unsafe")
+                    np.multiply(vl, t["ups_down"][hi], out=vl, casting="unsafe")
+                    cdn[hi] = vl
+            if nz >= 2:
+                s["cupf"] = np.ascontiguousarray(cup.reshape(-1)[: cells - 1])
+                s["cdnf"] = np.ascontiguousarray(cdn.reshape(-1)[1:])
+            self._slabs.append(s)
+
+    def _apply_slab(self, t: int, src: str) -> None:
+        """The contiguous-slab FV apply: identical arithmetic to
+        :meth:`TiledApply.apply_tile`, reordered onto contiguous
+        buffers — bitwise-equal results, pinned by the fuzz suite."""
+        s = self._slabs[t]
+        x, out, diff, tmp = s["src"][src], s["out"], s["diff"], s["tmp"]
+        ceff = s["ceff"]
+        for i in range(4):
+            np.subtract(x, s["shift"][i], out=diff)
+            if i == 0:
+                np.multiply(ceff[i], diff, out=out)
+            else:
+                np.multiply(ceff[i], diff, out=tmp)
+                out += tmp
+        nz = self.tiled.nz
+        if nz >= 2:
+            # Flattened z sweeps over the whole slab.  Elements that
+            # cross a column boundary compute garbage into the boundary
+            # planes; saving the plane a sweep must not touch and
+            # restoring it afterwards leaves the state exactly where the
+            # strided lo/hi reference sweeps put it.
+            xf = x.reshape(-1)
+            outf = s["outf"]
+            n1 = s["cells"] - 1
+            vd, vt = self._vdf[:n1], self._vtf[:n1]
+            plane = s["plane_a"]
+            np.copyto(plane, out[:, :, nz - 1])
+            np.subtract(xf[:-1], xf[1:], out=vd)
+            np.multiply(s["cupf"], vd, out=vt)
+            outf[:n1] += vt
+            np.copyto(out[:, :, nz - 1], plane)
+            plane = s["plane_b"]
+            np.copyto(plane, out[:, :, 0])
+            np.subtract(xf[1:], xf[:-1], out=vd)
+            np.multiply(s["cdnf"], vd, out=vt)
+            outf[1:] += vt
+            np.copyto(out[:, :, 0], plane)
+        if self.tiled.has_acc:
+            np.multiply(s["acc"], x, out=diff)
+            out += diff
+        if self.tiled.has_full:
+            fc = s["full_cols"]
+            out[fc] = x[fc]
+        if self.tiled.has_partial:
+            np.subtract(x, out, out=diff)
+            np.multiply(s["blend"], diff, out=diff)
+            out += diff
+
+    # -- apply dispatch -------------------------------------------------------
+
+    def _apply_tile(self, t: int) -> None:
+        """The narrow-tile FV apply step (the numba backend's override
+        point — everything else is already vectorized numpy)."""
+        self.tiled.apply_tile(t)
+
+    def _apply(self, t: int, src: str) -> None:
+        if self._use_slab:
+            self._apply_slab(t, src)
+        else:
+            self._apply_tile(t)
+
+    # -- per-tile dot (float64, deterministic row-major element order) --------
+
+    def _dot(self, tv, a: np.ndarray, b: np.ndarray) -> float:
+        np.copyto(tv["d64a"], a)
+        np.copyto(tv["d64b"], b)
+        n = tv["cells"]
+        return float(np.dot(self._d64a[:n], self._d64b[:n]))
+
+    # -- the four passes ------------------------------------------------------
+
+    def init_pass(self) -> np.ndarray:
+        """INIT: load y into the stencil buffer, then per tile compute
+        ``jx = A y``, ``r = b - jx``, the (optional) Jacobi ``z``, the
+        direction seed ``p = z|r`` and the init dot partial."""
+        jacobi = self.jacobi
+        np.copyto(self._inner, self.y)
+        partials = self._partials
+        for t, tv in enumerate(self._views):
+            self._apply(t, "y")
+            np.subtract(tv["b"], tv["jx"], out=tv["r"], casting="unsafe")
+            if jacobi:
+                np.multiply(tv["r"], tv["inv_diag"], out=tv["z"], casting="unsafe")
+                np.copyto(tv["p"], tv["z"])
+                partials[t] = self._dot(tv, tv["r"], tv["z"])
+            else:
+                np.copyto(tv["p"], tv["r"])
+                partials[t] = self._dot(tv, tv["r"], tv["r"])
+        return partials
+
+    def body_pass(self) -> np.ndarray:
+        """Per tile: ``jx = A p`` fused with the ``p·jx`` partial."""
+        np.copyto(self._inner, self.p)
+        partials = self._partials
+        for t, tv in enumerate(self._views):
+            self._apply(t, "p")
+            partials[t] = self._dot(tv, tv["p"], tv["jx"])
+        return partials
+
+    def update_pass(self, alpha: float) -> np.ndarray:
+        """Per tile: ``y += α p``, ``r -= α jx``, Jacobi ``z`` and the
+        ``r·(z|r)`` partial — one cache-resident visit per tile."""
+        jacobi = self.jacobi
+        partials = self._partials
+        for t, tv in enumerate(self._views):
+            d = self.tiled.diff_view(t)
+            np.multiply(tv["p"], alpha, out=d, casting="unsafe")
+            tv["y"] += d
+            np.multiply(tv["jx"], -alpha, out=d, casting="unsafe")
+            tv["r"] += d
+            if jacobi:
+                np.multiply(tv["r"], tv["inv_diag"], out=tv["z"], casting="unsafe")
+                partials[t] = self._dot(tv, tv["r"], tv["z"])
+            else:
+                partials[t] = self._dot(tv, tv["r"], tv["r"])
+        return partials
+
+    def direction_pass(self, beta: float) -> None:
+        """Per tile: ``p = β p + (z|r)``, in place."""
+        jacobi = self.jacobi
+        for tv in self._views:
+            pt = tv["p"]
+            np.multiply(pt, beta, out=pt, casting="unsafe")
+            pt += tv["z"] if jacobi else tv["r"]
+
+
+def create_backend(
+    name: str, st, program, *, tile: tuple[int, int], dtype: np.dtype
+):
+    """Instantiate the resolved kernel backend (see :func:`resolve_backend`)."""
+    if name == "numba":
+        from repro.fused.numba_backend import FusedNumbaBackend
+
+        return FusedNumbaBackend(st, program, tile=tile, dtype=dtype)
+    return FusedNumpyBackend(st, program, tile=tile, dtype=dtype)
+
+
+__all__ = [
+    "BACKEND_ENV",
+    "BACKEND_NAMES",
+    "FusedNumpyBackend",
+    "TiledApply",
+    "create_backend",
+    "numba_available",
+    "resolve_backend",
+    "tiled_apply_from_staging",
+]

@@ -1,0 +1,154 @@
+"""Optional numba-compiled tile kernels for the fused engine.
+
+This module imports :mod:`numba` at module import time and therefore
+must only be imported once :func:`repro.fused.kernels.resolve_backend`
+has confirmed numba is available — the registry never reaches it
+otherwise (absent numba resolves to the numpy backend with a telemetry
+note instead of an ImportError).
+
+:class:`FusedNumbaBackend` subclasses the numpy backend and overrides
+**only** the per-tile FV apply step with ``numba.njit(parallel=True)``
+kernels (``prange`` over tile rows); the dots, axpys and the
+deterministic tile-order reduction stay on the numpy path.  The jitted
+kernels replay the numpy backend's per-element operation sequence in the
+array dtype — same scalar ops, same order, ``fastmath`` left off, the
+``0.5`` mobility constant passed pre-cast to the field dtype — so both
+backends agree bitwise on every tile.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numba import njit, prange
+
+from repro.core.fv_kernel import KernelVariant
+from repro.fused.kernels import FusedNumpyBackend
+
+
+@njit(cache=True, parallel=True)
+def _tile_precomputed(
+    x, sw, se, sn, ss, cw, ce, cn, cs, cup, cdn,
+    acc, full_cols, blend, out,
+    has_vert, has_acc, has_full, has_partial,
+):  # pragma: no cover - requires numba
+    tnx, tny, nz = x.shape
+    for i in prange(tnx):
+        for j in range(tny):
+            for k in range(nz):
+                v = cw[i, j, k] * (x[i, j, k] - sw[i, j, k])
+                v += ce[i, j, k] * (x[i, j, k] - se[i, j, k])
+                v += cn[i, j, k] * (x[i, j, k] - sn[i, j, k])
+                v += cs[i, j, k] * (x[i, j, k] - ss[i, j, k])
+                # lo-face term before hi-face term: the numpy path runs
+                # the whole lo sweep first, so element k accumulates its
+                # UP flux before its DOWN flux.
+                if has_vert and k < nz - 1:
+                    v += cup[i, j, k] * (x[i, j, k] - x[i, j, k + 1])
+                if has_vert and k >= 1:
+                    v += cdn[i, j, k] * (x[i, j, k] - x[i, j, k - 1])
+                if has_acc:
+                    v += acc[i, j, k] * x[i, j, k]
+                if has_full and full_cols[i, j]:
+                    v = x[i, j, k]
+                if has_partial:
+                    v += blend[i, j, k] * (x[i, j, k] - v)
+                out[i, j, k] = v
+
+
+@njit(cache=True, parallel=True)
+def _tile_fused(
+    x, sw, se, sn, ss, uw, ue, un, us, uup, udn,
+    lam, lw, le, ln, ls,
+    acc, full_cols, blend, out, half,
+    has_vert, has_acc, has_full, has_partial,
+):  # pragma: no cover - requires numba
+    tnx, tny, nz = x.shape
+    for i in prange(tnx):
+        for j in range(tny):
+            for k in range(nz):
+                lc = lam[i, j, k]
+                v = ((lc + lw[i, j, k]) * half) * uw[i, j, k] * (
+                    x[i, j, k] - sw[i, j, k]
+                )
+                v += ((lc + le[i, j, k]) * half) * ue[i, j, k] * (
+                    x[i, j, k] - se[i, j, k]
+                )
+                v += ((lc + ln[i, j, k]) * half) * un[i, j, k] * (
+                    x[i, j, k] - sn[i, j, k]
+                )
+                v += ((lc + ls[i, j, k]) * half) * us[i, j, k] * (
+                    x[i, j, k] - ss[i, j, k]
+                )
+                if has_vert and k < nz - 1:
+                    v += (((lc + lam[i, j, k + 1]) * half) * uup[i, j, k]) * (
+                        x[i, j, k] - x[i, j, k + 1]
+                    )
+                if has_vert and k >= 1:
+                    v += (((lc + lam[i, j, k - 1]) * half) * udn[i, j, k]) * (
+                        x[i, j, k] - x[i, j, k - 1]
+                    )
+                if has_acc:
+                    v += acc[i, j, k] * x[i, j, k]
+                if has_full and full_cols[i, j]:
+                    v = x[i, j, k]
+                if has_partial:
+                    v += blend[i, j, k] * (x[i, j, k] - v)
+                out[i, j, k] = v
+
+
+class FusedNumbaBackend(FusedNumpyBackend):
+    """Numpy tiled backend with jitted per-tile FV apply kernels."""
+
+    name = "numba"
+
+    def __init__(self, st, program, *, tile, dtype):
+        super().__init__(st, program, tile=tile, dtype=dtype)
+        # The jitted kernels ARE the fast path here — always route the
+        # apply through _apply_tile rather than the numpy slab path.
+        self._use_slab = False
+        dtype = np.dtype(dtype)
+        self._half = dtype.type(0.5)
+        dummy3 = np.zeros((0, 0, 0), dtype=dtype)
+        dummy2 = np.zeros((0, 0), dtype=bool)
+        self._tile_args = []
+        for t, tv in enumerate(self.tiled._t):
+            a = {
+                "x": tv["x"], "shift": tv["shift"], "out": tv["out"],
+                "acc": tv["acc"] if tv["acc"] is not None else dummy3,
+                "full_cols": (
+                    tv["full_cols"] if tv["full_cols"] is not None else dummy2
+                ),
+                "blend": tv["blend"] if tv["blend"] is not None else dummy3,
+            }
+            if self.tiled.variant is KernelVariant.PRECOMPUTED:
+                a["coeff"] = tv["coeff"]
+                a["cup"] = tv["coeff_up"] if tv["coeff_up"] is not None else dummy3
+                a["cdn"] = tv["coeff_down"] if tv["coeff_down"] is not None else dummy3
+            else:
+                a["ups"] = tv["ups"]
+                a["uup"] = tv["ups_up"] if tv["ups_up"] is not None else dummy3
+                a["udn"] = tv["ups_down"] if tv["ups_down"] is not None else dummy3
+                a["lam"] = tv["lam"]
+                a["lam_nbr"] = tv["lam_nbr"]
+            self._tile_args.append(a)
+
+    def _apply_tile(self, t: int) -> None:  # pragma: no cover - requires numba
+        tiled = self.tiled
+        a = self._tile_args[t]
+        has_vert = tiled.nz >= 2
+        if tiled.variant is KernelVariant.PRECOMPUTED:
+            _tile_precomputed(
+                a["x"], *a["shift"], *a["coeff"], a["cup"], a["cdn"],
+                a["acc"], a["full_cols"], a["blend"], a["out"],
+                has_vert, tiled.has_acc, tiled.has_full, tiled.has_partial,
+            )
+        else:
+            _tile_fused(
+                a["x"], *a["shift"], *a["ups"], a["uup"], a["udn"],
+                a["lam"], *a["lam_nbr"],
+                a["acc"], a["full_cols"], a["blend"], a["out"], self._half,
+                has_vert, tiled.has_acc, tiled.has_full, tiled.has_partial,
+            )
+
+
+__all__ = ["FusedNumbaBackend"]

@@ -1,0 +1,103 @@
+"""Cache-tile selection for the fused hot-loop engine.
+
+The fused engine sweeps the lateral grid in rectangular *tiles* sized so
+one tile's working set — the stencil input window plus every coefficient
+and CG work column it touches — stays resident in cache between the FV
+apply, the axpy updates and the dot partial it fuses (the paper's whole
+premise: matrix-free kernels win by keeping the working set next to the
+compute).  A tile is an ``(x0, x1, y0, y1)`` lateral box; the z axis is
+never split (a PE owns a whole column).
+
+Tile order is row-major over the tile grid and doubles as the engine's
+*deterministic reduction order*: per-tile float64 dot partials are summed
+sequentially in this order (the sharded engine's trick), so repeated runs
+are bit-identical regardless of backend or thread count.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.util.errors import ConfigurationError
+
+#: Lateral working-set arrays one fused sweep touches per cell (stencil
+#: input + output + 4..6 coefficient columns + y/b/r/z/inv_diag + masks);
+#: deliberately on the generous side so the auto-picked tile errs small.
+_ARRAYS_PER_CELL = 14
+
+#: Target per-tile working set: comfortably inside a desktop L2.
+_TARGET_TILE_BYTES = 512 * 1024
+
+_TILE_STRING = re.compile(r"^\s*(\d+)\s*[xX,]\s*(\d+)\s*$")
+
+
+def normalize_fused_tile(value) -> tuple[int, int] | None:
+    """Coerce a tile spec to a ``(tile_x, tile_y)`` pair.
+
+    Accepts ``None`` (auto-pick), a positive int (square tile), a
+    two-sequence of positive ints, or a ``"16x16"``-style string (the
+    CLI/env spelling).  Anything else raises :class:`ConfigurationError`.
+    """
+    if value is None:
+        return None
+    if isinstance(value, str):
+        match = _TILE_STRING.match(value)
+        if not match:
+            raise ConfigurationError(
+                f"fused_tile string must look like '16x16', got {value!r}"
+            )
+        value = (int(match.group(1)), int(match.group(2)))
+    if isinstance(value, bool):
+        raise ConfigurationError(f"fused_tile must be an int or pair, got {value!r}")
+    if isinstance(value, int):
+        value = (value, value)
+    try:
+        tile = tuple(int(v) for v in value)
+    except (TypeError, ValueError):
+        raise ConfigurationError(
+            f"fused_tile must be a positive int, a (tile_x, tile_y) pair, "
+            f"or a '16x16' string, got {value!r}"
+        ) from None
+    if len(tile) != 2 or any(v < 1 for v in tile):
+        raise ConfigurationError(
+            f"fused_tile must be two positive integers, got {value!r}"
+        )
+    return tile
+
+
+def auto_tile(nx: int, ny: int, nz: int, itemsize: int) -> tuple[int, int]:
+    """Pick a tile shape from the grid and dtype.
+
+    Always picks a *full-width row slab* ``(rows, ny)``: slab tiles keep
+    every work array's tile view contiguous, which is what unlocks the
+    numpy backend's fast apply path (see
+    :class:`~repro.fused.kernels.FusedNumpyBackend`).  The row count
+    targets ``_TARGET_TILE_BYTES`` of working set per tile (``~14``
+    arrays × ``nz`` × ``itemsize`` bytes per lateral cell), clamped to
+    the grid; small grids come back as one whole-grid tile — per-tile
+    dispatch is pure overhead below the cache ceiling.
+    """
+    bytes_per_row = max(1, _ARRAYS_PER_CELL * ny * nz * itemsize)
+    rows = max(8, int(_TARGET_TILE_BYTES // bytes_per_row))
+    return (min(nx, rows), ny)
+
+
+def tile_boxes(
+    nx: int, ny: int, tile: tuple[int, int]
+) -> list[tuple[int, int, int, int]]:
+    """Row-major ``(x0, x1, y0, y1)`` lateral boxes covering the grid.
+
+    The list order is the engine's deterministic dot-reduction order.
+    Edge tiles are clipped, never padded, so every cell belongs to
+    exactly one box.
+    """
+    tx, ty = tile
+    tx, ty = min(tx, nx), min(ty, ny)
+    boxes = []
+    for x0 in range(0, nx, tx):
+        for y0 in range(0, ny, ty):
+            boxes.append((x0, min(x0 + tx, nx), y0, min(y0 + ty, ny)))
+    return boxes
+
+
+__all__ = ["auto_tile", "normalize_fused_tile", "tile_boxes"]

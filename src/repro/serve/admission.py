@@ -44,10 +44,16 @@ def group_key(request: SolveRequest) -> GroupKey:
 def can_fuse(request: SolveRequest) -> bool:
     """Whether this request's backend/spec admit a fused batched launch."""
     backend = get_backend(request.backend)
-    return (
-        hasattr(backend, "solve_batch")
-        and (request.entry.spec.machine.engine or "vectorized") != "event"
-    )
+    if not hasattr(backend, "solve_batch"):
+        return False
+    engine = request.entry.spec.machine.engine
+    if engine is None:
+        # Backends without the fabric-engine vocabulary (reference, GPU)
+        # batch whenever they expose solve_batch.
+        return True
+    from repro.core.engines import BATCH_CAPABLE_ENGINES
+
+    return engine in BATCH_CAPABLE_ENGINES
 
 
 @dataclass

@@ -35,6 +35,7 @@ import numpy as np
 from repro.core.mapping import ProblemMapping
 from repro.core.program import CgProgram, EngineReport
 from repro.physics.darcy import SinglePhaseProblem
+from repro.fused.tiling import normalize_fused_tile
 from repro.shard.layout import ShardLayout
 from repro.shard.links import InterShardLinkModel
 from repro.shard.workers import (
@@ -51,6 +52,7 @@ from repro.wse.vector_engine import (
     _ChargeModel,
     _memory_report,
     _stage_problem,
+    build_iteration_packets,
     staging_to_arrays,
 )
 
@@ -76,6 +78,7 @@ class ShardedVectorEngine:
         spec: WseSpecs,
         shard_shape=(1, 1),
         shard_workers: str | None = None,
+        fused_tile=None,
         dtype=np.float32,
         simd_width: int | None = None,
         initial_pressure: np.ndarray | None = None,
@@ -128,6 +131,10 @@ class ShardedVectorEngine:
             kind_counts=self.st.kind_counts, kernel_plans=self.st.kernel_plans,
         )
         self._arrays = staging_to_arrays(self.st, program)
+        # Optional fused-kernel composition: each worker's FV sweep runs
+        # the cache-blocked tile kernel over its halo-extended slab (a
+        # pure loop reorder — bitwise-identical shard results).
+        self.fused_tile = normalize_fused_tile(fused_tile)
         self._params = WorkerParams(
             variant=program.variant,
             jacobi=program.jacobi,
@@ -135,6 +142,7 @@ class ShardedVectorEngine:
             dtype=self.dtype.str,
             has_full=self.st.has_full,
             has_partial=self.st.has_partial,
+            fused_tile=self.fused_tile,
         )
         self._history: list[float] = []
 
@@ -170,36 +178,7 @@ class ShardedVectorEngine:
         land bitwise where itemised charging would put them; state
         visits (order-sensitive) are extended from the packets' own
         recorded sequences."""
-        m, jacobi = self.model, self.program.jacobi
-        check = m.fresh()
-        check.visit(CGState.ITER_CHECK)
-        body = m.fresh()
-        body.visit(CGState.EXCHANGE)
-        body.charge_exchange()
-        body.visit(CGState.COMPUTE_JX)
-        body.charge_kernel()
-        body.vec(Op.FMA)  # local p^T Jp
-        body.visit(CGState.DOT_PAP)
-        body.charge_allreduce()
-        body.visit(CGState.COMPUTE_ALPHA)
-        body.scalar(4)  # scalar divide on the CE
-        body.visit(CGState.UPDATE_SOL)
-        body.vec(Op.FMA)  # y += alpha p
-        body.visit(CGState.UPDATE_RES)
-        body.vec(Op.FMA)  # r -= alpha Jp
-        if jacobi:
-            body.vec(Op.FMUL)
-        body.vec(Op.FMA)
-        body.visit(CGState.DOT_RR)
-        body.charge_allreduce()
-        body.visit(CGState.THRES_CHECK)
-        direction = m.fresh()
-        direction.visit(CGState.COMPUTE_BETA)
-        direction.scalar(4)
-        direction.visit(CGState.UPDATE_DIR)
-        direction.vec(Op.FMUL)  # p *= beta
-        direction.vec(Op.FADD)  # p += r (or z)
-        return check, body, direction
+        return build_iteration_packets(self.model, self.program.jacobi)
 
     # -- the solve ------------------------------------------------------------
 
@@ -320,6 +299,9 @@ class ShardedVectorEngine:
                 "layout": self.layout.to_dict(),
                 "workers": self.shard_workers,
                 "links": self.links.to_dict(),
+                "fused_tile": (
+                    None if self.fused_tile is None else list(self.fused_tile)
+                ),
             },
         )
 

@@ -72,6 +72,7 @@ class ShardFields:
         has_full: bool,
         has_partial: bool,
         dtype: np.dtype,
+        fused_tile: tuple[int, int] | None = None,
     ):
         self.box = box
         self.variant = variant
@@ -183,6 +184,38 @@ class ShardFields:
         self._d64a = np.empty(snx * sny * nz, dtype=np.float64)
         self._d64b = np.empty(snx * sny * nz, dtype=np.float64)
 
+        # Optional fused-kernel composition: with a ``fused_tile`` the
+        # worker's FV sweep runs the cache-blocked TiledApply over this
+        # shard's halo-extended slab instead of the strided whole-slab
+        # sweep above.  Tiling is a pure loop reorder of the identical
+        # per-element arithmetic, so the shard's results — and therefore
+        # the engine's parity contract — are unchanged bitwise.
+        self._tiled = None
+        if fused_tile is not None:
+            from repro.fused.kernels import TiledApply
+            from repro.fused.tiling import tile_boxes
+
+            self._tiled = TiledApply(
+                x_ext=self.x_ext,
+                out=self._out,
+                boxes=tile_boxes(snx, sny, fused_tile),
+                variant=variant,
+                dtype=dtype,
+                coeff=self._coeff,
+                coeff_down=self._coeff_down,
+                coeff_up=self._coeff_up,
+                ups=self._ups,
+                ups_down=self._ups_down,
+                ups_up=self._ups_up,
+                lam=self._lam,
+                lam_nbr=self._lam_nbr,
+                acc=self._acc,
+                full_cols=self._full_cols,
+                blend_mask=self._blend,
+                has_full=st.has_full,
+                has_partial=st.has_partial,
+            )
+
     def dot(self, a: np.ndarray, b: np.ndarray) -> float:
         """:func:`dot64` through preallocated float64 scratch — same
         conversion, same BLAS dot on the same values (so bitwise the
@@ -218,6 +251,9 @@ class ShardFields:
         the next apply, which is safe because every consumer (the dot,
         the residual update) reads it before the next round.
         """
+        if self._tiled is not None:
+            self._tiled.apply()
+            return self._out
         x, out, diff, tmp = self._x_in, self._out, self._diff, self._tmp
         if self.variant is KernelVariant.PRECOMPUTED:
             for i, port in enumerate(HALO_ORDER):

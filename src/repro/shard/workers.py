@@ -78,6 +78,9 @@ class WorkerParams:
     dtype: str
     has_full: bool
     has_partial: bool
+    #: Cache-tile shape for the fused-kernel composition (``None`` keeps
+    #: the strided whole-slab sweep).
+    fused_tile: tuple[int, int] | None = None
 
 
 class ShardWorker:
@@ -99,6 +102,7 @@ class ShardWorker:
             variant=params.variant, jacobi=params.jacobi,
             has_full=params.has_full, has_partial=params.has_partial,
             dtype=np.dtype(params.dtype),
+            fused_tile=params.fused_tile,
         )
         self.outbox = outboxes[box.index]
         # My halo source in direction d is that neighbour's plane

@@ -33,6 +33,7 @@ import dataclasses
 import difflib
 import hashlib
 import json
+import re
 from dataclasses import dataclass, field, replace
 from typing import Any, Mapping
 
@@ -271,12 +272,20 @@ MACHINE_FIELDS = (
     "fixed_iterations",
     "batch_size",
     "shard_shape",
+    "fused_tile",
 )
 
 #: Fabric execution engines the dataflow backend offers (``None`` keeps
 #: the backend default, the event-driven oracle).  The single source of
 #: truth: ``repro.core.engines.ENGINE_NAMES`` aliases this tuple.
-FABRIC_ENGINES = ("event", "vectorized", "sharded")
+FABRIC_ENGINES = ("event", "vectorized", "sharded", "fused")
+
+#: Engines whose sweeps are cache-tiled and therefore honour the
+#: ``fused_tile`` knob: the fused hot-loop engine itself, and the sharded
+#: engine (whose workers run the same tiled kernel over their
+#: halo-extended slabs).  ``repro.core.engines.TILE_CAPABLE_ENGINES``
+#: aliases this tuple.
+TILE_ENGINES = ("fused", "sharded")
 
 
 @dataclass(frozen=True)
@@ -310,6 +319,11 @@ class MachineSpec:
       the fabric for the sharded engine (an ``int`` means a 1-D
       ``(n, 1)`` split).  Requires ``engine="sharded"``; the layout is
       validated against the grid at engine construction.
+    * ``fused_tile`` — ``(tile_x, tile_y)`` cache-tile shape for the
+      fused hot-loop engine's tiled sweeps (an ``int`` means a square
+      ``(n, n)`` tile).  Requires a tile-capable engine
+      (``engine="fused"`` or ``engine="sharded"``); omitting it lets the
+      engine auto-pick a tile from the grid and dtype.
     """
 
     spec: WseSpecs | GpuSpecs | None = None
@@ -322,6 +336,7 @@ class MachineSpec:
     fixed_iterations: int | None = None
     batch_size: int | None = None
     shard_shape: tuple[int, int] | None = None
+    fused_tile: tuple[int, int] | None = None
 
     def __post_init__(self) -> None:
         if self.spec is not None and not isinstance(self.spec, (WseSpecs, GpuSpecs)):
@@ -389,6 +404,40 @@ class MachineSpec:
                     f"shard_shape configures the sharded engine; set "
                     f"engine='sharded' (got engine={self.engine!r})"
                 )
+        if self.fused_tile is not None:
+            raw = self.fused_tile
+            if isinstance(raw, str):
+                # The CLI/env spelling — same grammar as
+                # repro.fused.tiling.normalize_fused_tile.
+                match = re.match(r"^\s*(\d+)\s*[xX,]\s*(\d+)\s*$", raw)
+                if not match:
+                    raise ConfigurationError(
+                        f"fused_tile string must look like '16x16', got {raw!r}"
+                    )
+                raw = (int(match.group(1)), int(match.group(2)))
+            if isinstance(raw, (int, np.integer)) and not isinstance(raw, bool):
+                tile = (int(raw), int(raw))
+            else:
+                try:
+                    tile = tuple(int(v) for v in raw)
+                except (TypeError, ValueError):
+                    raise ConfigurationError(
+                        f"fused_tile must be a positive int or a "
+                        f"(tile_x, tile_y) pair, got {raw!r}"
+                    ) from None
+            if len(tile) != 2 or any(v < 1 for v in tile):
+                raise ConfigurationError(
+                    f"fused_tile must be a positive int or a "
+                    f"(tile_x, tile_y) pair of positive integers, got "
+                    f"{raw!r}"
+                )
+            object.__setattr__(self, "fused_tile", tile)
+            if self.engine not in TILE_ENGINES:
+                raise ConfigurationError(
+                    f"fused_tile configures the tiled engines; set engine "
+                    f"to one of {', '.join(map(repr, TILE_ENGINES))} "
+                    f"(got engine={self.engine!r})"
+                )
 
     def set_fields(self) -> set[str]:
         """Names of knobs that differ from their defaults."""
@@ -420,6 +469,7 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "fixed_iterations": ("machine", "fixed_iterations"),
     "batch_size": ("machine", "batch_size"),
     "shard_shape": ("machine", "shard_shape"),
+    "fused_tile": ("machine", "fused_tile"),
     "preconditioner": ("", "preconditioner"),
     "jacobi": ("", "preconditioner"),
     "n_steps": ("time", "n_steps"),
@@ -553,6 +603,9 @@ class SolveSpec:
                 "shard_shape": (
                     None if m.shard_shape is None else list(m.shard_shape)
                 ),
+                "fused_tile": (
+                    None if m.fused_tile is None else list(m.fused_tile)
+                ),
             },
             "preconditioner": self.preconditioner,
             "time": None if self.time is None else self.time.to_dict(),
@@ -587,6 +640,8 @@ class SolveSpec:
             mach["block_shape"] = tuple(mach["block_shape"])
         if mach.get("shard_shape") is not None:
             mach["shard_shape"] = tuple(mach["shard_shape"])
+        if mach.get("fused_tile") is not None:
+            mach["fused_tile"] = tuple(mach["fused_tile"])
         time_payload = data.get("time")
         return cls(
             tolerance=ToleranceSpec(**tol),
@@ -656,6 +711,7 @@ __all__ = [
     "PrecisionSpec",
     "SUPPORTED_DTYPES",
     "SolveSpec",
+    "TILE_ENGINES",
     "TIME_FIELDS",
     "TimeSpec",
     "ToleranceSpec",

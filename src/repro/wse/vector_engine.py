@@ -924,6 +924,79 @@ class VectorEngine:
         )
 
 
+# -- charge packets -----------------------------------------------------------
+
+
+def build_init_packet(model: _ChargeModel, jacobi: bool) -> _ChargeModel:
+    """Play the INIT phase's charge sequence once on a fresh model.
+
+    The sequence mirrors :meth:`VectorEngine.run`'s init statement for
+    statement; the played model is a reusable *packet* — merge it (via
+    ``merge_scaled``) into any charge model with the same Dirichlet
+    histogram instead of re-itemising the charges.  Shared by the
+    batched and fused engines (the sharded engine charges its init
+    inline, interleaved with crew dispatch)."""
+    init = model.fresh()
+    init.visit(CGState.INIT)
+    init.visit(CGState.EXCHANGE)
+    init.charge_exchange()
+    init.visit(CGState.COMPUTE_JX)
+    init.charge_kernel()
+    init.vec(Op.FSUB)  # r = b - Jx
+    if jacobi:
+        init.vec(Op.FMUL)  # z = r / diag
+        init.vec(Op.FMOV)  # p = z
+    else:
+        init.vec(Op.FMOV)  # p = r
+    init.vec(Op.FMA)  # local dot
+    init.visit(CGState.DOT_RR)
+    init.charge_allreduce()
+    return init
+
+
+def build_iteration_packets(
+    model: _ChargeModel, jacobi: bool
+) -> tuple[_ChargeModel, _ChargeModel, _ChargeModel]:
+    """Play the loop's three charge segments once on fresh models.
+
+    Returns ``(check, body, direction)`` packets whose sequences mirror
+    :meth:`VectorEngine.run`'s loop statement for statement — the charge
+    vocabulary every fabric engine shares (batched lanes, the sharded
+    coordinator and the fused hot loop all merge these same packets, so
+    counters/traffic/makespan agree exactly by construction)."""
+    check = model.fresh()
+    check.visit(CGState.ITER_CHECK)
+
+    body = model.fresh()
+    body.visit(CGState.EXCHANGE)
+    body.charge_exchange()
+    body.visit(CGState.COMPUTE_JX)
+    body.charge_kernel()
+    body.vec(Op.FMA)  # local p^T Jp
+    body.visit(CGState.DOT_PAP)
+    body.charge_allreduce()
+    body.visit(CGState.COMPUTE_ALPHA)
+    body.scalar(4)  # scalar divide on the CE
+    body.visit(CGState.UPDATE_SOL)
+    body.vec(Op.FMA)  # y += alpha p
+    body.visit(CGState.UPDATE_RES)
+    body.vec(Op.FMA)  # r -= alpha Jp
+    if jacobi:
+        body.vec(Op.FMUL)
+    body.vec(Op.FMA)
+    body.visit(CGState.DOT_RR)
+    body.charge_allreduce()
+    body.visit(CGState.THRES_CHECK)
+
+    direction = model.fresh()
+    direction.visit(CGState.COMPUTE_BETA)
+    direction.scalar(4)
+    direction.visit(CGState.UPDATE_DIR)
+    direction.vec(Op.FMUL)  # p *= beta
+    direction.vec(Op.FADD)  # p += r (or z)
+    return check, body, direction
+
+
 # -- the batched engine -------------------------------------------------------
 
 
@@ -1047,54 +1120,8 @@ class BatchedVectorEngine:
         Dirichlet histogram.  Sequences mirror :meth:`VectorEngine.run`
         statement for statement."""
         jacobi = self.program.jacobi
-
-        init = model.fresh()
-        init.visit(CGState.INIT)
-        init.visit(CGState.EXCHANGE)
-        init.charge_exchange()
-        init.visit(CGState.COMPUTE_JX)
-        init.charge_kernel()
-        init.vec(Op.FSUB)  # r = b - Jx
-        if jacobi:
-            init.vec(Op.FMUL)  # z = r / diag
-            init.vec(Op.FMOV)  # p = z
-        else:
-            init.vec(Op.FMOV)  # p = r
-        init.vec(Op.FMA)  # local dot
-        init.visit(CGState.DOT_RR)
-        init.charge_allreduce()
-
-        check = model.fresh()
-        check.visit(CGState.ITER_CHECK)
-
-        body = model.fresh()
-        body.visit(CGState.EXCHANGE)
-        body.charge_exchange()
-        body.visit(CGState.COMPUTE_JX)
-        body.charge_kernel()
-        body.vec(Op.FMA)  # local p^T Jp
-        body.visit(CGState.DOT_PAP)
-        body.charge_allreduce()
-        body.visit(CGState.COMPUTE_ALPHA)
-        body.scalar(4)  # scalar divide on the CE
-        body.visit(CGState.UPDATE_SOL)
-        body.vec(Op.FMA)  # y += alpha p
-        body.visit(CGState.UPDATE_RES)
-        body.vec(Op.FMA)  # r -= alpha Jp
-        if jacobi:
-            body.vec(Op.FMUL)
-        body.vec(Op.FMA)
-        body.visit(CGState.DOT_RR)
-        body.charge_allreduce()
-        body.visit(CGState.THRES_CHECK)
-
-        direction = model.fresh()
-        direction.visit(CGState.COMPUTE_BETA)
-        direction.scalar(4)
-        direction.visit(CGState.UPDATE_DIR)
-        direction.vec(Op.FMUL)  # p *= beta
-        direction.vec(Op.FADD)  # p += r (or z)
-
+        init = build_init_packet(model, jacobi)
+        check, body, direction = build_iteration_packets(model, jacobi)
         return {"init": init, "check": check, "body": body, "direction": direction}
 
     # -- numerics -------------------------------------------------------------
@@ -1299,4 +1326,10 @@ class BatchedVectorEngine:
         return reports
 
 
-__all__ = ["BatchedVectorEngine", "VectorEngine", "staging_to_arrays"]
+__all__ = [
+    "BatchedVectorEngine",
+    "VectorEngine",
+    "build_init_packet",
+    "build_iteration_packets",
+    "staging_to_arrays",
+]

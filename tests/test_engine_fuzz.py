@@ -1,12 +1,13 @@
-"""Engine-parity fuzzing: event vs. vectorized vs. batched.
+"""Engine-parity fuzzing: event vs. vectorized vs. batched vs. sharded
+vs. fused.
 
 Fifty seeded random cases draw grid shapes and spacings, heterogeneity
 fields, boundary-condition mixes (wells, Dirichlet planes, random pinned
 cells/columns) and spec knobs (kernel variant, preconditioner, buffer
 reuse, SIMD width, precision, comm-only, fixed-iteration vs. converging
-runs), then assert the three execution paths agree: iterates to fp
-round-off, and *exactly* identical op/traffic counters, memory
-statistics and state sequences.
+runs) plus shard layouts and fused cache-tile shapes, then assert the
+five execution paths agree: iterates to fp round-off, and *exactly*
+identical op/traffic counters, memory statistics and state sequences.
 
 Every assertion message carries the case's derived seed, so a CI failure
 reproduces locally with::
@@ -127,15 +128,27 @@ def _draw_case(case: int):
         int(rng.integers(1, problem.grid.ny + 1)),
     )
     shard_workers = "thread" if case % 5 == 0 else "serial"
-    return seed, problem, sibling, kwargs, shard_shape, shard_workers
+    # Fused-tile draws ride after the shard draws (same append-at-the-end
+    # contract).  Tiles range over the full [1, n] axis, so narrow
+    # generic tiles, full-width slabs (the fast path) and whole-grid
+    # tiles all occur; every third case auto-picks instead.
+    fused_tile = (
+        int(rng.integers(1, problem.grid.nx + 1)),
+        int(rng.integers(1, problem.grid.ny + 1)),
+    )
+    if case % 3 == 0:
+        fused_tile = None
+    return seed, problem, sibling, kwargs, shard_shape, shard_workers, fused_tile
 
 
 @pytest.mark.parametrize("case", range(N_CASES))
 def test_fuzz_engine_parity(case):
-    seed, problem, sibling, kwargs, shard_shape, shard_workers = _draw_case(case)
+    (
+        seed, problem, sibling, kwargs, shard_shape, shard_workers, fused_tile,
+    ) = _draw_case(case)
     ctx = (
         f"[fuzz case {case}: seed={seed}, grid={problem.grid.shape}, "
-        f"shards={shard_shape}/{shard_workers}, "
+        f"shards={shard_shape}/{shard_workers}, tile={fused_tile}, "
         f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
     )
     event = WseMatrixFreeSolver(problem, engine="event", **kwargs).solve()
@@ -228,6 +241,84 @@ def test_fuzz_engine_parity(case):
     )
 
 
+@pytest.mark.parametrize("case", range(N_CASES))
+def test_fuzz_fused_engine_parity(case):
+    """The fused leg: cache-blocked single-pass sweeps vs. the vectorized
+    oracle, over the case's random tile shape (plus the batched-fused
+    lane and run-to-run determinism).  The only fp divergence is the
+    tile-ordered dot reduction — the sharded engine's contract — so
+    fixed-iteration runs pin every counter exactly."""
+    (
+        seed, problem, sibling, kwargs, _shard_shape, _workers, fused_tile,
+    ) = _draw_case(case)
+    ctx = (
+        f"[fused fuzz case {case}: seed={seed}, grid={problem.grid.shape}, "
+        f"tile={fused_tile}, "
+        f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
+    )
+    vector = WseMatrixFreeSolver(problem, engine="vectorized", **kwargs).solve()
+    fused = WseMatrixFreeSolver(
+        problem, engine="fused", fused_tile=fused_tile, **kwargs
+    ).solve()
+    assert fused.engine == "fused", ctx
+    info = fused.fused
+    assert info is not None and info["backend"] in ("numpy", "numba"), ctx
+    assert info["tiles"] >= 1 and len(info["tile"]) == 2, ctx
+    if fused_tile is not None:
+        assert tuple(info["tile"]) == (
+            min(fused_tile[0], problem.grid.nx),
+            min(fused_tile[1], problem.grid.ny),
+        ), ctx
+    assert fused.memory == vector.memory, ctx
+    atol = 1e-8 if np.dtype(kwargs["dtype"]) == np.float64 else 5e-4
+    assert abs(fused.iterations - vector.iterations) <= 2, ctx
+    np.testing.assert_allclose(
+        fused.pressure.astype(np.float64),
+        vector.pressure.astype(np.float64),
+        rtol=1e-5, atol=atol, err_msg=ctx,
+    )
+
+    # Determinism: a second identical run is bit-for-bit the first.
+    again = WseMatrixFreeSolver(
+        problem, engine="fused", fused_tile=fused_tile, **kwargs
+    ).solve()
+    np.testing.assert_array_equal(again.pressure, fused.pressure, err_msg=ctx)
+    assert again.residual_history == fused.residual_history, ctx
+    assert again.iterations == fused.iterations, ctx
+
+    # Batched-fused lanes are bitwise the serial fused solve (same
+    # tile order per lane, same charge composition).
+    lanes = solve_batch(
+        [problem, sibling], engine="fused", fused_tile=fused_tile, **kwargs
+    )
+    lane = lanes[0]
+    assert lane.engine == "batched_fused", ctx
+    np.testing.assert_array_equal(lane.pressure, fused.pressure, err_msg=ctx)
+    assert lane.residual_history == fused.residual_history, ctx
+    assert lane.counters.to_dict() == fused.counters.to_dict(), ctx
+    assert lane.trace.to_dict() == fused.trace.to_dict(), ctx
+    assert lane.memory == fused.memory, ctx
+    assert lane.state_visits == fused.state_visits, ctx
+
+    if not kwargs.get("fixed_iterations"):
+        return
+    # Fixed-iteration runs: the round-off channel cannot change control
+    # flow, so every counter/trace/visit is pinned exactly — makespan
+    # included (elapsed_seconds is makespan over the clock).
+    assert fused.iterations == vector.iterations, ctx
+    assert fused.converged == vector.converged, ctx
+    assert fused.counters.to_dict() == vector.counters.to_dict(), ctx
+    assert fused.trace.to_dict() == vector.trace.to_dict(), ctx
+    assert fused.state_visits == vector.state_visits, ctx
+    assert fused.elapsed_seconds == vector.elapsed_seconds, ctx
+    rtr0 = max(vector.residual_history[0], 1.0)
+    np.testing.assert_allclose(
+        np.asarray(fused.residual_history),
+        np.asarray(vector.residual_history),
+        rtol=1e-5, atol=1e-12 * rtr0, err_msg=ctx,
+    )
+
+
 N_TRANSIENT_CASES = 12
 
 
@@ -279,7 +370,16 @@ def _draw_transient_case(case: int):
         int(rng.integers(1, problem.grid.ny + 1)),
     )
     shard_workers = "thread" if case % 4 == 0 else "serial"
-    return seed, problem, sibling, kwargs, shard_shape, shard_workers
+    # Appended after the shard draws: the fused leg's cache tile.
+    fused_tile = (
+        int(rng.integers(1, problem.grid.nx + 1)),
+        int(rng.integers(1, problem.grid.ny + 1)),
+    )
+    if case % 3 == 0:
+        fused_tile = None
+    return (
+        seed, problem, sibling, kwargs, shard_shape, shard_workers, fused_tile
+    )
 
 
 @pytest.mark.parametrize("case", range(N_TRANSIENT_CASES))
@@ -289,13 +389,13 @@ def test_fuzz_transient_engine_parity(case):
     sequences exactly, at every backward-Euler step."""
     from repro.core.solver import simulate_reports, simulate_reports_batch
 
-    seed, problem, sibling, kwargs, shard_shape, shard_workers = (
-        _draw_transient_case(case)
-    )
+    (
+        seed, problem, sibling, kwargs, shard_shape, shard_workers, fused_tile,
+    ) = _draw_transient_case(case)
     ctx = (
         f"[transient fuzz case {case}: seed={seed}, "
         f"grid={problem.grid.shape}, "
-        f"shards={shard_shape}/{shard_workers}, "
+        f"shards={shard_shape}/{shard_workers}, tile={fused_tile}, "
         f"knobs={ {k: v for k, v in kwargs.items() if k != 'spec'} }]"
     )
     event = list(simulate_reports(problem, engine="event", **kwargs))
@@ -365,6 +465,37 @@ def test_fuzz_transient_engine_parity(case):
             rtol=1e-5, atol=1e-7, err_msg=str((step, ctx)),
         )
 
+    # -- vectorized vs. fused (per step) --------------------------------------
+    # Same contract as the sharded leg: the tile-ordered dot reduction
+    # is the only fp channel, and warm starts carry it across steps.
+    fused = list(simulate_reports(
+        problem, engine="fused", fused_tile=fused_tile, **kwargs,
+    ))
+    assert len(fused) == len(vector), ctx
+    for step, (vec, fu) in enumerate(zip(vector, fused), start=1):
+        assert fu.engine == "fused", (step, ctx)
+        assert fu.fused is not None, (step, ctx)
+        assert fu.memory == vec.memory, (step, ctx)
+        assert abs(fu.iterations - vec.iterations) <= 3, (step, ctx)
+        np.testing.assert_allclose(
+            fu.pressure.astype(np.float64),
+            vec.pressure.astype(np.float64),
+            rtol=1e-5, atol=1e-7, err_msg=str((step, ctx)),
+        )
+
+    # -- fused serial vs. batched-fused lane (per step, bitwise) --------------
+    fused_batched = list(simulate_reports_batch(
+        [problem, sibling], engine="fused", fused_tile=fused_tile, **kwargs,
+    ))
+    for step, (fu, lanes) in enumerate(zip(fused, fused_batched), start=1):
+        lane = lanes[0]
+        assert lane.engine == "batched_fused", (step, ctx)
+        assert lane.iterations == fu.iterations, (step, ctx)
+        np.testing.assert_array_equal(lane.pressure, fu.pressure, err_msg=ctx)
+        assert lane.residual_history == fu.residual_history, (step, ctx)
+        assert lane.counters.to_dict() == fu.counters.to_dict(), (step, ctx)
+        assert lane.state_visits == fu.state_visits, (step, ctx)
+
 
 def test_transient_iterations_drop_monotonically_with_dt():
     """The conditioning property documented in ``physics/transient.py``,
@@ -393,15 +524,15 @@ def test_transient_iterations_drop_monotonically_with_dt():
 def test_fuzz_is_deterministic():
     """The reproduction contract: redrawing a case yields the same
     problem and knobs (so the seed in a failure message is sufficient)."""
-    seed_a, problem_a, _, kwargs_a, shard_a, workers_a = _draw_case(7)
-    seed_b, problem_b, _, kwargs_b, shard_b, workers_b = _draw_case(7)
+    seed_a, problem_a, _, kwargs_a, shard_a, workers_a, tile_a = _draw_case(7)
+    seed_b, problem_b, _, kwargs_b, shard_b, workers_b, tile_b = _draw_case(7)
     assert seed_a == seed_b
     np.testing.assert_array_equal(problem_a.permeability, problem_b.permeability)
     np.testing.assert_array_equal(problem_a.dirichlet.mask, problem_b.dirichlet.mask)
     assert {k: v for k, v in kwargs_a.items() if k != "spec"} == {
         k: v for k, v in kwargs_b.items() if k != "spec"
     }
-    assert (shard_a, workers_a) == (shard_b, workers_b)
+    assert (shard_a, workers_a, tile_a) == (shard_b, workers_b, tile_b)
 
 
 def test_fuzz_spans_the_knob_space():
@@ -427,3 +558,15 @@ def test_fuzz_spans_the_knob_space():
         for (sx, sy), g in zip(shards, grids)
     )
     assert {c[5] for c in cases} == {"serial", "thread"}
+    tiles = [c[6] for c in cases]
+    assert any(t is None for t in tiles)  # the auto-picked tile
+    assert any(  # full-width slabs: the contiguous fast path
+        t is not None and t[1] == g.ny for t, g in zip(tiles, grids)
+    )
+    assert any(  # narrow tiles: the general strided path
+        t is not None and t[1] < g.ny for t, g in zip(tiles, grids)
+    )
+    assert any(  # tiles that do not divide the grid evenly
+        t is not None and ((t[0] > 1 and g.nx % t[0]) or (t[1] > 1 and g.ny % t[1]))
+        for t, g in zip(tiles, grids)
+    )

@@ -1,0 +1,313 @@
+"""Unit tests for the fused cache-blocked hot-loop engine.
+
+The cross-engine *numerics* parity (fused vs. event/vectorized/sharded/
+batched, steady and transient) lives in ``tests/test_engine_fuzz.py``;
+this file pins the machinery around it: tile selection and validation,
+backend resolution (including the graceful numba fallback), the
+``fused_tile`` spec knob's round-trip and engine gating, the bitwise
+loop-reorder property of :class:`TiledApply`, telemetry plumbing, and
+the sharded-worker composition.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import make_problem
+import repro
+from repro.core.engines import (
+    BATCH_CAPABLE_ENGINES,
+    TILE_CAPABLE_ENGINES,
+    create_batched_engine,
+    create_engine,
+)
+from repro.core.fv_kernel import KernelVariant
+from repro.core.program import CgProgram
+from repro.core.solver import WseMatrixFreeSolver
+from repro.fused import (
+    BACKEND_ENV,
+    FusedVectorEngine,
+    auto_tile,
+    normalize_fused_tile,
+    numba_available,
+    resolve_backend,
+    tile_boxes,
+)
+from repro.fused.kernels import FusedNumpyBackend, create_backend
+from repro.spec import MachineSpec, SolveSpec, TILE_ENGINES
+from repro.util.errors import ConfigurationError
+from repro.wse.specs import WSE2
+from repro.wse.vector_engine import _stage_problem
+
+SPEC = WSE2.with_fabric(8, 8)
+
+
+# -- tile selection and validation --------------------------------------------
+
+
+def test_normalize_fused_tile_accepts_the_documented_spellings():
+    assert normalize_fused_tile(None) is None
+    assert normalize_fused_tile(16) == (16, 16)
+    assert normalize_fused_tile((8, 4)) == (8, 4)
+    assert normalize_fused_tile([8, 4]) == (8, 4)
+    assert normalize_fused_tile("16x16") == (16, 16)
+    assert normalize_fused_tile("8X4") == (8, 4)
+    assert normalize_fused_tile(" 8 , 4 ") == (8, 4)
+
+
+@pytest.mark.parametrize(
+    "bad", [True, 0, -3, (0, 4), (4, -1), (1, 2, 3), "16", "axb", "16x", 2.5]
+)
+def test_normalize_fused_tile_rejects_garbage(bad):
+    with pytest.raises(ConfigurationError):
+        normalize_fused_tile(bad)
+
+
+def test_auto_tile_picks_full_width_slabs():
+    """Full-width tiles are what unlock the contiguous fast path, so the
+    auto pick always spans y; the row count shrinks as the working set
+    per row grows, and never drops below the 8-row floor."""
+    tx, ty = auto_tile(128, 128, 4, 4)
+    assert ty == 128 and 8 <= tx <= 128
+    # A huge working set per row still yields >= 8 rows.
+    assert auto_tile(64, 4096, 32, 8)[0] == 8
+    # Small grids come back whole.
+    assert auto_tile(4, 4, 3, 4) == (4, 4)
+
+
+def test_tile_boxes_partition_the_grid_in_row_major_order():
+    boxes = tile_boxes(5, 4, (2, 3))
+    # Clipped, never padded: every cell in exactly one box.
+    cover = np.zeros((5, 4), dtype=int)
+    for x0, x1, y0, y1 in boxes:
+        assert x0 < x1 and y0 < y1
+        cover[x0:x1, y0:y1] += 1
+    assert (cover == 1).all()
+    assert boxes == sorted(boxes)  # row-major: the deterministic dot order
+
+
+# -- backend resolution -------------------------------------------------------
+
+
+def test_resolve_backend_numpy_is_always_available():
+    assert resolve_backend("numpy") == ("numpy", None)
+
+
+def test_resolve_backend_numba_falls_back_gracefully():
+    name, note = resolve_backend("numba")
+    if numba_available():
+        assert (name, note) == ("numba", None)
+    else:
+        assert name == "numpy"
+        assert "numba" in note
+
+
+def test_resolve_backend_auto_and_env(monkeypatch):
+    expected = "numba" if numba_available() else "numpy"
+    assert resolve_backend("auto")[0] == expected
+    assert resolve_backend(None)[0] == expected
+    monkeypatch.setenv(BACKEND_ENV, "numpy")
+    assert resolve_backend(None) == ("numpy", None)
+    monkeypatch.setenv(BACKEND_ENV, "numba")
+    assert resolve_backend(None)[0] == expected
+
+
+def test_resolve_backend_rejects_unknown_names():
+    with pytest.raises(ConfigurationError, match="unknown fused backend"):
+        resolve_backend("cython")
+
+
+def test_fallback_note_reaches_the_telemetry(monkeypatch):
+    if numba_available():  # pragma: no cover - environment-dependent
+        pytest.skip("numba importable; the fallback note cannot occur")
+    monkeypatch.setenv(BACKEND_ENV, "numba")
+    report = WseMatrixFreeSolver(
+        make_problem(4, 4, 2), engine="fused", spec=SPEC, rel_tol=1e-6
+    ).solve()
+    assert report.fused["backend"] == "numpy"
+    assert "numba" in report.fused["note"]
+
+
+# -- the spec knob ------------------------------------------------------------
+
+
+def test_fused_tile_spec_round_trip_and_fingerprint():
+    spec = SolveSpec(machine=MachineSpec(engine="fused", fused_tile=(8, 4)))
+    payload = spec.to_dict()
+    assert payload["machine"]["fused_tile"] == [8, 4]
+    back = SolveSpec.from_dict(payload)
+    assert back.machine.fused_tile == (8, 4)
+    assert back.fingerprint() == spec.fingerprint()
+    # An int coerces to a square tile; the fingerprint sees the pair.
+    square = SolveSpec(machine=MachineSpec(engine="fused", fused_tile=8))
+    assert square.machine.fused_tile == (8, 8)
+    # from_kwargs maps the flat knob onto machine.fused_tile.
+    kw = SolveSpec.from_kwargs(engine="fused", fused_tile=(8, 4))
+    assert kw.machine.fused_tile == (8, 4)
+    assert kw.fingerprint() == spec.fingerprint()
+    # The CLI/env string spelling normalizes to the same pair (and hence
+    # the same fingerprint) at the spec boundary too.
+    text = SolveSpec.from_kwargs(engine="fused", fused_tile="8x4")
+    assert text.machine.fused_tile == (8, 4)
+    assert text.fingerprint() == spec.fingerprint()
+    with pytest.raises(ConfigurationError, match="look like '16x16'"):
+        MachineSpec(engine="fused", fused_tile="8 by 4")
+
+
+def test_fused_tile_requires_a_tiled_engine():
+    with pytest.raises(ConfigurationError, match="tiled engines"):
+        MachineSpec(engine="vectorized", fused_tile=(4, 4))
+    with pytest.raises(ConfigurationError, match="tiled engines"):
+        MachineSpec(engine=None, fused_tile=4)
+    for engine in TILE_ENGINES:
+        assert MachineSpec(engine=engine, fused_tile=4).fused_tile == (4, 4)
+
+
+def test_engine_registry_gates_the_tile_knob():
+    assert TILE_CAPABLE_ENGINES == TILE_ENGINES
+    assert BATCH_CAPABLE_ENGINES == ("vectorized", "fused")
+    problem = make_problem(4, 4, 2)
+    program = CgProgram(fixed_iterations=2)
+    with pytest.raises(ConfigurationError, match="untiled; fused_tile"):
+        create_engine(
+            "event", problem, program, spec=SPEC, fused_tile=(2, 2)
+        )
+    batch = CgProgram(fixed_iterations=2, batch=2)
+    with pytest.raises(ConfigurationError, match="untiled; fused_tile"):
+        create_batched_engine(
+            "vectorized", [problem, problem], batch, spec=SPEC,
+            fused_tile=(2, 2),
+        )
+    with pytest.raises(ConfigurationError, match="batched"):
+        create_batched_engine("sharded", [problem, problem], batch, spec=SPEC)
+
+
+def test_fused_engine_rejects_batched_programs():
+    problem = make_problem(4, 4, 2)
+    with pytest.raises(ConfigurationError, match="BatchedFusedEngine"):
+        FusedVectorEngine(
+            problem, CgProgram(fixed_iterations=2, batch=2), spec=SPEC
+        )
+
+
+# -- the bitwise loop-reorder property ----------------------------------------
+
+
+def _staged_apply(problem, program, boxes_tile):
+    """One FV apply of the staged ``y`` through a fresh backend tiled by
+    ``boxes_tile``; returns the ``jx`` array."""
+    st = _stage_problem(problem, program, np.dtype(np.float32), None)
+    backend = FusedNumpyBackend(
+        st, program, tile=boxes_tile, dtype=np.dtype(np.float32)
+    )
+    backend.init_pass()
+    return backend.jx.copy()
+
+
+@pytest.mark.parametrize("variant", list(KernelVariant))
+@pytest.mark.parametrize("jacobi", [False, True])
+def test_tiled_apply_is_a_pure_loop_reorder(variant, jacobi):
+    """The same staged problem swept under different tilings — narrow
+    tiles, full-width slabs, the whole grid — produces bitwise-identical
+    ``Jx``: tiling only reorders elementwise/stencil-local work."""
+    problem = make_problem(7, 5, 3, seed=11)
+    program = CgProgram(variant=variant, jacobi=jacobi, fixed_iterations=2)
+    whole = _staged_apply(problem, program, (7, 5))
+    for tile in [(2, 2), (3, 5), (7, 1), (1, 5), (4, 3)]:
+        np.testing.assert_array_equal(
+            _staged_apply(problem, program, tile), whole, err_msg=str(tile)
+        )
+
+
+def test_numpy_backend_slab_and_generic_paths_agree():
+    """A full-width slab tile takes the contiguous fast path; forcing the
+    same tiling down the generic strided path must not change a bit."""
+    problem = make_problem(8, 6, 3, seed=4)
+    program = CgProgram(
+        variant=KernelVariant.FUSED_MOBILITY, jacobi=True, fixed_iterations=3
+    )
+    dtype = np.dtype(np.float32)
+    fast = FusedNumpyBackend(
+        _stage_problem(problem, program, dtype, None), program,
+        tile=(3, 6), dtype=dtype,
+    )
+    slow = FusedNumpyBackend(
+        _stage_problem(problem, program, dtype, None), program,
+        tile=(3, 6), dtype=dtype,
+    )
+    assert fast._use_slab
+    slow._use_slab = False
+    for pass_a, pass_b in [
+        (fast.init_pass(), slow.init_pass()),
+        (fast.body_pass(), slow.body_pass()),
+        (fast.update_pass(0.25), slow.update_pass(0.25)),
+    ]:
+        np.testing.assert_array_equal(pass_a, pass_b)
+    np.testing.assert_array_equal(fast.jx, slow.jx)
+    np.testing.assert_array_equal(fast.y, slow.y)
+    np.testing.assert_array_equal(fast.r, slow.r)
+
+
+def test_create_backend_dispatch():
+    problem = make_problem(4, 4, 2)
+    program = CgProgram(fixed_iterations=2)
+    st = _stage_problem(problem, program, np.dtype(np.float32), None)
+    backend = create_backend(
+        "numpy", st, program, tile=(2, 2), dtype=np.dtype(np.float32)
+    )
+    assert backend.name == "numpy" and backend.n_tiles == 4
+
+
+# -- telemetry and report plumbing --------------------------------------------
+
+
+def test_fused_report_and_backend_telemetry():
+    problem = make_problem(6, 5, 2, seed=3)
+    report = WseMatrixFreeSolver(
+        problem, engine="fused", fused_tile="4x5", spec=SPEC,
+        rel_tol=1e-6,
+    ).solve()
+    assert report.engine == "fused"
+    assert report.fused["tile"] == [4, 5]
+    assert report.fused["tiles"] == 2
+    assert report.fused["backend"] in ("numpy", "numba")
+    result = repro.solve(
+        problem,
+        backend="wse",
+        spec=SolveSpec.from_kwargs(
+            spec=SPEC, engine="fused", fused_tile=(4, 5), rel_tol=1e-6
+        ),
+    )
+    assert result.telemetry["engine"] == "fused"
+    assert result.telemetry["fused"]["tile"] == [4, 5]
+    # Untiled engines carry no fused telemetry.
+    plain = repro.solve(
+        problem, backend="wse",
+        spec=SolveSpec.from_kwargs(spec=SPEC, engine="vectorized", rel_tol=1e-6),
+    )
+    assert "fused" not in plain.telemetry
+
+
+# -- sharded-worker composition -----------------------------------------------
+
+
+@pytest.mark.parametrize("variant", list(KernelVariant))
+def test_sharded_workers_run_the_fused_kernel_bitwise(variant):
+    """``fused_tile`` on the sharded engine re-routes every worker's FV
+    sweep through :class:`TiledApply` over its halo-extended slab — a
+    pure loop reorder, so the whole solve (pressure, counters, trace,
+    link accounting) is bitwise the untiled sharded solve."""
+    problem = make_problem(8, 7, 3, seed=6)
+    kwargs = dict(
+        spec=SPEC, variant=variant, jacobi=True, rel_tol=1e-6,
+        shard_shape=(2, 3), engine="sharded",
+    )
+    plain = WseMatrixFreeSolver(problem, **kwargs).solve()
+    tiled = WseMatrixFreeSolver(problem, fused_tile=(3, 2), **kwargs).solve()
+    np.testing.assert_array_equal(tiled.pressure, plain.pressure)
+    assert tiled.iterations == plain.iterations
+    assert tiled.residual_history == plain.residual_history
+    assert tiled.counters.to_dict() == plain.counters.to_dict()
+    assert tiled.trace.to_dict() == plain.trace.to_dict()
+    assert tiled.shard["links"] == plain.shard["links"]
+    assert tiled.shard["fused_tile"] == [3, 2]
+    assert plain.shard["fused_tile"] is None

@@ -42,13 +42,17 @@ def _canonical_report(engine: str):
     problem = make_problem(**CASE)
     if engine == "batched":
         return solve_batch([problem], **SOLVE)[0]
+    if engine == "fused":
+        return WseMatrixFreeSolver(
+            problem, engine="fused", fused_tile=2, **SOLVE
+        ).solve()
     return WseMatrixFreeSolver(problem, engine=engine, **SOLVE).solve()
 
 
 def _report_payload(report) -> dict:
     """The stable serialized face of an EngineReport (everything except
     the float arrays, which carry no schema)."""
-    return {
+    payload = {
         "engine": report.engine,
         "iterations": int(report.iterations),
         "converged": bool(report.converged),
@@ -58,6 +62,14 @@ def _report_payload(report) -> dict:
         "counters": report.counters.to_dict(),
         "memory": report.memory,
     }
+    if report.fused is not None:
+        # Pin everything except the backend, which is environment-
+        # dependent (numba when importable) — the note rides with it.
+        payload["fused"] = {
+            k: v for k, v in report.fused.items()
+            if k not in ("backend", "note")
+        }
+    return payload
 
 
 def _check_against_golden(name: str, payload: dict):
@@ -78,7 +90,7 @@ def _check_against_golden(name: str, payload: dict):
     )
 
 
-@pytest.mark.parametrize("engine", ["event", "vectorized", "batched"])
+@pytest.mark.parametrize("engine", ["event", "vectorized", "batched", "fused"])
 def test_engine_report_schema_pinned(engine):
     report = _canonical_report(engine)
     _check_against_golden(f"engine_report_{engine}", _report_payload(report))
@@ -146,9 +158,9 @@ def test_engine_report_field_vocabulary():
     telemetry consumer even before serialization."""
     fields = sorted(EngineReport.__dataclass_fields__)
     assert fields == [
-        "converged", "counters", "elapsed_seconds", "engine", "iterations",
-        "memory", "pressure", "residual_history", "shard", "state_visits",
-        "trace",
+        "converged", "counters", "elapsed_seconds", "engine", "fused",
+        "iterations", "memory", "pressure", "residual_history", "shard",
+        "state_visits", "trace",
     ]
 
 
@@ -157,8 +169,8 @@ def test_goldens_are_committed_and_loadable():
     bless that never got committed)."""
     expected = [
         "engine_report_event", "engine_report_vectorized",
-        "engine_report_batched", "backend_telemetry_wse",
-        "simulation_result",
+        "engine_report_batched", "engine_report_fused",
+        "backend_telemetry_wse", "simulation_result",
     ]
     if BLESS:
         pytest.skip("blessing run")
