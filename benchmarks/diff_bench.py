@@ -49,6 +49,7 @@ GATE_EXACT_FIELDS = (
     "iterations", "converged", "mode", "fixed_iterations", "batch",
     "problems", "n_steps", "shard_shape", "fused_tile",
     "tiles_per_iteration", "flops", "fabric_bytes",
+    "preconditioner", "mg_levels", "mg_cycles",
 )
 
 #: Non-timing fields gated within an absolute tolerance band — they are

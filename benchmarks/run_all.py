@@ -53,6 +53,14 @@ vectorized engine's) and the counter scalars (``flops``,
 row's ``speedup_vs_serial`` is the scale proof for fusion (expected
 ≥ 1.5× with the pure-NumPy backend).
 
+``precond_iterations`` rows (schema ``repro.bench_session/8``) record
+CG iteration counts at equal residual on the heterogeneous geomodel
+scenarios (lognormal, channelized) for ``preconditioner`` none / jacobi
+/ mg on the vectorized engine.  The mg rows'
+``iteration_reduction_vs_none`` is the multigrid scale proof (expected
+≥ 5×); iteration counts and the ``preconditioner`` field are
+deterministic and gated by ``diff_bench.py``.
+
 ``--profile`` prints a per-phase host-time breakdown (stage / apply /
 dot / charge, vectorized vs fused — the fused engine collapses apply,
 axpy and dot into single tiled sweeps) instead of running the benches.
@@ -485,6 +493,78 @@ def run_fused_throughput(smoke: bool) -> list[dict]:
     return records
 
 
+def run_precond_iterations(smoke: bool) -> list[dict]:
+    """Preconditioner iteration-reduction rows (to-convergence).
+
+    Solves the heterogeneous geomodel scenarios (lognormal, channelized
+    — where unpreconditioned CG suffers most) on the vectorized fabric
+    engine with ``preconditioner`` none/jacobi/mg at the *same* resolved
+    tolerance, so the recorded iteration counts compare equal-residual
+    solves.  The mg rows carry ``iteration_reduction_vs_none`` — the
+    multigrid scale proof (expected ≥ 5× on both scenarios) — plus the
+    V-cycle telemetry shape (level count, cycles).  Iteration counts are
+    deterministic replays of the same arithmetic, so ``diff_bench.py``
+    gates on them (and on the ``preconditioner`` field) exactly.
+    """
+    if smoke:
+        cases = [("lognormal_reservoir", dict(nx=10, ny=10, nz=3)),
+                 ("channelized_reservoir", dict(nx=10, ny=10, nz=3))]
+    else:
+        cases = [("lognormal_reservoir", dict(nx=24, ny=24, nz=6)),
+                 ("channelized_reservoir", dict(nx=24, ny=24, nz=6))]
+
+    records = []
+    for name, grid in cases:
+        scenario = repro.scenario(name, **grid)
+        problem = scenario.build()
+        lateral = max(grid["nx"], grid["ny"])
+        base = repro.SolveSpec.from_kwargs(
+            spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+            dtype="float32", engine="vectorized", rel_tol=1e-5,
+            max_iters=20_000,
+        )
+        iters_by_precond: dict[str, int] = {}
+        for precond in ("none", "jacobi", "mg"):
+            spec = base.with_options(preconditioner=precond)
+            start = time.perf_counter()
+            result = repro.solve(problem, backend="wse", spec=spec)
+            host = time.perf_counter() - start
+            iters_by_precond[precond] = result.iterations
+            record = {
+                "table": "precond_iterations",
+                "scenario": f"{name}[{grid['nx']}x{grid['ny']}x{grid['nz']}] "
+                            f"{precond}",
+                "backend": "wse",
+                "engine": result.telemetry.get("engine"),
+                "mode": "to_convergence",
+                "fixed_iterations": None,
+                "preconditioner": precond,
+                "rel_tol": 1e-5,
+                "iterations": result.iterations,
+                "converged": bool(result.converged),
+                "time_kind": "host",
+                "host_seconds": host,
+            }
+            if precond != "none":
+                record["iteration_reduction_vs_none"] = (
+                    iters_by_precond["none"] / max(1, result.iterations)
+                )
+            if precond == "mg":
+                tele = result.telemetry["preconditioner"]
+                record.update(
+                    mg_levels=len(tele["levels"]),
+                    mg_cycles=tele["cycles"],
+                    mg_coarse_solve=tele["coarse_solve"],
+                )
+            records.append(record)
+            reduction = record.get("iteration_reduction_vs_none")
+            extra = "" if reduction is None else f" ({reduction:.1f}x fewer)"
+            print(f"  precond_iterations {name:<22} {precond:<6} "
+                  f"{result.iterations:>5} iters "
+                  f"converged={result.converged}{extra}")
+    return records
+
+
 def run_profile(smoke: bool) -> None:
     """Per-phase host-time breakdown, vectorized vs fused (``--profile``).
 
@@ -900,10 +980,15 @@ def main(argv: list[str] | None = None) -> int:
     # Fused-engine rows: cache-blocked hot loop vs the serial baseline.
     print("\nfused throughput (problems/sec):")
     records.extend(run_fused_throughput(args.smoke))
+
+    # Preconditioner rows: CG iterations at equal residual, none vs
+    # jacobi vs multigrid on the heterogeneous geomodels.
+    print("\npreconditioner iteration reduction (equal residual):")
+    records.extend(run_precond_iterations(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/7",
+        "schema": "repro.bench_session/8",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -23,8 +23,9 @@ class ReferenceBackend:
     :func:`repro.physics.simulation.newton_solve` (``rel_tol`` is the
     cross-backend spelling of the relative tolerance, forwarded as
     ``newton_rtol``), ``precision.dtype`` defaults to float64, and
-    ``preconditioner="jacobi"`` swaps the inner linear solver for the
-    diagonally scaled CG.  Machine knobs (fabric specs, SIMD widths,
+    ``preconditioner`` swaps the inner linear solver — ``"jacobi"`` for
+    the diagonally scaled CG, ``"mg"`` for the geometric-multigrid
+    PCG.  Machine knobs (fabric specs, SIMD widths,
     block shapes) are rejected — there is no machine here.
     """
 
@@ -65,8 +66,31 @@ class ReferenceBackend:
         if spec.tolerance.max_iters is not None:
             options["max_iters"] = spec.tolerance.max_iters
         if spec.preconditioner != "none":
-            options["linear_solver"] = linear_solver_for(problem, spec.preconditioner)
+            options["linear_solver"] = linear_solver_for(
+                problem,
+                spec.preconditioner,
+                mg_levels=spec.mg_levels,
+                mg_smoother_iters=spec.mg_smoother_iters,
+            )
         return options
+
+    def _precond_telemetry(
+        self, problem: SinglePhaseProblem, spec: SolveSpec, cycles: int
+    ):
+        """The telemetry ``preconditioner`` entry: the plain spec string
+        for none/jacobi, the structured multigrid record (level shapes,
+        sweeps, V-cycle count) for mg — the same shape the fabric
+        engines' reports carry."""
+        if spec.preconditioner != "mg":
+            return spec.preconditioner
+        from repro.mg import hierarchy_for_problem
+
+        return hierarchy_for_problem(
+            problem,
+            accumulation=None,
+            levels=spec.mg_levels,
+            smoother_iters=spec.mg_smoother_iters,
+        ).telemetry(cycles)
 
     def simulate(
         self,
@@ -107,6 +131,9 @@ class ReferenceBackend:
             else 10_000
         )
         jacobi = spec.preconditioner == "jacobi"
+        mg = spec.preconditioner == "mg"
+        if mg:
+            from repro.mg import hierarchy_for_problem, mg_preconditioned_cg
 
         times = tspec.times()
         # The reference works in one precision throughout (float64 by
@@ -132,10 +159,24 @@ class ReferenceBackend:
             if rel_tol is not None:
                 r0 = rhs - operator(x0)
                 tol = max(tol, rel_tol**2 * float(np.vdot(r0, r0).real))
+            hier = None
             if jacobi:
                 diagonal = operator_diagonal(problem, dtype=dtype) + acc
                 result = jacobi_preconditioned_cg(
                     operator, diagonal, rhs, x0, tol_rtr=tol, max_iters=max_iters
+                )
+            elif mg:
+                # The step's hierarchy folds the backward-Euler diagonal
+                # into every level, preconditioning the actual (J + A)
+                # system being solved.
+                hier = hierarchy_for_problem(
+                    problem,
+                    accumulation=acc,
+                    levels=spec.mg_levels,
+                    smoother_iters=spec.mg_smoother_iters,
+                )
+                result = mg_preconditioned_cg(
+                    operator, hier, rhs, x0, tol_rtr=tol, max_iters=max_iters
                 )
             else:
                 result = conjugate_gradient(
@@ -156,7 +197,11 @@ class ReferenceBackend:
                 backend=self.name,
                 telemetry={
                     "time_kind": "wall_clock",
-                    "preconditioner": spec.preconditioner,
+                    "preconditioner": (
+                        hier.telemetry(result.iterations + 1)
+                        if hier is not None
+                        else spec.preconditioner
+                    ),
                 },
             )
 
@@ -180,6 +225,8 @@ class ReferenceBackend:
         history: list[float] = []
         for linear in report.linear_results:
             history.extend(float(v) for v in linear.residual_history)
+        # One V-cycle seeds each inner PCG solve plus one per iteration.
+        cycles = sum(lr.iterations + 1 for lr in report.linear_results)
         return SolveResult(
             pressure=np.asarray(report.pressure),
             iterations=report.total_linear_iterations,
@@ -191,7 +238,7 @@ class ReferenceBackend:
             backend=self.name,
             telemetry={
                 "time_kind": "wall_clock",
-                "preconditioner": spec.preconditioner,
+                "preconditioner": self._precond_telemetry(problem, spec, cycles),
                 "newton_iterations": report.newton_iterations,
                 "newton_residual_norms": list(report.residual_norms),
                 "linear_results": list(report.linear_results),

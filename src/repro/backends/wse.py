@@ -34,7 +34,10 @@ class WseBackend:
     ``simd_width`` (§III-E.3), ``variant`` (precomputed ``c = Υλ`` vs.
     in-kernel mobility fusion), ``reuse_buffers`` (§III-E.1),
     ``comm_only``/``fixed_iterations`` (§V-C's Table IV methodology) and
-    ``preconditioner="jacobi"`` (purely PE-local diagonal scaling).
+    ``preconditioner`` — ``"jacobi"`` (purely PE-local diagonal scaling)
+    or ``"mg"`` (host-assisted geometric multigrid V-cycle, charged
+    through the shared packet builders; ``mg_levels`` /
+    ``mg_smoother_iters`` tune the hierarchy).
     ``block_shape`` belongs to the GPU and is rejected here.
     """
 
@@ -80,8 +83,12 @@ class WseBackend:
             )
         options: dict[str, Any] = {
             "dtype": spec.precision.numpy_dtype(default=np.float32),
-            "jacobi": spec.preconditioner == "jacobi",
+            "preconditioner": spec.preconditioner,
         }
+        if spec.mg_levels is not None:
+            options["mg_levels"] = spec.mg_levels
+        if spec.mg_smoother_iters is not None:
+            options["mg_smoother_iters"] = spec.mg_smoother_iters
         if machine.spec is not None:
             options["spec"] = machine.spec
         if machine.engine is not None:
@@ -115,9 +122,14 @@ class WseBackend:
         # objects: ResultStore manifests, bench JSON and pickled
         # process-pool results stay serializable and small.  The native
         # path (solve_native) still returns the live WseSolveReport.
+        # mg reports carry a structured preconditioner record (levels,
+        # sweeps, V-cycle count); none/jacobi stay the plain spec string.
+        precond = getattr(report, "preconditioner", None)
         telemetry: dict[str, Any] = {
             "time_kind": "simulated_device",
-            "preconditioner": spec.preconditioner,
+            "preconditioner": (
+                precond if precond is not None else spec.preconditioner
+            ),
             "engine": report.engine,
             "trace": report.trace.to_dict(),
             "counters": report.counters.to_dict(),

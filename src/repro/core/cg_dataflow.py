@@ -93,6 +93,7 @@ class DataflowCG:
         program: CgProgram,
         *,
         track_states_for: tuple[int, int] = (0, 0),
+        mg_hierarchy=None,
     ):
         self.fabric = fabric
         self.exchange = exchange
@@ -104,6 +105,16 @@ class DataflowCG:
         self.max_iters = int(program.max_iters)
         self.fixed_iterations = program.fixed_iterations
         self.jacobi = bool(program.jacobi)
+        self.mg = bool(program.mg)
+        self.mg_hierarchy = mg_hierarchy
+        if self.mg and mg_hierarchy is None:
+            raise ConfigurationError(
+                "an mg-preconditioned program needs its hierarchy staged"
+            )
+        #: V-cycle applications performed (the engine folds this many
+        #: analytic mg charge packets into the run's counters/trace).
+        self.mg_applies = 0
+        self._mg_waiting: list[tuple[ProcessingElement, Callable[[], None]]] = []
         self._pe_state: dict[tuple[int, int], PeCgState] = {
             (pe.x, pe.y): PeCgState() for pe in fabric.iter_pes()
         }
@@ -132,6 +143,37 @@ class DataflowCG:
     def check_convergence(self) -> bool:
         return self.fixed_iterations is None
 
+    # -- mg preconditioning (host-assisted barrier) ------------------------------
+
+    def _mg_submit(self, pe: ProcessingElement, cont: Callable[[], None]) -> None:
+        """Park ``pe`` at the V-cycle barrier; the last arrival runs the
+        (host-assisted, float64) V-cycle over the gathered residual and
+        resumes every PE with its ``z`` column written back.
+
+        The numerical work happens host-side — like tolerance resolution,
+        it is a *program-level* construct shared verbatim by every engine
+        so ``z`` stays bitwise identical — while the fabric cost of the
+        cycle is charged analytically by the engine from one
+        :func:`repro.mg.build_mg_packet` per application (see
+        ``mg_applies``).
+        """
+        self._mg_waiting.append((pe, cont))
+        if len(self._mg_waiting) < self._num_pes:
+            return
+        waiting, self._mg_waiting = self._mg_waiting, []
+        from repro.mg import mg_apply
+
+        nz = waiting[0][0].memory.get("r").shape[0]
+        r = np.zeros((self.fabric.width, self.fabric.height, nz), dtype=np.float64)
+        for peer, _ in waiting:
+            r[peer.x, peer.y, :] = peer.host_read("r")
+        z = mg_apply(self.mg_hierarchy, r).astype(self.fabric.dtype)
+        self.mg_applies += 1
+        now = self.fabric.now
+        for peer, peer_cont in waiting:
+            peer.host_write("z", z[peer.x, peer.y, :])
+            self.fabric.schedule_task(peer, now, peer_cont)
+
     # -- program entry --------------------------------------------------------------
 
     def launch(self) -> None:
@@ -154,6 +196,9 @@ class DataflowCG:
         jx = Dsd(pe.memory.get("Jx"))
         p = Dsd(pe.memory.get("p"))
         pe.fsubs(r, b, jx)
+        if self.mg:
+            self._mg_submit(pe, lambda pe=pe: self._init_after_mg(pe))
+            return
         if self.jacobi:
             z = Dsd(pe.memory.get("z"))
             inv = Dsd(pe.memory.get("inv_diag"))
@@ -163,6 +208,15 @@ class DataflowCG:
         else:
             pe.fmovs(p, r)
             local = pe.dot_local(r, r)
+        self._visit(pe, CGState.DOT_RR)
+        self.allreduce.submit(pe, local, lambda total, pe=pe: self._init_rtr(pe, total))
+
+    def _init_after_mg(self, pe: ProcessingElement) -> None:
+        r = Dsd(pe.memory.get("r"))
+        p = Dsd(pe.memory.get("p"))
+        z = Dsd(pe.memory.get("z"))
+        pe.fmovs(p, z)
+        local = pe.dot_local(r, z)
         self._visit(pe, CGState.DOT_RR)
         self.allreduce.submit(pe, local, lambda total, pe=pe: self._init_rtr(pe, total))
 
@@ -228,6 +282,9 @@ class DataflowCG:
         pe.fmacs(y, st.alpha, p)
         self._visit(pe, CGState.UPDATE_RES)
         pe.fmacs(r, -st.alpha, jx)
+        if self.mg:
+            self._mg_submit(pe, lambda pe=pe: self._body_after_mg(pe))
+            return
         if self.jacobi:
             z = Dsd(pe.memory.get("z"))
             inv = Dsd(pe.memory.get("inv_diag"))
@@ -235,6 +292,13 @@ class DataflowCG:
             local_rtr = pe.dot_local(r, z)
         else:
             local_rtr = pe.dot_local(r, r)
+        self._visit(pe, CGState.DOT_RR)
+        self.allreduce.submit(pe, local_rtr, lambda total, pe=pe: self._after_rtr(pe, total))
+
+    def _body_after_mg(self, pe: ProcessingElement) -> None:
+        r = Dsd(pe.memory.get("r"))
+        z = Dsd(pe.memory.get("z"))
+        local_rtr = pe.dot_local(r, z)
         self._visit(pe, CGState.DOT_RR)
         self.allreduce.submit(pe, local_rtr, lambda total, pe=pe: self._after_rtr(pe, total))
 
@@ -256,7 +320,7 @@ class DataflowCG:
         self._visit(pe, CGState.UPDATE_DIR)
         p = Dsd(pe.memory.get("p"))
         pe.fmuls(p, p, st.beta)
-        if self.jacobi:
+        if self.jacobi or self.mg:
             pe.fadds(p, p, Dsd(pe.memory.get("z")))
         else:
             pe.fadds(p, p, Dsd(pe.memory.get("r")))

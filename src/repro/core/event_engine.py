@@ -92,9 +92,43 @@ class EventEngine:
             reuse_buffers=program.reuse_buffers,
             initial_pressure=initial_pressure,
             jacobi=program.jacobi,
+            mg=program.mg,
             accumulation=accumulation,
             rhs=rhs,
         )
+        self.mg_hierarchy = None
+        self._mg_packet = None
+        if program.mg:
+            from repro.mg import build_hierarchy, build_mg_packet
+            from repro.wse.vector_engine import _ChargeModel
+
+            self.mg_hierarchy = build_hierarchy(
+                problem.coefficients,
+                problem.dirichlet.mask,
+                accumulation=accumulation,
+                levels=program.mg_levels,
+                smoother_iters=program.mg_smoother_iters,
+            )
+            # The V-cycle's fabric cost is charged from the same analytic
+            # packet the vectorized engine merges (only machine
+            # parameters are read, so counters/traffic agree exactly).
+            self._mg_packet = build_mg_packet(
+                _ChargeModel(
+                    width=self.fabric.width,
+                    height=self.fabric.height,
+                    depth=problem.grid.nz,
+                    simd_width=(
+                        int(simd_width)
+                        if simd_width is not None
+                        else spec.simd_width_f32
+                    ),
+                    spec=spec,
+                    suppress=False,
+                    kind_counts={},
+                    kernel_plans={},
+                ),
+                self.mg_hierarchy,
+            )
         if program.comm_only:
             for pe in self.fabric.iter_pes():
                 pe.suppress_fp = True
@@ -109,21 +143,30 @@ class EventEngine:
             self.kernel_configs,
             self.program,
             track_states_for=track_states_for,
+            mg_hierarchy=self.mg_hierarchy,
         )
         cg.launch()
         trace = self.fabric.run()
         pressure = gather_field(self.fabric, self.mapping, "y")
+        counters = self.fabric.merged_counters()
+        preconditioner = None
+        if self.program.mg:
+            from repro.mg import merge_mg_packet
+
+            merge_mg_packet(counters, trace, self._mg_packet, cg.mg_applies)
+            preconditioner = self.mg_hierarchy.telemetry(cg.mg_applies)
         return EngineReport(
             pressure=pressure,
             iterations=cg.result.iterations,
             converged=cg.result.converged,
             residual_history=cg.result.residual_history,
             trace=trace,
-            counters=self.fabric.merged_counters(),
+            counters=counters,
             elapsed_seconds=self.fabric.elapsed_seconds(),
             memory=fabric_memory_report(self.fabric),
             state_visits=cg.result.state_visits,
             engine=self.name,
+            preconditioner=preconditioner,
         )
 
 

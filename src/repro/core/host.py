@@ -56,6 +56,7 @@ def stage_problem(
     reuse_buffers: bool = True,
     initial_pressure: np.ndarray | None = None,
     jacobi: bool = False,
+    mg: bool = False,
     accumulation: np.ndarray | None = None,
     rhs: np.ndarray | None = None,
 ) -> dict[tuple[int, int], PeKernelConfig]:
@@ -137,8 +138,12 @@ def stage_problem(
             pe.memory.alloc(name, nz, dtype=dtype)
         if not reuse_buffers:
             pe.memory.alloc("scratch", nz, dtype=dtype)
-        if jacobi:
+        if jacobi or mg:
+            # Both preconditioners hold the preconditioned residual in a
+            # ``z`` column; only Jacobi needs a PE-local inverse diagonal
+            # (the mg V-cycle is a host-assisted program construct).
             pe.memory.alloc("z", nz, dtype=dtype)
+        if jacobi:
             pe.memory.alloc("inv_diag", nz, dtype=dtype)
             pe.host_write("inv_diag", inv_diag[x, y, :])
         if accumulation is not None:

@@ -94,8 +94,34 @@ class CgProgram:
     fixed_iterations: int | None = None
     batch: int = 1
     accumulation: bool = False
+    #: Which preconditioner the recurrence applies: ``"none"``,
+    #: ``"jacobi"`` (PE-local diagonal scaling; kept in sync with the
+    #: legacy ``jacobi`` flag both ways), or ``"mg"`` (host-assisted
+    #: geometric multigrid V-cycle; per-level work charged analytically
+    #: through ``repro.mg.charges`` so every engine stays oracle-pinned).
+    preconditioner: str = "none"
+    #: Multigrid hierarchy depth cap (``None`` = coarsen until the
+    #: lateral grid is trivial) and pre/post smoothing sweeps per level.
+    mg_levels: int | None = None
+    mg_smoother_iters: int = 2
 
     def __post_init__(self) -> None:
+        if self.preconditioner not in ("none", "jacobi", "mg"):
+            raise ConfigurationError(
+                f"unknown preconditioner {self.preconditioner!r}; choose "
+                f"one of 'none', 'jacobi', 'mg'"
+            )
+        # Bidirectional sync with the legacy boolean so older call sites
+        # (CgProgram(jacobi=True)) and new ones (preconditioner="jacobi")
+        # describe the same program.
+        if self.jacobi and self.preconditioner == "none":
+            object.__setattr__(self, "preconditioner", "jacobi")
+        elif self.preconditioner == "jacobi" and not self.jacobi:
+            object.__setattr__(self, "jacobi", True)
+        elif self.preconditioner == "mg" and self.jacobi:
+            raise ConfigurationError(
+                "jacobi=True conflicts with preconditioner='mg'"
+            )
         if self.fixed_iterations is not None and self.fixed_iterations < 1:
             raise ConfigurationError("fixed_iterations must be >= 1")
         if self.batch < 1:
@@ -105,8 +131,33 @@ class CgProgram:
                 "comm_only runs never converge; set fixed_iterations "
                 "(the paper used the converged run's 225 steps)"
             )
+        if self.comm_only and self.preconditioner == "mg":
+            raise ConfigurationError(
+                "comm_only suppresses the arithmetic the mg V-cycle is "
+                "made of; use preconditioner='none' or 'jacobi'"
+            )
         if self.max_iters < 1:
             raise ConfigurationError("max_iters must be >= 1")
+        if self.mg_levels is not None and not 1 <= self.mg_levels <= 10:
+            raise ConfigurationError(
+                f"mg_levels must be in [1, 10], got {self.mg_levels}"
+            )
+        if not 1 <= self.mg_smoother_iters <= 8:
+            raise ConfigurationError(
+                f"mg_smoother_iters must be in [1, 8], got "
+                f"{self.mg_smoother_iters}"
+            )
+
+    @property
+    def mg(self) -> bool:
+        """True when the program preconditions with multigrid."""
+        return self.preconditioner == "mg"
+
+    @property
+    def uses_z(self) -> bool:
+        """True when the recurrence carries a preconditioned residual
+        column ``z`` (any preconditioner except ``"none"``)."""
+        return self.preconditioner != "none"
 
     @property
     def check_convergence(self) -> bool:
@@ -219,6 +270,10 @@ class EngineReport:
     #: iteration, optional fallback note) — ``None`` for untiled
     #: engines.  JSON-able.
     fused: dict | None = None
+    #: Preconditioner telemetry for structured preconditioners (the mg
+    #: hierarchy's per-level grids, smoothing sweeps, V-cycle count) —
+    #: ``None`` for ``"none"``/``"jacobi"``.  JSON-able.
+    preconditioner: dict | None = None
 
 
 __all__ = ["CG_PHASES", "CgProgram", "EngineReport", "Phase", "ShardRound"]

@@ -22,12 +22,29 @@ from repro.util.errors import ConfigurationError
 from repro.wse.specs import WSE2, WseSpecs
 
 
+def resolve_preconditioner(
+    preconditioner: str | None, jacobi: bool
+) -> str:
+    """Collapse the legacy ``jacobi`` flag and the ``preconditioner``
+    name into one canonical name (``"none"``/``"jacobi"``/``"mg"``)."""
+    if preconditioner is None:
+        return "jacobi" if jacobi else "none"
+    if preconditioner == "jacobi" or not jacobi:
+        return preconditioner
+    raise ConfigurationError(
+        f"jacobi=True conflicts with preconditioner={preconditioner!r}"
+    )
+
+
 def resolve_tolerance(
     problem: SinglePhaseProblem,
     *,
     tol_rtr: float = 2e-10,
     rel_tol: float | None = None,
     jacobi: bool = False,
+    preconditioner: str | None = None,
+    mg_levels: int | None = None,
+    mg_smoother_iters: int | None = None,
     initial_pressure: np.ndarray | None = None,
     accumulation: np.ndarray | None = None,
     rhs: np.ndarray | None = None,
@@ -39,10 +56,15 @@ def resolve_tolerance(
     transient steps, pass the step's ``accumulation`` diagonal and
     ``rhs`` so the scale comes from the residual of the actual system
     ``(J + A) p = rhs`` the device is about to solve.
+
+    Preconditioned programs check ε against ``r^T z = r^T M^{-1} r``,
+    so the scale is the *preconditioned* initial residual norm (the
+    inverse diagonal for Jacobi, one V-cycle for mg).
     """
     tol = float(tol_rtr)
     if rel_tol is None:
         return tol
+    precond = resolve_preconditioner(preconditioner, jacobi)
     p0 = (
         problem.initial_pressure(dtype=np.float64)
         if initial_pressure is None
@@ -61,13 +83,23 @@ def resolve_tolerance(
         r0 = np.asarray(rhs, dtype=np.float64) - (
             jx + accumulation.astype(np.float64) * p0
         )
-    if jacobi:
+    if precond == "jacobi":
         # The device checks ε against r^T z = r^T M^{-1} r.
         diag = problem.coefficients.diagonal.astype(np.float64).copy()
         if accumulation is not None:
             diag += accumulation.astype(np.float64)
         diag[problem.dirichlet.mask] = 1.0
         scale = float(np.vdot(r0, r0 / diag).real)
+    elif precond == "mg":
+        from repro.mg import hierarchy_for_problem, mg_apply
+
+        hier = hierarchy_for_problem(
+            problem,
+            accumulation=accumulation,
+            levels=mg_levels,
+            smoother_iters=mg_smoother_iters,
+        )
+        scale = float(np.vdot(r0, mg_apply(hier, r0)).real)
     else:
         scale = float(np.vdot(r0, r0).real)
     return max(tol, rel_tol**2 * scale)
@@ -120,6 +152,9 @@ class WseMatrixFreeSolver:
         fixed_iterations: int | None = None,
         initial_pressure: np.ndarray | None = None,
         jacobi: bool = False,
+        preconditioner: str | None = None,
+        mg_levels: int | None = None,
+        mg_smoother_iters: int | None = None,
         engine: str = DEFAULT_ENGINE,
         accumulation: np.ndarray | None = None,
         rhs: np.ndarray | None = None,
@@ -141,7 +176,10 @@ class WseMatrixFreeSolver:
         self.fixed_iterations = fixed_iterations
         self.initial_pressure = initial_pressure
         self.simd_width = simd_width
-        self.jacobi = bool(jacobi)
+        self.preconditioner = resolve_preconditioner(preconditioner, jacobi)
+        self.jacobi = self.preconditioner == "jacobi"
+        self.mg_levels = mg_levels
+        self.mg_smoother_iters = mg_smoother_iters
         self.engine_name = engine
         self.accumulation = accumulation
         self.rhs = rhs
@@ -153,6 +191,11 @@ class WseMatrixFreeSolver:
             variant=variant,
             reuse_buffers=reuse_buffers,
             jacobi=self.jacobi,
+            preconditioner=self.preconditioner,
+            mg_levels=mg_levels,
+            mg_smoother_iters=(
+                2 if mg_smoother_iters is None else int(mg_smoother_iters)
+            ),
             comm_only=comm_only,
             tol_rtr=self._resolved_tolerance(),
             max_iters=self.max_iters,
@@ -197,7 +240,9 @@ class WseMatrixFreeSolver:
             self.problem,
             tol_rtr=self.tol_rtr,
             rel_tol=self.rel_tol,
-            jacobi=self.jacobi,
+            preconditioner=self.preconditioner,
+            mg_levels=self.mg_levels,
+            mg_smoother_iters=self.mg_smoother_iters,
             initial_pressure=self.initial_pressure,
             accumulation=self.accumulation,
             rhs=self.rhs,
@@ -223,6 +268,9 @@ def solve_batch(
     fixed_iterations: int | None = None,
     initial_pressure=None,
     jacobi: bool = False,
+    preconditioner: str | None = None,
+    mg_levels: int | None = None,
+    mg_smoother_iters: int | None = None,
     engine: str = "vectorized",
     batch_size: int | None = None,
     accumulation=None,
@@ -250,6 +298,7 @@ def solve_batch(
         variant = KernelVariant(variant)
     if batch_size is not None and batch_size < 1:
         raise ConfigurationError(f"batch_size must be >= 1, got {batch_size}")
+    precond = resolve_preconditioner(preconditioner, jacobi)
     guesses = normalize_guesses(
         initial_pressure, len(problems), problems[0].grid.shape
     )
@@ -267,7 +316,9 @@ def solve_batch(
                 problem,
                 tol_rtr=tol_rtr,
                 rel_tol=rel_tol,
-                jacobi=jacobi,
+                preconditioner=precond,
+                mg_levels=mg_levels,
+                mg_smoother_iters=mg_smoother_iters,
                 initial_pressure=guess,
                 accumulation=acc,
                 rhs=lane_rhs,
@@ -279,7 +330,12 @@ def solve_batch(
         program = CgProgram(
             variant=variant,
             reuse_buffers=reuse_buffers,
-            jacobi=bool(jacobi),
+            jacobi=precond == "jacobi",
+            preconditioner=precond,
+            mg_levels=mg_levels,
+            mg_smoother_iters=(
+                2 if mg_smoother_iters is None else int(mg_smoother_iters)
+            ),
             comm_only=comm_only,
             tol_rtr=float(tol_rtr),
             max_iters=int(max_iters),
@@ -331,6 +387,9 @@ def simulate_reports(
     max_iters: int = 10_000,
     fixed_iterations: int | None = None,
     jacobi: bool = False,
+    preconditioner: str | None = None,
+    mg_levels: int | None = None,
+    mg_smoother_iters: int | None = None,
     engine: str = DEFAULT_ENGINE,
     shard_shape=None,
     shard_workers: str | None = None,
@@ -353,6 +412,7 @@ def simulate_reports(
 
     if isinstance(variant, str):
         variant = KernelVariant(variant)
+    precond = resolve_preconditioner(preconditioner, jacobi)
     np_dtype = np.dtype(dtype)
     stepper = TransientStepper(
         problem,
@@ -371,7 +431,9 @@ def simulate_reports(
             problem,
             tol_rtr=tol_rtr,
             rel_tol=rel_tol,
-            jacobi=jacobi,
+            preconditioner=precond,
+            mg_levels=mg_levels,
+            mg_smoother_iters=mg_smoother_iters,
             initial_pressure=x0,
             accumulation=acc,
             rhs=rhs,
@@ -379,7 +441,12 @@ def simulate_reports(
         program = CgProgram(
             variant=variant,
             reuse_buffers=reuse_buffers,
-            jacobi=bool(jacobi),
+            jacobi=precond == "jacobi",
+            preconditioner=precond,
+            mg_levels=mg_levels,
+            mg_smoother_iters=(
+                2 if mg_smoother_iters is None else int(mg_smoother_iters)
+            ),
             tol_rtr=tol,
             max_iters=int(max_iters),
             fixed_iterations=fixed_iterations,
@@ -424,6 +491,9 @@ def simulate_reports_batch(
     max_iters: int = 10_000,
     fixed_iterations: int | None = None,
     jacobi: bool = False,
+    preconditioner: str | None = None,
+    mg_levels: int | None = None,
+    mg_smoother_iters: int | None = None,
     engine: str = "vectorized",
     batch_size: int | None = None,
     fused_tile=None,
@@ -479,6 +549,9 @@ def simulate_reports_batch(
             fixed_iterations=fixed_iterations,
             initial_pressure=[x0 for _, _, x0 in pieces],
             jacobi=jacobi,
+            preconditioner=preconditioner,
+            mg_levels=mg_levels,
+            mg_smoother_iters=mg_smoother_iters,
             engine=engine,
             batch_size=batch_size,
             accumulation=[acc for acc, _, _ in pieces],

@@ -128,6 +128,11 @@ class FusedVectorEngine:
         self.backend = create_backend(
             backend_name, self.st, program, tile=self.tile, dtype=self.dtype
         )
+        self._mg_packet = None
+        if program.mg:
+            from repro.mg import build_mg_packet
+
+            self._mg_packet = build_mg_packet(self.model, self.st.mg_hier)
         self._history: list[float] = []
 
     # -- deterministic tile-order reduction -----------------------------------
@@ -161,16 +166,31 @@ class FusedVectorEngine:
         program, m = self.program, self.model
         suppress = self._suppress
         backend = self.backend
+        mg = program.mg
+        if mg:
+            from repro.mg import mg_apply
 
         # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
-        pk_init = build_init_packet(m, program.jacobi)
+        pk_init = build_init_packet(m, program.jacobi, self._mg_packet)
         m.merge_scaled(pk_init, 1)
         m.state_visits.extend(pk_init.state_visits)
-        rtr = 0.0 if suppress else self._reduce(backend.init_pass())
+        if suppress:
+            rtr = 0.0
+        elif mg:
+            # The V-cycle is global (coarse grids couple all tiles):
+            # tiled pass to the residual, host V-cycle into z, tiled
+            # pass for the seed and dot.
+            backend.init_residual_pass()
+            self.st.z[...] = mg_apply(self.st.mg_hier, self.st.r).astype(
+                self.dtype
+            )
+            rtr = self._reduce(backend.mg_seed_pass())
+        else:
+            rtr = self._reduce(backend.init_pass())
         self._history.append(rtr)
 
         pk_check, pk_body, pk_direction = build_iteration_packets(
-            m, program.jacobi
+            m, program.jacobi, self._mg_packet
         )
         k = 0
         terminal: CGState | None = None
@@ -202,9 +222,16 @@ class FusedVectorEngine:
                 alpha = rtr / pap
 
             # One fused pass: per tile y/r axpys, Jacobi z, r·(z|r) partial.
-            rtr_new = (
-                0.0 if suppress else self._reduce(backend.update_pass(alpha))
-            )
+            if suppress:
+                rtr_new = 0.0
+            elif mg:
+                backend.update_axpy_pass(alpha)
+                self.st.z[...] = mg_apply(self.st.mg_hier, self.st.r).astype(
+                    self.dtype
+                )
+                rtr_new = self._reduce(backend.mg_dot_pass())
+            else:
+                rtr_new = self._reduce(backend.update_pass(alpha))
             k += 1
             self._history.append(rtr_new)
             if program.check_convergence and rtr_new < program.tol_rtr:
@@ -233,6 +260,9 @@ class FusedVectorEngine:
             state_visits=list(m.state_visits),
             engine=self.name,
             fused=self.fused_info(),
+            preconditioner=(
+                self.st.mg_hier.telemetry(k + 1) if mg else None
+            ),
         )
 
 
@@ -339,6 +369,16 @@ class BatchedFusedEngine:
             )
             for s in self._stagings
         ]
+        self._mg_hiers = [s.mg_hier for s in self._stagings]
+        self._mg_packet = None
+        if program.mg:
+            from repro.mg import build_mg_packet
+
+            # All lanes share the grid shape and the program's mg knobs,
+            # so one packet serves every lane.
+            self._mg_packet = build_mg_packet(
+                self._models[0], self._stagings[0].mg_hier
+            )
         # One packet set per distinct Dirichlet histogram, exactly the
         # batched vectorized engine's trick.
         self._packets: dict[tuple, dict[str, _ChargeModel]] = {}
@@ -347,9 +387,9 @@ class BatchedFusedEngine:
             sig = tuple(sorted((k.name, v) for k, v in s.kind_counts.items()))
             self._lane_sig.append(sig)
             if sig not in self._packets:
-                init = build_init_packet(model, program.jacobi)
+                init = build_init_packet(model, program.jacobi, self._mg_packet)
                 check, body, direction = build_iteration_packets(
-                    model, program.jacobi
+                    model, program.jacobi, self._mg_packet
                 )
                 self._packets[sig] = {
                     "init": init, "check": check,
@@ -383,6 +423,9 @@ class BatchedFusedEngine:
         suppress = self._suppress
         tols = self._tols
         backends = self._backends
+        mg = program.mg
+        if mg:
+            from repro.mg import mg_apply
 
         histories: list[list[float]] = [[] for _ in range(B)]
         iters = [0] * B
@@ -391,7 +434,17 @@ class BatchedFusedEngine:
         rtr = [0.0] * B
 
         for i in range(B):
-            rtr[i] = 0.0 if suppress else self._reduce(backends[i].init_pass())
+            if suppress:
+                rtr[i] = 0.0
+            elif mg:
+                backends[i].init_residual_pass()
+                st = self._stagings[i]
+                st.z[...] = mg_apply(self._mg_hiers[i], st.r).astype(
+                    self.dtype
+                )
+                rtr[i] = self._reduce(backends[i].mg_seed_pass())
+            else:
+                rtr[i] = self._reduce(backends[i].init_pass())
             histories[i].append(rtr[i])
 
         active = list(range(B))
@@ -424,10 +477,17 @@ class BatchedFusedEngine:
                     alpha = 0.0
                 else:
                     alpha = rtr[i] / pap
-                new_rtr[i] = (
-                    0.0 if suppress
-                    else self._reduce(backends[i].update_pass(alpha))
-                )
+                if suppress:
+                    new_rtr[i] = 0.0
+                elif mg:
+                    backends[i].update_axpy_pass(alpha)
+                    st = self._stagings[i]
+                    st.z[...] = mg_apply(self._mg_hiers[i], st.r).astype(
+                        self.dtype
+                    )
+                    new_rtr[i] = self._reduce(backends[i].mg_dot_pass())
+                else:
+                    new_rtr[i] = self._reduce(backends[i].update_pass(alpha))
                 iters[i] += 1
                 histories[i].append(new_rtr[i])
 
@@ -489,6 +549,10 @@ class BatchedFusedEngine:
                     state_visits=list(m.state_visits),
                     engine=self.name,
                     fused=dict(fused_info),
+                    preconditioner=(
+                        self._mg_hiers[i].telemetry(iters[i] + 1)
+                        if mg else None
+                    ),
                 )
             )
         return reports

@@ -335,6 +335,8 @@ class FusedNumpyBackend:
 
     def __init__(self, st, program, *, tile: tuple[int, int], dtype: np.dtype):
         self.jacobi = program.jacobi
+        self.mg = program.mg
+        self.uses_z = program.uses_z
         dtype = np.dtype(dtype)
         nx, ny, nz = st.y.shape
         self.y, self.b, self.r, self.p = st.y, st.b, st.r, st.p
@@ -572,11 +574,52 @@ class FusedNumpyBackend:
 
     def direction_pass(self, beta: float) -> None:
         """Per tile: ``p = β p + (z|r)``, in place."""
-        jacobi = self.jacobi
+        uses_z = self.uses_z
         for tv in self._views:
             pt = tv["p"]
             np.multiply(pt, beta, out=pt, casting="unsafe")
-            pt += tv["z"] if jacobi else tv["r"]
+            pt += tv["z"] if uses_z else tv["r"]
+
+    # -- the multigrid split points -------------------------------------------
+    #
+    # The V-cycle is a *global* construct (coarse grids couple every
+    # tile), so the mg-preconditioned program splits the init and update
+    # passes at the two z-points: a tiled half-pass up to the residual,
+    # the engine's global ``mg_apply`` into ``z``, then a tiled
+    # half-pass for the seeds/dots.  The jacobi/none passes above are
+    # untouched — their iterates stay bitwise what they were.
+
+    def init_residual_pass(self) -> None:
+        """INIT, first half: per tile ``jx = A y``, ``r = b - jx``."""
+        np.copyto(self._inner, self.y)
+        for t, tv in enumerate(self._views):
+            self._apply(t, "y")
+            np.subtract(tv["b"], tv["jx"], out=tv["r"], casting="unsafe")
+
+    def mg_seed_pass(self) -> np.ndarray:
+        """INIT, second half (after the engine's V-cycle filled ``z``):
+        per tile ``p = z`` and the ``r·z`` init partial."""
+        partials = self._partials
+        for t, tv in enumerate(self._views):
+            np.copyto(tv["p"], tv["z"])
+            partials[t] = self._dot(tv, tv["r"], tv["z"])
+        return partials
+
+    def update_axpy_pass(self, alpha: float) -> None:
+        """UPDATE, first half: per tile ``y += α p``, ``r -= α jx``."""
+        for t, tv in enumerate(self._views):
+            d = self.tiled.diff_view(t)
+            np.multiply(tv["p"], alpha, out=d, casting="unsafe")
+            tv["y"] += d
+            np.multiply(tv["jx"], -alpha, out=d, casting="unsafe")
+            tv["r"] += d
+
+    def mg_dot_pass(self) -> np.ndarray:
+        """UPDATE, second half: per tile the ``r·z`` partial."""
+        partials = self._partials
+        for t, tv in enumerate(self._views):
+            partials[t] = self._dot(tv, tv["r"], tv["z"])
+        return partials
 
 
 def create_backend(

@@ -1,0 +1,80 @@
+"""MG-preconditioned CG for the reference solver path.
+
+Mirrors :func:`repro.solvers.jacobi.jacobi_preconditioned_cg` with the
+V-cycle in place of the inverse diagonal: convergence is still checked
+on the *unpreconditioned* ``r^T r`` so iteration counts are comparable
+with plain CG and with the Jacobi extension.  The engines' dataflow
+recurrence instead checks ``r^T z`` (see ``core/solver.py``'s tolerance
+resolution) — same recurrence, different host-side threshold plumbing,
+exactly as with Jacobi today.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.mg.cycle import mg_apply
+from repro.mg.hierarchy import MgHierarchy
+from repro.solvers.cg import CGResult, PAPER_TOLERANCE_RTR
+from repro.util.errors import ConvergenceError
+
+
+def mg_preconditioned_cg(
+    operator: Callable[[np.ndarray], np.ndarray],
+    hierarchy: MgHierarchy,
+    b: np.ndarray,
+    x0: np.ndarray | None = None,
+    *,
+    tol_rtr: float = PAPER_TOLERANCE_RTR,
+    max_iters: int = 10_000,
+) -> CGResult:
+    """Preconditioned CG with ``M⁻¹ = one multigrid V-cycle``."""
+    b = np.asarray(b)
+    if x0 is None:
+        x = np.zeros_like(b)
+        r = b.copy()
+    else:
+        x = np.array(x0, dtype=b.dtype, copy=True)
+        r = b - operator(x)
+
+    z = mg_apply(hierarchy, r).astype(b.dtype)
+    p = z.copy()
+    rtr = float(np.vdot(r, r).real)
+    rz = float(np.vdot(r, z).real)
+    history = [rtr]
+    if rtr < tol_rtr:
+        return CGResult(x, 0, True, history)
+
+    Ap = np.empty_like(b)
+    k = 0
+    converged = False
+    while k < max_iters:
+        Ap[...] = operator(p)
+        pap = float(np.vdot(p, Ap).real)
+        if pap <= 0:
+            raise ConvergenceError(
+                f"PCG breakdown: p^T A p = {pap:.3e} <= 0 at iteration {k}",
+                iterations=k,
+                residual_norm=rtr,
+            )
+        alpha = rz / pap
+        x += alpha * p
+        r -= alpha * Ap
+        rtr = float(np.vdot(r, r).real)
+        history.append(rtr)
+        k += 1
+        if rtr < tol_rtr:
+            converged = True
+            break
+        z[...] = mg_apply(hierarchy, r).astype(b.dtype)
+        rz_new = float(np.vdot(r, z).real)
+        beta = rz_new / rz
+        p *= beta
+        p += z
+        rz = rz_new
+    return CGResult(x, k, converged, history)
+
+
+__all__ = ["mg_preconditioned_cg"]

@@ -40,12 +40,44 @@ DEFAULT_MAX_BYTES = 256 * 1024 * 1024
 ENTRY_OVERHEAD_BYTES = 2048
 
 
+def _telemetry_nbytes(value) -> int:
+    """Total bytes of ndarray payloads reachable from a telemetry value.
+
+    Telemetry is not always scalar: folded transient results keep their
+    per-step breakdown under ``telemetry["transient"]``, and the
+    reference backend's ``linear_results`` are dataclasses carrying full
+    solution arrays — payloads that can dwarf the final pressure field,
+    so the byte budget must see them.  Recurses through dicts, lists,
+    tuples and dataclass-like objects; scalars cost nothing beyond the
+    flat entry overhead."""
+    import dataclasses
+
+    import numpy as np
+
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, dict):
+        return sum(_telemetry_nbytes(v) for v in value.values())
+    if isinstance(value, (list, tuple)):
+        return sum(_telemetry_nbytes(v) for v in value)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return sum(
+            _telemetry_nbytes(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        )
+    return 0
+
+
 def result_nbytes(result: SolveResult) -> int:
     """The memory-tier cost of one cached result: the pressure field,
-    the float64 residual history, and a flat bookkeeping overhead."""
+    the float64 residual history, every ndarray payload reachable from
+    the telemetry dict (transient breakdowns and reference
+    ``linear_results`` can dwarf the field), and a flat bookkeeping
+    overhead."""
     return (
         int(result.pressure.nbytes)
         + 8 * len(result.residual_history)
+        + _telemetry_nbytes(result.telemetry)
         + ENTRY_OVERHEAD_BYTES
     )
 

@@ -75,6 +75,11 @@ def classify_failure(error: BaseException) -> str:
     lanes is not blindly retried as a whole.
     """
     if isinstance(error, SolveErrorGroup):
+        if not error.errors:
+            # An empty group means the raiser lost track of its member
+            # failures — a bookkeeping bug, not a flaky lane.  Classify
+            # non-retryable so it fails fast instead of looping.
+            return "config"
         members = [classify_failure(e) for e in error.errors]
         for category in ("config", "resource"):
             if category in members:

@@ -143,7 +143,14 @@ class ShardedVectorEngine:
             has_full=self.st.has_full,
             has_partial=self.st.has_partial,
             fused_tile=self.fused_tile,
+            mg=program.mg,
         )
+        self._mg_packet = None
+        self._mg_host_bytes = 0
+        if program.mg:
+            from repro.mg import build_mg_packet
+
+            self._mg_packet = build_mg_packet(self.model, self.st.mg_hier)
         self._history: list[float] = []
 
     # -- cross-shard reduction ------------------------------------------------
@@ -178,7 +185,28 @@ class ShardedVectorEngine:
         land bitwise where itemised charging would put them; state
         visits (order-sensitive) are extended from the packets' own
         recorded sequences."""
-        return build_iteration_packets(self.model, self.program.jacobi)
+        return build_iteration_packets(
+            self.model, self.program.jacobi, self._mg_packet
+        )
+
+    def _mg_cycle(self, crew) -> None:
+        """Run one host-assisted V-cycle over the board's residual.
+
+        Workers have just pushed their ``r`` blocks to the crew board
+        (a barrier separates their writes from this read); the float64
+        V-cycle — the identical program-level construct every engine
+        shares — replaces the board contents with the ``z`` field the
+        ``mg_*`` rounds read back.  Host gather/scatter bytes are
+        tracked separately (``shard["mg_host_bytes"]``): the fabric-side
+        cost of the cycle is charged through the analytic packet, and
+        the inter-shard link model stays untouched (pinned:
+        ``links["exchanges"] == iterations + 1`` with or without mg).
+        """
+        from repro.mg import mg_apply
+
+        board = crew.board()
+        board[...] = mg_apply(self.st.mg_hier, board).astype(self.dtype)
+        self._mg_host_bytes += 2 * board.nbytes
 
     # -- the solve ------------------------------------------------------------
 
@@ -187,7 +215,7 @@ class ShardedVectorEngine:
         control flow replicate the vectorized engine's run exactly (the
         charge sequence *is* the vectorized engine's, verbatim)."""
         program, m = self.program, self.model
-        jacobi = program.jacobi
+        jacobi, mg = program.jacobi, program.mg
         crew = create_crew(
             self.shard_workers, self.layout, self._arrays, self._params,
             self.depth, self.dtype,
@@ -208,13 +236,24 @@ class ShardedVectorEngine:
             m.visit(CGState.COMPUTE_JX)
             m.charge_kernel()
             partials = crew.collect()
-            crew.dispatch("publish")  # p planes, after the init barrier
-            m.vec(Op.FSUB)  # r = b - Jx
-            if jacobi:
-                m.vec(Op.FMUL)  # z = r / diag
+            if mg:
+                # The init barrier left every shard's r on the board;
+                # run the V-cycle and finish the phase on its z.
+                self._mg_cycle(crew)
+                crew.dispatch("mg_init")
+                m.vec(Op.FSUB)  # r = b - Jx
+                m.merge_scaled(self._mg_packet, 1)  # z = V-cycle(r)
                 m.vec(Op.FMOV)  # p = z
+                partials = crew.collect()
+                crew.dispatch("publish")  # p planes, after the mg barrier
             else:
-                m.vec(Op.FMOV)  # p = r
+                crew.dispatch("publish")  # p planes, after the init barrier
+                m.vec(Op.FSUB)  # r = b - Jx
+                if jacobi:
+                    m.vec(Op.FMUL)  # z = r / diag
+                    m.vec(Op.FMOV)  # p = z
+                else:
+                    m.vec(Op.FMOV)  # p = r
             m.vec(Op.FMA)  # local dot
             m.visit(CGState.DOT_RR)
             rtr = self._allreduce(partials)
@@ -264,6 +303,9 @@ class ShardedVectorEngine:
 
                 crew.dispatch("update", alpha)
                 partials = crew.collect()
+                if mg:
+                    self._mg_cycle(crew)
+                    partials = crew.round("mg_update")
                 rtr_new = self._reduce(partials)
 
                 k += 1
@@ -302,7 +344,14 @@ class ShardedVectorEngine:
                 "fused_tile": (
                     None if self.fused_tile is None else list(self.fused_tile)
                 ),
+                **(
+                    {"mg_host_bytes": self._mg_host_bytes}
+                    if program.mg else {}
+                ),
             },
+            preconditioner=(
+                self.st.mg_hier.telemetry(k + 1) if program.mg else None
+            ),
         )
 
 

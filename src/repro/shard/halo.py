@@ -73,10 +73,12 @@ class ShardFields:
         has_partial: bool,
         dtype: np.dtype,
         fused_tile: tuple[int, int] | None = None,
+        mg: bool = False,
     ):
         self.box = box
         self.variant = variant
         self.jacobi = jacobi
+        self.mg = mg
         dtype = np.dtype(dtype)
         snx, sny = box.nx, box.ny
         nz = arrays["y"].shape[2]
@@ -97,7 +99,7 @@ class ShardFields:
         self.b = local("b")
         self.r = np.zeros((snx, sny, nz), dtype=dtype)
         self.p = np.zeros((snx, sny, nz), dtype=dtype)
-        self.z = np.zeros((snx, sny, nz), dtype=dtype) if jacobi else None
+        self.z = np.zeros((snx, sny, nz), dtype=dtype) if (jacobi or mg) else None
         self.inv_diag = local("inv_diag") if jacobi else None
         self.jx: np.ndarray | None = None
 

@@ -81,6 +81,10 @@ class WorkerParams:
     #: Cache-tile shape for the fused-kernel composition (``None`` keeps
     #: the strided whole-slab sweep).
     fused_tile: tuple[int, int] | None = None
+    #: Multigrid preconditioning: workers push residual blocks to the
+    #: result board and read the coordinator's V-cycle output back from
+    #: it (the ``push``/``mg_*`` rounds).
+    mg: bool = False
 
 
 class ShardWorker:
@@ -103,6 +107,7 @@ class ShardWorker:
             has_full=params.has_full, has_partial=params.has_partial,
             dtype=np.dtype(params.dtype),
             fused_tile=params.fused_tile,
+            mg=params.mg,
         )
         self.outbox = outboxes[box.index]
         # My halo source in direction d is that neighbour's plane
@@ -116,9 +121,14 @@ class ShardWorker:
         self.result = result
         self.jx: np.ndarray | None = None
 
+    def _board(self) -> np.ndarray:
+        box = self.box
+        return self.result[box.x0:box.x1, box.y0:box.y1, :]
+
     def round(self, name: str, scalar: float | None = None) -> float | None:
         f = self.fields
-        jacobi, suppress = self.params.jacobi, self.params.suppress
+        jacobi, mg = self.params.jacobi, self.params.mg
+        suppress = self.params.suppress
         box = self.box
         if name == "gather":
             self.result[box.x0:box.x1, box.y0:box.y1, :] = f.y
@@ -134,6 +144,12 @@ class ShardWorker:
             f.fill(f.y, self.inboxes)
             jx = f.apply()
             np.subtract(f.b, jx, out=f.r, casting="unsafe")
+            if mg:
+                # The V-cycle is a host-assisted program construct: push
+                # the residual block to the board and wait for the
+                # coordinator's z ("mg_init" completes the phase).
+                self._board()[...] = f.r
+                return None
             if jacobi:
                 np.multiply(f.r, f.inv_diag, out=f.z, casting="unsafe")
                 f.p[...] = f.z
@@ -146,6 +162,10 @@ class ShardWorker:
             # planes — the coordinator runs the "publish" round after
             # the init barrier.
             return local
+        if name == "mg_init":
+            f.z[...] = self._board()
+            f.p[...] = f.z
+            return f.dot(f.r, f.z)
         if name == "publish":
             f.publish(f.p, self.outbox)
             return None
@@ -162,14 +182,20 @@ class ShardWorker:
             f.y += f._diff
             np.multiply(self.jx, -alpha, out=f._diff, casting="unsafe")
             f.r += f._diff
+            if mg:
+                self._board()[...] = f.r
+                return None
             if jacobi:
                 np.multiply(f.r, f.inv_diag, out=f.z, casting="unsafe")
                 return f.dot(f.r, f.z)
             return f.dot(f.r, f.r)
+        if name == "mg_update":
+            f.z[...] = self._board()
+            return f.dot(f.r, f.z)
         if name == "direction":
             beta = scalar
             np.multiply(f.p, beta, out=f.p, casting="unsafe")
-            f.p += f.z if jacobi else f.r
+            f.p += f.z if (jacobi or mg) else f.r
             f.publish(f.p, self.outbox)
             return None
         raise ConfigurationError(f"unknown shard round {name!r}")
@@ -231,6 +257,11 @@ class SerialCrew:
     def round(self, name: str, scalar: float | None = None) -> list[float | None]:
         self.dispatch(name, scalar)
         return self.collect()
+
+    def board(self) -> np.ndarray:
+        """The shared full-grid scratch board (mg residual/correction
+        staging between barriers; also the gather target)."""
+        return self._result
 
     def gather(self) -> np.ndarray:
         self.round("gather")
@@ -309,6 +340,11 @@ class ThreadCrew:
     def round(self, name: str, scalar: float | None = None) -> list[float | None]:
         self.dispatch(name, scalar)
         return self.collect()
+
+    def board(self) -> np.ndarray:
+        """See :meth:`SerialCrew.board` (queue hand-offs order the
+        coordinator's board writes against the workers' reads)."""
+        return self._result
 
     def gather(self) -> np.ndarray:
         self.round("gather")
@@ -439,6 +475,11 @@ class ProcessCrew:
     def round(self, name: str, scalar: float | None = None) -> list[float | None]:
         self.dispatch(name, scalar)
         return self.collect()
+
+    def board(self) -> np.ndarray:
+        """See :meth:`SerialCrew.board` (the shared-memory view; pipe
+        messages order writes against the children's reads)."""
+        return _view(*self._result_shm)
 
     def gather(self) -> np.ndarray:
         self.round("gather")

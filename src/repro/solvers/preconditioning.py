@@ -1,12 +1,14 @@
 """Spec-driven linear-solver (preconditioner) selection.
 
 The :class:`~repro.spec.SolveSpec` names a preconditioner
-(``"none"``/``"jacobi"``); this module turns that name into the concrete
-linear solver a backend's driver loop calls.  For the reference Newton
-driver that means a callable with the :func:`conjugate_gradient`
-signature; diagonal scaling binds the problem's operator diagonal (with
-identity Dirichlet rows, matching the dataflow implementation) into a
-closure over :func:`jacobi_preconditioned_cg`.
+(``"none"``/``"jacobi"``/``"mg"``); this module turns that name into the
+concrete linear solver a backend's driver loop calls.  For the reference
+Newton driver that means a callable with the
+:func:`conjugate_gradient` signature; diagonal scaling binds the
+problem's operator diagonal (with identity Dirichlet rows, matching the
+dataflow implementation) into a closure over
+:func:`jacobi_preconditioned_cg`, and ``"mg"`` binds a geometric
+multigrid hierarchy into :func:`repro.mg.pcg.mg_preconditioned_cg`.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ from typing import Any
 import numpy as np
 
 from repro.physics.darcy import SinglePhaseProblem
-from repro.solvers.cg import CGResult, conjugate_gradient
+from repro.solvers.cg import PAPER_TOLERANCE_RTR, CGResult, conjugate_gradient
 from repro.solvers.jacobi import jacobi_preconditioned_cg
 from repro.util.errors import ConfigurationError
 
@@ -33,10 +35,44 @@ def operator_diagonal(problem: SinglePhaseProblem, dtype=np.float64) -> np.ndarr
     return diag
 
 
-def linear_solver_for(problem: SinglePhaseProblem, preconditioner: str):
+def _fold_rel_tol(operator, b, x0, options: dict) -> None:
+    """Resolve a ``rel_tol`` option into the absolute ``tol_rtr``.
+
+    The preconditioned solvers converge on the unpreconditioned
+    ``r^T r`` but take only an absolute threshold, so a relative
+    tolerance is scaled host-side from the initial residual — the same
+    resolution ``core/solver.py:resolve_tolerance`` performs for the
+    fabric engines.  Silently dropping the knob instead (the old
+    behaviour) made ``rel_tol`` + a preconditioner converge to a
+    different tolerance than plain CG given the same options.
+    """
+    rel_tol = options.pop("rel_tol", None)
+    if rel_tol is None:
+        return
+    b = np.asarray(b)
+    if x0 is None:
+        r0 = np.asarray(b, dtype=np.float64)
+    else:
+        r0 = np.asarray(b, dtype=np.float64) - np.asarray(
+            operator(np.asarray(x0, dtype=b.dtype)), dtype=np.float64
+        )
+    scale = float(np.vdot(r0, r0).real)
+    tol = float(options.get("tol_rtr", PAPER_TOLERANCE_RTR))
+    options["tol_rtr"] = max(tol, float(rel_tol) ** 2 * scale)
+
+
+def linear_solver_for(
+    problem: SinglePhaseProblem,
+    preconditioner: str,
+    *,
+    mg_levels: int | None = None,
+    mg_smoother_iters: int | None = None,
+):
     """The reference linear solver implementing ``preconditioner``.
 
     Returns a callable usable as ``newton_solve(..., linear_solver=...)``.
+    The mg knobs mirror the spec's ``mg_levels``/``mg_smoother_iters``
+    and are only meaningful with ``preconditioner="mg"``.
     """
     if preconditioner == "none":
         return conjugate_gradient
@@ -44,9 +80,10 @@ def linear_solver_for(problem: SinglePhaseProblem, preconditioner: str):
         diagonal = operator_diagonal(problem)
 
         def _jacobi_cg(operator, b, x0=None, **options: Any) -> CGResult:
-            # The Newton driver only forwards tol_rtr/max_iters; drop knobs
-            # the preconditioned solver does not take.
-            options.pop("rel_tol", None)
+            # Drop driver knobs the preconditioned solver does not take,
+            # but *resolve* rel_tol into the absolute threshold first —
+            # popping it unseen left the solve at the default tolerance.
+            _fold_rel_tol(operator, b, x0, options)
             options.pop("callback", None)
             options.pop("raise_on_fail", None)
             return jacobi_preconditioned_cg(
@@ -54,4 +91,21 @@ def linear_solver_for(problem: SinglePhaseProblem, preconditioner: str):
             )
 
         return _jacobi_cg
+    if preconditioner == "mg":
+        from repro.mg import hierarchy_for_problem, mg_preconditioned_cg
+
+        hierarchy = hierarchy_for_problem(
+            problem,
+            accumulation=None,
+            levels=mg_levels,
+            smoother_iters=mg_smoother_iters,
+        )
+
+        def _mg_cg(operator, b, x0=None, **options: Any) -> CGResult:
+            _fold_rel_tol(operator, b, x0, options)
+            options.pop("callback", None)
+            options.pop("raise_on_fail", None)
+            return mg_preconditioned_cg(operator, hierarchy, b, x0, **options)
+
+        return _mg_cg
     raise ConfigurationError(f"unknown preconditioner {preconditioner!r}")

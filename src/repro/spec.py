@@ -11,8 +11,10 @@ bag that each backend interpreted — and silently ignored — differently.
 * :class:`MachineSpec` — machine-level knobs (a :class:`WseSpecs` or
   :class:`GpuSpecs` target, SIMD width, CUDA block shape, kernel variant,
   buffer reuse, comm-only mode, fixed iteration counts);
-* ``preconditioner`` — ``"none"`` (the paper's unpreconditioned CG) or
-  ``"jacobi"`` (the documented diagonal-scaling extension);
+* ``preconditioner`` — ``"none"`` (the paper's unpreconditioned CG),
+  ``"jacobi"`` (the documented diagonal-scaling extension), or ``"mg"``
+  (matrix-free geometric multigrid V-cycle; tuned by the optional
+  top-level ``mg_levels`` / ``mg_smoother_iters`` knobs);
 * :class:`TimeSpec` (optional ``time`` section) — the backward-Euler
   schedule that turns a solve into a transient *simulation* (Δt schedule,
   step count, compressibility, initial-condition policy, warm-start
@@ -46,8 +48,17 @@ from repro.wse.specs import WseSpecs
 #: Working precisions the machines support (fp32 on-device, fp64 checks).
 SUPPORTED_DTYPES = ("float32", "float64")
 
-#: Preconditioner choices (Jacobi is the purely PE-local extension).
-PRECONDITIONERS = ("none", "jacobi")
+#: Preconditioner choices: Jacobi is the purely PE-local extension;
+#: ``"mg"`` is the matrix-free geometric multigrid V-cycle (lateral
+#: semi-coarsening, Galerkin coarse operators, weighted-Jacobi smoothing)
+#: shared by the reference solver and every fabric engine.
+PRECONDITIONERS = ("none", "jacobi", "mg")
+
+#: Hard cap on multigrid hierarchy depth (matches repro.mg.MAX_MG_LEVELS).
+MG_MAX_LEVELS = 10
+
+#: Hard cap on pre/post smoothing sweeps per level.
+MG_MAX_SMOOTHER_ITERS = 8
 
 
 def _check_optional_int(name: str, value: Any, minimum: int) -> int | None:
@@ -472,6 +483,8 @@ KWARG_MAP: dict[str, tuple[str, str]] = {
     "fused_tile": ("machine", "fused_tile"),
     "preconditioner": ("", "preconditioner"),
     "jacobi": ("", "preconditioner"),
+    "mg_levels": ("", "mg_levels"),
+    "mg_smoother_iters": ("", "mg_smoother_iters"),
     "n_steps": ("time", "n_steps"),
     "dt": ("time", "dt"),
     "total_compressibility": ("time", "total_compressibility"),
@@ -512,6 +525,8 @@ class SolveSpec:
     precision: PrecisionSpec = field(default_factory=PrecisionSpec)
     machine: MachineSpec = field(default_factory=MachineSpec)
     preconditioner: str = "none"
+    mg_levels: int | None = None
+    mg_smoother_iters: int | None = None
     time: TimeSpec | None = None
 
     def __post_init__(self) -> None:
@@ -520,6 +535,35 @@ class SolveSpec:
                 f"unknown preconditioner {self.preconditioner!r}; choose one "
                 f"of {', '.join(PRECONDITIONERS)}"
             )
+        object.__setattr__(
+            self, "mg_levels", _check_optional_int("mg_levels", self.mg_levels, 1)
+        )
+        object.__setattr__(
+            self,
+            "mg_smoother_iters",
+            _check_optional_int("mg_smoother_iters", self.mg_smoother_iters, 1),
+        )
+        if self.mg_levels is not None and self.mg_levels > MG_MAX_LEVELS:
+            raise ConfigurationError(
+                f"mg_levels must be <= {MG_MAX_LEVELS}, got {self.mg_levels}"
+            )
+        if (self.mg_smoother_iters is not None
+                and self.mg_smoother_iters > MG_MAX_SMOOTHER_ITERS):
+            raise ConfigurationError(
+                f"mg_smoother_iters must be <= {MG_MAX_SMOOTHER_ITERS}, got "
+                f"{self.mg_smoother_iters}"
+            )
+        if self.preconditioner != "mg":
+            set_knobs = [
+                name for name in ("mg_levels", "mg_smoother_iters")
+                if getattr(self, name) is not None
+            ]
+            if set_knobs:
+                raise ConfigurationError(
+                    f"{', '.join(set_knobs)} configure the multigrid "
+                    f"preconditioner; set preconditioner='mg' (got "
+                    f"preconditioner={self.preconditioner!r})"
+                )
         if self.time is not None and not isinstance(self.time, TimeSpec):
             raise ConfigurationError(
                 f"time must be a TimeSpec or None, got "
@@ -583,6 +627,15 @@ class SolveSpec:
     def to_dict(self) -> dict[str, Any]:
         """A JSON-able dict that :meth:`from_dict` round-trips exactly."""
         m = self.machine
+        # The mg knobs only appear when the mg preconditioner is selected,
+        # so pre-existing spec payloads (and their fingerprints) are
+        # byte-identical to what earlier releases produced.
+        mg_payload: dict[str, Any] = {}
+        if self.preconditioner == "mg":
+            mg_payload = {
+                "mg_levels": self.mg_levels,
+                "mg_smoother_iters": self.mg_smoother_iters,
+            }
         return {
             "tolerance": {
                 "tol_rtr": self.tolerance.tol_rtr,
@@ -608,13 +661,17 @@ class SolveSpec:
                 ),
             },
             "preconditioner": self.preconditioner,
+            **mg_payload,
             "time": None if self.time is None else self.time.to_dict(),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "SolveSpec":
         """Inverse of :meth:`to_dict`; unknown sections or keys raise."""
-        known = {"tolerance", "precision", "machine", "preconditioner", "time"}
+        known = {
+            "tolerance", "precision", "machine", "preconditioner",
+            "mg_levels", "mg_smoother_iters", "time",
+        }
         extra = sorted(set(data) - known)
         if extra:
             raise ConfigurationError(
@@ -648,6 +705,8 @@ class SolveSpec:
             precision=PrecisionSpec(**prec),
             machine=MachineSpec(**mach),
             preconditioner=data.get("preconditioner", "none"),
+            mg_levels=data.get("mg_levels"),
+            mg_smoother_iters=data.get("mg_smoother_iters"),
             time=None if time_payload is None else TimeSpec.from_dict(time_payload),
         )
 
@@ -706,6 +765,8 @@ __all__ = [
     "FABRIC_ENGINES",
     "KWARG_MAP",
     "MACHINE_FIELDS",
+    "MG_MAX_LEVELS",
+    "MG_MAX_SMOOTHER_ITERS",
     "MachineSpec",
     "PRECONDITIONERS",
     "PrecisionSpec",

@@ -148,7 +148,7 @@ class _Staging:
         "coeff", "coeff_down", "coeff_up",
         "ups", "ups_down", "ups_up", "lam", "lam_nbr",
         "full_cols", "blend_mask", "has_full", "has_partial",
-        "kind_counts", "kernel_plans",
+        "kind_counts", "kernel_plans", "mg_hier",
     )
 
 
@@ -234,6 +234,7 @@ def _stage_problem(
         st.lam = np.full(grid.shape, 1.0 / problem.viscosity, dtype=dtype)
         st.lam_nbr = {port: _shifted(st.lam, port) for port in MOBILITY_BUFFER}
 
+    st.mg_hier = None
     if program.jacobi:
         diag = problem.coefficients.diagonal.astype(np.float64).copy()
         if accumulation is not None:
@@ -241,6 +242,19 @@ def _stage_problem(
         diag[problem.dirichlet.mask] = 1.0
         st.inv_diag = (1.0 / diag).astype(dtype)
         st.z = np.zeros(grid.shape, dtype=dtype)
+    elif program.mg:
+        # The V-cycle hierarchy is a host-side float64 construct (like
+        # resolved tolerances); only the z column lives on the fabric.
+        from repro.mg import build_hierarchy
+
+        st.z = np.zeros(grid.shape, dtype=dtype)
+        st.mg_hier = build_hierarchy(
+            problem.coefficients,
+            problem.dirichlet.mask,
+            accumulation=accumulation,
+            levels=program.mg_levels,
+            smoother_iters=program.mg_smoother_iters,
+        )
 
     col_all, partial_cols, kind_counts = _classify_columns(problem)
     st.full_cols = col_all
@@ -306,7 +320,7 @@ def _gather_staging(st: _Staging, idx: np.ndarray, variant: KernelVariant) -> _S
     results are identical; only frozen-lane work is skipped).  Gathers
     just the arrays :func:`_apply_fields` reads."""
     out = _Staging()
-    out.z = out.inv_diag = None
+    out.z = out.inv_diag = out.mg_hier = None
     out.acc = None if st.acc is None else st.acc[idx]
     out.coeff = out.coeff_down = out.coeff_up = None
     out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
@@ -338,7 +352,7 @@ def _stack_stagings(stagings: Sequence[_Staging], program: CgProgram) -> _Stagin
 
     for name in ("y", "b", "r", "p"):
         setattr(out, name, stack(name))
-    out.z = out.inv_diag = None
+    out.z = out.inv_diag = out.mg_hier = None
     out.acc = stack("acc") if program.accumulation else None
     out.coeff = out.coeff_down = out.coeff_up = None
     out.ups = out.ups_down = out.ups_up = out.lam = out.lam_nbr = None
@@ -361,6 +375,8 @@ def _stack_stagings(stagings: Sequence[_Staging], program: CgProgram) -> _Stagin
         }
     if program.jacobi:
         out.inv_diag = stack("inv_diag")
+        out.z = stack("z")
+    elif program.mg:
         out.z = stack("z")
     out.full_cols = stack("full_cols")
     out.blend_mask = stack("blend_mask")
@@ -453,6 +469,7 @@ def _rehearse_bytes(
     variant: KernelVariant,
     reuse_buffers: bool,
     jacobi: bool,
+    mg: bool,
     accumulation: bool,
     nz: int,
     dtype_name: str,
@@ -479,8 +496,9 @@ def _rehearse_bytes(
         arena.alloc(name, nz, dtype=dtype)
     if not reuse_buffers:
         arena.alloc("scratch", nz, dtype=dtype)
-    if jacobi:
+    if jacobi or mg:
         arena.alloc("z", nz, dtype=dtype)
+    if jacobi:
         arena.alloc("inv_diag", nz, dtype=dtype)
     if accumulation:
         arena.alloc(ACCUMULATION_BUFFER, nz, dtype=dtype)
@@ -512,7 +530,8 @@ def _memory_report(
     def rehearse(with_mask: bool) -> int:
         return _rehearse_bytes(
             spec.pe_memory_bytes, program.variant, program.reuse_buffers,
-            program.jacobi, program.accumulation, nz, dtype.name, with_mask,
+            program.jacobi, program.mg, program.accumulation, nz, dtype.name,
+            with_mask,
         )
 
     base_bytes = rehearse(False)
@@ -778,6 +797,11 @@ class VectorEngine:
             simd_width=self.simd_width, spec=spec, suppress=self._suppress,
             kind_counts=self.st.kind_counts, kernel_plans=self.st.kernel_plans,
         )
+        self._mg_packet = None
+        if program.mg:
+            from repro.mg import build_mg_packet
+
+            self._mg_packet = build_mg_packet(self.model, self.st.mg_hier)
         self._history: list[float] = []
 
     # -- numerics -------------------------------------------------------------
@@ -809,6 +833,9 @@ class VectorEngine:
         program, st, m = self.program, self.st, self.model
         y, b, r, p = st.y, st.b, st.r, st.p
         jacobi, suppress = program.jacobi, self._suppress
+        mg = program.mg
+        if mg:
+            from repro.mg import mg_apply
 
         # INIT: r0 = b - A y0 ; p0 = r0 (or z0) ; rtr = <r0, r0|z0>
         m.visit(CGState.INIT)
@@ -827,6 +854,12 @@ class VectorEngine:
                 np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
                 p[...] = st.z
             local = self._dot(r, st.z) if not suppress else 0.0
+        elif mg:
+            m.merge_scaled(self._mg_packet, 1)  # z = V-cycle(r)
+            m.vec(Op.FMOV)  # p = z
+            st.z[...] = mg_apply(st.mg_hier, r).astype(self.dtype)
+            p[...] = st.z
+            local = self._dot(r, st.z)
         else:
             m.vec(Op.FMOV)  # p = r
             if not suppress:
@@ -884,6 +917,10 @@ class VectorEngine:
                 if not suppress:
                     np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
                 local = self._dot(r, st.z)
+            elif mg:
+                m.merge_scaled(self._mg_packet, 1)  # z = V-cycle(r)
+                st.z[...] = mg_apply(st.mg_hier, r).astype(self.dtype)
+                local = self._dot(r, st.z)
             else:
                 local = self._dot(r, r)
             m.vec(Op.FMA)
@@ -904,7 +941,7 @@ class VectorEngine:
             m.vec(Op.FADD)  # p += r (or z)
             if not suppress:
                 np.multiply(p, beta, out=p, casting="unsafe")
-                p += st.z if jacobi else r
+                p += st.z if (jacobi or mg) else r
             rtr = rtr_new
 
         m.visit(terminal)
@@ -921,13 +958,18 @@ class VectorEngine:
             memory=dict(self._memory),
             state_visits=list(m.state_visits),
             engine=self.name,
+            preconditioner=(
+                st.mg_hier.telemetry(k + 1) if mg else None
+            ),
         )
 
 
 # -- charge packets -----------------------------------------------------------
 
 
-def build_init_packet(model: _ChargeModel, jacobi: bool) -> _ChargeModel:
+def build_init_packet(
+    model: _ChargeModel, jacobi: bool, mg_packet: _ChargeModel | None = None
+) -> _ChargeModel:
     """Play the INIT phase's charge sequence once on a fresh model.
 
     The sequence mirrors :meth:`VectorEngine.run`'s init statement for
@@ -935,7 +977,9 @@ def build_init_packet(model: _ChargeModel, jacobi: bool) -> _ChargeModel:
     ``merge_scaled``) into any charge model with the same Dirichlet
     histogram instead of re-itemising the charges.  Shared by the
     batched and fused engines (the sharded engine charges its init
-    inline, interleaved with crew dispatch)."""
+    inline, interleaved with crew dispatch).  ``mg_packet`` (one V-cycle
+    of charges, from ``repro.mg.build_mg_packet``) replaces the Jacobi
+    FMUL when the program preconditions with multigrid."""
     init = model.fresh()
     init.visit(CGState.INIT)
     init.visit(CGState.EXCHANGE)
@@ -946,6 +990,9 @@ def build_init_packet(model: _ChargeModel, jacobi: bool) -> _ChargeModel:
     if jacobi:
         init.vec(Op.FMUL)  # z = r / diag
         init.vec(Op.FMOV)  # p = z
+    elif mg_packet is not None:
+        init.merge_scaled(mg_packet, 1)  # z = V-cycle(r)
+        init.vec(Op.FMOV)  # p = z
     else:
         init.vec(Op.FMOV)  # p = r
     init.vec(Op.FMA)  # local dot
@@ -955,7 +1002,7 @@ def build_init_packet(model: _ChargeModel, jacobi: bool) -> _ChargeModel:
 
 
 def build_iteration_packets(
-    model: _ChargeModel, jacobi: bool
+    model: _ChargeModel, jacobi: bool, mg_packet: _ChargeModel | None = None
 ) -> tuple[_ChargeModel, _ChargeModel, _ChargeModel]:
     """Play the loop's three charge segments once on fresh models.
 
@@ -983,6 +1030,8 @@ def build_iteration_packets(
     body.vec(Op.FMA)  # r -= alpha Jp
     if jacobi:
         body.vec(Op.FMUL)
+    elif mg_packet is not None:
+        body.merge_scaled(mg_packet, 1)  # z = V-cycle(r)
     body.vec(Op.FMA)
     body.visit(CGState.DOT_RR)
     body.charge_allreduce()
@@ -1103,6 +1152,16 @@ class BatchedVectorEngine:
             )
             for s in stagings
         ]
+        self._mg_hiers = [s.mg_hier for s in stagings]
+        self._mg_packet = None
+        if program.mg:
+            from repro.mg import build_mg_packet
+
+            # All lanes share the grid shape and the program's mg knobs,
+            # so one V-cycle packet serves the whole batch.
+            self._mg_packet = build_mg_packet(
+                self._models[0], stagings[0].mg_hier
+            )
         # One packet set per distinct Dirichlet histogram (everything else
         # in the charge sequence is shared across lanes).
         self._packets: dict[tuple, dict[str, _ChargeModel]] = {}
@@ -1120,8 +1179,10 @@ class BatchedVectorEngine:
         Dirichlet histogram.  Sequences mirror :meth:`VectorEngine.run`
         statement for statement."""
         jacobi = self.program.jacobi
-        init = build_init_packet(model, jacobi)
-        check, body, direction = build_iteration_packets(model, jacobi)
+        init = build_init_packet(model, jacobi, self._mg_packet)
+        check, body, direction = build_iteration_packets(
+            model, jacobi, self._mg_packet
+        )
         return {"init": init, "check": check, "body": body, "direction": direction}
 
     # -- numerics -------------------------------------------------------------
@@ -1156,6 +1217,10 @@ class BatchedVectorEngine:
         program, st = self.program, self.st
         B = self.batch
         jacobi, suppress = program.jacobi, self._suppress
+        mg = program.mg
+        uses_z = jacobi or mg
+        if mg:
+            from repro.mg import mg_apply
         models, tols = self._models, self._tols
         packets = [self._packets[sig] for sig in self._lane_sig]
         y, b, r, p = st.y, st.b, st.r, st.p
@@ -1178,10 +1243,14 @@ class BatchedVectorEngine:
             if jacobi:
                 np.multiply(r, st.inv_diag, out=st.z, casting="unsafe")
                 p[...] = st.z
+            elif mg:
+                for i in range(B):
+                    st.z[i] = mg_apply(self._mg_hiers[i], r[i]).astype(self.dtype)
+                p[...] = st.z
             else:
                 p[...] = r
         for i in range(B):
-            local = self._lane_dot(i, r, st.z if jacobi else r)
+            local = self._lane_dot(i, r, st.z if uses_z else r)
             rtr[i] = 0.0 if suppress else local
             histories[i].append(rtr[i])
 
@@ -1243,10 +1312,15 @@ class BatchedVectorEngine:
                     r[idx] += (-a) * jx_act
                     if jacobi:
                         st.z[idx] = r[idx] * st.inv_diag[idx]
+                if mg:
+                    for i in active:
+                        st.z[i] = mg_apply(
+                            self._mg_hiers[i], r[i]
+                        ).astype(self.dtype)
 
             new_rtr = dict.fromkeys(active, 0.0)
             for i in active:
-                local = self._lane_dot(i, r, st.z if jacobi else r)
+                local = self._lane_dot(i, r, st.z if uses_z else r)
                 new_rtr[i] = 0.0 if suppress else local
                 iters[i] += 1
                 histories[i].append(new_rtr[i])
@@ -1266,12 +1340,12 @@ class BatchedVectorEngine:
                 bv = self._lane_scalars(betas)
                 if len(survivors) == B:
                     np.multiply(p, bv, out=p, casting="unsafe")
-                    p += st.z if jacobi else r
+                    p += st.z if uses_z else r
                 else:
                     sidx = np.asarray(survivors)
                     chunk = p[sidx]
                     np.multiply(chunk, bv, out=chunk, casting="unsafe")
-                    chunk += (st.z if jacobi else r)[sidx]
+                    chunk += (st.z if uses_z else r)[sidx]
                     p[sidx] = chunk
             for i in active:
                 rtr[i] = new_rtr[i]
@@ -1321,6 +1395,10 @@ class BatchedVectorEngine:
                     memory=dict(self._memory[i]),
                     state_visits=list(m.state_visits),
                     engine=self.name,
+                    preconditioner=(
+                        self._mg_hiers[i].telemetry(iters[i] + 1)
+                        if mg else None
+                    ),
                 )
             )
         return reports

@@ -207,6 +207,66 @@ class TestPreconditionerSpec:
         np.testing.assert_allclose(jac.pressure, ref.pressure, atol=1e-6)
         assert jac.converged
 
+    def test_jacobi_solver_honours_rel_tol(self):
+        """Regression: ``linear_solver_for``'s jacobi closure used to
+        ``pop`` ``rel_tol`` and discard it, so the preconditioned path
+        silently fell back to the default absolute tolerance while plain
+        CG and the fabric engines honoured the knob."""
+        from repro.fv.residual import compute_residual
+        from repro.solvers.cg import conjugate_gradient
+        from repro.solvers.preconditioning import linear_solver_for
+
+        problem = make_problem(8, 7, 3, seed=23)
+        operator = problem.operator()
+        p0 = problem.initial_pressure(dtype=np.float64)
+        rhs = -compute_residual(problem.coefficients, problem.dirichlet, p0)
+        solver = linear_solver_for(problem, "jacobi")
+        loose = solver(operator, rhs, rel_tol=1e-3, max_iters=2000)
+        tight = solver(operator, rhs, rel_tol=1e-10, max_iters=2000)
+        assert loose.converged and tight.converged
+        # Dropping the knob made both runs identical; resolving it must
+        # let the loose request stop earlier.
+        assert loose.iterations < tight.iterations
+        # ...and the resolved threshold matches plain CG's native rel_tol.
+        plain = conjugate_gradient(operator, rhs, rel_tol=1e-10, max_iters=2000)
+        np.testing.assert_allclose(tight.x, plain.x, atol=1e-6)
+
+    def test_rel_tol_with_jacobi_consistent_across_backends(self):
+        problem = make_problem(6, 5, 3, seed=27)
+        spec = SolveSpec.from_kwargs(
+            preconditioner="jacobi", dtype=np.float64, rel_tol=1e-9,
+            max_iters=2000,
+        )
+        ref = repro.solve(problem, backend="reference", spec=spec)
+        wse = repro.solve(problem, backend="wse", spec=spec)
+        assert ref.converged and wse.converged
+        np.testing.assert_allclose(wse.pressure, ref.pressure, atol=1e-6)
+
+    def test_reference_mg_matches_plain_and_cuts_iterations(self):
+        problem = make_problem(10, 9, 4, seed=25)
+        plain = repro.solve(problem, backend="reference")
+        mg = repro.solve(
+            problem, backend="reference",
+            spec=SolveSpec.from_kwargs(preconditioner="mg"),
+        )
+        np.testing.assert_allclose(mg.pressure, plain.pressure, atol=1e-6)
+        assert 0 < mg.iterations < plain.iterations
+        tele = mg.telemetry["preconditioner"]
+        assert tele["kind"] == "mg"
+        assert len(tele["levels"]) >= 2
+        assert tele["cycles"] > 0
+
+    def test_wse_mg_matches_reference(self):
+        problem = make_problem(6, 5, 3, seed=26)
+        ref = repro.solve(problem, backend="reference")
+        mg = repro.solve(
+            problem, backend="wse",
+            spec=TIGHT.with_options(preconditioner="mg"),
+        )
+        np.testing.assert_allclose(mg.pressure, ref.pressure, atol=1e-6)
+        assert mg.converged
+        assert mg.telemetry["preconditioner"]["kind"] == "mg"
+
 
 class TestTimeKind:
     """ISSUE-2 satellite: every builtin backend declares its time notion."""

@@ -138,6 +138,18 @@ def _draw_case(case: int):
     )
     if case % 3 == 0:
         fused_tile = None
+    # Preconditioner draws ride after the tile draws (same append-at-
+    # the-end contract): a quarter of the cases upgrade to the geometric
+    # multigrid preconditioner — overriding the legacy `jacobi` draw,
+    # whose bit was already consumed above — except comm-only cases
+    # (comm_only + mg is rejected by the program).
+    if rng.random() < 0.25 and not kwargs.get("comm_only"):
+        kwargs["jacobi"] = False
+        kwargs["preconditioner"] = "mg"
+        kwargs["mg_levels"] = (
+            int(rng.integers(2, 4)) if rng.random() < 0.5 else None
+        )
+        kwargs["mg_smoother_iters"] = int(rng.integers(1, 3))
     return seed, problem, sibling, kwargs, shard_shape, shard_workers, fused_tile
 
 
@@ -548,6 +560,17 @@ def test_fuzz_spans_the_knob_space():
     assert any(k.get("rel_tol") for k in drawn)
     assert any(k.get("comm_only") for k in drawn)
     assert {k["simd_width"] for k in drawn} == {1, 2, 3}
+    # The mg corpus: present in both run modes (the fixed-iteration mg
+    # cases are where sharded/fused counters pin *exactly*), with both
+    # capped and full hierarchies, and never alongside comm_only.
+    mg_cases = [k for k in drawn if k.get("preconditioner") == "mg"]
+    assert mg_cases
+    assert any(k.get("rel_tol") for k in mg_cases)
+    assert any(k.get("fixed_iterations") for k in mg_cases)
+    assert any(k.get("mg_levels") for k in mg_cases)
+    assert any(k.get("mg_levels") is None for k in mg_cases)
+    assert {k["mg_smoother_iters"] for k in mg_cases} == {1, 2}
+    assert not any(k.get("comm_only") for k in mg_cases)
     shards = [c[4] for c in cases]
     grids = [c[1].grid for c in cases]
     assert any(sx * sy == 1 for sx, sy in shards)  # single-shard identity

@@ -159,8 +159,8 @@ def test_engine_report_field_vocabulary():
     fields = sorted(EngineReport.__dataclass_fields__)
     assert fields == [
         "converged", "counters", "elapsed_seconds", "engine", "fused",
-        "iterations", "memory", "pressure", "residual_history", "shard",
-        "state_visits", "trace",
+        "iterations", "memory", "preconditioner", "pressure",
+        "residual_history", "shard", "state_visits", "trace",
     ]
 
 

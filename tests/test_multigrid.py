@@ -1,0 +1,294 @@
+"""Unit tests for the geometric multigrid preconditioner (`repro.mg`).
+
+Pins the numerical contract the engines rely on: level construction is
+the variational (Galerkin) coarse operator for piecewise-constant
+transfer, restriction/prolongation are exact adjoints, the damped-Jacobi
+smoother holds the exact solution fixed, one V-cycle is a symmetric
+positive contraction, and the spec knobs validate/round-trip.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from helpers import make_problem
+from repro.mg import (
+    MAX_MG_LEVELS,
+    build_hierarchy,
+    hierarchy_for_problem,
+    level_apply,
+    mg_apply,
+    mg_preconditioned_cg,
+    planned_level_shapes,
+    prolong,
+    restrict,
+)
+from repro.mg.cycle import _smooth
+from repro.solvers.cg import conjugate_gradient
+from repro.spec import SolveSpec
+from repro.util.errors import ConfigurationError
+
+
+def _masked_random(shape, mask, seed):
+    """A random fine/coarse vector, zero on masked cells (the engine
+    residual invariant)."""
+    rng = np.random.default_rng(seed)
+    v = rng.standard_normal(shape)
+    v[mask] = 0.0
+    return v
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_problem(12, 10, 4, seed=31)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(problem):
+    return hierarchy_for_problem(problem, accumulation=None)
+
+
+class TestLevelConstruction:
+    def test_planned_shapes_semi_coarsen_laterally(self):
+        shapes = planned_level_shapes((12, 10, 4))
+        assert shapes[0] == (12, 10, 4)
+        # ceil(n/2) laterally, z untouched, stops once both laterals <= 2.
+        assert shapes[1] == (6, 5, 4)
+        assert shapes[2] == (3, 3, 4)
+        assert shapes[3] == (2, 2, 4)
+        assert all(s[2] == 4 for s in shapes)
+        assert shapes == shapes[: MAX_MG_LEVELS]
+
+    def test_planned_shapes_respect_level_cap(self):
+        assert len(planned_level_shapes((64, 64, 4), levels=3)) == 3
+        assert len(planned_level_shapes((4, 4, 2), levels=9)) <= 9
+
+    def test_hierarchy_matches_plan(self, problem, hierarchy):
+        plan = planned_level_shapes(problem.dirichlet.mask.shape)
+        assert hierarchy.level_shapes() == [list(s) for s in plan]
+
+    def test_fine_level_is_the_engine_operator(self, problem, hierarchy):
+        """Level 0's matrix-free apply must be the problem operator."""
+        fine = hierarchy.levels[0]
+        x = np.random.default_rng(0).standard_normal(fine.shape)
+        # The problem's coefficients are float32; the hierarchy promotes
+        # them to float64, so agreement is at f32 resolution.
+        np.testing.assert_allclose(
+            level_apply(fine, x), problem.operator()(x), rtol=2e-5, atol=1e-3
+        )
+
+    def test_coarse_diag_is_row_sum(self, hierarchy):
+        """Galerkin identity: every level's diagonal is the sum of its
+        faces plus the accumulation (identity on masked rows)."""
+        for level in hierarchy.levels:
+            expected = level.acc.copy()
+            for axis, f in ((0, level.fx), (1, level.fy), (2, level.fz)):
+                if f.size == 0:
+                    continue
+                lo = [slice(None)] * 3
+                hi = [slice(None)] * 3
+                lo[axis] = slice(0, -1)
+                hi[axis] = slice(1, None)
+                expected[tuple(lo)] += f
+                expected[tuple(hi)] += f
+            expected[level.mask] = 1.0
+            np.testing.assert_allclose(level.diag, expected, rtol=1e-13)
+            assert np.all(level.diag > 0)
+
+    def test_masks_propagate_by_aggregate(self, hierarchy):
+        fine, coarse = hierarchy.levels[0], hierarchy.levels[1]
+        nxc, nyc, _ = coarse.shape
+        for i in range(nxc):
+            for j in range(nyc):
+                agg = fine.mask[2 * i : 2 * i + 2, 2 * j : 2 * j + 2]
+                np.testing.assert_array_equal(
+                    coarse.mask[i, j], agg.any(axis=(0, 1))
+                )
+
+    def test_coarsest_gets_dense_solve(self, hierarchy):
+        assert hierarchy.levels[-1].dense_inv is not None
+        assert hierarchy.telemetry(3)["coarse_solve"] == "dense"
+
+    def test_transient_accumulation_folds_into_every_level(self, problem):
+        acc = np.full(problem.dirichlet.mask.shape, 0.7)
+        hier = hierarchy_for_problem(problem, accumulation=acc)
+        cells = 1.0
+        for level in hier.levels:
+            # piecewise-constant Galerkin: coarse acc = aggregate sum
+            unmasked = ~level.mask
+            assert np.all(level.acc[unmasked] >= 0.7 * cells - 1e-12)
+            cells *= 1.0  # aggregates vary in size; just check presence
+            assert np.any(level.acc[unmasked] > 0)
+
+    def test_nonpositive_diagonal_rejected(self, problem):
+        acc = np.full(problem.dirichlet.mask.shape, -1e9)
+        with pytest.raises(ConfigurationError, match="positive"):
+            hierarchy_for_problem(problem, accumulation=acc)
+
+
+class TestTransfers:
+    def test_restriction_prolongation_adjoint(self, hierarchy):
+        """<R r, z>_coarse == <r, P z>_fine on the mask-zero subspace."""
+        fine, coarse = hierarchy.levels[0], hierarchy.levels[1]
+        r = _masked_random(fine.shape, fine.mask, seed=1)
+        zc = _masked_random(coarse.shape, coarse.mask, seed=2)
+        lhs = float(np.vdot(restrict(fine, coarse, r), zc).real)
+        rhs = float(np.vdot(r, prolong(fine, zc)).real)
+        assert lhs == pytest.approx(rhs, rel=1e-13)
+
+    def test_restrict_zeroes_masked_coarse_cells(self, hierarchy):
+        fine, coarse = hierarchy.levels[0], hierarchy.levels[1]
+        r = np.ones(fine.shape)
+        rc = restrict(fine, coarse, r)
+        assert np.all(rc[coarse.mask] == 0.0)
+
+    def test_prolong_zeroes_masked_fine_cells(self, hierarchy):
+        fine, coarse = hierarchy.levels[0], hierarchy.levels[1]
+        zf = prolong(fine, np.ones(coarse.shape))
+        assert np.all(zf[fine.mask] == 0.0)
+
+    def test_restrict_is_aggregate_sum(self, hierarchy):
+        fine, coarse = hierarchy.levels[0], hierarchy.levels[1]
+        r = _masked_random(fine.shape, fine.mask, seed=3)
+        rc = restrict(fine, coarse, r)
+        i, j = 0, 0  # first unmasked aggregate
+        while coarse.mask[i, j, 0]:
+            j += 1
+        agg = r[2 * i : 2 * i + 2, 2 * j : 2 * j + 2].sum(axis=(0, 1))
+        np.testing.assert_allclose(rc[i, j], agg, rtol=1e-13)
+
+
+class TestSmoother:
+    def test_exact_solution_is_a_fixed_point(self, problem):
+        """With z solving A z = r exactly, every sweep is a no-op."""
+        hier = hierarchy_for_problem(problem, levels=1)
+        level = hier.levels[0]
+        assert level.dense_inv is not None
+        r = _masked_random(level.shape, level.mask, seed=4)
+        z = (level.dense_inv @ r.reshape(-1)).reshape(level.shape)
+        z[level.mask] = 0.0
+        out = _smooth(level, z.copy(), r, hier.omega, sweeps=3)
+        np.testing.assert_allclose(out, z, atol=1e-10)
+
+    def test_sweep_reduces_residual(self, hierarchy):
+        level = hierarchy.levels[0]
+        r = _masked_random(level.shape, level.mask, seed=5)
+        z0 = np.zeros_like(r)
+        z1 = _smooth(level, z0.copy(), r, hierarchy.omega, sweeps=1)
+        z2 = _smooth(level, z1.copy(), r, hierarchy.omega, sweeps=1)
+        res1 = np.linalg.norm(r - level_apply(level, z1))
+        res2 = np.linalg.norm(r - level_apply(level, z2))
+        assert res2 < res1 < np.linalg.norm(r)
+
+
+class TestVCycle:
+    def test_contraction(self, problem, hierarchy):
+        """The stationary MG iteration must contract the residual hard —
+        this is what buys the CG iteration reduction."""
+        level = hierarchy.levels[0]
+        op = problem.operator()
+        b = _masked_random(level.shape, level.mask, seed=6)
+        x = np.zeros_like(b)
+        r = b.copy()
+        norms = [np.linalg.norm(r)]
+        for _ in range(5):
+            x += mg_apply(hierarchy, r)
+            r = b - op(x)
+            r[level.mask] = 0.0
+            norms.append(np.linalg.norm(r))
+        # Monotone contraction, with the first V-cycle alone knocking
+        # off ~an order of magnitude on this heterogeneous field.
+        assert all(b < a for a, b in zip(norms, norms[1:]))
+        assert norms[1] < 0.2 * norms[0]
+        assert norms[-1] < 0.05 * norms[0]
+
+    def test_symmetry(self, hierarchy):
+        """M⁻¹ must be symmetric on the mask-zero subspace or the PCG
+        recurrence is not a CG."""
+        level = hierarchy.levels[0]
+        u = _masked_random(level.shape, level.mask, seed=7)
+        v = _masked_random(level.shape, level.mask, seed=8)
+        uv = float(np.vdot(mg_apply(hierarchy, u), v).real)
+        vu = float(np.vdot(u, mg_apply(hierarchy, v)).real)
+        assert uv == pytest.approx(vu, rel=1e-11)
+
+    def test_float64_and_deterministic(self, hierarchy):
+        level = hierarchy.levels[0]
+        r32 = _masked_random(level.shape, level.mask, seed=9).astype(np.float32)
+        z1 = mg_apply(hierarchy, r32)
+        z2 = mg_apply(hierarchy, r32)
+        assert z1.dtype == np.float64
+        np.testing.assert_array_equal(z1, z2)
+
+    def test_masked_cells_stay_zero(self, hierarchy):
+        level = hierarchy.levels[0]
+        r = _masked_random(level.shape, level.mask, seed=10)
+        z = mg_apply(hierarchy, r)
+        assert np.all(z[level.mask] == 0.0)
+
+    def test_pcg_beats_plain_cg(self, problem):
+        """The headline: MG-PCG needs far fewer iterations at the same
+        absolute tolerance."""
+        op = problem.operator()
+        p0 = problem.initial_pressure(dtype=np.float64)
+        from repro.fv.residual import compute_residual
+
+        b = -compute_residual(problem.coefficients, problem.dirichlet, p0)
+        hier = hierarchy_for_problem(problem)
+        tol = 1e-10 * float(np.vdot(b, b).real)
+        plain = conjugate_gradient(op, b, tol_rtr=tol, max_iters=5000)
+        mg = mg_preconditioned_cg(op, hier, b, tol_rtr=tol, max_iters=5000)
+        assert plain.converged and mg.converged
+        assert mg.iterations * 5 <= plain.iterations
+        # f32 operator arithmetic floors how closely the two agree.
+        np.testing.assert_allclose(mg.x, plain.x, atol=1e-4)
+
+    def test_smoother_iters_validated(self, problem):
+        with pytest.raises(ConfigurationError, match="smoother_iters"):
+            hierarchy_for_problem(problem, smoother_iters=0)
+        with pytest.raises(ConfigurationError, match="smoother_iters"):
+            hierarchy_for_problem(problem, smoother_iters=9)
+
+
+class TestSpecKnobs:
+    def test_round_trip(self):
+        spec = SolveSpec.from_kwargs(
+            preconditioner="mg", mg_levels=3, mg_smoother_iters=1
+        )
+        data = spec.to_dict()
+        assert data["preconditioner"] == "mg"
+        assert data["mg_levels"] == 3
+        assert data["mg_smoother_iters"] == 1
+        back = SolveSpec.from_dict(data)
+        assert back.preconditioner == "mg"
+        assert back.mg_levels == 3
+        assert back.mg_smoother_iters == 1
+        assert back.to_dict() == data
+
+    def test_mg_knobs_absent_unless_mg(self):
+        data = SolveSpec.from_kwargs(preconditioner="jacobi").to_dict()
+        assert "mg_levels" not in data
+        assert "mg_smoother_iters" not in data
+
+    def test_mg_knobs_require_mg(self):
+        with pytest.raises(ConfigurationError, match="mg"):
+            SolveSpec.from_kwargs(preconditioner="jacobi", mg_levels=3)
+        with pytest.raises(ConfigurationError, match="mg"):
+            SolveSpec.from_kwargs(mg_smoother_iters=2)
+
+    def test_mg_knob_ranges(self):
+        with pytest.raises(ConfigurationError, match="mg_levels"):
+            SolveSpec.from_kwargs(preconditioner="mg", mg_levels=0)
+        with pytest.raises(ConfigurationError, match="mg_levels"):
+            SolveSpec.from_kwargs(preconditioner="mg", mg_levels=99)
+        with pytest.raises(ConfigurationError, match="mg_smoother_iters"):
+            SolveSpec.from_kwargs(preconditioner="mg", mg_smoother_iters=0)
+
+    def test_unknown_preconditioner_rejected(self):
+        with pytest.raises(ConfigurationError, match="preconditioner"):
+            SolveSpec.from_kwargs(preconditioner="ilu")
+        from repro.solvers.preconditioning import linear_solver_for
+
+        with pytest.raises(ConfigurationError, match="ilu"):
+            linear_solver_for(make_problem(3, 3, 2, seed=1), "ilu")

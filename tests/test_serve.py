@@ -82,6 +82,29 @@ class TestRetryTaxonomy:
         mixed = SolveErrorGroup("g", [flaky, PeOutOfMemory("big", 9, 1, 4)])
         assert classify_failure(mixed) == "resource"  # non-retryable wins
 
+    def test_empty_group_fails_fast_as_config(self):
+        """A group with no member errors means the raiser lost track of
+        its failures — a bookkeeping bug that must classify non-retryable
+        (config), not spin through the retry budget as "executor"."""
+
+        class _EmptyGroup(SolveErrorGroup):
+            # Python 3.11's ExceptionGroup refuses empty construction,
+            # so seed one member and report none — what a buggy raiser's
+            # bookkeeping looks like from the classifier's seat.
+            def __new__(cls):
+                return SolveErrorGroup.__new__(cls, "empty", [RuntimeError("seed")])
+
+            def __init__(self):
+                pass
+
+            @property
+            def errors(self):
+                return []
+
+        empty = _EmptyGroup()
+        assert classify_failure(empty) == "config"
+        assert not RetryPolicy().is_retryable(empty)
+
     def test_default_policy_retries_only_transient_categories(self):
         policy = RetryPolicy()
         assert policy.is_retryable(ConvergenceError("x", 1, 1.0))
@@ -416,6 +439,65 @@ class TestResultCache:
         assert stats["memory_entries"] == 2
         assert stats["max_bytes"] == budget
         assert stats["memory_bytes"] == cache.memory_bytes
+
+    def test_result_nbytes_counts_telemetry_array_payloads(self):
+        """A folded transient result carries ndarray payloads under its
+        telemetry (and the reference backend's ``linear_results`` carry
+        full solution arrays); they must count toward the memory-tier
+        cost or the byte budget is fiction on simulation-heavy traffic."""
+        import dataclasses
+
+        from repro.serve.cache import result_nbytes
+
+        (_, slim), *_ = self._solved_entries(1)
+        snapshots = [np.zeros((16, 16, 4)) for _ in range(3)]
+        heavy = dataclasses.replace(
+            slim,
+            telemetry={
+                **slim.telemetry,
+                "transient": {"per_step_pressure": snapshots},
+            },
+        )
+        extra = sum(a.nbytes for a in snapshots)
+        assert result_nbytes(heavy) >= result_nbytes(slim) + extra
+
+    def test_budget_holds_under_telemetry_heavy_results(self):
+        """Budget-overflow pin: when telemetry arrays dominate each
+        entry, the LRU must evict on the *true* (telemetry-inclusive)
+        size — the undercounting bug kept every entry resident."""
+        import dataclasses
+
+        from repro.serve.cache import result_nbytes
+
+        pairs = self._solved_entries(3)
+        slim_budget = 2 * max(result_nbytes(r) for _, r in pairs)
+        # Each folded result now hauls a telemetry payload worth the
+        # whole slim budget, so its true cost dwarfs its slim estimate.
+        n = max(1, slim_budget // 8)
+        heavy_pairs = [
+            (
+                entry,
+                dataclasses.replace(
+                    result,
+                    telemetry={
+                        **result.telemetry,
+                        "transient": {"per_step_pressure": [np.zeros(n)]},
+                    },
+                ),
+            )
+            for entry, result in pairs
+        ]
+        budget = 2 * max(result_nbytes(r) for _, r in heavy_pairs)
+        cache = ResultCache(max_bytes=budget)
+        for entry, result in heavy_pairs:
+            cache.put(entry, result)
+        # Two heavy entries fit; admitting the third must evict the LRU.
+        # Sized on the slim estimate alone, all three would have stayed
+        # resident (3 slim sizes < the 2-heavy budget) and the host
+        # would hold ~1.5x the budget in live arrays.
+        assert cache.memory_bytes <= budget
+        assert cache.stats()["memory_entries"] == 2
+        assert pairs[0][0].fingerprint not in cache
 
     def test_pinned_entries_survive_eviction(self):
         from repro.serve.cache import result_nbytes
