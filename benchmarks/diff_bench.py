@@ -30,6 +30,13 @@ noise — the tool **exits 1** when:
   that absorb scheduling jitter (:data:`GATE_BAND_FIELDS`, e.g. the
   service cache-hit ratio).
 
+The ``gateway_throughput`` rows follow the same split: their
+``requests_per_sec`` / ``steps_per_sec`` / ``host_seconds`` timings are
+warn-only (localhost TCP on a shared runner is noisy), while their
+request/executed counters sit in :data:`GATE_EXACT_FIELDS` — a gateway
+that starts re-solving cached work fails the diff even when it got
+faster.
+
 Missing/new/failed rows are still listed, not errored.
 """
 
@@ -50,6 +57,11 @@ GATE_EXACT_FIELDS = (
     "problems", "n_steps", "shard_shape", "fused_tile",
     "tiles_per_iteration", "flops", "fabric_bytes",
     "preconditioner", "mg_levels", "mg_cycles",
+    # Serving/gateway counters: the workload shape is pinned by the row,
+    # so "how many solves actually executed" is deterministic — drift
+    # means cache/dedup/admission behavior changed.  (batched_launches
+    # and dedup_hits wobble with admission timing and stay ungated.)
+    "requests", "distinct_specs", "executed",
 )
 
 #: Non-timing fields gated within an absolute tolerance band — they are

@@ -53,6 +53,15 @@ vectorized engine's) and the counter scalars (``flops``,
 row's ``speedup_vs_serial`` is the scale proof for fusion (expected
 ≥ 1.5× with the pure-NumPy backend).
 
+``gateway_throughput`` rows (schema ``repro.bench_session/9``) measure
+the network tier (:mod:`repro.net`): the same fan-out as
+``service_throughput`` but over real HTTP — concurrent
+``GatewayClient`` threads POSTing ``/v1/solve`` against a live
+``Gateway`` (requests/sec, executed solves, ``cache_hit_ratio``) — plus
+one transient streamed over the WebSocket (steps/sec including wire
+framing).  The deltas against the ``service_throughput`` rows are the
+protocol overhead, isolated.
+
 ``precond_iterations`` rows (schema ``repro.bench_session/8``) record
 CG iteration counts at equal residual on the heterogeneous geomodel
 scenarios (lognormal, channelized) for ``preconditioner`` none / jacobi
@@ -864,6 +873,140 @@ def run_service_throughput(smoke: bool) -> list[dict]:
     return records
 
 
+def run_gateway_throughput(smoke: bool) -> list[dict]:
+    """Network-tier rows: the same workload as ``service_throughput``,
+    but through a live :class:`repro.net.Gateway` over localhost TCP.
+
+    * ``fanout`` — worker threads, each with its own keep-alive
+      ``GatewayClient`` connection, POST ``requests`` solves over
+      ``distinct`` specs to ``/v1/solve``.  The service underneath
+      dedups/fuses exactly as in-process; the row measures what HTTP
+      adds on top.
+    * ``stream`` — one transient streamed over the WebSocket
+      (handshake + per-step JSON text frames included in the timing).
+    """
+    import concurrent.futures
+    import tempfile
+    import threading
+
+    from repro.net import GatewayClient
+    from repro.net.server import serve_forever
+
+    if smoke:
+        lateral, nz, requests, distinct, n_steps = 8, 2, 40, 8, 3
+        client_threads = 8
+    else:
+        lateral, nz, requests, distinct, n_steps = 16, 4, 200, 16, 12
+        client_threads = 16
+
+    base = repro.SolveSpec.from_kwargs(
+        spec=WSE2.with_fabric(max(32, lateral), max(32, lateral)),
+        dtype="float32", engine="vectorized", rel_tol=1e-6, max_iters=4000,
+    )
+    scenarios = [
+        repro.scenario(
+            "quarter_five_spot", nx=lateral, ny=lateral, nz=nz,
+            permeability=float(40 + 7 * i),
+        )
+        for i in range(distinct)
+    ]
+
+    address: dict = {}
+    listening = threading.Event()
+    stop = threading.Event()
+    final: dict = {}
+
+    def on_ready(info: dict) -> None:
+        address.update(info)
+        listening.set()
+
+    with tempfile.TemporaryDirectory() as records_root:
+        def serve() -> None:
+            final["stats"] = serve_forever(
+                records=records_root, ready=on_ready, stop=stop,
+                admission_window=0.02, run_id="bench-gateway",
+            )
+
+        server = threading.Thread(target=serve, name="bench-gateway")
+        server.start()
+        try:
+            assert listening.wait(timeout=30), "gateway never came up"
+            host, port = address["host"], address["port"]
+
+            # One client, shared: its connections are per-thread, so
+            # each pool worker keeps its own keep-alive socket.
+            client = GatewayClient(host, port)
+
+            def one_solve(index: int) -> bool:
+                result = client.solve(
+                    scenarios[index % distinct], backend="wse", spec=base
+                )
+                return bool(result.converged)
+
+            start = time.perf_counter()
+            with concurrent.futures.ThreadPoolExecutor(client_threads) as pool:
+                converged = list(pool.map(one_solve, range(requests)))
+            fanout_host = time.perf_counter() - start
+
+            transient = base.with_options(
+                n_steps=n_steps, dt=2.0, total_compressibility=5e-3,
+            )
+            stream_client = GatewayClient(host, port)
+            start = time.perf_counter()
+            steps = list(stream_client.stream(
+                scenarios[0], backend="wse", spec=transient
+            ))
+            stream_host = time.perf_counter() - start
+            stream_client.close()
+        finally:
+            stop.set()
+            server.join(timeout=30)
+
+    stats = final["stats"]
+    rps = requests / fanout_host
+    sps = len(steps) / stream_host
+    records = [
+        {
+            "table": "gateway_throughput",
+            "scenario": f"gateway[{lateral}x{lateral}x{nz}] "
+                        f"x{requests} distinct={distinct}",
+            "backend": "wse",
+            "engine": "vectorized",
+            "mode": "to_convergence",
+            "fixed_iterations": None,
+            "requests": requests,
+            "distinct_specs": distinct,
+            "executed": stats["executed"],
+            "dedup_hits": stats["dedup_hits"],
+            "cache_hit_ratio": stats["cache_hit_ratio"],
+            "converged": all(converged) and stats["failed"] == 0,
+            "time_kind": "host",
+            "host_seconds": fanout_host,
+            "requests_per_sec": rps,
+        },
+        {
+            "table": "gateway_throughput",
+            "scenario": f"gateway[{lateral}x{lateral}x{nz}] ws-stream "
+                        f"n_steps={n_steps}",
+            "backend": "wse",
+            "engine": "vectorized",
+            "mode": "to_convergence",
+            "fixed_iterations": None,
+            "n_steps": n_steps,
+            "converged": all(bool(s.converged) for s in steps),
+            "time_kind": "host",
+            "host_seconds": stream_host,
+            "steps_per_sec": sps,
+        },
+    ]
+    print(f"  gateway_throughput fanout: {requests} HTTP requests "
+          f"({distinct} distinct) in {fanout_host:.3f}s -> {rps:,.1f} req/s, "
+          f"{stats['executed']} solves")
+    print(f"  gateway_throughput stream: {len(steps)} WS steps in "
+          f"{stream_host:.3f}s -> {sps:,.1f} steps/s")
+    return records
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true",
@@ -985,10 +1128,15 @@ def main(argv: list[str] | None = None) -> int:
     # jacobi vs multigrid on the heterogeneous geomodels.
     print("\npreconditioner iteration reduction (equal residual):")
     records.extend(run_precond_iterations(args.smoke))
+
+    # Network-tier rows: the service fan-out again, but over real HTTP
+    # and WebSocket through a live gateway — the delta is the protocol.
+    print("\ngateway throughput (requests/sec over HTTP):")
+    records.extend(run_gateway_throughput(args.smoke))
     wall = time.perf_counter() - start
 
     payload = {
-        "schema": "repro.bench_session/8",
+        "schema": "repro.bench_session/9",
         "smoke": args.smoke,
         "executor": args.executor,
         "wall_seconds": wall,

@@ -11,12 +11,69 @@ never has to branch on the concrete type.
 
 from __future__ import annotations
 
+import base64
 from dataclasses import dataclass, field
 from typing import Any, Protocol, runtime_checkable
 
 import numpy as np
 
 from repro.physics.darcy import SinglePhaseProblem
+
+
+# -- wire encoding -----------------------------------------------------------
+#
+# Results must survive a JSON hop (the network gateway's POST /v1/solve
+# and WebSocket step frames) without losing a bit of the field data.
+# ndarrays travel as base64 of their raw bytes plus shape/dtype — exact,
+# compact, and decodable with nothing but the stdlib — and telemetry is
+# filtered to its JSON-able core (live objects collapse to an
+# ``{"__opaque__": <type>}`` marker; the stable ``to_dict()`` summaries
+# every engine reports since PR 3 pass through untouched).
+
+
+def encode_array(array: np.ndarray) -> dict[str, Any]:
+    """A JSON-able, bit-exact stand-in for an ndarray."""
+    data = np.ascontiguousarray(array)
+    return {
+        "__ndarray__": base64.b64encode(data.tobytes()).decode("ascii"),
+        "shape": list(data.shape),
+        "dtype": data.dtype.name,
+    }
+
+
+def decode_array(payload: Any) -> np.ndarray:
+    raw = base64.b64decode(payload["__ndarray__"])
+    array = np.frombuffer(raw, dtype=np.dtype(payload["dtype"]))
+    return array.reshape(tuple(payload["shape"])).copy()
+
+
+def is_encoded_array(value: Any) -> bool:
+    return isinstance(value, dict) and "__ndarray__" in value
+
+
+def jsonable_telemetry(value: Any) -> Any:
+    """Telemetry reduced to what JSON can carry, arrays encoded exactly."""
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, (np.integer, np.floating, np.bool_)):
+        return value.item()
+    if isinstance(value, dict):
+        return {str(k): jsonable_telemetry(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonable_telemetry(v) for v in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    return {"__opaque__": type(value).__name__}
+
+
+def decode_telemetry(value: Any) -> Any:
+    if is_encoded_array(value):
+        return decode_array(value)
+    if isinstance(value, dict):
+        return {k: decode_telemetry(v) for k, v in value.items()}
+    if isinstance(value, list):
+        return [decode_telemetry(v) for v in value]
+    return value
 
 
 @dataclass
@@ -71,6 +128,32 @@ class SolveResult:
             f"{float(self.pressure.max()):.4f}]"
         )
 
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able encoding that :meth:`from_dict` round-trips —
+        pressure bit-exact (base64), telemetry reduced to its JSON-able
+        core.  This is the gateway's ``POST /v1/solve`` response body."""
+        return {
+            "pressure": encode_array(self.pressure),
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "residual_history": [float(v) for v in self.residual_history],
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "backend": self.backend,
+            "telemetry": jsonable_telemetry(self.telemetry),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "SolveResult":
+        return cls(
+            pressure=decode_array(data["pressure"]),
+            iterations=int(data["iterations"]),
+            converged=bool(data["converged"]),
+            residual_history=[float(v) for v in data["residual_history"]],
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            backend=data.get("backend", ""),
+            telemetry=decode_telemetry(data.get("telemetry", {})),
+        )
+
 
 @dataclass
 class StepResult:
@@ -101,6 +184,37 @@ class StepResult:
             f"[{self.backend}] step {self.step} (t={self.time:g}, "
             f"dt={self.dt:g}): {self.iterations} iterations, "
             f"converged={self.converged}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        """A JSON-able encoding that :meth:`from_dict` round-trips —
+        the gateway's WebSocket step-frame payload."""
+        return {
+            "step": int(self.step),
+            "time": float(self.time),
+            "dt": float(self.dt),
+            "pressure": encode_array(self.pressure),
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "residual_history": [float(v) for v in self.residual_history],
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "backend": self.backend,
+            "telemetry": jsonable_telemetry(self.telemetry),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "StepResult":
+        return cls(
+            step=int(data["step"]),
+            time=float(data["time"]),
+            dt=float(data["dt"]),
+            pressure=decode_array(data["pressure"]),
+            iterations=int(data["iterations"]),
+            converged=bool(data["converged"]),
+            residual_history=[float(v) for v in data["residual_history"]],
+            elapsed_seconds=float(data["elapsed_seconds"]),
+            backend=data.get("backend", ""),
+            telemetry=decode_telemetry(data.get("telemetry", {})),
         )
 
 

@@ -1,0 +1,165 @@
+"""A minimal HTTP/1.1 request/response layer over asyncio streams.
+
+Just enough protocol for the gateway — request line + headers + a
+Content-Length body, keep-alive by default, no chunked encoding, no
+TLS — implemented directly on :mod:`asyncio.streams` so the gateway
+stays stdlib-only.  Anything malformed raises :class:`HttpError` with
+the status the handler should answer; oversized requests are bounded
+before any body is read.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from urllib.parse import parse_qsl, urlsplit
+
+#: Hard caps: a solve request is a few KiB of JSON; these bound a
+#: misbehaving peer long before memory pressure.
+MAX_HEADER_BYTES = 64 * 1024
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    304: "Not Modified",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    426: "Upgrade Required",
+    500: "Internal Server Error",
+}
+
+
+class HttpError(Exception):
+    """A protocol-level problem, carrying the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request (headers lower-cased, query decoded)."""
+
+    method: str
+    target: str
+    path: str
+    query: dict[str, str]
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.header("connection").lower()
+        if self.version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return "close" not in connection
+
+    @property
+    def wants_websocket(self) -> bool:
+        return (
+            "upgrade" in self.header("connection").lower()
+            and self.header("upgrade").lower() == "websocket"
+        )
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest | None:
+    """Parse one request; ``None`` on a clean EOF between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # peer closed between requests: normal keep-alive end
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpError(400, f"unsupported protocol version {version!r}")
+
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise HttpError(400, f"bad Content-Length {length_text!r}") from None
+    if length < 0 or length > MAX_BODY_BYTES:
+        raise HttpError(413, f"body of {length} bytes exceeds the cap")
+    body = await reader.readexactly(length) if length else b""
+
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        version=version,
+        headers=headers,
+        body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes = b"",
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one response with Content-Length framing."""
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    out_headers = {
+        "Content-Length": str(len(body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    if body:
+        out_headers["Content-Type"] = content_type
+    out_headers.update(headers or {})
+    lines.extend(f"{name}: {value}" for name, value in out_headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def render_upgrade(accept: str) -> bytes:
+    """The 101 Switching Protocols response of a WebSocket handshake."""
+    return (
+        "HTTP/1.1 101 Switching Protocols\r\n"
+        "Upgrade: websocket\r\n"
+        "Connection: Upgrade\r\n"
+        f"Sec-WebSocket-Accept: {accept}\r\n\r\n"
+    ).encode("latin-1")
+
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "REASONS",
+    "read_request",
+    "render_response",
+    "render_upgrade",
+]

@@ -20,6 +20,7 @@ never *rejects* work, it only decides the launch shape.
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Hashable
 
@@ -76,10 +77,23 @@ class AdmissionController:
     stragglers before dispatch — the latency/fusion trade-off knob.
     ``max_lane_width`` caps requests per fused lane (``None`` = only the
     spec's own ``machine.batch_size`` chunking applies).
+
+    ``speculative_after`` launches speculatively: when the burst's
+    *oldest* request has already waited that long (queue backlog, a slow
+    event loop, a prior long lane), the linger shrinks to whatever is
+    left of the speculative budget — possibly zero — instead of always
+    paying the full window on top.  Requests that arrive just after the
+    speculative launch still coalesce for free via the service's
+    in-flight dedup, so the fusion loss is bounded while the stale-lane
+    tail latency is not.  ``None`` (the default) keeps the fixed window.
     """
 
     def __init__(
-        self, *, window: float = 0.005, max_lane_width: int | None = None
+        self,
+        *,
+        window: float = 0.005,
+        max_lane_width: int | None = None,
+        speculative_after: float | None = None,
     ):
         if window < 0:
             raise ConfigurationError(f"window must be >= 0, got {window}")
@@ -87,8 +101,26 @@ class AdmissionController:
             raise ConfigurationError(
                 f"max_lane_width must be >= 1, got {max_lane_width}"
             )
+        if speculative_after is not None and speculative_after < 0:
+            raise ConfigurationError(
+                f"speculative_after must be >= 0, got {speculative_after}"
+            )
         self.window = window
         self.max_lane_width = max_lane_width
+        self.speculative_after = speculative_after
+
+    def linger_for(self, burst: list[SolveRequest]) -> float:
+        """How long this burst should wait for stragglers.
+
+        The fixed ``window``, clipped to the oldest member's remaining
+        speculative budget when ``speculative_after`` is set.
+        """
+        linger = self.window
+        if self.speculative_after is not None and burst:
+            oldest = min(r.submitted_at for r in burst)
+            age = max(0.0, time.time() - oldest)
+            linger = min(linger, max(0.0, self.speculative_after - age))
+        return linger
 
     async def collect(self, queue: RequestQueue) -> list[Lane]:
         """Block for a burst, linger one window, and partition into lanes.
@@ -97,8 +129,9 @@ class AdmissionController:
         closed and drained.
         """
         burst = await queue.get_batch()
-        if self.window > 0:
-            await asyncio.sleep(self.window)
+        linger = self.linger_for(burst)
+        if linger > 0:
+            await asyncio.sleep(linger)
             burst.extend(queue.drain_nowait())
         return self.partition(burst)
 

@@ -18,6 +18,15 @@ an artifact trail a human (or a test) can audit after the fact —
 
 With ``root=None`` the recorder keeps the same records in memory only
 (counters still feed the service's stats) — the zero-setup default.
+
+Counter ownership: the recorder does not tally its summary itself.
+Every summary increment routes through a
+:class:`~repro.net.metrics.ServiceMetrics` registry (one is created if
+none is injected) and :attr:`RunRecorder.summary` reads back from it —
+so the gateway's ``/metrics``, ``SolveService.stats()`` and the
+``run.json`` on disk report the same numbers *by construction*.  (The
+pre-gateway design mutated a plain dict from worker callbacks with no
+single ownership point, which let the surfaces drift.)
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ import time
 from pathlib import Path
 from typing import Any, Mapping
 
+from repro.net.metrics import ServiceMetrics
 from repro.util.errors import ConfigurationError
 
 #: Counter names every run.json summary carries.
@@ -47,6 +57,7 @@ class RunRecorder:
         *,
         run_id: str | None = None,
         config: Mapping[str, Any] | None = None,
+        metrics: ServiceMetrics | None = None,
     ):
         if run_id is None:
             run_id = f"run-{time.strftime('%Y%m%dT%H%M%S')}-{os.getpid()}"
@@ -62,9 +73,14 @@ class RunRecorder:
         self.started_at = time.time()
         self.finished_at: float | None = None
         self.config = dict(config or {})
-        self.summary: dict[str, int] = {name: 0 for name in SUMMARY_COUNTERS}
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.requests: dict[str, dict[str, Any]] = {}
         self.attempts: list[dict[str, Any]] = []
+
+    @property
+    def summary(self) -> dict[str, int]:
+        """The summary counters, read from the one metrics registry."""
+        return self.metrics.summary()
 
     # -- request lifecycle ----------------------------------------------------
 
@@ -77,9 +93,9 @@ class RunRecorder:
         label: str,
         kind: str = "solve",
     ) -> None:
-        self.summary["submitted"] += 1
+        self.metrics.bump("submitted")
         if kind == "stream":
-            self.summary["streams"] += 1
+            self.metrics.bump("streams")
         self.requests[str(request_id)] = {
             "request_id": request_id,
             "kind": kind,
@@ -96,9 +112,9 @@ class RunRecorder:
     def record_cache_hit(self, request_id: int, tier: str) -> None:
         """``tier``: ``"memory"`` / ``"store"`` / ``"dedup"`` (in-flight)."""
         if tier == "dedup":
-            self.summary["dedup_hits"] += 1
+            self.metrics.bump("dedup_hits")
         else:
-            self.summary[f"cache_hits_{tier}"] += 1
+            self.metrics.bump(f"cache_hits_{tier}")
         record = self.requests.get(str(request_id))
         if record is not None:
             record["cache"] = tier
@@ -131,7 +147,7 @@ class RunRecorder:
         }
         self.attempts.append(line)
         if attempt > 1:
-            self.summary["retries"] += 1
+            self.metrics.bump("retries")
         record = self.requests.get(str(request_id))
         if record is not None:
             record["attempts"] = max(record["attempts"], attempt)
@@ -143,9 +159,9 @@ class RunRecorder:
 
     def record_launch(self, *, fused: bool, size: int = 1) -> None:
         """One backend launch (a fused lane of N counts once)."""
-        self.summary["launches"] += 1
+        self.metrics.bump("launches")
         if fused:
-            self.summary["batched_launches"] += 1
+            self.metrics.bump("batched_launches")
 
     def record_outcome(
         self,
@@ -173,29 +189,31 @@ class RunRecorder:
             record["category"] = category
         record.update(extra)
         if outcome == "error":
-            self.summary["failed"] += 1
+            self.metrics.bump("failed")
         elif outcome == "ok" and record.get("cache") is None and cache is None:
-            self.summary["executed"] += 1
+            self.metrics.bump("executed")
+        self.metrics.observe_request(
+            record["elapsed_seconds"], outcome=outcome
+        )
         self.flush()
 
     def record_stream_steps(self, *, computed: int, resumed: int) -> None:
-        self.summary["streamed_steps"] += computed
-        self.summary["resumed_steps"] += resumed
+        if computed:
+            self.metrics.bump("streamed_steps", computed)
+        if resumed:
+            self.metrics.bump("resumed_steps", resumed)
 
     # -- persistence ----------------------------------------------------------
 
     def to_dict(self) -> dict[str, Any]:
-        total_probes = (
-            self.summary["cache_hits_memory"]
-            + self.summary["cache_hits_store"]
-            + self.summary["dedup_hits"]
-            + self.summary["executed"]
-            + self.summary["failed"]
-        )
+        summary = self.summary  # one registry read; keep the view coherent
         served_from_cache = (
-            self.summary["cache_hits_memory"]
-            + self.summary["cache_hits_store"]
-            + self.summary["dedup_hits"]
+            summary["cache_hits_memory"]
+            + summary["cache_hits_store"]
+            + summary["dedup_hits"]
+        )
+        total_probes = (
+            served_from_cache + summary["executed"] + summary["failed"]
         )
         return {
             "run_id": self.run_id,
@@ -203,7 +221,7 @@ class RunRecorder:
             "finished_at": self.finished_at,
             "config": self.config,
             "summary": {
-                **self.summary,
+                **summary,
                 "cache_hit_ratio": (
                     0.0 if total_probes == 0 else served_from_cache / total_probes
                 ),

@@ -50,6 +50,7 @@ from random import Random
 from typing import Any, AsyncIterator, Mapping
 
 from repro.backends import SolveResult, StepResult, get_backend
+from repro.net.metrics import ServiceMetrics
 from repro.physics.darcy import SinglePhaseProblem
 from repro.serve.admission import AdmissionController, Lane
 from repro.serve.cache import DEFAULT_MAX_BYTES as DEFAULT_CACHE_BYTES, ResultCache
@@ -76,6 +77,7 @@ class ServiceConfig:
     pool: str = "thread"
     admission_window: float = 0.005
     max_lane_width: int | None = None
+    speculative_after: float | None = None
     cache_bytes: int = DEFAULT_CACHE_BYTES
     retry: RetryPolicy = field(default_factory=RetryPolicy)
     jitter_seed: int | None = None
@@ -89,6 +91,10 @@ class ServiceConfig:
             raise ConfigurationError(
                 f"unknown pool {self.pool!r}; choose one of {', '.join(POOLS)}"
             )
+        if self.speculative_after is not None and self.speculative_after < 0:
+            raise ConfigurationError(
+                f"speculative_after must be >= 0, got {self.speculative_after}"
+            )
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -96,6 +102,7 @@ class ServiceConfig:
             "pool": self.pool,
             "admission_window": self.admission_window,
             "max_lane_width": self.max_lane_width,
+            "speculative_after": self.speculative_after,
             "cache_bytes": self.cache_bytes,
             "retry": {
                 "max_attempts": self.retry.max_attempts,
@@ -160,6 +167,7 @@ class SolveService:
         records: str | Path | None = None,
         config: ServiceConfig | None = None,
         run_id: str | None = None,
+        metrics: ServiceMetrics | None = None,
         **config_kwargs: Any,
     ):
         if config is not None and config_kwargs:
@@ -175,12 +183,17 @@ class SolveService:
         self.cache = ResultCache(
             max_bytes=self.config.cache_bytes, store=store
         )
+        #: The one counter registry: the recorder mutates it, ``stats()``
+        #: reads it back, and the gateway's ``/metrics`` renders it.
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.recorder = RunRecorder(
-            records, run_id=run_id, config=self.config.to_dict()
+            records, run_id=run_id, config=self.config.to_dict(),
+            metrics=self.metrics,
         )
         self._admission = AdmissionController(
             window=self.config.admission_window,
             max_lane_width=self.config.max_lane_width,
+            speculative_after=self.config.speculative_after,
         )
         self._rng = Random(self.config.jitter_seed)
         self._queue: RequestQueue | None = None
@@ -670,8 +683,21 @@ class SolveService:
 
         future.add_done_callback(record)
 
+    def sync_gauges(self) -> None:
+        """Refresh the point-in-time gauges in the metrics registry.
+
+        Counters update at their mutation sites; the in-flight and
+        queue-depth gauges are snapshots, synced on read (``stats()``
+        and the gateway's ``/metrics`` both call this first).
+        """
+        self.metrics.inflight.set(len(self._inflight))
+        self.metrics.queue_depth.set(
+            0 if self._queue is None else len(self._queue)
+        )
+
     def stats(self) -> dict[str, Any]:
         """Live service counters: run-record summary + cache stats."""
+        self.sync_gauges()
         return {
             **self.recorder.to_dict()["summary"],
             "cache": self.cache.stats(),

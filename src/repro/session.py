@@ -37,6 +37,7 @@ import json
 import os
 import pickle
 import shutil
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -49,6 +50,7 @@ from repro.physics.darcy import SinglePhaseProblem
 from repro.scenarios.base import Scenario, scenario as _bind_scenario
 from repro.spec import SolveSpec, coerce_spec
 from repro.util.errors import ConfigurationError
+from repro.util.locking import FileLock
 
 EXECUTORS = ("serial", "thread", "process", "batched")
 
@@ -269,32 +271,99 @@ class ResultStore:
     Only the JSON-able core survives persistence: reloaded results carry
     ``telemetry = {"time_kind": ..., "from_store": True}``, not live
     fabric traces or counters.
+
+    **Multi-writer safe.**  Several store instances — worker threads of
+    one service, or separate gateway *processes* — may share one root.
+    Every manifest rewrite happens under an advisory file lock
+    (``manifest.lock``) as read-merge-write: the on-disk manifest is
+    re-read and this instance's pending changes (tracked as dirty /
+    deleted key sets) are overlaid before the atomic replace, so
+    concurrent writers never drop each other's records.  Reads go
+    through a manifest ``stat`` check that reloads when another writer
+    has flushed — gateway B's cache probe sees gateway A's record
+    without either restarting.
     """
 
     MANIFEST = "manifest.json"
+    LOCKFILE = "manifest.lock"
 
     def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._manifest: dict[str, dict[str, Any]] = {}
-        manifest_path = self.root / self.MANIFEST
-        if manifest_path.exists():
-            self._manifest = json.loads(manifest_path.read_text())
+        #: Keys this instance changed / removed since its last flush —
+        #: exactly what read-merge-write overlays onto the disk state.
+        self._dirty: set[str] = set()
+        self._deleted: set[str] = set()
+        self._mutex = threading.RLock()
+        self._filelock = FileLock(self.root / self.LOCKFILE)
+        self._disk_state: tuple[int, int, int] | None = None
+        with self._mutex:
+            self._reload_from_disk()
+
+    @property
+    def _manifest_path(self) -> Path:
+        return self.root / self.MANIFEST
+
+    def _stat_state(self) -> tuple[int, int, int] | None:
+        """The manifest file's identity: (mtime_ns, inode, size).
+
+        ``os.replace`` swaps in a new inode, so any completed rewrite —
+        even one within the same mtime tick — changes this tuple.
+        """
+        try:
+            st = os.stat(self._manifest_path)
+        except FileNotFoundError:
+            return None
+        return (st.st_mtime_ns, st.st_ino, st.st_size)
+
+    def _reload_from_disk(self) -> None:
+        """Re-read the manifest, overlaying this instance's pending edits.
+
+        Caller holds ``_mutex``.  The atomic-replace write discipline
+        means the read always sees a complete JSON document (old or
+        new, never torn).
+        """
+        state = self._stat_state()
+        disk: dict[str, dict[str, Any]] = {}
+        if state is not None:
+            try:
+                disk = json.loads(self._manifest_path.read_text())
+            except FileNotFoundError:  # replaced away between stat and read
+                state = None
+        for key in self._dirty:
+            if key in self._manifest:
+                disk[key] = self._manifest[key]
+        for key in self._deleted:
+            disk.pop(key, None)
+        self._manifest = disk
+        self._disk_state = state
+
+    def _maybe_reload(self) -> None:
+        """Pick up other writers' flushes (cheap: one ``stat`` per read)."""
+        with self._mutex:
+            if self._stat_state() != self._disk_state:
+                self._reload_from_disk()
 
     def __len__(self) -> int:
+        self._maybe_reload()
         return len(self._manifest)
 
     def __contains__(self, fingerprint: str) -> bool:
         return self.has(fingerprint)
 
     def keys(self) -> list[str]:
+        self._maybe_reload()
         return sorted(self._manifest)
 
     def records(self) -> list[dict[str, Any]]:
         """Manifest records (copies), sorted by fingerprint."""
-        return [dict(self._manifest[k]) for k in self.keys()]
+        with self._mutex:
+            self._maybe_reload()
+            return [dict(self._manifest[k]) for k in sorted(self._manifest)]
 
     def has(self, fingerprint: str) -> bool:
+        self._maybe_reload()
         return (
             fingerprint in self._manifest
             and (self.root / f"{fingerprint}.npz").exists()
@@ -306,9 +375,12 @@ class ResultStore:
         The serving tier answers "is this fingerprint cached?" for every
         incoming request; loading (or even ``stat``-ing) the NPZ payload
         on that hot path would make every *miss* pay disk I/O.  This
-        answers purely from the in-memory manifest — :meth:`load` still
-        verifies the payload exists when a hit is actually consumed.
+        answers purely from the in-memory manifest (refreshed by a
+        single manifest ``stat`` when another writer flushed) —
+        :meth:`load` still verifies the payload exists when a hit is
+        actually consumed.
         """
+        self._maybe_reload()
         return fingerprint in self._manifest
 
     def get(self, fingerprint: str) -> dict[str, Any] | None:
@@ -318,8 +390,10 @@ class ResultStore:
         iterations and timings without loading the NPZ payload — what a
         cache probe or an admission decision needs, at manifest cost.
         """
-        record = self._manifest.get(fingerprint)
-        return None if record is None else dict(record)
+        with self._mutex:
+            self._maybe_reload()
+            record = self._manifest.get(fingerprint)
+            return None if record is None else dict(record)
 
     def save(self, entry: PlanEntry, result: SolveResult) -> None:
         """Persist one completed entry (manifest rewritten atomically)."""
@@ -329,18 +403,21 @@ class ResultStore:
             pressure=result.pressure,
             residual_history=np.asarray(result.residual_history, dtype=np.float64),
         )
-        self._manifest[fingerprint] = {
-            "fingerprint": fingerprint,
-            "label": entry.label,
-            "scenario": entry.scenario.name if entry.scenario is not None else None,
-            "backend": entry.backend,
-            "spec": entry.spec.to_dict(),
-            "iterations": int(result.iterations),
-            "converged": bool(result.converged),
-            "elapsed_seconds": float(result.elapsed_seconds),
-            "time_kind": result.telemetry.get("time_kind"),
-        }
-        self._flush()
+        with self._mutex:
+            self._manifest[fingerprint] = {
+                "fingerprint": fingerprint,
+                "label": entry.label,
+                "scenario": entry.scenario.name if entry.scenario is not None else None,
+                "backend": entry.backend,
+                "spec": entry.spec.to_dict(),
+                "iterations": int(result.iterations),
+                "converged": bool(result.converged),
+                "elapsed_seconds": float(result.elapsed_seconds),
+                "time_kind": result.telemetry.get("time_kind"),
+            }
+            self._dirty.add(fingerprint)
+            self._deleted.discard(fingerprint)
+            self._flush()
 
     def load(self, fingerprint: str) -> SolveResult:
         """Rehydrate a persisted :class:`SolveResult`."""
@@ -348,7 +425,8 @@ class ResultStore:
             raise ConfigurationError(
                 f"result store at {self.root} has no entry {fingerprint!r}"
             )
-        record = self._manifest[fingerprint]
+        record = self.get(fingerprint)
+        assert record is not None  # has() just confirmed it
         with np.load(self.root / f"{fingerprint}.npz") as arrays:
             pressure = arrays["pressure"]
             history = [float(v) for v in arrays["residual_history"]]
@@ -390,7 +468,7 @@ class ResultStore:
         record — a step file that never finished writing (crash before
         the rename) is simply not there and ends the prefix.
         """
-        record = self._manifest.get(self._steps_key(fingerprint))
+        record = self.get(self._steps_key(fingerprint))
         if not record:
             return 0
         completed = int(record.get("steps_completed", 0))
@@ -411,8 +489,17 @@ class ResultStore:
         Steps must arrive in order (``step.step == completed + 1``); the
         manifest record carries ``meta`` (label, backend, spec, n_steps)
         from the first step onward.
+
+        Appending a step that is *already durable* is a silent no-op,
+        not an error: steps are content-addressed and deterministic, so
+        two producers for one fingerprint (a stream abandoned mid-cut
+        racing its resumed successor) write identical bytes, and the
+        loser of the race has nothing left to do.  Only a *gap* —
+        appending past ``completed + 1`` — is a real bug.
         """
         completed = self.simulation_steps_completed(fingerprint)
+        if step.step <= completed:
+            return
         if step.step != completed + 1:
             raise ConfigurationError(
                 f"simulation store for {fingerprint[:12]} has {completed} "
@@ -432,30 +519,38 @@ class ResultStore:
             elapsed=np.float64(step.elapsed_seconds),
         )
         os.replace(tmp, self._step_path(fingerprint, step.step))
-        record = dict(self._manifest.get(self._steps_key(fingerprint), {}))
-        record.update(meta or {})
-        record.update(
-            kind="simulation",
-            fingerprint=fingerprint,
-            steps_completed=completed + 1,
-            time_kind=step.telemetry.get("time_kind", record.get("time_kind")),
-            backend=step.backend or record.get("backend"),
-        )
-        self._manifest[self._steps_key(fingerprint)] = record
-        self._flush()
+        key = self._steps_key(fingerprint)
+        with self._mutex:
+            record = dict(self._manifest.get(key, {}))
+            record.update(meta or {})
+            record.update(
+                kind="simulation",
+                fingerprint=fingerprint,
+                steps_completed=completed + 1,
+                time_kind=step.telemetry.get("time_kind", record.get("time_kind")),
+                backend=step.backend or record.get("backend"),
+            )
+            self._manifest[key] = record
+            self._dirty.add(key)
+            self._deleted.discard(key)
+            self._flush()
 
     def clear_simulation(self, fingerprint: str) -> None:
         """Drop a fingerprint's step stack (the ``resume=False`` path)."""
-        self._manifest.pop(self._steps_key(fingerprint), None)
-        directory = self._steps_dir(fingerprint)
-        if directory.exists():
-            shutil.rmtree(directory)
-        self._flush()
+        key = self._steps_key(fingerprint)
+        with self._mutex:
+            self._manifest.pop(key, None)
+            self._deleted.add(key)
+            self._dirty.discard(key)
+            directory = self._steps_dir(fingerprint)
+            if directory.exists():
+                shutil.rmtree(directory)
+            self._flush()
 
     def load_simulation_steps(self, fingerprint: str) -> list[StepResult]:
         """Rehydrate the persisted step stack (JSON-able core only:
         telemetry is ``{"time_kind": ..., "from_store": True}``)."""
-        record = self._manifest.get(self._steps_key(fingerprint))
+        record = self.get(self._steps_key(fingerprint))
         completed = self.simulation_steps_completed(fingerprint)
         if not record or not completed:
             raise ConfigurationError(
@@ -487,10 +582,24 @@ class ResultStore:
         return steps
 
     def _flush(self) -> None:
-        path = self.root / self.MANIFEST
-        tmp = path.with_suffix(".json.tmp")
-        tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
-        os.replace(tmp, path)
+        """Durably merge this instance's pending edits into the manifest.
+
+        Read-merge-write under the advisory file lock: re-read the disk
+        manifest (another writer may have flushed since we last looked),
+        overlay our dirty/deleted keys, atomically replace.  A blind
+        rewrite here was the classic lost-update bug — two store
+        instances interleaving ``put()`` would each persist only their
+        own records.
+        """
+        with self._mutex, self._filelock:
+            self._reload_from_disk()
+            path = self._manifest_path
+            tmp = path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps(self._manifest, indent=2, sort_keys=True))
+            os.replace(tmp, path)
+            self._disk_state = self._stat_state()
+            self._dirty.clear()
+            self._deleted.clear()
 
 
 # -- the plan ----------------------------------------------------------------
